@@ -1,0 +1,25 @@
+"""Shared reporting helpers for the figure-reproduction benches.
+
+Each bench prints a small paper-vs-measured table so the bench run's
+stdout doubles as the reproduction record (collected into
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def report(title: str, header: Sequence[str],
+           rows: List[Sequence[object]]) -> None:
+    """Print one aligned paper-vs-measured table."""
+    cells = [list(map(str, header))] + [list(map(str, r)) for r in rows]
+    widths = [max(len(row[c]) for row in cells)
+              for c in range(len(header))]
+    line = "  ".join("-" * w for w in widths)
+    print()
+    print(f"== {title} ==")
+    for i, row in enumerate(cells):
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            print(line)

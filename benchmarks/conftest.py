@@ -1,0 +1,28 @@
+"""Benchmark suite configuration.
+
+Shared fixtures: the two systems are session-scoped because their
+construction is the expensive part, and the benches measure the
+*measurements*, not construction.
+"""
+
+import pytest
+
+from repro.core.minitester import MiniTester
+from repro.core.testbed import OpticalTestBed
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    return OpticalTestBed(rate_gbps=2.5)
+
+
+@pytest.fixture(scope="session")
+def minitester():
+    return MiniTester(rate_gbps=5.0)
+
+
+def one_shot(benchmark, func, *args, **kwargs):
+    """Run a bench target once per round (simulations are long and
+    deterministic; statistical repetition is wasted time)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=3, iterations=1)

@@ -1,0 +1,68 @@
+"""Ablation: the DLC I/O derating policy.
+
+"In principle, these are capable of running at 800 Mbps, although we
+typically limit them to 300 or 400 Mbps in order to maintain
+sufficient design margin." What serial rates does each policy
+enable through an 8:1 serializer?
+"""
+
+import pytest
+
+from _report import report
+from conftest import one_shot
+from repro.dlc.io import SILICON_MAX_MBPS
+from repro.errors import RateLimitError, ReproError
+from repro.pecl.serializer import ParallelToSerial
+
+
+def test_ablation_io_derating(benchmark):
+    serializer = ParallelToSerial()
+
+    def max_serial_rate(lane_limit):
+        rate = 0.1
+        while rate < 10.0:
+            try:
+                serializer.check_rates(rate + 0.1, lane_limit)
+            except ReproError:
+                break
+            rate += 0.1
+        return rate
+
+    rates = {}
+
+    def sweep():
+        for limit in (300.0, 400.0, 800.0):
+            rates[limit] = max_serial_rate(limit)
+        return rates
+
+    one_shot(benchmark, sweep)
+    report(
+        "Ablation — I/O derating vs reachable 8:1 serial rate",
+        ("per-pin limit", "max serial rate", "note"),
+        [
+            ("300 Mbps", f"{rates[300.0]:.1f} Gbps",
+             "paper's conservative setting"),
+            ("400 Mbps", f"{rates[400.0]:.1f} Gbps",
+             "paper's typical setting"),
+            ("800 Mbps", f"{rates[800.0]:.1f} Gbps",
+             "silicon rating, no margin (serializer-limited)"),
+        ],
+    )
+    assert rates[300.0] == pytest.approx(2.4, abs=0.15)
+    assert rates[400.0] == pytest.approx(3.2, abs=0.15)
+    # At the full silicon rate, the PECL part becomes the limit.
+    assert rates[800.0] == pytest.approx(4.0, abs=0.15)
+
+
+def test_ablation_silicon_ceiling_is_hard(benchmark):
+    """Past 800 Mbps the pins refuse outright."""
+    from repro.dlc.io import IOPin
+
+    def try_overdrive():
+        pin = IOPin("p", max_rate_mbps=SILICON_MAX_MBPS)
+        pin.drive([0, 1], 800.0)  # at the rating: fine
+        with pytest.raises(RateLimitError):
+            pin.drive([0, 1], 801.0)
+        return True
+
+    assert one_shot(benchmark, try_overdrive)

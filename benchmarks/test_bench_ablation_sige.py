@@ -1,0 +1,53 @@
+"""Ablation: the SiGe output buffer.
+
+"These fast transition times were produced using silicon germanium
+(SiGe) buffers in the final output stage." What do the eyes look
+like with a plain CMOS-grade final stage instead?
+"""
+
+from _report import report
+from conftest import one_shot
+from repro.core.testbed import OpticalTestBed
+from repro.errors import ReproError
+from repro.pecl.buffer import CMOS_BUFFER, SIGE_BUFFER
+
+
+def _measure(buffer_spec, rate):
+    bed = OpticalTestBed(rate_gbps=2.5, buffer_spec=buffer_spec)
+    # Swap every channel's output stage.
+    for tx in bed.channels.values():
+        tx.output_buffer.spec = buffer_spec
+    return bed.measure_eye(n_bits=3000, seed=1, rate_gbps=rate)
+
+
+def test_ablation_sige_vs_cmos(benchmark):
+    sige = one_shot(benchmark, _measure, SIGE_BUFFER, 2.0)
+    cmos = _measure(CMOS_BUFFER, 2.0)
+    report(
+        "Ablation — SiGe vs CMOS final stage @ 2.0 Gbps",
+        ("stage", "jitter p-p", "opening", "rise time"),
+        [
+            ("SiGe", f"{sige.jitter_pp:.1f} ps",
+             f"{sige.eye_opening_ui:.2f} UI",
+             f"{SIGE_BUFFER.t20_80:.0f} ps"),
+            ("CMOS", f"{cmos.jitter_pp:.1f} ps",
+             f"{cmos.eye_opening_ui:.2f} UI",
+             f"{CMOS_BUFFER.t20_80:.0f} ps"),
+        ],
+    )
+    # SiGe buys a visibly cleaner eye.
+    assert sige.eye_opening_ui > cmos.eye_opening_ui + 0.03
+    assert sige.jitter_pp < cmos.jitter_pp
+
+
+def test_ablation_cmos_cannot_reach_2g5(benchmark):
+    """The CMOS-grade stage tops out below the project's target
+    rate — the SiGe stage is what makes 2.5 Gbps possible."""
+    import pytest
+
+    def try_2g5():
+        with pytest.raises(ReproError):
+            _measure(CMOS_BUFFER, 2.5)
+        return True
+
+    assert one_shot(benchmark, try_2g5)

@@ -1,0 +1,72 @@
+"""Ablation: the two-stage serializer.
+
+The mini-tester reaches 5 Gbps only by interleaving two 8:1 streams
+with a second-stage 2:1 mux (Figure 15). A single 8:1 stage is
+limited both by the PECL part's output ceiling and by the DLC lane
+rate it would demand.
+"""
+
+import pytest
+
+from _report import report
+from conftest import one_shot
+from repro.errors import ReproError
+from repro.pecl.serializer import (
+    ParallelToSerial,
+    SerializerSpec,
+    TwoStageSerializer,
+)
+
+
+def test_ablation_single_stage_cannot_reach_5g(benchmark):
+    single = ParallelToSerial(SerializerSpec())
+    two = TwoStageSerializer()
+
+    def lane_rates():
+        return {
+            "single@2.5G": single.required_lane_rate_mbps(2.5),
+            "single@5G": single.required_lane_rate_mbps(5.0),
+            "two-stage@5G": two.required_lane_rate_mbps(5.0),
+        }
+
+    rates = one_shot(benchmark, lane_rates)
+    report(
+        "Ablation — DLC lane rate demanded per serializer topology",
+        ("topology", "lane rate", "within 400 Mbps derating?"),
+        [
+            ("single 8:1 @ 2.5 G",
+             f"{rates['single@2.5G']:.1f} Mbps", "yes"),
+            ("single 8:1 @ 5.0 G",
+             f"{rates['single@5G']:.1f} Mbps", "NO"),
+            ("two-stage 16 lanes @ 5.0 G",
+             f"{rates['two-stage@5G']:.1f} Mbps", "yes"),
+        ],
+    )
+    # A single stage at 5 G needs 625 Mbps lanes (above derating)
+    # and exceeds the part's output ceiling.
+    assert rates["single@5G"] > 400.0
+    assert rates["two-stage@5G"] <= 400.0
+    with pytest.raises(ReproError):
+        single.check_rates(5.0, lane_limit_mbps=800.0)
+
+
+def test_ablation_two_stage_jitter_cost(benchmark, minitester,
+                                        testbed):
+    """The second mux stage costs a little deterministic jitter —
+    visible as the mini-tester's slightly larger eye jitter budget."""
+    def budgets():
+        return (testbed.transmitter.total_jitter_budget(),
+                minitester.transmitter.total_jitter_budget())
+
+    one, two = one_shot(benchmark, budgets)
+    report(
+        "Ablation — jitter budget, single vs two-stage path",
+        ("path", "RJ rms", "bounded DJ+DCD"),
+        [
+            ("test bed (8:1 + SiGe)", f"{one.rj_rms:.2f} ps",
+             f"{one.dj_pp + one.dcd_pp:.1f} ps"),
+            ("mini-tester (8:1 x2 + 2:1)", f"{two.rj_rms:.2f} ps",
+             f"{two.dj_pp + two.dcd_pp:.1f} ps"),
+        ],
+    )
+    assert (two.dj_pp + two.dcd_pp) > (one.dj_pp + one.dcd_pp)

@@ -1,0 +1,73 @@
+"""Figure 4: the Optical Test Bed stimulus format.
+
+Regenerates every timing number printed on the figure from the
+packet-format model and renders one full slot through the TX path.
+"""
+
+import numpy as np
+import pytest
+
+from _report import report
+from conftest import one_shot
+from repro.core.packetformat import PacketSlot, PacketSlotFormat
+
+
+def _build_and_check_slot(fmt):
+    slot = PacketSlot.random(fmt, address=5,
+                             rng=np.random.default_rng(1))
+    channels = slot.all_channels()
+    assert all(len(bits) == fmt.slot_bits
+               for bits in channels.values())
+    return slot
+
+
+def test_fig04_packet_format(benchmark):
+    fmt = PacketSlotFormat()
+    slot = one_shot(benchmark, _build_and_check_slot, fmt)
+
+    rows = [
+        ("packet slot time", "25.6 ns", f"{fmt.slot_time/1000:.1f} ns"),
+        ("slot bit periods", "64 x 400 ps",
+         f"{fmt.slot_bits} x {fmt.bit_period:.0f} ps"),
+        ("valid data", "12.8 ns (32 bits)",
+         f"{fmt.valid_data_time/1000:.1f} ns ({fmt.payload_bits} bits)"),
+        ("guard time (each)", "2.0 ns (5 bits)",
+         f"{fmt.guard_time/1000:.1f} ns ({fmt.guard_bits} bits)"),
+        ("dead time", "3.2 ns (8 bits)",
+         f"{fmt.dead_time/1000:.1f} ns ({fmt.dead_bits} bits)"),
+        ("clock/data window", "18.4 ns (46 bits)",
+         f"{fmt.window_time/1000:.1f} ns ({fmt.window_bits} bits)"),
+    ]
+    report("Figure 4 — packet slot format",
+           ("quantity", "paper", "model"), rows)
+
+    assert fmt.slot_time == pytest.approx(25_600.0)
+    assert fmt.valid_data_time == pytest.approx(12_800.0)
+    assert fmt.guard_time == pytest.approx(2_000.0)
+    assert fmt.dead_time == pytest.approx(3_200.0)
+    assert fmt.window_time == pytest.approx(18_400.0)
+    # The concrete slot honors the windows.
+    clock = slot.clock_bits()
+    assert not clock[:fmt.window_start_bit].any()
+    assert not slot.data_bits(0)[:fmt.data_start_bit].any()
+
+
+def test_fig04_slot_through_tx_path(benchmark, testbed):
+    """The slot rendered by the full PECL path: the data window must
+    land inside the paper's maximum clock/data window."""
+    slot = PacketSlot.random(testbed.fmt, address=3,
+                             rng=np.random.default_rng(2))
+    waveforms = one_shot(benchmark, testbed.transmit_slot, slot,
+                         seed=4)
+    fmt = testbed.fmt
+    from repro.signal.analysis import threshold_crossings
+
+    data = waveforms["data0"]
+    mid = 0.5 * (data.min() + data.max())
+    crossings = threshold_crossings(data, mid)
+    if len(crossings):
+        window_lo = fmt.window_start_bit * fmt.bit_period - 50.0
+        window_hi = (fmt.window_start_bit + fmt.window_bits) \
+            * fmt.bit_period + 50.0
+        assert crossings.min() > window_lo
+        assert crossings.max() < window_hi

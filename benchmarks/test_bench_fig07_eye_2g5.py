@@ -1,0 +1,32 @@
+"""Figure 7: 2.5 Gbps eye diagram from the Optical Test Bed.
+
+Paper: LFSR pattern, jitter 46.7 ps p-p at the crossover, usable eye
+opening 0.88 UI.
+"""
+
+from _report import report
+from conftest import one_shot
+
+PAPER_JITTER_PP = 46.7
+PAPER_OPENING_UI = 0.88
+
+
+def test_fig07_eye_2g5(benchmark, testbed):
+    metrics = one_shot(benchmark, testbed.measure_eye,
+                       n_bits=4000, seed=1, rate_gbps=2.5)
+    report(
+        "Figure 7 — 2.5 Gbps eye (PRBS from the DLC LFSR)",
+        ("metric", "paper", "measured"),
+        [
+            ("jitter p-p", f"{PAPER_JITTER_PP} ps",
+             f"{metrics.jitter_pp:.1f} ps"),
+            ("eye opening", f"{PAPER_OPENING_UI} UI",
+             f"{metrics.eye_opening_ui:.2f} UI"),
+            ("amplitude", "~800 mV (PECL)",
+             f"{metrics.amplitude * 1000:.0f} mV"),
+        ],
+    )
+    # Shape: within ~25% of the paper's jitter, opening within 0.05 UI.
+    assert abs(metrics.jitter_pp - PAPER_JITTER_PP) \
+        < 0.25 * PAPER_JITTER_PP
+    assert abs(metrics.eye_opening_ui - PAPER_OPENING_UI) < 0.05

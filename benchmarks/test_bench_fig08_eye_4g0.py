@@ -1,0 +1,50 @@
+"""Figure 8: the same channel overclocked to 4.0 Gbps.
+
+Paper: 47.2 ps p-p crossover jitter, 0.81 UI opening, "no visible
+signal attenuation"; 4 Gbps "is at the upper limit of some of the
+individual PECL components".
+"""
+
+import pytest
+
+from _report import report
+from conftest import one_shot
+
+PAPER_JITTER_PP = 47.2
+PAPER_OPENING_UI = 0.81
+
+
+def test_fig08_eye_4g0(benchmark, testbed):
+    metrics = one_shot(benchmark, testbed.measure_eye,
+                       n_bits=4000, seed=1, rate_gbps=4.0)
+    report(
+        "Figure 8 — 4.0 Gbps eye (above the 2.5 G target)",
+        ("metric", "paper", "measured"),
+        [
+            ("jitter p-p", f"{PAPER_JITTER_PP} ps",
+             f"{metrics.jitter_pp:.1f} ps"),
+            ("eye opening", f"{PAPER_OPENING_UI} UI",
+             f"{metrics.eye_opening_ui:.2f} UI"),
+            ("amplitude", "no visible attenuation",
+             f"{metrics.amplitude * 1000:.0f} mV"),
+        ],
+    )
+    assert abs(metrics.jitter_pp - PAPER_JITTER_PP) \
+        < 0.25 * PAPER_JITTER_PP
+    assert abs(metrics.eye_opening_ui - PAPER_OPENING_UI) < 0.06
+    # "No visible signal attenuation" at 4 G with 72 ps edges.
+    assert metrics.amplitude > 0.7
+
+
+def test_fig08_component_limit(benchmark, testbed):
+    """Past ~4 Gbps the first-stage PECL parts give out — the model
+    enforces the same ceiling the paper reports."""
+    from conftest import one_shot
+    from repro.errors import ReproError
+
+    def try_4g5():
+        with pytest.raises(ReproError):
+            testbed.measure_eye(n_bits=500, seed=1, rate_gbps=4.5)
+        return True
+
+    assert one_shot(benchmark, try_4g5)

@@ -1,0 +1,40 @@
+"""Figure 9: single-transition jitter measurement.
+
+Paper: one falling edge observed repeatedly shows 24 ps p-p and
+about 3.2 ps rms — random jitter only, "not including data dependent
+effects".
+"""
+
+from _report import report
+from conftest import one_shot
+
+PAPER_PP = 24.0
+PAPER_RMS = 3.2
+
+
+def test_fig09_single_edge_jitter(benchmark, testbed):
+    result = one_shot(benchmark, testbed.measure_edge_jitter,
+                      n_acquisitions=500, seed=2)
+    report(
+        "Figure 9 — single-edge jitter (random only)",
+        ("metric", "paper", "measured"),
+        [
+            ("peak-to-peak", f"{PAPER_PP} ps",
+             f"{result.peak_to_peak:.1f} ps"),
+            ("rms", f"{PAPER_RMS} ps", f"{result.rms:.2f} ps"),
+            ("acquisitions", "scope persistence",
+             str(result.n_acquisitions)),
+        ],
+    )
+    # RMS is the physical parameter; p-p grows with acquisition count.
+    assert abs(result.rms - PAPER_RMS) < 1.2
+    assert 0.6 * PAPER_PP < result.peak_to_peak < 1.4 * PAPER_PP
+
+
+def test_fig09_no_data_dependent_content(benchmark, testbed):
+    """The single-edge measurement must sit well under the eye's
+    crossover jitter — the paper's point in contrasting the two."""
+    edge = one_shot(benchmark, testbed.measure_edge_jitter,
+                    n_acquisitions=400, seed=3)
+    eye = testbed.measure_eye(n_bits=3000, seed=3)
+    assert edge.peak_to_peak < 0.7 * eye.jitter_pp

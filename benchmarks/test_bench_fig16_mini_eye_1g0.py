@@ -1,0 +1,28 @@
+"""Figure 16: mini-tester eye at 1.0 Gbps.
+
+Paper: wide eye, sharp transitions, ~50 ps p-p jitter, ~0.95 UI.
+"""
+
+from _report import report
+from conftest import one_shot
+
+PAPER_JITTER_PP = 50.0
+PAPER_OPENING_UI = 0.95
+
+
+def test_fig16_mini_eye_1g0(benchmark, minitester):
+    metrics = one_shot(benchmark, minitester.measure_eye,
+                       n_bits=3000, seed=2, rate_gbps=1.0)
+    report(
+        "Figure 16 — mini-tester 1.0 Gbps eye",
+        ("metric", "paper", "measured"),
+        [
+            ("jitter p-p", f"~{PAPER_JITTER_PP} ps",
+             f"{metrics.jitter_pp:.1f} ps"),
+            ("eye opening", f"~{PAPER_OPENING_UI} UI",
+             f"{metrics.eye_opening_ui:.2f} UI"),
+        ],
+    )
+    assert abs(metrics.eye_opening_ui - PAPER_OPENING_UI) < 0.03
+    assert 0.6 * PAPER_JITTER_PP < metrics.jitter_pp \
+        < 1.4 * PAPER_JITTER_PP

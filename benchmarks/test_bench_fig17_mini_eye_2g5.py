@@ -1,0 +1,32 @@
+"""Figure 17: mini-tester eye at 2.5 Gbps.
+
+Paper: eye opening slightly smaller than at 1 Gbps, about 0.87 UI.
+"""
+
+from _report import report
+from conftest import one_shot
+
+PAPER_OPENING_UI = 0.87
+
+
+def test_fig17_mini_eye_2g5(benchmark, minitester):
+    metrics = one_shot(benchmark, minitester.measure_eye,
+                       n_bits=3000, seed=2, rate_gbps=2.5)
+    report(
+        "Figure 17 — mini-tester 2.5 Gbps eye",
+        ("metric", "paper", "measured"),
+        [
+            ("eye opening", f"~{PAPER_OPENING_UI} UI",
+             f"{metrics.eye_opening_ui:.2f} UI"),
+            ("jitter p-p", "~50 ps", f"{metrics.jitter_pp:.1f} ps"),
+        ],
+    )
+    assert abs(metrics.eye_opening_ui - PAPER_OPENING_UI) < 0.05
+
+
+def test_fig17_smaller_than_fig16(benchmark, minitester):
+    """'The eye opening at 2.5 Gbps is slightly smaller.'"""
+    m1 = minitester.measure_eye(n_bits=2500, seed=4, rate_gbps=1.0)
+    m2 = one_shot(benchmark, minitester.measure_eye,
+                  n_bits=2500, seed=4, rate_gbps=2.5)
+    assert m2.eye_opening_ui < m1.eye_opening_ui

@@ -1,0 +1,38 @@
+"""Figure 18: 5.0 Gbps bit patterns from the mini-tester.
+
+Paper: "At such high speeds the rise time of the I/O buffers,
+measured at 120 ps for 20% to 80%, begins to limit amplitude swing."
+"""
+
+import pytest
+
+from _report import report
+from conftest import one_shot
+from repro.signal.analysis import rise_time
+
+
+def test_fig18_rise_time_and_swing(benchmark, minitester):
+    rise, fall = one_shot(benchmark, minitester.measure_rise_fall,
+                          seed=1)
+    swing_1g = minitester.transmitter.output_buffer.effective_swing(1.0)
+    swing_5g = minitester.transmitter.output_buffer.effective_swing(5.0)
+    report(
+        "Figure 18 — 5.0 Gbps patterns: rise time limits swing",
+        ("metric", "paper", "measured"),
+        [
+            ("I/O buffer 20-80% rise", "120 ps", f"{rise:.0f} ps"),
+            ("swing at 1.0 Gbps", "full", f"{swing_1g * 1000:.0f} mV"),
+            ("swing at 5.0 Gbps", "visibly reduced",
+             f"{swing_5g * 1000:.0f} mV"),
+        ],
+    )
+    assert rise == pytest.approx(120.0, rel=0.15)
+    assert swing_5g < 0.88 * swing_1g
+
+
+def test_fig18_pattern_still_correct(benchmark, minitester):
+    """Despite the reduced swing the 5 Gbps patterns carry their
+    bits: the receiver recovers the stream error-free."""
+    result = one_shot(benchmark, minitester.run_loopback,
+                      n_bits=1200, seed=1, rate_gbps=5.0)
+    assert result.passed, str(result.ber)

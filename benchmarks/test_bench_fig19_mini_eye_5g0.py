@@ -1,0 +1,29 @@
+"""Figure 19: mini-tester eye at the 5.0 Gbps target rate.
+
+Paper: eyes still open; ~50 ps jitter is proportionately larger at
+the 200 ps bit period, decreasing the opening to about 0.75 UI.
+"""
+
+from _report import report
+from conftest import one_shot
+
+PAPER_OPENING_UI = 0.75
+
+
+def test_fig19_mini_eye_5g0(benchmark, minitester):
+    metrics = one_shot(benchmark, minitester.measure_eye,
+                       n_bits=3000, seed=2, rate_gbps=5.0)
+    report(
+        "Figure 19 — mini-tester 5.0 Gbps eye (target rate)",
+        ("metric", "paper", "measured"),
+        [
+            ("eye opening", f"~{PAPER_OPENING_UI} UI",
+             f"{metrics.eye_opening_ui:.2f} UI"),
+            ("jitter p-p", "~50 ps", f"{metrics.jitter_pp:.1f} ps"),
+            ("amplitude", "reduced (Fig. 18)",
+             f"{metrics.amplitude * 1000:.0f} mV"),
+        ],
+    )
+    assert abs(metrics.eye_opening_ui - PAPER_OPENING_UI) < 0.06
+    assert metrics.eye_height > 0.0  # "still shows open eyes"
+    assert metrics.amplitude < 0.75  # the Figure 18 swing loss

@@ -1,0 +1,59 @@
+"""Extension study: multi-board synchronization.
+
+The low-rate Terabit path spreads hundreds of channels across
+several DLC boards on one RF reference; the array must still meet
+the ±25 ps edge-placement claim end to end.
+"""
+
+import numpy as np
+
+from _report import report
+from conftest import one_shot
+from repro.core.multiboard import BoardArray, array_for_scaling
+from repro.core.scaling import size_configuration
+
+
+def test_array_meets_timing_claim(benchmark):
+    def build_and_calibrate():
+        array = BoardArray(n_boards=5, channels_per_board=13,
+                           fanout_skew_pp=12.0)
+        return array, array.report(rng=np.random.default_rng(3))
+
+    array, summary = one_shot(benchmark, build_and_calibrate)
+    report(
+        "Multi-board array — synchronization budget",
+        ("quantity", "value"),
+        [
+            ("boards", str(summary.n_boards)),
+            ("channels", str(summary.n_channels)),
+            ("reference skew", f"{summary.reference_skew_pp:.1f} ps p-p"),
+            ("worst deskew residual",
+             f"{summary.worst_deskew_residual:.1f} ps"),
+            ("meets +/-25 ps", "yes" if summary.meets_25ps else "NO"),
+        ],
+    )
+    assert summary.meets_25ps
+    assert summary.n_channels == 65
+
+
+def test_terabit_array_sizing(benchmark):
+    """The full feasible roadmap point: 256 channels at 2.5 Gbps."""
+    scaling = size_configuration(word_width=256, rate_gbps=2.5)
+
+    def build():
+        return array_for_scaling(scaling)
+
+    array = one_shot(benchmark, build)
+    report(
+        "Multi-board array — 256 x 2.5 Gbps (640 Gbps aggregate)",
+        ("quantity", "value"),
+        [
+            ("aggregate", f"{scaling.aggregate_gbps:.0f} Gbps"),
+            ("boards", str(array.n_boards)),
+            ("channels", str(array.n_channels)),
+            ("2004-feasible",
+             "yes" if scaling.feasible_first_stage else "no"),
+        ],
+    )
+    assert scaling.feasible_first_stage
+    assert array.n_channels >= scaling.wavelengths

@@ -1,0 +1,73 @@
+"""Cross-validation: the tester's own eye vs the scope's.
+
+The paper measures its eyes on a sampling oscilloscope. A deployed
+mini-tester has no scope — its view of the eye is the strobe-scan
+pass window (the shmoo). If the simulation is self-consistent, the
+two must agree: the operational pass window's width should track the
+scope's eye opening.
+"""
+
+from _report import report
+from conftest import one_shot
+
+
+def _pass_window_ui(minitester, rate, n_positions=21, n_bits=400):
+    results = minitester.shmoo_strobe(n_bits=n_bits, seed=1,
+                                      rate_gbps=rate,
+                                      n_positions=n_positions)
+    outcomes = [r.passed for r in results]
+    if not any(outcomes):
+        return 0.0
+    first = outcomes.index(True)
+    last = len(outcomes) - 1 - outcomes[::-1].index(True)
+    return (last - first + 1) / len(outcomes)
+
+
+def test_operational_window_tracks_scope_eye(benchmark, minitester):
+    def measure_both():
+        out = {}
+        for rate in (2.5, 5.0):
+            scope = minitester.measure_eye(n_bits=3000, seed=2,
+                                           rate_gbps=rate)
+            window = _pass_window_ui(minitester, rate)
+            out[rate] = (scope.eye_opening_ui, window)
+        return out
+
+    results = one_shot(benchmark, measure_both)
+    rows = [
+        (f"{rate:g} Gbps", f"{scope:.2f} UI", f"{window:.2f} UI")
+        for rate, (scope, window) in results.items()
+    ]
+    report(
+        "Cross-validation — scope eye vs the tester's own pass "
+        "window",
+        ("rate", "scope eye opening", "operational window"),
+        rows,
+    )
+    for rate, (scope, window) in results.items():
+        # The strobe scan quantizes at 10 ps and the BER trial is
+        # short, so agreement within ~0.2 UI is the expectation.
+        assert abs(scope - window) < 0.2, rate
+    # Both views agree the eye shrinks with rate.
+    assert results[5.0][0] < results[2.5][0]
+    assert results[5.0][1] <= results[2.5][1] + 0.05
+
+
+def test_self_digitized_waveform_amplitude(benchmark, minitester):
+    """The tester's equivalent-time digitizer sees the same signal
+    the analytic model predicts (full swing at 2.5 Gbps)."""
+    recon = one_shot(benchmark, minitester.digitize_loopback,
+                     pattern_len=8, seed=1, rate_gbps=2.5,
+                     n_reps=12)
+    swing = recon.peak_to_peak()
+    report(
+        "Cross-validation — self-digitized loopback @ 2.5 Gbps",
+        ("quantity", "value"),
+        [
+            ("points", str(len(recon))),
+            ("resolution", f"{recon.dt:.0f} ps"),
+            ("swing", f"{swing * 1000:.0f} mV"),
+        ],
+    )
+    assert recon.dt == 10.0
+    assert swing > 0.6

@@ -1,0 +1,70 @@
+"""Section 4 application: multi-site parallel probing throughput.
+
+"Functional testing can then be done in parallel, increasing
+production throughput by an order of magnitude."
+"""
+
+from _report import report
+from conftest import one_shot
+from repro.wafer.map import WaferMap
+from repro.wafer.probe import ProbeCard
+from repro.wafer.scheduler import MultiSiteScheduler
+from repro.wafer.throughput import ThroughputModel
+
+
+def test_throughput_vs_sites(benchmark):
+    model = ThroughputModel(n_dies=1000, test_time_s=2.0,
+                            index_time_s=0.8, load_time_s=60.0)
+
+    def sweep():
+        return [model.report(n) for n in (1, 2, 4, 8, 16, 32)]
+
+    reports = one_shot(benchmark, sweep)
+    rows = [
+        (str(r.n_sites), f"{r.wafers_per_hour:.2f}",
+         f"{r.speedup_vs_single:.1f}x")
+        for r in reports
+    ]
+    report("Parallel probing — throughput vs site count "
+           "(1000-die wafer)",
+           ("sites", "wafers/hour", "speedup"), rows)
+
+    by_sites = {r.n_sites: r for r in reports}
+    # Monotone gains, and the paper's order of magnitude by 16 sites.
+    assert by_sites[16].speedup_vs_single >= 10.0
+    speedups = [r.speedup_vs_single for r in reports]
+    assert all(a < b for a, b in zip(speedups, speedups[1:]))
+    # Sublinear: stepping overhead keeps 32 sites below 32x.
+    assert by_sites[32].speedup_vs_single < 32.0
+
+
+def test_simulated_sort_agrees_with_model(benchmark):
+    """The event-level scheduler and the analytic model must agree
+    on the speedup shape."""
+    def run(n_sites):
+        wafer = WaferMap(diameter_mm=80.0, die_width_mm=6.0,
+                         die_height_mm=6.0)
+        sched = MultiSiteScheduler(
+            ProbeCard(n_sites=n_sites, contact_yield=1.0),
+            test_time_s=2.0,
+        )
+        return sched.sort_wafer(wafer, seed=1).total_time_s
+
+    t1 = run(1)
+    t8 = one_shot(benchmark, run, 8)
+    simulated_speedup = t1 / t8
+    model = ThroughputModel(
+        n_dies=len(WaferMap(diameter_mm=80.0, die_width_mm=6.0,
+                            die_height_mm=6.0)),
+        test_time_s=2.0, index_time_s=0.8, load_time_s=0.0,
+    )
+    analytic_speedup = model.report(8).speedup_vs_single
+    report(
+        "Parallel probing — event simulation vs analytic model "
+        "(8 sites)",
+        ("source", "speedup"),
+        [("event-level scheduler", f"{simulated_speedup:.1f}x"),
+         ("analytic model", f"{analytic_speedup:.1f}x")],
+    )
+    assert abs(simulated_speedup - analytic_speedup) \
+        < 0.35 * analytic_speedup

@@ -1,0 +1,83 @@
+"""Extension study: the paper's Terabit roadmap.
+
+"The end-application will require extending the word width to at
+least 64 bits, and increasing channel data rates to 10 Gbps at each
+wavelength, so that the aggregate data rate will be of the order of
+a Terabit-per-second."
+"""
+
+from _report import report
+from conftest import one_shot
+from repro.core.scaling import scaling_path, size_configuration
+
+
+def test_terabit_configuration(benchmark):
+    r = one_shot(benchmark, size_configuration,
+                 word_width=64, rate_gbps=10.0)
+    report(
+        "Roadmap — 64-bit x 10 Gbps configuration",
+        ("quantity", "value"),
+        [
+            ("aggregate", f"{r.aggregate_gbps:.0f} Gbps"),
+            ("wavelengths", str(r.wavelengths)),
+            ("DLC lanes", str(r.lanes_total)),
+            ("DLC boards (XC2V1000)", str(r.boards)),
+            ("feasible with 2004 PECL", "yes" if
+             r.feasible_first_stage else "no — " + r.notes[0]),
+        ],
+    )
+    assert r.terabit
+    assert r.boards >= 4
+    # 10 Gbps/lambda genuinely requires faster parts, as the paper's
+    # phrasing ("will require") anticipates.
+    assert not r.feasible_first_stage
+
+
+def test_width_vs_rate_tradeoff(benchmark):
+    reports = one_shot(benchmark, scaling_path, 640.0)
+    rows = [
+        (f"{r.rate_gbps:g} Gbps", str(r.word_width),
+         str(r.boards), "yes" if r.feasible_first_stage else "no")
+        for r in reports
+    ]
+    report(
+        "Roadmap — paths to 640 Gbps aggregate",
+        ("per-channel rate", "word width", "boards",
+         "2004-feasible"),
+        rows,
+    )
+    by_rate = {r.rate_gbps: r for r in reports}
+    assert by_rate[2.5].feasible_first_stage
+    assert by_rate[5.0].feasible_first_stage
+    assert not by_rate[10.0].feasible_first_stage
+
+
+def test_tsp_mode_enhancement(benchmark):
+    """TSP deployment (ref [1]): the DLC+PECL stage as an ATE
+    add-on multiplies the host's channel rate by the serialization
+    factor."""
+    from repro.core.tsp import HostATE, TestSupportProcessor
+
+    def build():
+        return TestSupportProcessor(
+            HostATE(channel_rate_mbps=100.0,
+                    n_channels_available=32),
+            serializer_factor=16,
+        )
+
+    tsp = one_shot(benchmark, build)
+    summary = tsp.upgrade_summary()
+    report(
+        "TSP mode — enhancing a conventional ATE",
+        ("quantity", "value"),
+        [
+            ("host ATE channel rate",
+             f"{summary['ate_channel_rate_gbps']:.1f} Gbps"),
+            ("TSP output rate",
+             f"{summary['tsp_output_rate_gbps']:.1f} Gbps"),
+            ("enhancement", f"{summary['enhancement_factor']:.0f}x"),
+            ("ATE channels consumed",
+             str(summary["ate_channels_consumed"])),
+        ],
+    )
+    assert summary["enhancement_factor"] >= 8.0

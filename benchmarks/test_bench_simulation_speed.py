@@ -1,0 +1,69 @@
+"""Simulation-kernel performance characterization.
+
+Not a paper figure: these benches document the simulator's own
+throughput (the honest pytest-benchmark use case), so regressions in
+the hot kernels — NRZ rendering, eye folding, fabric stepping — are
+visible across versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eye.diagram import EyeDiagram
+from repro.signal.jitter import JitterBudget
+from repro.signal.nrz import NRZEncoder
+from repro.signal.prbs import prbs_bits
+from repro.vortex.fabric import DataVortexFabric, FabricConfig
+
+
+def test_nrz_render_throughput(benchmark):
+    """Render 4000 bits of jittered 2.5 Gbps NRZ at 1 ps/sample."""
+    bits = prbs_bits(7, 4000)
+    encoder = NRZEncoder(2.5, v_low=-0.4, v_high=0.4, t20_80=72.0)
+    budget = JitterBudget(rj_rms=3.2, dj_pp=23.0).build()
+
+    def render():
+        return encoder.encode(bits, jitter=budget,
+                              rng=np.random.default_rng(1))
+
+    wf = benchmark(render)
+    assert len(wf) > 1_600_000  # ~1.6 M samples
+
+
+def test_eye_fold_throughput(benchmark):
+    """Fold a 1.6 M-sample record into an eye and take crossings."""
+    bits = prbs_bits(7, 4000)
+    encoder = NRZEncoder(2.5, v_low=-0.4, v_high=0.4, t20_80=72.0)
+    wf = encoder.encode(bits, rng=np.random.default_rng(2))
+
+    def fold():
+        return EyeDiagram.from_waveform(wf, 2.5)
+
+    eye = benchmark(fold)
+    assert eye.n_crossings > 1000
+
+
+def test_prbs_generation_throughput(benchmark):
+    """Generate 100 kbit of PRBS-23."""
+    def gen():
+        return prbs_bits(23, 100_000)
+
+    bits = benchmark(gen)
+    assert len(bits) == 100_000
+
+
+def test_fabric_step_throughput(benchmark):
+    """Step a loaded 240-node fabric 100 cycles."""
+    def run():
+        fab = DataVortexFabric(FabricConfig(n_angles=3,
+                                            n_heights=16))
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            for _ in range(3):
+                if rng.random() < 0.6:
+                    fab.submit(int(rng.integers(0, 16)))
+            fab.step()
+        return fab
+
+    fab = benchmark(run)
+    assert fab.stats.delivered > 50

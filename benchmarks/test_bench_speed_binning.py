@@ -1,0 +1,73 @@
+"""Production extension: speed binning with the mini-tester.
+
+The rate-programmable loopback naturally grades parts into speed
+bins — the production capability the wafer-probe tester's
+flexibility buys beyond pass/fail.
+"""
+
+import numpy as np
+
+from _report import report
+from conftest import one_shot
+from repro.wafer.binning import SpeedBinner
+from repro.wafer.dut import WLPDevice
+
+
+def _population(n=40, seed=5):
+    """A die population with a realistic speed distribution."""
+    rng = np.random.default_rng(seed)
+    duts = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.05:
+            duts.append(WLPDevice(bist_fault=(int(rng.integers(64)),
+                                              0x1)))
+        elif roll < 0.15:
+            duts.append(WLPDevice(speed_derate=0.35))  # dead slow
+        elif roll < 0.35:
+            duts.append(WLPDevice(speed_derate=0.6))   # 2.5 G part
+        elif roll < 0.55:
+            duts.append(WLPDevice(speed_derate=0.85))  # 4 G part
+        else:
+            duts.append(WLPDevice())                   # full speed
+    return duts
+
+
+def test_bin_distribution(benchmark):
+    binner = SpeedBinner(n_bits=300)
+    duts = _population()
+    counts = one_shot(benchmark, binner.bin_distribution, duts,
+                      seed=2)
+    report(
+        "Speed binning — 40-die population",
+        ("bin", "dies"),
+        [(name, str(n)) for name, n in counts.items()],
+    )
+    assert sum(counts.values()) == len(duts)
+    # The seeded population must spread across bins.
+    assert counts["bin1_5G"] > 0
+    assert counts["bin3_2G5"] > 0
+    assert counts["reject"] > 0
+
+
+def test_binning_is_monotone(benchmark):
+    """Faster dies never land in slower bins than slower dies."""
+    binner = SpeedBinner(n_bits=300)
+
+    def grade_ladder():
+        derates = (1.0, 0.85, 0.6, 0.35)
+        return [binner.grade(WLPDevice(speed_derate=d), seed=3)
+                for d in derates]
+
+    results = one_shot(benchmark, grade_ladder)
+    rates = [r.max_passing_rate_gbps for r in results]
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+    report(
+        "Speed binning — derate ladder",
+        ("speed derate", "bin", "max passing rate"),
+        [
+            (f"{d:.2f}", r.bin.name,
+             f"{r.max_passing_rate_gbps:g} Gbps")
+            for d, r in zip((1.0, 0.85, 0.6, 0.35), results)
+        ],
+    )

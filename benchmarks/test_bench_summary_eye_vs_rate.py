@@ -1,0 +1,52 @@
+"""Summary trend: eye opening versus data rate across both systems.
+
+The paper's five eye measurements (Figures 7, 8, 16, 17, 19) all
+satisfy opening = 1 - jitter_pp/UI with a roughly rate-independent
+~47-50 ps jitter. This bench regenerates the whole series and checks
+the trend, the crossover of usability, and the identity itself.
+"""
+
+from _report import report
+from conftest import one_shot
+
+#: (rate, system, paper opening) from the five eye figures.
+PAPER_SERIES = [
+    (2.5, "testbed", 0.88),
+    (4.0, "testbed", 0.81),
+    (1.0, "mini", 0.95),
+    (2.5, "mini", 0.87),
+    (5.0, "mini", 0.75),
+]
+
+
+def _measure_series(testbed, minitester):
+    out = []
+    for rate, system, paper in PAPER_SERIES:
+        sys_ = testbed if system == "testbed" else minitester
+        m = sys_.measure_eye(n_bits=3500, seed=1, rate_gbps=rate)
+        out.append((rate, system, paper, m))
+    return out
+
+
+def test_summary_eye_vs_rate(benchmark, testbed, minitester):
+    series = one_shot(benchmark, _measure_series, testbed, minitester)
+
+    rows = [
+        (f"{rate:.1f}G {system}", f"{paper:.2f} UI",
+         f"{m.eye_opening_ui:.2f} UI", f"{m.jitter_pp:.1f} ps")
+        for rate, system, paper, m in series
+    ]
+    report("Summary — eye opening vs rate (all five eye figures)",
+           ("point", "paper", "measured", "jitter p-p"), rows)
+
+    for rate, system, paper, m in series:
+        assert abs(m.eye_opening_ui - paper) < 0.06, (rate, system)
+
+    # Jitter is roughly rate-independent (fixed RJ+DJ budget).
+    jitters = [m.jitter_pp for _, _, _, m in series]
+    assert max(jitters) - min(jitters) < 15.0
+
+    # The opening identity the paper's numbers obey.
+    for _, _, _, m in series:
+        assert abs(m.eye_opening_ui
+                   - (1.0 - m.jitter_pp / m.unit_interval)) < 1e-9

@@ -1,0 +1,60 @@
+"""Data Vortex characterization under the standard traffic patterns.
+
+The test bed exists to evaluate "various signaling protocols" on the
+fabric; this bench produces the latency/deflection comparison across
+uniform, hotspot, permutation, and bursty workloads.
+"""
+
+from _report import report
+from conftest import one_shot
+from repro.vortex.fabric import FabricConfig
+from repro.vortex.traffic import (
+    UniformTraffic,
+    compare_patterns,
+    load_sweep,
+)
+
+
+def test_traffic_pattern_comparison(benchmark):
+    config = FabricConfig(n_angles=3, n_heights=8)
+    results = one_shot(benchmark, compare_patterns,
+                       loads=(0.6,), config=config, seed=9)
+    rows = []
+    for name, points in sorted(results.items()):
+        p = points[0]
+        rows.append((name, f"{p.mean_latency:.1f} cyc",
+                     f"{p.deflection_rate:.2f}",
+                     f"{p.stats.delivered}"))
+    report(
+        "Data Vortex — traffic patterns at 0.6 offered load",
+        ("pattern", "mean latency", "deflections/pkt", "delivered"),
+        rows,
+    )
+    uniform = results["uniform"][0]
+    hotspot = results["hotspot"][0]
+    # Hotspot contention costs latency and deflections.
+    assert hotspot.mean_latency > uniform.mean_latency
+    # Nothing is ever lost under any pattern.
+    for points in results.values():
+        assert points[0].stats.delivered == points[0].stats.injected
+
+
+def test_uniform_load_curve(benchmark):
+    config = FabricConfig(n_angles=3, n_heights=8)
+    points = one_shot(benchmark, load_sweep, UniformTraffic(),
+                      loads=(0.1, 0.3, 0.5, 0.7, 0.9),
+                      n_cycles=250, config=config, seed=3)
+    rows = [
+        (f"{p.offered_load:.1f}", f"{p.mean_latency:.2f} cyc",
+         f"{p.throughput:.2f} pkt/cyc",
+         f"{p.deflection_rate:.2f}")
+        for p in points
+    ]
+    report(
+        "Data Vortex — uniform-traffic load curve",
+        ("load", "mean latency", "throughput", "deflections/pkt"),
+        rows,
+    )
+    throughputs = [p.throughput for p in points]
+    assert all(a < b for a, b in zip(throughputs, throughputs[1:]))
+    assert points[-1].mean_latency >= points[0].mean_latency

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: build both test systems and reproduce the headline
+measurements of the paper in under a minute.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MiniTester, OpticalTestBed
+from repro.eye.render import render_eye_ascii
+
+
+def main() -> None:
+    print("=" * 64)
+    print("Optical Test Bed (Section 3) — 2.5 Gbps channel")
+    print("=" * 64)
+    bed = OpticalTestBed(rate_gbps=2.5)
+
+    metrics = bed.measure_eye(n_bits=4000, seed=1)
+    print(f"  eye:    {metrics.summary()}")
+    print("  paper:  46.7 ps p-p, 0.88 UI (Figure 7)")
+
+    edge = bed.measure_edge_jitter(n_acquisitions=500)
+    print(f"  edge:   {edge}")
+    print("  paper:  24 ps p-p, 3.2 ps rms (Figure 9)")
+
+    rise, fall = bed.measure_rise_fall()
+    print(f"  edges:  rise {rise:.0f} ps / fall {fall:.0f} ps (20-80%)")
+    print("  paper:  70-75 ps (Figure 6)")
+
+    print()
+    print("  2.5 Gbps eye diagram (PRBS-7):")
+    eye = bed.eye_diagram(n_bits=3000, seed=2)
+    print("    " + render_eye_ascii(eye, width=56,
+                                    height=14).replace("\n", "\n    "))
+
+    print()
+    print("=" * 64)
+    print("Mini-Tester (Section 4) — wafer-probe loopback at 5 Gbps")
+    print("=" * 64)
+    mini = MiniTester(rate_gbps=5.0)
+    for rate, figure in ((1.0, "16"), (2.5, "17"), (5.0, "19")):
+        m = mini.measure_eye(n_bits=3000, seed=2, rate_gbps=rate)
+        print(f"  {rate:.1f} Gbps: {m.summary()}  (Figure {figure})")
+
+    result = mini.run_loopback(n_bits=2000, seed=1)
+    verdict = "PASS" if result.passed else "FAIL"
+    print(f"  loopback through interposer + compliant leads: "
+          f"{result.ber} -> {verdict}")
+
+
+if __name__ == "__main__":
+    main()

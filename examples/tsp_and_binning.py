@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Deployment modes beyond the two headline projects.
+
+1. **TSP mode** (ref [1] of the paper): the DLC+PECL stage bolted
+   onto an existing ATE, multiplying its channel rate 16x.
+2. **Speed binning**: the mini-tester's rate-programmable loopback
+   grading a die population into speed bins.
+3. **The Terabit roadmap**: what the paper's stated end goal
+   (64 bits x 10 Gbps) demands of the architecture.
+
+Run:  python examples/tsp_and_binning.py
+"""
+
+import numpy as np
+
+from repro.core.scaling import scaling_path, size_configuration
+from repro.core.tsp import HostATE, TestSupportProcessor
+from repro.eye import EyeDiagram, measure_eye
+from repro.wafer.binning import SpeedBinner
+from repro.wafer.dut import WLPDevice
+
+
+def tsp_mode() -> None:
+    print("TSP mode: enhancing a conventional ATE")
+    ate = HostATE(channel_rate_mbps=100.0, n_channels_available=32)
+    tsp = TestSupportProcessor(ate, serializer_factor=16)
+    info = tsp.upgrade_summary()
+    print(f"  host ATE: {info['ate_channel_rate_gbps']:.1f} Gbps per "
+          f"channel")
+    print(f"  TSP output: {info['tsp_output_rate_gbps']:.1f} Gbps "
+          f"({info['enhancement_factor']:.0f}x) using "
+          f"{info['ate_channels_consumed']} ATE channels")
+    rng = np.random.default_rng(1)
+    vectors = rng.integers(0, 2, size=(16, 256))
+    wf = tsp.drive(vectors, rng=rng)
+    m = measure_eye(EyeDiagram.from_waveform(wf,
+                                             tsp.output_rate_gbps))
+    print(f"  TSP output eye: {m.summary()}")
+    print()
+
+
+def speed_binning() -> None:
+    print("Speed binning a die population:")
+    rng = np.random.default_rng(7)
+    duts = []
+    for _ in range(30):
+        roll = rng.random()
+        if roll < 0.1:
+            duts.append(WLPDevice(bist_fault=(3, 1)))
+        elif roll < 0.3:
+            duts.append(WLPDevice(speed_derate=0.6))
+        elif roll < 0.5:
+            duts.append(WLPDevice(speed_derate=0.85))
+        else:
+            duts.append(WLPDevice())
+    binner = SpeedBinner(n_bits=300)
+    counts = binner.bin_distribution(duts, seed=3)
+    for name, n in counts.items():
+        bar = "#" * n
+        print(f"  {name:<9} {n:>3}  {bar}")
+    print()
+
+
+def terabit_roadmap() -> None:
+    print("The Terabit roadmap (64 bits x 10 Gbps):")
+    target = size_configuration(word_width=64, rate_gbps=10.0)
+    print(f"  aggregate: {target.aggregate_gbps:.0f} Gbps over "
+          f"{target.wavelengths} wavelengths")
+    print(f"  DLC lanes: {target.lanes_total} -> {target.boards} "
+          f"synchronized boards")
+    for note in target.notes:
+        print(f"  note: {note}")
+    print()
+    print("  Paths to a 640 Gbps aggregate:")
+    print(f"  {'rate':>8} {'width':>6} {'boards':>7} "
+          f"{'2004-feasible':>14}")
+    for r in scaling_path(640.0):
+        feasible = "yes" if r.feasible_first_stage else "no"
+        print(f"  {r.rate_gbps:>6.1f}G {r.word_width:>6} "
+              f"{r.boards:>7} {feasible:>14}")
+
+
+def main() -> None:
+    tsp_mode()
+    speed_binning()
+    terabit_roadmap()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""The Section 4 application: mini-testers sorting a wafer of WLP
+devices, single-site and in array form (Figure 13).
+
+Shows the full production flow: touchdown planning, per-die 5 Gbps
+loopback + BIST, yield mapping, and the throughput comparison behind
+the paper's "order of magnitude" parallel-test claim.
+
+Run:  python examples/wafer_probe_production.py
+"""
+
+import numpy as np
+
+from repro.core.minitester import MiniTester
+from repro.wafer.dut import WLPDevice
+from repro.wafer.map import DieState, WaferMap
+from repro.wafer.probe import ProbeCard
+from repro.wafer.scheduler import MultiSiteScheduler
+from repro.wafer.throughput import ThroughputModel
+
+
+def seeded_dut_factory(pos):
+    """Dies with a deterministic defect pattern: a few BIST faults
+    and slow corners toward the wafer edge."""
+    x, y = pos
+    r = abs(x) + abs(y)
+    rng = np.random.default_rng(abs(x) * 1000 + abs(y) * 7 + 1)
+    if r >= 5 and rng.random() < 0.5:
+        return WLPDevice(bist_fault=(int(rng.integers(0, 64)), 0x1))
+    if r >= 4 and rng.random() < 0.3:
+        return WLPDevice(speed_derate=0.8)
+    return WLPDevice()
+
+
+def ascii_wafer_map(wafer: WaferMap) -> str:
+    symbols = {
+        DieState.PASSED: ".",
+        DieState.FAILED: "X",
+        DieState.SKIPPED: "?",
+        DieState.UNTESTED: " ",
+        DieState.TESTING: "~",
+    }
+    xs = sorted({d.x for d in wafer})
+    ys = sorted({d.y for d in wafer})
+    rows = []
+    for y in reversed(ys):
+        row = "".join(
+            symbols[wafer.die_at(x, y).state] if wafer.has_die(x, y)
+            else " "
+            for x in xs
+        )
+        rows.append("  " + row)
+    return "\n".join(rows)
+
+
+def main() -> None:
+    # Bring the tester up the way production would: power-on
+    # self-test, calibration, qualification.
+    from repro.host.session import TestSession
+
+    print("Mini-tester bring-up (production session):")
+    mini = MiniTester(rate_gbps=5.0)
+    session = TestSession(mini)
+    report = session.run_bring_up()
+    print(f"  self-test: "
+          f"{'PASS' if report.self_test.passed else 'FAIL'}")
+    print(f"  calibration: {report.calibration_error_ps:.1f} ps "
+          f"worst-case placement")
+    print(f"  qualification: "
+          f"{'PASS' if report.qualification.passed else 'FAIL'} "
+          f"({len(report.qualification)} measurements)")
+    print(f"  ready for production: {report.ready_for_production}")
+    print()
+
+    print("Mini-tester self-qualification detail:")
+    m = mini.measure_eye(n_bits=3000, seed=1)
+    print(f"  5 Gbps eye: {m.summary()}")
+    shmoo = mini.shmoo_strobe(n_bits=300, seed=1, n_positions=11)
+    window = "".join("P" if r.passed else "." for r in shmoo)
+    print(f"  strobe shmoo across one UI: [{window}] "
+          f"(P = error-free)")
+    # The tester digitizes its own looped-back waveform (10 ps
+    # equivalent-time sampling — no external scope).
+    recon = mini.digitize_loopback(pattern_len=8, seed=1,
+                                   rate_gbps=2.5, n_reps=12)
+    print(f"  self-digitized loopback: {len(recon)} points at "
+          f"{recon.dt:.0f} ps, swing "
+          f"{recon.peak_to_peak() * 1000:.0f} mV")
+    print()
+
+    # Sort a wafer with a 4-site card.
+    wafer = WaferMap(diameter_mm=100.0, die_width_mm=7.0,
+                     die_height_mm=7.0)
+    card = ProbeCard(n_sites=4, contact_yield=0.99)
+    scheduler = MultiSiteScheduler(card, test_time_s=1.8,
+                                   dut_factory=seeded_dut_factory)
+    print(f"Sorting a {wafer.diameter_mm:.0f} mm wafer: "
+          f"{len(wafer)} dies, {card.n_sites}-site probe card")
+    run = scheduler.sort_wafer(wafer, seed=11)
+    print(f"  touchdowns: {run.touchdowns}")
+    print(f"  tested {run.dies_tested}, passed {run.dies_passed}, "
+          f"contact failures {run.retest_needed}")
+    print(f"  wafer yield: {wafer.yield_fraction() * 100:.1f}%")
+    print(f"  sort time: {run.total_time_s / 60:.1f} min")
+    print()
+    print("Wafer map ('.' pass, 'X' fail, '?' no contact):")
+    print(ascii_wafer_map(wafer))
+    print()
+
+    # The throughput claim.
+    print("Parallel-probing throughput (1000-die wafer):")
+    model = ThroughputModel(n_dies=1000, test_time_s=2.0,
+                            index_time_s=0.8, load_time_s=60.0)
+    print(f"  {'sites':>5} {'wafers/hr':>10} {'speedup':>8}")
+    for sites in (1, 2, 4, 8, 16, 32):
+        r = model.report(sites)
+        print(f"  {sites:>5} {r.wafers_per_hour:>10.2f} "
+              f"{r.speedup_vs_single:>7.1f}x")
+    needed = model.sites_for_speedup(10.0)
+    print(f"  -> {needed} sites give the paper's 'order of "
+          f"magnitude' throughput gain")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — simulation reproduction of Keezer et al. (DATE 2005),
+"Low-Cost Multi-Gigahertz Test Systems Using CMOS FPGAs and PECL".
+
+The library models the paper's two test systems end-to-end in pure
+Python: a CMOS-FPGA Digital Logic Core (:mod:`repro.dlc`) feeding
+customized PECL multiplexing/sampling circuitry (:mod:`repro.pecl`),
+composed into the Optical Test Bed and the wafer-probe Mini-Tester
+(:mod:`repro.core`), with the Data Vortex optical switching fabric
+(:mod:`repro.vortex`), wafer-probe environment (:mod:`repro.wafer`),
+and the USB/JTAG control plane as simulated substrates.
+
+Quickstart
+----------
+>>> from repro import OpticalTestBed
+>>> bed = OpticalTestBed(rate_gbps=2.5)
+>>> metrics = bed.measure_eye(n_bits=2000, seed=1)
+>>> 0.8 < metrics.eye_opening_ui < 1.0
+True
+"""
+
+from repro._units import (
+    PS, NS, US, MS, S, V, MV, GHZ, MHZ, GBPS, MBPS,
+    period_ps, frequency_ghz, unit_interval_ps, rate_gbps,
+)
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    RateLimitError,
+    CalibrationError,
+    ProtocolError,
+    FabricError,
+    ProbeError,
+    MeasurementError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PS", "NS", "US", "MS", "S", "V", "MV", "GHZ", "MHZ", "GBPS", "MBPS",
+    "period_ps", "frequency_ghz", "unit_interval_ps", "rate_gbps",
+    "ReproError", "ConfigurationError", "RateLimitError",
+    "CalibrationError", "ProtocolError", "FabricError", "ProbeError",
+    "MeasurementError",
+    "Waveform", "EyeDiagram", "EyeMetrics", "measure_eye",
+    "DigitalLogicCore", "OpticalTestBed", "MiniTester",
+]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` light and avoid import cycles;
+    # the heavyweight compositions pull in the whole stack.
+    if name == "Waveform":
+        from repro.signal.waveform import Waveform
+        return Waveform
+    if name == "EyeDiagram":
+        from repro.eye.diagram import EyeDiagram
+        return EyeDiagram
+    if name in ("EyeMetrics", "measure_eye"):
+        from repro.eye import metrics as _metrics
+        return getattr(_metrics, name)
+    if name == "DigitalLogicCore":
+        from repro.dlc.core import DigitalLogicCore
+        return DigitalLogicCore
+    if name == "OpticalTestBed":
+        from repro.core.testbed import OpticalTestBed
+        return OpticalTestBed
+    if name == "MiniTester":
+        from repro.core.minitester import MiniTester
+        return MiniTester
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,101 @@
+"""Unit conventions and conversion helpers.
+
+The whole library uses a single set of base units:
+
+* **time** — picoseconds (``float``)
+* **voltage** — volts (``float``)
+* **frequency** — gigahertz (``float``)
+* **data rate** — gigabits per second (``float``)
+
+Keeping time in picoseconds (rather than seconds) keeps the numbers in
+a comfortable float range for multi-gigahertz work: one bit period at
+5 Gbps is exactly ``200.0`` ps, and a 10 ps delay step is ``10.0``.
+"""
+
+from __future__ import annotations
+
+# -- time ------------------------------------------------------------------
+
+PS = 1.0
+"""One picosecond, the base time unit."""
+
+NS = 1_000.0
+"""One nanosecond in picoseconds."""
+
+US = 1_000_000.0
+"""One microsecond in picoseconds."""
+
+MS = 1_000_000_000.0
+"""One millisecond in picoseconds."""
+
+S = 1_000_000_000_000.0
+"""One second in picoseconds."""
+
+# -- voltage ---------------------------------------------------------------
+
+V = 1.0
+"""One volt, the base voltage unit."""
+
+MV = 1e-3
+"""One millivolt in volts."""
+
+# -- frequency / rate ------------------------------------------------------
+
+GHZ = 1.0
+"""One gigahertz, the base frequency unit."""
+
+MHZ = 1e-3
+"""One megahertz in gigahertz."""
+
+KHZ = 1e-6
+"""One kilohertz in gigahertz."""
+
+GBPS = 1.0
+"""One gigabit per second, the base data-rate unit."""
+
+MBPS = 1e-3
+"""One megabit per second in Gbps."""
+
+
+def period_ps(frequency_ghz: float) -> float:
+    """Return the period in picoseconds of a clock at *frequency_ghz*.
+
+    >>> period_ps(2.5)
+    400.0
+    """
+    if frequency_ghz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz}")
+    return 1_000.0 / frequency_ghz
+
+
+def frequency_ghz(period_ps_: float) -> float:
+    """Return the frequency in GHz of a clock with period *period_ps_*.
+
+    >>> frequency_ghz(400.0)
+    2.5
+    """
+    if period_ps_ <= 0.0:
+        raise ValueError(f"period must be positive, got {period_ps_}")
+    return 1_000.0 / period_ps_
+
+
+def unit_interval_ps(rate_gbps: float) -> float:
+    """Return the unit interval (bit period) in ps for *rate_gbps*.
+
+    >>> unit_interval_ps(5.0)
+    200.0
+    """
+    if rate_gbps <= 0.0:
+        raise ValueError(f"data rate must be positive, got {rate_gbps}")
+    return 1_000.0 / rate_gbps
+
+
+def rate_gbps(unit_interval_ps_: float) -> float:
+    """Return the data rate in Gbps for a bit period of *unit_interval_ps_*.
+
+    >>> rate_gbps(200.0)
+    5.0
+    """
+    if unit_interval_ps_ <= 0.0:
+        raise ValueError(f"unit interval must be positive, got {unit_interval_ps_}")
+    return 1_000.0 / unit_interval_ps_

@@ -1,0 +1,28 @@
+"""Conventional-ATE baseline: cost and capability comparison.
+
+The paper's headline: "the use of low-cost commercial off-the-shelf
+components results in test systems that are significantly lower in
+cost than conventional ATE." This package quantifies the claim with
+a per-channel cost model of both approaches.
+"""
+
+from repro.ate.cost import (
+    CostModel,
+    BillOfMaterials,
+    LineItem,
+    dlc_testbed_bom,
+    minitester_bom,
+    conventional_ate_cost,
+)
+from repro.ate.comparison import CapabilityComparison, compare_systems
+
+__all__ = [
+    "CostModel",
+    "BillOfMaterials",
+    "LineItem",
+    "dlc_testbed_bom",
+    "minitester_bom",
+    "conventional_ate_cost",
+    "CapabilityComparison",
+    "compare_systems",
+]

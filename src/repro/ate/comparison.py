@@ -1,0 +1,101 @@
+"""Capability comparison: DLC+PECL systems vs conventional ATE.
+
+The paper argues the customized approach trades generality for
+performance-per-dollar: fewer features, but rates and timing
+resolution "comparable to (and in some ways exceeding) more
+expensive ATE". This module renders that comparison as data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.ate.cost import (
+    CostModel,
+    dlc_testbed_bom,
+    minitester_bom,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class CapabilityComparison:
+    """One capability axis, both systems' values.
+
+    Attributes
+    ----------
+    axis:
+        What is being compared.
+    dlc_value, ate_value:
+        Each approach's figure (strings for qualitative axes).
+    dlc_wins:
+        Whether the DLC approach is at least as good here.
+    """
+
+    axis: str
+    dlc_value: str
+    ate_value: str
+    dlc_wins: bool
+
+
+#: Representative mid-2000s high-end digital ATE capabilities.
+_ATE_2004 = {
+    "max_rate_gbps": 3.2,
+    "timing_resolution_ps": 39.0,
+    "edge_accuracy_ps": 50.0,
+    "channels": 256,
+}
+
+
+def compare_systems(mini_rate_gbps: float = 5.0,
+                    delay_step_ps: float = 10.0,
+                    accuracy_ps: float = 25.0) -> List[CapabilityComparison]:
+    """The capability table of DESIGN.md's summary experiment."""
+    if mini_rate_gbps <= 0.0:
+        raise ConfigurationError("rate must be positive")
+    return [
+        CapabilityComparison(
+            "max data rate (Gbps)",
+            f"{mini_rate_gbps:g}",
+            f"{_ATE_2004['max_rate_gbps']:g}",
+            mini_rate_gbps >= _ATE_2004["max_rate_gbps"],
+        ),
+        CapabilityComparison(
+            "timing resolution (ps)",
+            f"{delay_step_ps:g}",
+            f"{_ATE_2004['timing_resolution_ps']:g}",
+            delay_step_ps <= _ATE_2004["timing_resolution_ps"],
+        ),
+        CapabilityComparison(
+            "edge placement accuracy (ps)",
+            f"+/-{accuracy_ps:g}",
+            f"+/-{_ATE_2004['edge_accuracy_ps']:g}",
+            accuracy_ps <= _ATE_2004["edge_accuracy_ps"],
+        ),
+        CapabilityComparison(
+            "channel count",
+            "5-16 (customized)",
+            f"{_ATE_2004['channels']}",
+            False,
+        ),
+        CapabilityComparison(
+            "general-purpose features",
+            "application-specific",
+            "full production suite",
+            False,
+        ),
+    ]
+
+
+def cost_summary() -> Dict[str, float]:
+    """Per-channel costs of all three systems, USD."""
+    testbed = CostModel(dlc_testbed_bom(), n_channels=10)
+    mini = CostModel(minitester_bom(), n_channels=2)
+    return {
+        "testbed_per_channel": testbed.per_channel(),
+        "minitester_per_channel": mini.per_channel(),
+        "ate_per_channel": testbed.ate_per_channel(),
+        "testbed_savings_factor": testbed.savings_factor(),
+        "minitester_savings_factor": mini.savings_factor(),
+    }

@@ -1,0 +1,175 @@
+"""Cost models: DLC-based testers vs conventional ATE.
+
+Prices are circa-2004 catalog/list figures (the paper's era): FPGAs
+and PECL parts in the tens-to-hundreds of dollars, multi-GHz ATE in
+the thousands of dollars *per channel* plus a seven-figure base
+system. Absolute numbers are indicative; the *ratio* is the claim
+under test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class LineItem:
+    """One bill-of-materials entry.
+
+    Attributes
+    ----------
+    part:
+        Part description.
+    unit_cost:
+        USD each.
+    quantity:
+        Count used.
+    """
+
+    part: str
+    unit_cost: float
+    quantity: int = 1
+
+    def __post_init__(self):
+        if self.unit_cost < 0.0:
+            raise ConfigurationError("unit cost must be >= 0")
+        if self.quantity < 1:
+            raise ConfigurationError("quantity must be >= 1")
+
+    @property
+    def extended(self) -> float:
+        """unit_cost * quantity."""
+        return self.unit_cost * self.quantity
+
+
+class BillOfMaterials:
+    """A named parts list with totals."""
+
+    def __init__(self, name: str, items: List[LineItem] = None):
+        if not name:
+            raise ConfigurationError("BOM name must be non-empty")
+        self.name = name
+        self.items: List[LineItem] = list(items or [])
+
+    def add(self, part: str, unit_cost: float,
+            quantity: int = 1) -> "BillOfMaterials":
+        """Append an item; returns self for chaining."""
+        self.items.append(LineItem(part, unit_cost, quantity))
+        return self
+
+    @property
+    def total(self) -> float:
+        """Total BOM cost, USD."""
+        return sum(item.extended for item in self.items)
+
+    def per_channel(self, n_channels: int) -> float:
+        """Cost per high-speed channel."""
+        if n_channels < 1:
+            raise ConfigurationError("need >= 1 channel")
+        return self.total / n_channels
+
+
+def dlc_testbed_bom() -> BillOfMaterials:
+    """The Optical Test Bed electronics (5 TX + 5 RX channels)."""
+    bom = BillOfMaterials("optical_testbed")
+    bom.add("XC2V1000 FPGA", 350.0)
+    bom.add("USB microcontroller", 12.0)
+    bom.add("FLASH memory", 8.0)
+    bom.add("12 MHz crystal", 2.0)
+    bom.add("PECL serializer (8:1)", 45.0, 10)
+    bom.add("PECL delay line", 60.0, 10)
+    bom.add("PECL clock fanout", 25.0, 2)
+    bom.add("SiGe output buffer", 30.0, 10)
+    bom.add("voltage tuning DACs", 15.0, 10)
+    bom.add("PCB (multi-layer, controlled impedance)", 900.0)
+    bom.add("SMA connectors", 9.0, 24)
+    bom.add("passives/regulators", 150.0)
+    return bom
+
+
+def minitester_bom() -> BillOfMaterials:
+    """One mini-tester module (1 TX at 5 Gbps + sampler)."""
+    bom = BillOfMaterials("minitester")
+    bom.add("XC2V1000 FPGA", 350.0)
+    bom.add("USB microcontroller", 12.0)
+    bom.add("FLASH memory", 8.0)
+    bom.add("PECL serializer (8:1)", 45.0, 2)
+    bom.add("PECL 2:1 output mux", 35.0)
+    bom.add("PECL delay line", 60.0, 3)
+    bom.add("PECL sampler/comparator", 55.0)
+    bom.add("PECL clock fanout + XOR", 40.0)
+    bom.add("differential I/O buffers", 30.0, 2)
+    bom.add("voltage tuning DACs", 15.0, 2)
+    bom.add("PCB (probe-card topside module)", 600.0)
+    bom.add("passives/regulators", 100.0)
+    return bom
+
+
+def conventional_ate_cost(n_channels: int,
+                          base_system: float = 1_500_000.0,
+                          per_channel: float = 15_000.0,
+                          amortized_channels: int = 256) -> float:
+    """Effective cost of *n_channels* of multi-GHz conventional ATE.
+
+    The base system amortizes over its full channel count; each
+    multi-gigahertz channel card adds its own cost.
+    """
+    if n_channels < 1:
+        raise ConfigurationError("need >= 1 channel")
+    if amortized_channels < 1:
+        raise ConfigurationError("amortization base must be >= 1")
+    share = base_system * (n_channels / amortized_channels)
+    return share + per_channel * n_channels
+
+
+class CostModel:
+    """Puts the two approaches side by side.
+
+    Parameters
+    ----------
+    bom:
+        The DLC-based system's parts list.
+    n_channels:
+        Multi-gigahertz channels the system provides.
+    nre:
+        One-time engineering cost allocated to this system (board
+        design, FPGA design). The paper's approach concentrates cost
+        here instead of in hardware.
+    """
+
+    def __init__(self, bom: BillOfMaterials, n_channels: int,
+                 nre: float = 25_000.0):
+        if n_channels < 1:
+            raise ConfigurationError("need >= 1 channel")
+        if nre < 0.0:
+            raise ConfigurationError("NRE must be >= 0")
+        self.bom = bom
+        self.n_channels = int(n_channels)
+        self.nre = float(nre)
+
+    @property
+    def system_cost(self) -> float:
+        """BOM + NRE for one system."""
+        return self.bom.total + self.nre
+
+    def per_channel(self) -> float:
+        """Cost per multi-GHz channel, NRE included."""
+        return self.system_cost / self.n_channels
+
+    def ate_per_channel(self, **kwargs) -> float:
+        """Conventional ATE cost per channel, same channel count."""
+        return conventional_ate_cost(self.n_channels, **kwargs) \
+            / self.n_channels
+
+    def savings_factor(self, **kwargs) -> float:
+        """How many times cheaper the DLC approach is per channel."""
+        return self.ate_per_channel(**kwargs) / self.per_channel()
+
+    def replication_cost(self, n_copies: int) -> float:
+        """Cost of *n_copies* (NRE paid once) — the array of Fig. 13."""
+        if n_copies < 1:
+            raise ConfigurationError("need >= 1 copy")
+        return self.nre + n_copies * self.bom.total

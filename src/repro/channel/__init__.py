@@ -1,0 +1,30 @@
+"""Electrical channel models.
+
+The signals in the paper traverse PCB traces, SMA cables, and — in
+the wafer-probe application — the interposer and WLP compliant
+leads. These are modeled as LTI low-pass channels with loss and
+delay, the standard abstraction for signal-integrity work.
+"""
+
+from repro.channel.lti import LTIChannel, IdealChannel
+from repro.channel.trace import PCBTrace, SMACable
+from repro.channel.interposer import InterposerChannel, CompliantLead
+from repro.channel.crosstalk import (
+    CouplingSpec,
+    CrosstalkMatrix,
+    apply_crosstalk,
+    coupled_noise,
+)
+
+__all__ = [
+    "LTIChannel",
+    "IdealChannel",
+    "PCBTrace",
+    "SMACable",
+    "InterposerChannel",
+    "CompliantLead",
+    "CouplingSpec",
+    "CrosstalkMatrix",
+    "apply_crosstalk",
+    "coupled_noise",
+]

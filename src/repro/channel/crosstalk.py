@@ -1,0 +1,137 @@
+"""Channel-to-channel crosstalk.
+
+Five serialized channels share the test-bed board and the probe
+card's interposer routes dozens of signals at fine pitch — adjacent-
+trace coupling is the signal-integrity hazard both layouts fight.
+The model couples a fraction of each aggressor's *edge energy*
+(crosstalk is capacitive/inductive: proportional to dV/dt) into the
+victim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signal.waveform import Waveform
+
+
+@dataclasses.dataclass(frozen=True)
+class CouplingSpec:
+    """Strength and speed of one aggressor-victim coupling.
+
+    Attributes
+    ----------
+    coupling:
+        Fraction of the aggressor's slew coupled into the victim
+        (0.0-0.5; tight probe-card pitches run a few percent).
+    rise_scale_ps:
+        Time scale of the coupled pulse (the mutual L/C time
+        constant).
+    """
+
+    coupling: float = 0.03
+    rise_scale_ps: float = 50.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.coupling <= 0.5:
+            raise ConfigurationError(
+                f"coupling must be in [0, 0.5], got {self.coupling}"
+            )
+        if self.rise_scale_ps <= 0.0:
+            raise ConfigurationError("rise scale must be positive")
+
+
+def coupled_noise(aggressor: Waveform,
+                  spec: CouplingSpec = CouplingSpec()) -> Waveform:
+    """The noise one aggressor injects into a parallel victim.
+
+    Near-end crosstalk shape: the aggressor's derivative smoothed
+    over the coupling time constant, scaled by the coupling factor.
+    """
+    dv = np.gradient(aggressor.values, aggressor.dt)
+    # Smooth over the coupling time constant.
+    sigma_samples = spec.rise_scale_ps / aggressor.dt
+    if sigma_samples > 0.05:
+        from scipy.ndimage import gaussian_filter1d
+
+        dv = gaussian_filter1d(dv, sigma_samples, mode="nearest")
+    noise = spec.coupling * spec.rise_scale_ps * dv
+    return Waveform(noise, dt=aggressor.dt, t0=aggressor.t0)
+
+
+def apply_crosstalk(victim: Waveform,
+                    aggressors: Sequence[Waveform],
+                    spec: CouplingSpec = CouplingSpec()) -> Waveform:
+    """Victim plus every aggressor's coupled noise."""
+    out = victim
+    for aggressor in aggressors:
+        out = out + coupled_noise(aggressor, spec)
+    return out
+
+
+class CrosstalkMatrix:
+    """Pairwise coupling across a named channel group.
+
+    Parameters
+    ----------
+    names:
+        Channel names, in physical (routing) order — adjacency in
+        this list is adjacency on the board.
+    adjacent:
+        Coupling spec for nearest neighbours.
+    next_adjacent:
+        Coupling for next-nearest (weaker); None disables.
+    """
+
+    def __init__(self, names: Sequence[str],
+                 adjacent: CouplingSpec = CouplingSpec(),
+                 next_adjacent: CouplingSpec = CouplingSpec(
+                     coupling=0.008)):
+        if len(names) < 2:
+            raise ConfigurationError("need >= 2 channels")
+        if len(set(names)) != len(names):
+            raise ConfigurationError("channel names must be unique")
+        self.names = list(names)
+        self.adjacent = adjacent
+        self.next_adjacent = next_adjacent
+
+    def _spec_for(self, i: int, j: int):
+        distance = abs(i - j)
+        if distance == 1:
+            return self.adjacent
+        if distance == 2 and self.next_adjacent is not None:
+            return self.next_adjacent
+        return None
+
+    def apply(self, waveforms: Dict[str, Waveform]
+              ) -> Dict[str, Waveform]:
+        """Couple every channel into its neighbours.
+
+        Missing channels (quiet lines) neither aggress nor receive.
+        """
+        unknown = set(waveforms) - set(self.names)
+        if unknown:
+            raise ConfigurationError(
+                f"channels not in the matrix: {sorted(unknown)}"
+            )
+        out: Dict[str, Waveform] = {}
+        for i, victim_name in enumerate(self.names):
+            if victim_name not in waveforms:
+                continue
+            victim = waveforms[victim_name]
+            for j, aggressor_name in enumerate(self.names):
+                if aggressor_name == victim_name \
+                        or aggressor_name not in waveforms:
+                    continue
+                spec = self._spec_for(i, j)
+                if spec is None:
+                    continue
+                victim = victim + coupled_noise(
+                    waveforms[aggressor_name], spec
+                )
+            out[victim_name] = victim
+        return out

@@ -1,0 +1,104 @@
+"""Interposer and WLP compliant-lead channel.
+
+The mini-tester drives its 5 Gbps test signal through "an interposer
+... used to redistribute the high density WLP signals to a
+macroscopic scale" and the DUT's "miniature compliant leads". Each
+element is a short, slightly lossy, bandwidth-limited hop; the test
+that the paper performs is exactly "does a 5 Gbps signal survive
+this path".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.channel.lti import LTIChannel
+
+
+@dataclasses.dataclass(frozen=True)
+class CompliantLead:
+    """One WLP compliant lead (a springy micro-interconnect).
+
+    Attributes
+    ----------
+    inductance_nh:
+        Series inductance (the dominant parasite of a long springy
+        lead).
+    capacitance_pf:
+        Shunt capacitance to the wafer surface.
+    resistance_ohm:
+        Series (contact + trace) resistance.
+    """
+
+    inductance_nh: float = 0.8
+    capacitance_pf: float = 0.15
+    resistance_ohm: float = 0.5
+
+    def __post_init__(self):
+        if (self.inductance_nh <= 0.0 or self.capacitance_pf <= 0.0
+                or self.resistance_ohm < 0.0):
+            raise ConfigurationError("lead parasitics must be positive")
+
+    @property
+    def resonance_ghz(self) -> float:
+        """Self-resonance 1/(2*pi*sqrt(LC)) in GHz."""
+        import math
+
+        lc = self.inductance_nh * 1e-9 * self.capacitance_pf * 1e-12
+        return 1.0 / (2.0 * math.pi * math.sqrt(lc)) / 1e9
+
+    @property
+    def bandwidth_ghz(self) -> float:
+        """Usable bandwidth (taken as ~70% of self-resonance)."""
+        return 0.7 * self.resonance_ghz
+
+
+class InterposerChannel(LTIChannel):
+    """Interposer redistribution + compliant lead, as one channel.
+
+    Parameters
+    ----------
+    lead:
+        The compliant-lead parasitics.
+    redistribution_length_cm:
+        Trace length across the interposer.
+    interposer_bandwidth_ghz:
+        Bandwidth of the redistribution layer itself (thin-film or
+        LTCC interposers are quite fast).
+    contact_loss_db:
+        Loss at the probe/lead contact.
+    """
+
+    def __init__(self, lead: CompliantLead = CompliantLead(),
+                 redistribution_length_cm: float = 1.5,
+                 interposer_bandwidth_ghz: float = 20.0,
+                 contact_loss_db: float = 0.3):
+        if redistribution_length_cm <= 0.0:
+            raise ConfigurationError(
+                "redistribution length must be positive"
+            )
+        if interposer_bandwidth_ghz <= 0.0:
+            raise ConfigurationError(
+                "interposer bandwidth must be positive"
+            )
+        if contact_loss_db < 0.0:
+            raise ConfigurationError("contact loss must be >= 0")
+        self.lead = lead
+        import math
+
+        bw = 1.0 / math.sqrt(lead.bandwidth_ghz ** -2
+                             + interposer_bandwidth_ghz ** -2)
+        from repro.channel.trace import FR4_DELAY_PS_PER_CM
+
+        super().__init__(
+            bandwidth_ghz=bw,
+            attenuation_db=contact_loss_db + 0.05 * redistribution_length_cm,
+            delay_ps=(FR4_DELAY_PS_PER_CM * redistribution_length_cm
+                      + 15.0),
+            order=2,
+        )
+
+    def round_trip(self) -> LTIChannel:
+        """The loopback path: tester -> DUT -> tester (two traversals)."""
+        return self.cascade(self)

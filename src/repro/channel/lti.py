@@ -1,0 +1,144 @@
+"""LTI channel: bandwidth limit, flat loss, and delay.
+
+A Bessel low-pass (maximally flat group delay, the right choice for
+time-domain work) models the channel's bandwidth; flat attenuation
+and bulk delay complete the picture. Inter-symbol interference
+emerges naturally when the bandwidth approaches the data rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+from scipy import signal as sps
+
+from repro.errors import ConfigurationError
+from repro.signal.waveform import Waveform
+
+
+class LTIChannel:
+    """Bandwidth-limited channel with loss and delay.
+
+    Parameters
+    ----------
+    bandwidth_ghz:
+        -3 dB bandwidth.
+    attenuation_db:
+        Flat loss (positive number = loss).
+    delay_ps:
+        Bulk propagation delay.
+    order:
+        Bessel filter order.
+    """
+
+    def __init__(self, bandwidth_ghz: float, attenuation_db: float = 0.0,
+                 delay_ps: float = 0.0, order: int = 4):
+        if bandwidth_ghz <= 0.0:
+            raise ConfigurationError("bandwidth must be positive")
+        if attenuation_db < 0.0:
+            raise ConfigurationError(
+                "attenuation is a loss; it must be >= 0 dB"
+            )
+        if delay_ps < 0.0:
+            raise ConfigurationError("delay must be >= 0")
+        if not 1 <= order <= 8:
+            raise ConfigurationError(f"order must be 1-8, got {order}")
+        self.bandwidth_ghz = float(bandwidth_ghz)
+        self.attenuation_db = float(attenuation_db)
+        self.delay_ps = float(delay_ps)
+        self.order = int(order)
+
+    @property
+    def gain(self) -> float:
+        """Linear amplitude gain (< 1 for loss)."""
+        return 10.0 ** (-self.attenuation_db / 20.0)
+
+    def apply(self, waveform: Waveform) -> Waveform:
+        """Propagate *waveform* through the channel.
+
+        The DC component passes at the channel gain; the filter acts
+        on the AC content (a data channel is AC-coupled around its
+        running midpoint).
+        """
+        dt_s = waveform.dt * 1e-12
+        f_nyquist = 0.5 / dt_s
+        f_cut = self.bandwidth_ghz * 1e9
+        group_delay_samples = 0.0
+        if f_cut >= f_nyquist:
+            # Channel is faster than the simulation grid: bandwidth
+            # has no effect at this resolution.
+            filtered = waveform.values.copy()
+        else:
+            sos = sps.bessel(self.order, f_cut / f_nyquist,
+                             btype="low", output="sos", norm="mag")
+            mean = float(waveform.values.mean())
+            filtered = sps.sosfilt(sos, waveform.values - mean) + mean
+            # The causal filter carries its own group delay; a
+            # Bessel's is flat, so compensating it keeps delay_ps
+            # the channel's *only* latency. Measure it from the
+            # impulse response's first moment.
+            n_imp = min(len(waveform), max(64, int(16.0
+                        * f_nyquist / f_cut)))
+            impulse = np.zeros(n_imp)
+            impulse[0] = 1.0
+            h = sps.sosfilt(sos, impulse)
+            total = float(h.sum())
+            if abs(total) > 1e-12:
+                group_delay_samples = float(
+                    (np.arange(n_imp) * h).sum() / total
+                )
+        out = Waveform(
+            self.gain * filtered, dt=waveform.dt,
+            t0=(waveform.t0 + self.delay_ps
+                - group_delay_samples * waveform.dt),
+        )
+        return out
+
+    def isi_dj_estimate(self, rate_gbps: float) -> float:
+        """Rough deterministic jitter from ISI at *rate_gbps*, ps p-p.
+
+        Uses the classic approximation: DJ grows as the channel rise
+        time (0.339/BW for a Gaussian-ish response) becomes a
+        significant fraction of the unit interval.
+        """
+        if rate_gbps <= 0.0:
+            raise ConfigurationError("rate must be positive")
+        ui = 1_000.0 / rate_gbps
+        t_r = 339.0 / self.bandwidth_ghz  # 10-90% rise time, ps
+        x = t_r / ui
+        if x < 0.5:
+            return 0.0
+        return ui * 0.5 * (x - 0.5) ** 2
+
+    def cascade(self, other: "LTIChannel") -> "LTIChannel":
+        """Series combination of two channels.
+
+        Bandwidths combine reciprocally in square (rise times RSS);
+        losses and delays add.
+        """
+        bw = 1.0 / math.sqrt(self.bandwidth_ghz ** -2
+                             + other.bandwidth_ghz ** -2)
+        return LTIChannel(
+            bandwidth_ghz=bw,
+            attenuation_db=self.attenuation_db + other.attenuation_db,
+            delay_ps=self.delay_ps + other.delay_ps,
+            order=max(self.order, other.order),
+        )
+
+    def __repr__(self) -> str:
+        return (f"LTIChannel(bw={self.bandwidth_ghz} GHz, "
+                f"loss={self.attenuation_db} dB, "
+                f"delay={self.delay_ps} ps)")
+
+
+class IdealChannel(LTIChannel):
+    """A pass-through channel (infinite bandwidth, no loss)."""
+
+    def __init__(self, delay_ps: float = 0.0):
+        super().__init__(bandwidth_ghz=1e6, attenuation_db=0.0,
+                         delay_ps=delay_ps, order=1)
+
+    def apply(self, waveform: Waveform) -> Waveform:
+        return waveform.shifted(self.delay_ps)

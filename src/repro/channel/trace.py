@@ -1,0 +1,75 @@
+"""PCB trace and coaxial cable channel models.
+
+Parameterized by geometry (length) and material class, producing the
+:class:`~repro.channel.lti.LTIChannel` the simulation consumes. Loss
+figures are typical for FR-4 microstrip and flexible SMA coax in the
+low-gigahertz range.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.channel.lti import LTIChannel
+
+#: Propagation velocity on FR-4 microstrip, ps per cm.
+FR4_DELAY_PS_PER_CM = 58.0
+
+#: Propagation velocity in PTFE coax, ps per cm.
+COAX_DELAY_PS_PER_CM = 47.0
+
+
+class PCBTrace(LTIChannel):
+    """An FR-4 microstrip trace.
+
+    Parameters
+    ----------
+    length_cm:
+        Trace length.
+    loss_db_per_cm_at_2g5:
+        Loss density at 2.5 GHz (default typical FR-4: ~0.12 dB/cm).
+    bandwidth_ghz_cm:
+        Bandwidth-length product: a 1 cm trace has this bandwidth,
+        longer traces scale inversely.
+    """
+
+    def __init__(self, length_cm: float,
+                 loss_db_per_cm_at_2g5: float = 0.12,
+                 bandwidth_ghz_cm: float = 120.0):
+        if length_cm <= 0.0:
+            raise ConfigurationError("trace length must be positive")
+        if loss_db_per_cm_at_2g5 < 0.0:
+            raise ConfigurationError("loss density must be >= 0")
+        if bandwidth_ghz_cm <= 0.0:
+            raise ConfigurationError("bandwidth product must be positive")
+        self.length_cm = float(length_cm)
+        super().__init__(
+            bandwidth_ghz=bandwidth_ghz_cm / length_cm,
+            attenuation_db=loss_db_per_cm_at_2g5 * length_cm,
+            delay_ps=FR4_DELAY_PS_PER_CM * length_cm,
+        )
+
+
+class SMACable(LTIChannel):
+    """A flexible PTFE SMA cable.
+
+    Parameters
+    ----------
+    length_cm:
+        Cable length.
+    loss_db_per_m_at_2g5:
+        Loss density at 2.5 GHz (default ~0.9 dB/m for good coax).
+    """
+
+    def __init__(self, length_cm: float = 50.0,
+                 loss_db_per_m_at_2g5: float = 0.9):
+        if length_cm <= 0.0:
+            raise ConfigurationError("cable length must be positive")
+        if loss_db_per_m_at_2g5 < 0.0:
+            raise ConfigurationError("loss density must be >= 0")
+        self.length_cm = float(length_cm)
+        super().__init__(
+            # Good coax is very wideband; barely bandlimits here.
+            bandwidth_ghz=40.0,
+            attenuation_db=loss_db_per_m_at_2g5 * length_cm / 100.0,
+            delay_ps=COAX_DELAY_PS_PER_CM * length_cm,
+        )

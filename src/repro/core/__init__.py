@@ -1,0 +1,40 @@
+"""System compositions: the paper's two test systems.
+
+* :class:`~repro.core.testbed.OpticalTestBed` — project 1: the
+  transmitter/receiver set that emulates a processor-memory slice
+  and exercises the Data Vortex (Section 3).
+* :class:`~repro.core.minitester.MiniTester` — project 2: the
+  self-contained wafer-probe tester (Section 4).
+
+Shared pieces: the Figure 4 packet slot format, the system timing-
+accuracy budget behind the ±25 ps claim, and deskew calibration.
+"""
+
+from repro.core.packetformat import PacketSlotFormat, PacketSlot
+from repro.core.system import TestSystem
+from repro.core.testbed import OpticalTestBed
+from repro.core.minitester import MiniTester
+from repro.core.budget import TimingBudget, system_timing_budget
+from repro.core.calibration import DeskewCalibration
+from repro.core.scaling import ScalingReport, size_configuration, scaling_path
+from repro.core.tsp import HostATE, TestSupportProcessor
+from repro.core.multiboard import ArrayReport, BoardArray, array_for_scaling
+
+__all__ = [
+    "PacketSlotFormat",
+    "PacketSlot",
+    "TestSystem",
+    "OpticalTestBed",
+    "MiniTester",
+    "TimingBudget",
+    "system_timing_budget",
+    "DeskewCalibration",
+    "ScalingReport",
+    "size_configuration",
+    "scaling_path",
+    "HostATE",
+    "TestSupportProcessor",
+    "BoardArray",
+    "ArrayReport",
+    "array_for_scaling",
+]

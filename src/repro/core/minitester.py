@@ -1,0 +1,200 @@
+"""The wafer-probe Mini-Tester (Section 4).
+
+A self-contained tester on the probe card: the DLC plus a two-stage
+PECL serializer (two 8:1 groups to 2.5 Gbps, interleaved 2:1 to
+5.0 Gbps), differential I/O buffers (120 ps edges), and a PECL
+sampling circuit with 10 ps strobe resolution to capture the signal
+returned through the interposer and the DUT's compliant leads.
+Connections are only DC power, USB, and the RF clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.channel.interposer import InterposerChannel
+from repro.dlc.io import SILICON_MAX_MBPS
+from repro.channel.lti import LTIChannel
+from repro.core.system import TestSystem
+from repro.instruments.bert import BitErrorRateTester
+from repro.pecl.buffer import MINI_IO_BUFFER, BufferSpec
+from repro.pecl.receiver import PECLReceiver, BERResult
+from repro.pecl.serializer import TwoStageSerializer
+from repro.pecl.transmitter import PECLTransmitter
+from repro.signal.waveform import Waveform
+
+
+@dataclasses.dataclass(frozen=True)
+class LoopbackResult:
+    """Outcome of one loopback test through the probe path.
+
+    Attributes
+    ----------
+    ber:
+        The bit-error comparison.
+    rate_gbps:
+        Data rate used.
+    strobe_code:
+        Sampler strobe position (delay-line code).
+    """
+
+    ber: BERResult
+    rate_gbps: float
+    strobe_code: int
+
+    @property
+    def passed(self) -> bool:
+        """True for an error-free run."""
+        return self.ber.n_errors == 0
+
+
+class MiniTester(TestSystem):
+    """Project 2: the self-contained wafer-probe tester.
+
+    Parameters
+    ----------
+    rate_gbps:
+        Target serial rate (5.0 Gbps design target).
+    buffer_spec:
+        Output/input buffer grade (the 120 ps differential part).
+    channel:
+        The probe path (interposer + compliant leads) for loopback
+        tests; defaults to the standard interposer model.
+    """
+
+    def __init__(self, rate_gbps: float = 5.0,
+                 buffer_spec: BufferSpec = MINI_IO_BUFFER,
+                 channel: Optional[LTIChannel] = None,
+                 io_rate_mbps: float = 400.0):
+        # The RF reference runs at half the bit rate: the 2:1 output
+        # mux toggles on both clock edges (1.25 GHz input in Fig. 15
+        # for 2.5 G halves / 5 G output).
+        super().__init__(rate_gbps, rf_frequency_ghz=rate_gbps / 2.0,
+                         io_rate_mbps=io_rate_mbps)
+        self._tx = PECLTransmitter(
+            TwoStageSerializer(),
+            buffer_spec=buffer_spec,
+            clock=self.rf_clock,
+            lane_limit_mbps=SILICON_MAX_MBPS,
+        )
+        self.receiver = PECLReceiver(buffer_spec=buffer_spec)
+        self.channel = channel if channel is not None else \
+            InterposerChannel()
+        self.bert = BitErrorRateTester()
+
+    def serialization_factor(self) -> int:
+        return self.transmitter.serializer.total_lanes
+
+    # -- stimulus/capture loop ---------------------------------------------
+
+    def loopback_waveform(self, n_bits: int, seed: int = 1,
+                          rate_gbps: Optional[float] = None,
+                          through_dut: bool = True) -> Waveform:
+        """The waveform arriving back at the sampler.
+
+        With *through_dut* the signal traverses the probe channel
+        twice (out through the interposer and leads, back again).
+        """
+        rate = self.rate_gbps if rate_gbps is None else rate_gbps
+        wf = self.prbs_waveform(n_bits, seed=seed, rate_gbps=rate)
+        if through_dut:
+            wf = self.channel.round_trip().apply(wf) \
+                if isinstance(self.channel, InterposerChannel) \
+                else self.channel.apply(wf)
+        return wf
+
+    def run_loopback(self, n_bits: int = 2000, seed: int = 1,
+                     rate_gbps: Optional[float] = None,
+                     strobe_code: Optional[int] = None) -> LoopbackResult:
+        """Full self-test: transmit PRBS, capture, count errors."""
+        rate = self.rate_gbps if rate_gbps is None else rate_gbps
+        wf = self.loopback_waveform(n_bits, seed=seed, rate_gbps=rate)
+        # Strobe at cell center unless told otherwise.
+        if strobe_code is None:
+            ui = 1_000.0 / rate
+            step = self.receiver.sampler.resolution
+            strobe_code = int(round((ui / 2.0) / step))
+        # Account for the channel's bulk delay when strobing.
+        t_first = self._channel_delay()
+        bits = self.receiver.receive_bits(
+            wf, rate, n_bits, strobe_code=strobe_code,
+            t_first_bit=t_first, rng=np.random.default_rng(seed + 7),
+        )
+        expected = self._expected_serial(n_bits, seed=seed, rate_gbps=rate)
+        ber = self.receiver.compare(bits, expected[:len(bits)])
+        return LoopbackResult(ber=ber, rate_gbps=rate,
+                              strobe_code=strobe_code)
+
+    def _channel_delay(self) -> float:
+        if isinstance(self.channel, InterposerChannel):
+            return self.channel.round_trip().delay_ps
+        return self.channel.delay_ps
+
+    def _expected_serial(self, n_bits: int, seed: int,
+                         rate_gbps: float) -> np.ndarray:
+        """Regenerate the serial stream the TX path produced.
+
+        The stimulus carries the fabric LFSR's stream in true serial
+        order (see :meth:`TestSystem.prbs_waveform`), so the expected
+        data is simply the LFSR output.
+        """
+        factor = self.serialization_factor()
+        self.dlc.host_write(0x0C, seed)
+        self.dlc.reset_lfsrs()
+        n_words = int(np.ceil(n_bits / factor))
+        return self.dlc.lfsr().bits(n_words * factor)[:n_bits]
+
+    def digitize_loopback(self, pattern_len: int = 8, seed: int = 1,
+                          rate_gbps: Optional[float] = None,
+                          n_reps: int = 24) -> "Waveform":
+        """Reconstruct the looped-back waveform with the tester's
+        own sampler (no external scope).
+
+        A short repeating pattern is transmitted through the probe
+        path; the PECL sampler's strobe-delay x threshold scan
+        rebuilds one repetition at 10 ps resolution.
+        """
+        rate = self.rate_gbps if rate_gbps is None else rate_gbps
+        # A repeating pattern: the LFSR stream's first pattern_len
+        # bits, tiled.
+        self.dlc.host_write(0x0C, seed)
+        self.dlc.reset_lfsrs()
+        unit = self.dlc.lfsr().bits(pattern_len)
+        bits = np.tile(unit, n_reps + 2)
+        wf = self.transmitter.transmit_serial(
+            bits, rate, rng=np.random.default_rng(seed)
+        )
+        looped = self.channel.round_trip().apply(wf) \
+            if isinstance(self.channel, InterposerChannel) \
+            else self.channel.apply(wf)
+        regen = self.receiver.regenerate(looped)
+        return self.receiver.sampler.reconstruct_pattern(
+            regen, rate, pattern_len, n_reps=n_reps,
+            t_first_bit=self._channel_delay() + pattern_len
+            * (1_000.0 / rate),
+            rng=np.random.default_rng(seed + 3),
+        )
+
+    def shmoo_strobe(self, n_bits: int = 500, seed: int = 1,
+                     rate_gbps: Optional[float] = None,
+                     n_positions: int = 21) -> list:
+        """Sweep the strobe across the bit cell; BER per position.
+
+        The pass window's width is the operational eye opening as
+        the mini-tester itself (not a scope) sees it.
+        """
+        rate = self.rate_gbps if rate_gbps is None else rate_gbps
+        ui = 1_000.0 / rate
+        step = self.receiver.sampler.resolution
+        max_code = max(1, int(ui / step))
+        codes = np.unique(np.linspace(0, max_code, n_positions)
+                          .astype(int))
+        return [
+            self.run_loopback(n_bits=n_bits, seed=seed, rate_gbps=rate,
+                              strobe_code=int(code))
+            for code in codes
+        ]

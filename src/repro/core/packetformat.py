@@ -1,0 +1,276 @@
+"""The Figure 4 packet slot format of the Optical Test Bed.
+
+The stimulus emulates a parallel processor-to-memory slice sending
+packets into the Data Vortex. At the nominal 2.5 Gbps (400 ps bit
+periods) one packet slot is 64 bit periods = 25.6 ns:
+
+* dead time: 8 periods (3.2 ns)
+* guard time: 5 periods (2.0 ns) on each side
+* maximum window for valid clock/data: 46 periods (18.4 ns), holding
+  pre-clocks (receiver start-up), 32 periods (12.8 ns) of valid
+  payload aligned with the source-synchronous clock, and post-clocks
+  (receiver pipeline flush)
+* a slower Frame bit marking data-valid, plus four Header bits
+  carrying the Data Vortex routing address
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro._units import unit_interval_ps
+
+
+@dataclasses.dataclass(frozen=True)
+class PacketSlotFormat:
+    """Timing definition of one packet slot.
+
+    All counts are in bit periods of the high-speed channels.
+
+    Attributes
+    ----------
+    rate_gbps:
+        Channel data rate (2.5 Gbps nominal; 400 ps bit periods).
+    payload_bits:
+        Valid data periods per slot (32).
+    guard_bits:
+        Guard periods on *each* side of the clock/data window (5).
+    dead_bits:
+        Dead periods at the start of the slot (8).
+    pre_clock_bits:
+        Clock-only periods before valid data (receiver start-up).
+    post_clock_bits:
+        Clock-only periods after valid data (pipeline flush).
+    n_data_channels:
+        Parallel payload width (4 in the test bed).
+    n_header_bits:
+        Routing-address bits (4).
+    """
+
+    rate_gbps: float = 2.5
+    payload_bits: int = 32
+    guard_bits: int = 5
+    dead_bits: int = 8
+    pre_clock_bits: int = 7
+    post_clock_bits: int = 7
+    n_data_channels: int = 4
+    n_header_bits: int = 4
+
+    def __post_init__(self):
+        if self.rate_gbps <= 0.0:
+            raise ConfigurationError("rate must be positive")
+        for name in ("payload_bits", "guard_bits", "dead_bits",
+                     "pre_clock_bits", "post_clock_bits"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        if self.payload_bits < 1:
+            raise ConfigurationError("payload must be >= 1 bit")
+        if self.n_data_channels < 1 or self.n_header_bits < 0:
+            raise ConfigurationError("bad channel counts")
+
+    # -- derived counts ------------------------------------------------
+
+    @property
+    def bit_period(self) -> float:
+        """One bit period, ps (400 ps at 2.5 Gbps)."""
+        return unit_interval_ps(self.rate_gbps)
+
+    @property
+    def window_bits(self) -> int:
+        """Maximum allowed window for valid clock/data (46 nominal)."""
+        return (self.pre_clock_bits + self.payload_bits
+                + self.post_clock_bits)
+
+    @property
+    def slot_bits(self) -> int:
+        """Total slot length in bit periods (64 nominal)."""
+        return self.dead_bits + 2 * self.guard_bits + self.window_bits
+
+    # -- derived times ---------------------------------------------------
+
+    @property
+    def slot_time(self) -> float:
+        """Packet slot time, ps (25.6 ns nominal)."""
+        return self.slot_bits * self.bit_period
+
+    @property
+    def valid_data_time(self) -> float:
+        """Valid payload duration, ps (12.8 ns nominal)."""
+        return self.payload_bits * self.bit_period
+
+    @property
+    def guard_time(self) -> float:
+        """One guard interval, ps (2.0 ns nominal)."""
+        return self.guard_bits * self.bit_period
+
+    @property
+    def dead_time(self) -> float:
+        """Dead time, ps (3.2 ns nominal)."""
+        return self.dead_bits * self.bit_period
+
+    @property
+    def window_time(self) -> float:
+        """Maximum clock/data window, ps (18.4 ns nominal)."""
+        return self.window_bits * self.bit_period
+
+    @property
+    def window_start_bit(self) -> int:
+        """Slot bit index where the clock/data window opens."""
+        return self.dead_bits + self.guard_bits
+
+    @property
+    def data_start_bit(self) -> int:
+        """Slot bit index of the first valid payload period."""
+        return self.window_start_bit + self.pre_clock_bits
+
+    @property
+    def data_end_bit(self) -> int:
+        """Slot bit index one past the last valid payload period."""
+        return self.data_start_bit + self.payload_bits
+
+    def slots_per_second(self) -> float:
+        """Packet slot rate (1/slot_time)."""
+        return 1e12 / self.slot_time
+
+    def payload_bandwidth_gbps(self) -> float:
+        """Effective per-channel payload throughput, Gbps."""
+        return (self.payload_bits / self.slot_bits) * self.rate_gbps
+
+
+class PacketSlot:
+    """One concrete packet: payload words + routing header.
+
+    Parameters
+    ----------
+    fmt:
+        The slot format.
+    payload:
+        One bit sequence per data channel, each ``payload_bits``
+        long.
+    header:
+        Routing-address bits (``n_header_bits`` values).
+    frame:
+        Whether the frame bit asserts for this slot (a populated
+        slot; empty slots carry frame=0).
+    """
+
+    def __init__(self, fmt: PacketSlotFormat,
+                 payload: Sequence[Sequence[int]],
+                 header: Sequence[int], frame: bool = True):
+        payload = [np.asarray(ch).astype(np.uint8) for ch in payload]
+        if len(payload) != fmt.n_data_channels:
+            raise ConfigurationError(
+                f"need {fmt.n_data_channels} payload channels, got "
+                f"{len(payload)}"
+            )
+        for i, ch in enumerate(payload):
+            if len(ch) != fmt.payload_bits:
+                raise ConfigurationError(
+                    f"payload channel {i} has {len(ch)} bits; format "
+                    f"needs {fmt.payload_bits}"
+                )
+            if np.any(ch > 1):
+                raise ConfigurationError("payload bits must be 0 or 1")
+        header = np.asarray(header).astype(np.uint8)
+        if len(header) != fmt.n_header_bits:
+            raise ConfigurationError(
+                f"need {fmt.n_header_bits} header bits, got {len(header)}"
+            )
+        if np.any(header > 1):
+            raise ConfigurationError("header bits must be 0 or 1")
+        self.fmt = fmt
+        self.payload = payload
+        self.header = header
+        self.frame = bool(frame)
+
+    # -- channel bit streams at the high-speed rate -----------------------
+
+    def clock_bits(self) -> np.ndarray:
+        """The source-synchronous clock channel for one slot.
+
+        Toggles through the whole clock/data window (pre-clocks,
+        data, post-clocks); idle elsewhere.
+        """
+        fmt = self.fmt
+        bits = np.zeros(fmt.slot_bits, dtype=np.uint8)
+        start = fmt.window_start_bit
+        # A 1.25 GHz clock at 2.5 Gbps bit periods: alternate 1/0.
+        for k in range(fmt.window_bits):
+            bits[start + k] = (k + 1) % 2
+        return bits
+
+    def data_bits(self, channel: int) -> np.ndarray:
+        """One data channel's slot stream (payload in its window)."""
+        fmt = self.fmt
+        if not 0 <= channel < fmt.n_data_channels:
+            raise ConfigurationError(
+                f"channel {channel} out of range "
+                f"[0, {fmt.n_data_channels})"
+            )
+        bits = np.zeros(fmt.slot_bits, dtype=np.uint8)
+        bits[fmt.data_start_bit:fmt.data_end_bit] = self.payload[channel]
+        return bits
+
+    def frame_bits(self) -> np.ndarray:
+        """Frame channel: asserted across the valid-data window."""
+        fmt = self.fmt
+        bits = np.zeros(fmt.slot_bits, dtype=np.uint8)
+        if self.frame:
+            bits[fmt.data_start_bit:fmt.data_end_bit] = 1
+        return bits
+
+    def header_bits(self, index: int) -> np.ndarray:
+        """One header channel: its address bit held for the window.
+
+        Header channels are lower-speed: the routing bit is static
+        for the whole clock/data window.
+        """
+        fmt = self.fmt
+        if not 0 <= index < fmt.n_header_bits:
+            raise ConfigurationError(
+                f"header index {index} out of range "
+                f"[0, {fmt.n_header_bits})"
+            )
+        bits = np.zeros(fmt.slot_bits, dtype=np.uint8)
+        if self.header[index]:
+            bits[fmt.window_start_bit:
+                 fmt.window_start_bit + fmt.window_bits] = 1
+        return bits
+
+    def all_channels(self) -> Dict[str, np.ndarray]:
+        """Every channel's slot stream, keyed by name."""
+        out: Dict[str, np.ndarray] = {"clock": self.clock_bits(),
+                                      "frame": self.frame_bits()}
+        for i in range(self.fmt.n_data_channels):
+            out[f"data{i}"] = self.data_bits(i)
+        for i in range(self.fmt.n_header_bits):
+            out[f"header{i}"] = self.header_bits(i)
+        return out
+
+    def address(self) -> int:
+        """Routing address encoded by the header bits (MSB first)."""
+        value = 0
+        for bit in self.header:
+            value = (value << 1) | int(bit)
+        return value
+
+    @classmethod
+    def random(cls, fmt: PacketSlotFormat, address: int,
+               rng: np.random.Generator = None) -> "PacketSlot":
+        """A slot with random payload and the given routing address."""
+        if rng is None:
+            rng = np.random.default_rng(0)
+        if not 0 <= address < (1 << fmt.n_header_bits):
+            raise ConfigurationError(
+                f"address {address} needs more than {fmt.n_header_bits} "
+                "header bits"
+            )
+        payload = rng.integers(0, 2, size=(fmt.n_data_channels,
+                                           fmt.payload_bits))
+        header = [(address >> (fmt.n_header_bits - 1 - k)) & 1
+                  for k in range(fmt.n_header_bits)]
+        return cls(fmt, payload, header)

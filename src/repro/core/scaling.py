@@ -1,0 +1,144 @@
+"""Terabit-scale extension study (the paper's stated end goal).
+
+"The end-application will require extending the word width to at
+least 64 bits, and increasing channel data rates to 10 Gbps at each
+wavelength, so that the aggregate data rate will be of the order of
+a Terabit-per-second."
+
+This module sizes that configuration against the component models:
+how many DLC boards, FPGA I/O, serializer stages, and wavelengths a
+W-bit x R-Gbps test bed needs, and which component ceilings a naive
+scaling hits — the engineering the paper defers to future work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.dlc.fpga import XC2V1000
+from repro.dlc.io import DEFAULT_DERATED_MBPS
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingReport:
+    """Resource sizing of one scaled configuration.
+
+    Attributes
+    ----------
+    word_width:
+        Parallel optical channels (payload bits).
+    rate_gbps:
+        Per-wavelength data rate.
+    aggregate_gbps:
+        Payload-channel aggregate (width x rate).
+    serialization_factor:
+        DLC lanes per channel at the given lane rate.
+    lanes_total:
+        FPGA pins consumed by payload channels (+clock).
+    boards:
+        DLC boards needed at the XC2V1000's I/O budget.
+    wavelengths:
+        WDM channels required (one per payload bit + clock).
+    feasible_first_stage:
+        Whether the per-channel rate fits today's (2004) first-stage
+        PECL serializer ceiling without faster parts.
+    notes:
+        Human-readable constraint notes.
+    """
+
+    word_width: int
+    rate_gbps: float
+    aggregate_gbps: float
+    serialization_factor: int
+    lanes_total: int
+    boards: int
+    wavelengths: int
+    feasible_first_stage: bool
+    notes: List[str]
+
+    @property
+    def terabit(self) -> bool:
+        """True when the aggregate reaches ~1 Tbps."""
+        return self.aggregate_gbps >= 640.0  # "of the order of"
+
+
+#: First-stage PECL serializer ceiling of the paper's parts, Gbps.
+FIRST_STAGE_CEILING_GBPS = 4.0
+
+#: Final 2:1 mux ceiling, Gbps.
+SECOND_STAGE_CEILING_GBPS = 5.5
+
+
+def size_configuration(word_width: int = 64, rate_gbps: float = 10.0,
+                       lane_rate_mbps: float = DEFAULT_DERATED_MBPS,
+                       io_per_board: int = None) -> ScalingReport:
+    """Size a scaled test bed: W channels at R Gbps each.
+
+    The sizing follows the paper's architecture: each channel is one
+    serializer fed by ``R*1000/lane_rate`` DLC lanes, one wavelength
+    per channel plus the source-synchronous clock.
+    """
+    if word_width < 1:
+        raise ConfigurationError("word width must be >= 1")
+    if rate_gbps <= 0.0:
+        raise ConfigurationError("rate must be positive")
+    if lane_rate_mbps <= 0.0:
+        raise ConfigurationError("lane rate must be positive")
+    io_budget = io_per_board if io_per_board is not None \
+        else XC2V1000.io_pins
+    factor = math.ceil(rate_gbps * 1000.0 / lane_rate_mbps)
+    n_channels = word_width + 1  # payload + clock
+    lanes_total = n_channels * factor
+    boards = math.ceil(lanes_total / io_budget)
+    notes: List[str] = []
+    feasible_first = True
+    if rate_gbps > SECOND_STAGE_CEILING_GBPS:
+        feasible_first = False
+        notes.append(
+            f"{rate_gbps:g} Gbps/channel exceeds even the two-stage "
+            f"output ceiling ({SECOND_STAGE_CEILING_GBPS:g} Gbps): "
+            "needs faster (SiGe/InP) mux parts or more interleave "
+            "stages"
+        )
+    elif rate_gbps > FIRST_STAGE_CEILING_GBPS:
+        notes.append(
+            f"{rate_gbps:g} Gbps/channel needs the two-stage "
+            "(interleaved) serializer per channel"
+        )
+    if boards > 1:
+        notes.append(
+            f"{lanes_total} lanes exceed one XC2V1000's "
+            f"{io_budget} I/O: {boards} synchronized DLC boards"
+        )
+    return ScalingReport(
+        word_width=word_width,
+        rate_gbps=rate_gbps,
+        aggregate_gbps=word_width * rate_gbps,
+        serialization_factor=factor,
+        lanes_total=lanes_total,
+        boards=boards,
+        wavelengths=n_channels,
+        feasible_first_stage=feasible_first,
+        notes=notes,
+    )
+
+
+def scaling_path(target_aggregate_gbps: float = 640.0,
+                 rate_options=(2.5, 5.0, 10.0)) -> List[ScalingReport]:
+    """Configurations reaching a target aggregate at each rate.
+
+    Shows the width/rate trade the paper's roadmap implies: at
+    2.5 Gbps the word must be very wide; at 10 Gbps the per-channel
+    electronics outrun 2004 parts.
+    """
+    if target_aggregate_gbps <= 0.0:
+        raise ConfigurationError("target aggregate must be positive")
+    reports = []
+    for rate in rate_options:
+        width = math.ceil(target_aggregate_gbps / rate)
+        reports.append(size_configuration(word_width=width,
+                                          rate_gbps=rate))
+    return reports

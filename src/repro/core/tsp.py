@@ -1,0 +1,124 @@
+"""Test Support Processor (TSP) mode — the concept behind the DLC.
+
+"A general concept called 'test support processor' (TSP) was
+introduced in [1]. A TSP is a customized circuit which is added to
+an existing automated test system in order to enhance either the
+performance or to provide additional test functionality."
+
+This module models the TSP deployment mode: the DLC+PECL stage rides
+on a conventional ATE whose channels feed it vectors at the ATE's
+(modest) rate, and the TSP serializes them up to multi-gigahertz at
+the DUT — versus the stand-alone "miniature tester" mode that the
+paper's two projects use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RateLimitError
+from repro.pecl.serializer import ParallelToSerial, SerializerSpec
+from repro.pecl.transmitter import PECLTransmitter
+from repro.signal.waveform import Waveform
+
+
+@dataclasses.dataclass(frozen=True)
+class HostATE:
+    """The conventional ATE hosting a TSP.
+
+    Attributes
+    ----------
+    channel_rate_mbps:
+        Per-channel vector rate the ATE can source.
+    n_channels_available:
+        Channels the ATE can dedicate to the TSP.
+    """
+
+    channel_rate_mbps: float = 100.0
+    n_channels_available: int = 32
+
+    def __post_init__(self):
+        if self.channel_rate_mbps <= 0.0:
+            raise ConfigurationError("ATE channel rate must be positive")
+        if self.n_channels_available < 1:
+            raise ConfigurationError("ATE must offer >= 1 channel")
+
+
+class TestSupportProcessor:
+    """A TSP: ATE vectors in, multi-gigahertz stimulus out.
+
+    Parameters
+    ----------
+    host:
+        The hosting ATE.
+    serializer_factor:
+        ATE channels consumed per TSP output channel.
+    """
+
+    __test__ = False  # not a pytest collection target
+
+    def __init__(self, host: HostATE = HostATE(),
+                 serializer_factor: int = 16):
+        if serializer_factor < 2:
+            raise ConfigurationError("serialization factor must be >= 2")
+        if serializer_factor > host.n_channels_available:
+            raise ConfigurationError(
+                f"TSP needs {serializer_factor} ATE channels; host "
+                f"offers {host.n_channels_available}"
+            )
+        self.host = host
+        self.factor = int(serializer_factor)
+        spec = SerializerSpec(
+            name=f"tsp_serializer_{serializer_factor}to1",
+            factor=serializer_factor,
+        )
+        self.transmitter = PECLTransmitter(
+            ParallelToSerial(spec),
+            lane_limit_mbps=host.channel_rate_mbps,
+        )
+
+    @property
+    def output_rate_gbps(self) -> float:
+        """Serial rate the TSP produces from the ATE's vectors."""
+        return self.factor * self.host.channel_rate_mbps / 1000.0
+
+    @property
+    def enhancement_factor(self) -> float:
+        """Rate boost over one bare ATE channel."""
+        return float(self.factor)
+
+    def drive(self, ate_vectors, rng: Optional[np.random.Generator] = None
+              ) -> Waveform:
+        """Serialize ATE-sourced vectors into the DUT stimulus.
+
+        Parameters
+        ----------
+        ate_vectors:
+            (factor, n) array — one lane per ATE channel, at the
+            ATE's channel rate.
+        """
+        lanes = np.asarray(ate_vectors).astype(np.uint8)
+        if lanes.ndim != 2 or lanes.shape[0] != self.factor:
+            raise ConfigurationError(
+                f"TSP expects ({self.factor}, n) ATE vectors; got "
+                f"{lanes.shape}"
+            )
+        rate = self.output_rate_gbps
+        if rate > self.transmitter.serializer.spec.max_output_gbps:
+            raise RateLimitError(
+                f"TSP output {rate:.2f} Gbps exceeds the serializer "
+                "ceiling; reduce the factor or the ATE rate"
+            )
+        return self.transmitter.transmit(lanes, rate, rng=rng)
+
+    def upgrade_summary(self) -> dict:
+        """What the TSP adds to the host ATE, as a report dict."""
+        return {
+            "ate_channel_rate_gbps": self.host.channel_rate_mbps / 1000.0,
+            "tsp_output_rate_gbps": self.output_rate_gbps,
+            "enhancement_factor": self.enhancement_factor,
+            "ate_channels_consumed": self.factor,
+        }

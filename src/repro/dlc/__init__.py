@@ -1,0 +1,70 @@
+"""Digital Logic Core (DLC) — behavioral model of the paper's FPGA core.
+
+The DLC is the common controlling logic of both test systems: a
+Xilinx XC2V1000-class FPGA with ~200 general-purpose I/O (rated to
+800 Mbps, derated to 300-400 Mbps in practice), a USB microcontroller
+for PC communication, FLASH configuration storage programmed over
+IEEE 1149.1, a 12 MHz crystal, and an optional SRAM pattern store.
+
+This package models the FPGA-internal pieces: pattern generation
+(LFSR and stored patterns), test-sequencer state machines, clock
+management, rate-limited I/O banks, and the register file the host
+reads and writes over USB.
+"""
+
+from repro.dlc.lfsr import LFSR
+from repro.dlc.registers import Register, RegisterFile
+from repro.dlc.io import IOPin, IOBank, IOStandard
+from repro.dlc.clocking import ClockSignal, ClockManager
+from repro.dlc.statemachine import StateMachine, TestSequencer, SequencerState
+from repro.dlc.pattern import (
+    PatternMemory,
+    AlgorithmicPattern,
+    walking_ones,
+    walking_zeros,
+    checkerboard,
+    counting_pattern,
+)
+from repro.dlc.sram import SRAM
+from repro.dlc.fpga import FPGA, FPGAResources, Bitstream
+from repro.dlc.core import DigitalLogicCore
+from repro.dlc.prbs_checker import CheckerState, SelfSyncChecker
+from repro.dlc.selftest import (
+    SelfTestReport,
+    lfsr_signature_test,
+    march_c_minus,
+    register_readback_test,
+    run_self_test,
+)
+
+__all__ = [
+    "LFSR",
+    "Register",
+    "RegisterFile",
+    "IOPin",
+    "IOBank",
+    "IOStandard",
+    "ClockSignal",
+    "ClockManager",
+    "StateMachine",
+    "TestSequencer",
+    "SequencerState",
+    "PatternMemory",
+    "AlgorithmicPattern",
+    "walking_ones",
+    "walking_zeros",
+    "checkerboard",
+    "counting_pattern",
+    "SRAM",
+    "FPGA",
+    "FPGAResources",
+    "Bitstream",
+    "DigitalLogicCore",
+    "SelfSyncChecker",
+    "CheckerState",
+    "SelfTestReport",
+    "run_self_test",
+    "march_c_minus",
+    "register_readback_test",
+    "lfsr_signature_test",
+]

@@ -1,0 +1,150 @@
+"""Clock distribution inside the DLC.
+
+Two timing domains exist in the paper's systems: the 12 MHz crystal
+(USB and housekeeping) and the external RF reference (0.5-2.5 GHz,
+picosecond jitter) that the PECL stage divides/fans out for all
+timing-critical signals. The FPGA's clock manager can divide or
+multiply a reference within bounded ratios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro._units import period_ps
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockSignal:
+    """A clock: frequency plus accumulated random jitter.
+
+    Attributes
+    ----------
+    frequency_ghz:
+        Clock frequency in GHz.
+    jitter_rms:
+        RMS edge jitter in ps.
+    name:
+        Identifier for diagnostics.
+    """
+
+    frequency_ghz: float
+    jitter_rms: float = 0.0
+    name: str = "clk"
+
+    def __post_init__(self):
+        if self.frequency_ghz <= 0.0:
+            raise ConfigurationError(
+                f"clock frequency must be positive, got {self.frequency_ghz}"
+            )
+        if self.jitter_rms < 0.0:
+            raise ConfigurationError(
+                f"clock jitter must be >= 0, got {self.jitter_rms}"
+            )
+
+    @property
+    def period(self) -> float:
+        """Clock period in ps."""
+        return period_ps(self.frequency_ghz)
+
+    def divided(self, ratio: int, added_jitter_rms: float = 0.0,
+                name: str = None) -> "ClockSignal":
+        """Divide by an integer *ratio*; jitter adds in RSS."""
+        if ratio < 1:
+            raise ConfigurationError(f"divide ratio must be >= 1, got {ratio}")
+        return ClockSignal(
+            frequency_ghz=self.frequency_ghz / ratio,
+            jitter_rms=math.hypot(self.jitter_rms, added_jitter_rms),
+            name=name or f"{self.name}/{ratio}",
+        )
+
+    def multiplied(self, ratio: int, added_jitter_rms: float = 0.0,
+                   name: str = None) -> "ClockSignal":
+        """Multiply by an integer *ratio* (PLL); jitter adds in RSS."""
+        if ratio < 1:
+            raise ConfigurationError(
+                f"multiply ratio must be >= 1, got {ratio}"
+            )
+        return ClockSignal(
+            frequency_ghz=self.frequency_ghz * ratio,
+            jitter_rms=math.hypot(self.jitter_rms, added_jitter_rms),
+            name=name or f"{self.name}x{ratio}",
+        )
+
+
+#: Jitter added by one FPGA DCM pass, ps rms (CMOS PLL, far noisier
+#: than the PECL path — the reason timing-critical edges bypass it).
+DCM_ADDED_JITTER_RMS = 15.0
+
+
+class ClockManager:
+    """FPGA clock manager: derives fabric clocks from references.
+
+    Parameters
+    ----------
+    crystal_mhz:
+        On-board crystal frequency (12 MHz in the DLC).
+    max_fabric_ghz:
+        Ceiling for any fabric clock (CMOS speed limit).
+    """
+
+    def __init__(self, crystal_mhz: float = 12.0,
+                 max_fabric_ghz: float = 0.4):
+        if crystal_mhz <= 0.0:
+            raise ConfigurationError("crystal frequency must be positive")
+        if max_fabric_ghz <= 0.0:
+            raise ConfigurationError("fabric ceiling must be positive")
+        self.crystal = ClockSignal(crystal_mhz * 1e-3, jitter_rms=20.0,
+                                   name="xtal12M")
+        self.max_fabric_ghz = float(max_fabric_ghz)
+        self._clocks: Dict[str, ClockSignal] = {"xtal12M": self.crystal}
+
+    @property
+    def clocks(self) -> Dict[str, ClockSignal]:
+        """All registered clocks by name."""
+        return dict(self._clocks)
+
+    def register(self, clock: ClockSignal) -> ClockSignal:
+        """Register an externally supplied clock (e.g. the RF input)."""
+        if clock.name in self._clocks:
+            raise ConfigurationError(
+                f"clock name {clock.name!r} already registered"
+            )
+        self._clocks[clock.name] = clock
+        return clock
+
+    def derive_fabric_clock(self, source: ClockSignal, divide: int,
+                            name: str = None) -> ClockSignal:
+        """Divide *source* down to a fabric-rate clock.
+
+        The result must respect the CMOS fabric ceiling; the DCM adds
+        its jitter penalty.
+        """
+        clk = source.divided(divide, added_jitter_rms=DCM_ADDED_JITTER_RMS,
+                             name=name)
+        if clk.frequency_ghz > self.max_fabric_ghz:
+            raise ConfigurationError(
+                f"fabric clock {clk.frequency_ghz:.3f} GHz exceeds the "
+                f"{self.max_fabric_ghz} GHz CMOS ceiling; divide further"
+            )
+        self._clocks[clk.name] = clk
+        return clk
+
+    def fabric_divider_for(self, rf_ghz: float,
+                           serialization_factor: int) -> int:
+        """Divider turning the RF clock into the word-rate fabric clock.
+
+        A *serialization_factor*:1 PECL serializer consumes one word
+        per ``serialization_factor`` bit periods; when the RF clock
+        runs at the bit rate, the fabric clock is RF divided by the
+        factor (further divided if still above the ceiling).
+        """
+        if serialization_factor < 1:
+            raise ConfigurationError("serialization factor must be >= 1")
+        divide = serialization_factor
+        while rf_ghz / divide > self.max_fabric_ghz:
+            divide *= 2
+        return divide

@@ -1,0 +1,242 @@
+"""FPGA device model (Xilinx XC2V1000 class).
+
+The paper's central component is "a 1-million gate FPGA (Xilinx
+XC2V1000), with over 200 I/O, each capable of running up to 800
+Mbps". The model tracks device capacity, accepts a bitstream (from
+the configuration FLASH at power-up or directly for bench use), and
+accounts resources of the "synthesized" design.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.dlc.io import IOBank, DEFAULT_DERATED_MBPS
+
+
+@dataclasses.dataclass(frozen=True)
+class FPGAResources:
+    """Resource vector for a device or a design.
+
+    Attributes
+    ----------
+    logic_gates:
+        System-gate count.
+    io_pins:
+        User I/O count.
+    block_ram_kbits:
+        Block RAM in kilobits.
+    """
+
+    logic_gates: int
+    io_pins: int
+    block_ram_kbits: int
+
+    def __post_init__(self):
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) < 0:
+                raise ConfigurationError(
+                    f"{field.name} must be >= 0"
+                )
+
+    def fits_in(self, capacity: "FPGAResources") -> bool:
+        """True if this usage fits within *capacity*."""
+        return (self.logic_gates <= capacity.logic_gates
+                and self.io_pins <= capacity.io_pins
+                and self.block_ram_kbits <= capacity.block_ram_kbits)
+
+    def __add__(self, other: "FPGAResources") -> "FPGAResources":
+        return FPGAResources(
+            self.logic_gates + other.logic_gates,
+            self.io_pins + other.io_pins,
+            self.block_ram_kbits + other.block_ram_kbits,
+        )
+
+
+#: Capacity of the XC2V1000 (1M system gates, 328 user I/O, 720 kbit BRAM).
+XC2V1000 = FPGAResources(logic_gates=1_000_000, io_pins=328,
+                         block_ram_kbits=720)
+
+#: IDCODE of the XC2V1000 as reported over IEEE 1149.1.
+XC2V1000_IDCODE = 0x01008093
+
+
+class Bitstream:
+    """An FPGA configuration image.
+
+    Parameters
+    ----------
+    design_name:
+        Human-readable design identifier.
+    usage:
+        Resources the design consumes.
+    payload:
+        Raw configuration bytes (synthesized content is opaque; a
+        CRC32 guards integrity through FLASH storage and JTAG).
+    """
+
+    def __init__(self, design_name: str, usage: FPGAResources,
+                 payload: bytes = b""):
+        if not design_name:
+            raise ConfigurationError("design name must be non-empty")
+        self.design_name = design_name
+        self.usage = usage
+        self.payload = bytes(payload)
+        self.crc32 = zlib.crc32(self.payload) & 0xFFFFFFFF
+
+    def verify(self) -> bool:
+        """Recompute the payload CRC and compare."""
+        return (zlib.crc32(self.payload) & 0xFFFFFFFF) == self.crc32
+
+    def to_bytes(self) -> bytes:
+        """Serialize for FLASH storage: header + payload.
+
+        Layout: magic ``b'RBIT'``, u16 name length, name, u32 gates,
+        u16 I/O, u16 BRAM kbits, u32 CRC, u32 payload length, payload.
+        """
+        name = self.design_name.encode("utf-8")
+        header = (
+            b"RBIT"
+            + len(name).to_bytes(2, "big") + name
+            + self.usage.logic_gates.to_bytes(4, "big")
+            + self.usage.io_pins.to_bytes(2, "big")
+            + self.usage.block_ram_kbits.to_bytes(2, "big")
+            + self.crc32.to_bytes(4, "big")
+            + len(self.payload).to_bytes(4, "big")
+        )
+        return header + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Bitstream":
+        """Deserialize from FLASH contents; validates the CRC."""
+        if len(data) < 4 or data[:4] != b"RBIT":
+            raise ConfigurationError("not a bitstream image (bad magic)")
+        pos = 4
+        name_len = int.from_bytes(data[pos:pos + 2], "big")
+        pos += 2
+        name = data[pos:pos + name_len].decode("utf-8")
+        pos += name_len
+        gates = int.from_bytes(data[pos:pos + 4], "big")
+        pos += 4
+        io = int.from_bytes(data[pos:pos + 2], "big")
+        pos += 2
+        bram = int.from_bytes(data[pos:pos + 2], "big")
+        pos += 2
+        crc = int.from_bytes(data[pos:pos + 4], "big")
+        pos += 4
+        payload_len = int.from_bytes(data[pos:pos + 4], "big")
+        pos += 4
+        payload = data[pos:pos + payload_len]
+        if len(payload) != payload_len:
+            raise ConfigurationError("bitstream image truncated")
+        bs = cls(name, FPGAResources(gates, io, bram), payload)
+        if bs.crc32 != crc:
+            raise ConfigurationError(
+                f"bitstream CRC mismatch: stored 0x{crc:08x}, "
+                f"computed 0x{bs.crc32:08x}"
+            )
+        return bs
+
+
+class FPGA:
+    """The DLC's FPGA: capacity, configuration state, and I/O banks.
+
+    Parameters
+    ----------
+    capacity:
+        Device resources; defaults to the XC2V1000.
+    idcode:
+        JTAG IDCODE.
+    """
+
+    def __init__(self, capacity: FPGAResources = XC2V1000,
+                 idcode: int = XC2V1000_IDCODE):
+        self.capacity = capacity
+        self.idcode = int(idcode)
+        self._bitstream: Optional[Bitstream] = None
+        self._banks: Dict[str, IOBank] = {}
+
+    @property
+    def configured(self) -> bool:
+        """True once a bitstream is loaded."""
+        return self._bitstream is not None
+
+    @property
+    def design_name(self) -> Optional[str]:
+        """Name of the loaded design, if any."""
+        return self._bitstream.design_name if self._bitstream else None
+
+    @property
+    def bitstream(self) -> Optional[Bitstream]:
+        """The loaded bitstream, if any."""
+        return self._bitstream
+
+    def configure(self, bitstream: Bitstream) -> None:
+        """Load a configuration; design must fit and pass its CRC."""
+        if not bitstream.verify():
+            raise ConfigurationError(
+                f"bitstream {bitstream.design_name!r} failed CRC check"
+            )
+        if not bitstream.usage.fits_in(self.capacity):
+            raise ConfigurationError(
+                f"design {bitstream.design_name!r} does not fit: needs "
+                f"{bitstream.usage}, device has {self.capacity}"
+            )
+        self._bitstream = bitstream
+        self._banks = {}
+
+    def unconfigure(self) -> None:
+        """Clear the configuration (power cycle without FLASH load)."""
+        self._bitstream = None
+        self._banks = {}
+
+    def _require_configured(self) -> None:
+        if not self.configured:
+            raise ConfigurationError(
+                "FPGA is not configured; load a bitstream first"
+            )
+
+    def allocate_bank(self, name: str, n_pins: int,
+                      max_rate_mbps: float = DEFAULT_DERATED_MBPS,
+                      **kwargs) -> IOBank:
+        """Claim *n_pins* I/O as a named bank of the current design."""
+        self._require_configured()
+        if name in self._banks:
+            raise ConfigurationError(f"I/O bank {name!r} already allocated")
+        used = sum(b.n_pins for b in self._banks.values())
+        if used + n_pins > self.capacity.io_pins:
+            raise ConfigurationError(
+                f"I/O exhausted: {used} used + {n_pins} requested > "
+                f"{self.capacity.io_pins} available"
+            )
+        bank = IOBank(name, n_pins, max_rate_mbps, **kwargs)
+        self._banks[name] = bank
+        return bank
+
+    def bank(self, name: str) -> IOBank:
+        """Look up an allocated bank."""
+        try:
+            return self._banks[name]
+        except KeyError:
+            raise ConfigurationError(f"no I/O bank named {name!r}") from None
+
+    @property
+    def io_pins_used(self) -> int:
+        """Total pins claimed by allocated banks."""
+        return sum(b.n_pins for b in self._banks.values())
+
+    def utilization(self) -> Dict[str, float]:
+        """Fractional resource utilization of the loaded design."""
+        self._require_configured()
+        usage = self._bitstream.usage
+        return {
+            "logic_gates": usage.logic_gates / self.capacity.logic_gates,
+            "io_pins": usage.io_pins / self.capacity.io_pins,
+            "block_ram_kbits": (
+                usage.block_ram_kbits / self.capacity.block_ram_kbits
+                if self.capacity.block_ram_kbits else 0.0
+            ),
+        }

@@ -1,0 +1,172 @@
+"""Rate-limited FPGA I/O pins and banks.
+
+The XC2V1000's I/O are rated to 800 Mbps, but the paper derates them
+to 300-400 Mbps "to maintain sufficient design margin". The models
+here enforce both ceilings: driving past the configured limit raises
+:class:`RateLimitError`; the configured limit itself cannot exceed
+the silicon rating.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RateLimitError
+from repro._units import MBPS
+
+
+class IOStandard(enum.Enum):
+    """Electrical standards available on the DLC's I/O."""
+
+    LVCMOS25 = "lvcmos25"
+    LVCMOS33 = "lvcmos33"
+    LVDS = "lvds"
+    LVPECL = "lvpecl"
+
+
+#: Silicon rating of an XC2V1000-class I/O, in Mbps.
+SILICON_MAX_MBPS = 800.0
+
+#: Default derated operating limit used in the paper, in Mbps.
+DEFAULT_DERATED_MBPS = 400.0
+
+
+class IOPin:
+    """One general-purpose FPGA I/O pin.
+
+    Parameters
+    ----------
+    name:
+        Pin identifier.
+    max_rate_mbps:
+        Configured operating ceiling in Mbps. Must not exceed
+        :data:`SILICON_MAX_MBPS`.
+    standard:
+        Electrical standard.
+    """
+
+    def __init__(self, name: str,
+                 max_rate_mbps: float = DEFAULT_DERATED_MBPS,
+                 standard: IOStandard = IOStandard.LVCMOS25):
+        if max_rate_mbps <= 0.0:
+            raise ConfigurationError(
+                f"rate limit must be positive, got {max_rate_mbps}"
+            )
+        if max_rate_mbps > SILICON_MAX_MBPS:
+            raise ConfigurationError(
+                f"pin {name!r}: configured limit {max_rate_mbps} Mbps "
+                f"exceeds silicon rating {SILICON_MAX_MBPS} Mbps"
+            )
+        self.name = name
+        self.max_rate_mbps = float(max_rate_mbps)
+        self.standard = standard
+        self._driven_bits: Optional[np.ndarray] = None
+        self._driven_rate_mbps: Optional[float] = None
+
+    def drive(self, bits, rate_mbps: float) -> np.ndarray:
+        """Drive a bit sequence out of this pin at *rate_mbps*.
+
+        Returns the bits as driven (the digital stream handed to the
+        PECL stage). Raises :class:`RateLimitError` past the limit.
+        """
+        if rate_mbps <= 0.0:
+            raise ConfigurationError(
+                f"drive rate must be positive, got {rate_mbps}"
+            )
+        if rate_mbps > self.max_rate_mbps:
+            raise RateLimitError(
+                f"pin {self.name!r}: {rate_mbps} Mbps exceeds the "
+                f"configured limit of {self.max_rate_mbps} Mbps"
+            )
+        bits = np.asarray(bits).astype(np.uint8)
+        if np.any(bits > 1):
+            raise ConfigurationError("bits must be 0 or 1")
+        self._driven_bits = bits
+        self._driven_rate_mbps = float(rate_mbps)
+        return bits
+
+    @property
+    def last_driven(self) -> Optional[np.ndarray]:
+        """The most recent bit stream driven on this pin, if any."""
+        return self._driven_bits
+
+    @property
+    def last_rate_mbps(self) -> Optional[float]:
+        """The rate of the most recent drive, in Mbps."""
+        return self._driven_rate_mbps
+
+    def __repr__(self) -> str:
+        return (f"IOPin({self.name!r}, limit={self.max_rate_mbps} Mbps, "
+                f"{self.standard.value})")
+
+
+class IOBank:
+    """A named group of I/O pins driven together (e.g. one mux input byte).
+
+    Parameters
+    ----------
+    name:
+        Bank identifier.
+    n_pins:
+        Number of pins in the bank.
+    max_rate_mbps:
+        Per-pin operating ceiling.
+    """
+
+    def __init__(self, name: str, n_pins: int,
+                 max_rate_mbps: float = DEFAULT_DERATED_MBPS,
+                 standard: IOStandard = IOStandard.LVCMOS25):
+        if n_pins < 1:
+            raise ConfigurationError(f"bank needs >= 1 pin, got {n_pins}")
+        self.name = name
+        self.pins: List[IOPin] = [
+            IOPin(f"{name}[{i}]", max_rate_mbps, standard)
+            for i in range(n_pins)
+        ]
+
+    @property
+    def n_pins(self) -> int:
+        """Number of pins in the bank."""
+        return len(self.pins)
+
+    @property
+    def max_rate_mbps(self) -> float:
+        """The per-pin ceiling (uniform across the bank)."""
+        return self.pins[0].max_rate_mbps
+
+    def drive(self, lanes, rate_mbps: float) -> np.ndarray:
+        """Drive one bit sequence per pin.
+
+        Parameters
+        ----------
+        lanes:
+            2-D array-like of shape (n_pins, n_bits).
+        rate_mbps:
+            Per-pin rate.
+
+        Returns
+        -------
+        numpy.ndarray
+            The driven lanes, shape (n_pins, n_bits).
+        """
+        lanes = np.asarray(lanes).astype(np.uint8)
+        if lanes.ndim != 2 or lanes.shape[0] != self.n_pins:
+            raise ConfigurationError(
+                f"bank {self.name!r} expects shape ({self.n_pins}, n); "
+                f"got {lanes.shape}"
+            )
+        return np.vstack([
+            pin.drive(lanes[i], rate_mbps)
+            for i, pin in enumerate(self.pins)
+        ])
+
+    def aggregate_rate_gbps(self, rate_mbps: float) -> float:
+        """Total bank throughput at a per-pin rate, in Gbps."""
+        return self.n_pins * rate_mbps * MBPS
+
+    def __repr__(self) -> str:
+        return (f"IOBank({self.name!r}, {self.n_pins} pins @ "
+                f"{self.max_rate_mbps} Mbps)")

@@ -1,0 +1,117 @@
+"""Register-accurate LFSR, the DLC's pseudo-random pattern source.
+
+The paper's eye-diagram stimuli are "a pseudo-random bit pattern
+produced by an LFSR in the DLC". This class models the hardware
+register so state can be saved/restored, stepped serially, or read
+out as parallel words (the form the FPGA hands to the PECL
+serializers, several bits per fabric clock).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signal.prbs import PRBS_POLYNOMIALS
+
+
+class LFSR:
+    """A Fibonacci LFSR with polynomial ``x^n + x^m + 1``.
+
+    Parameters
+    ----------
+    order:
+        Register length n. Standard PRBS orders get their standard
+        second tap automatically; otherwise *taps* must be supplied.
+    taps:
+        Optional explicit ``(n, m)`` feedback taps.
+    seed:
+        Nonzero initial register state.
+    """
+
+    def __init__(self, order: int, taps: Tuple[int, int] = None,
+                 seed: int = 1):
+        if taps is None:
+            if order not in PRBS_POLYNOMIALS:
+                raise ConfigurationError(
+                    f"no standard taps for order {order}; pass taps="
+                )
+            taps = PRBS_POLYNOMIALS[order]
+        tap_a, tap_b = taps
+        if tap_a != order:
+            raise ConfigurationError(
+                f"first tap must equal the order ({order}), got {tap_a}"
+            )
+        if not 1 <= tap_b < order:
+            raise ConfigurationError(
+                f"second tap must be in [1, {order-1}], got {tap_b}"
+            )
+        if not 1 <= seed < (1 << order):
+            raise ConfigurationError(
+                f"seed must be in [1, 2^{order}-1], got {seed}"
+            )
+        self.order = int(order)
+        self.taps = (int(tap_a), int(tap_b))
+        self._mask = (1 << order) - 1
+        self._state = int(seed)
+        self._seed = int(seed)
+
+    @property
+    def state(self) -> int:
+        """Current register contents."""
+        return self._state
+
+    @property
+    def period(self) -> int:
+        """Sequence period for a maximal-length polynomial."""
+        return self._mask
+
+    def reset(self) -> None:
+        """Restore the seed state."""
+        self._state = self._seed
+
+    def step(self) -> int:
+        """Advance one bit time; return the output bit."""
+        bit = ((self._state >> (self.taps[0] - 1))
+               ^ (self._state >> (self.taps[1] - 1))) & 1
+        self._state = ((self._state << 1) | bit) & self._mask
+        return bit
+
+    def bits(self, n: int) -> np.ndarray:
+        """Advance *n* bit times; return the output bits."""
+        if n < 0:
+            raise ConfigurationError(f"bit count must be >= 0, got {n}")
+        out = np.empty(n, dtype=np.uint8)
+        state = self._state
+        shift_a = self.taps[0] - 1
+        shift_b = self.taps[1] - 1
+        mask = self._mask
+        for i in range(n):
+            bit = ((state >> shift_a) ^ (state >> shift_b)) & 1
+            state = ((state << 1) | bit) & mask
+            out[i] = bit
+        self._state = state
+        return out
+
+    def words(self, n_words: int, width: int) -> List[int]:
+        """Advance ``n_words * width`` bit times, grouped MSB-first.
+
+        This is how the FPGA fabric feeds the PECL serializer: one
+        *width*-bit word per fabric clock, serialized MSB first.
+        """
+        if width < 1:
+            raise ConfigurationError(f"word width must be >= 1, got {width}")
+        stream = self.bits(n_words * width)
+        words = []
+        for k in range(n_words):
+            value = 0
+            for b in stream[k * width:(k + 1) * width]:
+                value = (value << 1) | int(b)
+            words.append(value)
+        return words
+
+    def __repr__(self) -> str:
+        return (f"LFSR(order={self.order}, taps={self.taps}, "
+                f"state=0b{self._state:0{self.order}b})")

@@ -1,0 +1,175 @@
+"""Test pattern storage and algorithmic generation.
+
+The DLC synthesizes test patterns two ways: algorithmically in the
+fabric (LFSR, counters, walking patterns — no memory needed) or from
+stored vectors when "algorithmic pattern generation is not feasible"
+(the optional SRAM port, :mod:`repro.dlc.sram`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.dlc.lfsr import LFSR
+
+
+class PatternMemory:
+    """Vector storage for stored-pattern tests.
+
+    Each vector is a *width*-bit word; the sequencer streams one
+    vector per fabric clock.
+    """
+
+    def __init__(self, width: int, depth: int):
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        self.width = int(width)
+        self.depth = int(depth)
+        self._mask = (1 << width) - 1
+        self._vectors: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def load(self, vectors) -> None:
+        """Replace contents with *vectors* (iterable of ints)."""
+        vectors = [int(v) for v in vectors]
+        if len(vectors) > self.depth:
+            raise ConfigurationError(
+                f"{len(vectors)} vectors exceed memory depth {self.depth}"
+            )
+        for v in vectors:
+            if v & ~self._mask:
+                raise ConfigurationError(
+                    f"vector 0x{v:x} exceeds {self.width} bits"
+                )
+        self._vectors = vectors
+
+    def vector(self, index: int) -> int:
+        """Fetch one vector."""
+        if not 0 <= index < len(self._vectors):
+            raise ConfigurationError(
+                f"vector index {index} out of range "
+                f"[0, {len(self._vectors)})"
+            )
+        return self._vectors[index]
+
+    def stream_bits(self, lane: int, n_vectors: Optional[int] = None
+                    ) -> np.ndarray:
+        """Serial bit stream of one bit *lane* across the vectors."""
+        if not 0 <= lane < self.width:
+            raise ConfigurationError(
+                f"lane {lane} out of range [0, {self.width})"
+            )
+        n = len(self._vectors) if n_vectors is None else n_vectors
+        if n > len(self._vectors):
+            raise ConfigurationError(
+                f"requested {n} vectors but only {len(self._vectors)} loaded"
+            )
+        return np.array(
+            [(v >> lane) & 1 for v in self._vectors[:n]], dtype=np.uint8
+        )
+
+    def lanes(self, n_vectors: Optional[int] = None) -> np.ndarray:
+        """All lanes as a (width, n_vectors) array."""
+        n = len(self._vectors) if n_vectors is None else n_vectors
+        return np.vstack([self.stream_bits(k, n) for k in range(self.width)])
+
+
+class AlgorithmicPattern:
+    """Fabric-synthesized pattern generator.
+
+    Parameters
+    ----------
+    width:
+        Output word width in bits.
+    generator:
+        Callable ``f(index) -> int`` yielding the vector at *index*.
+    name:
+        Diagnostic label.
+    """
+
+    def __init__(self, width: int, generator: Callable[[int], int],
+                 name: str = "algorithmic"):
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        self.width = int(width)
+        self._mask = (1 << width) - 1
+        self._generator = generator
+        self.name = name
+
+    def vector(self, index: int) -> int:
+        """The vector at *index* (masked to the pattern width)."""
+        if index < 0:
+            raise ConfigurationError(f"index must be >= 0, got {index}")
+        return int(self._generator(index)) & self._mask
+
+    def vectors(self, n: int) -> List[int]:
+        """The first *n* vectors."""
+        return [self.vector(i) for i in range(n)]
+
+    def stream_bits(self, lane: int, n: int) -> np.ndarray:
+        """Serial stream of one bit lane over *n* vectors."""
+        if not 0 <= lane < self.width:
+            raise ConfigurationError(
+                f"lane {lane} out of range [0, {self.width})"
+            )
+        return np.array(
+            [(self.vector(i) >> lane) & 1 for i in range(n)],
+            dtype=np.uint8,
+        )
+
+
+def walking_ones(width: int) -> AlgorithmicPattern:
+    """A single 1 walking across an all-zeros word."""
+    return AlgorithmicPattern(
+        width, lambda i: 1 << (i % width), name=f"walking_ones[{width}]"
+    )
+
+
+def walking_zeros(width: int) -> AlgorithmicPattern:
+    """A single 0 walking across an all-ones word."""
+    mask = (1 << width) - 1
+    return AlgorithmicPattern(
+        width, lambda i: mask ^ (1 << (i % width)),
+        name=f"walking_zeros[{width}]",
+    )
+
+
+def checkerboard(width: int) -> AlgorithmicPattern:
+    """Alternating 0x5555/0xAAAA-style vectors."""
+    lo = int("01" * ((width + 1) // 2), 2) & ((1 << width) - 1)
+    hi = lo ^ ((1 << width) - 1)
+    return AlgorithmicPattern(
+        width, lambda i: lo if i % 2 == 0 else hi,
+        name=f"checkerboard[{width}]",
+    )
+
+
+def counting_pattern(width: int) -> AlgorithmicPattern:
+    """A binary up-counter."""
+    return AlgorithmicPattern(width, lambda i: i, name=f"count[{width}]")
+
+
+def prbs_pattern(width: int, order: int = 15,
+                 seed: int = 1) -> AlgorithmicPattern:
+    """PRBS vectors from a fabric LFSR (one word per clock).
+
+    Vectors are generated eagerly per index from a private LFSR, so
+    repeated calls for the same index are reproducible.
+    """
+    lfsr = LFSR(order, seed=seed)
+    cache: List[int] = []
+
+    def _vector(i: int) -> int:
+        while len(cache) <= i:
+            cache.append(lfsr.words(1, width)[0])
+        return cache[i]
+
+    return AlgorithmicPattern(width, _vector,
+                              name=f"prbs{order}[{width}]")

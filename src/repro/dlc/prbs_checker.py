@@ -1,0 +1,143 @@
+"""Self-synchronizing PRBS checker (the in-fabric BERT).
+
+The host-side :class:`~repro.instruments.bert.BitErrorRateTester`
+aligns by correlation; real hardware cannot afford that. The fabric
+instead synthesizes a *self-synchronizing* checker: the received
+stream is shifted into an LFSR register, and once ``order`` clean
+bits are in, the register predicts every next bit itself — any
+mismatch is an error, with no alignment step and no pattern memory.
+
+The price of self-synchronization: one channel error corrupts the
+register and is counted up to once per feedback tap (error
+multiplication), the textbook behaviour tests verify.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signal.prbs import PRBS_POLYNOMIALS
+
+
+@dataclasses.dataclass
+class CheckerState:
+    """Running state of one checker instance.
+
+    Attributes
+    ----------
+    bits_in:
+        Total bits consumed.
+    bits_checked:
+        Bits compared after synchronization.
+    errors:
+        Mismatches counted.
+    synchronized:
+        Whether the register holds enough clean history.
+    """
+
+    bits_in: int = 0
+    bits_checked: int = 0
+    errors: int = 0
+    synchronized: bool = False
+
+    @property
+    def ber(self) -> float:
+        """Errors over checked bits."""
+        if self.bits_checked == 0:
+            return 0.0
+        return self.errors / self.bits_checked
+
+
+class SelfSyncChecker:
+    """A self-synchronizing PRBS-N error checker.
+
+    Parameters
+    ----------
+    order:
+        PRBS order (one of the standard polynomials).
+    resync_threshold:
+        Consecutive errors that trigger a resynchronization (a slip
+        or a totally wrong stream, not random bit errors).
+    """
+
+    def __init__(self, order: int = 7, resync_threshold: int = 16):
+        if order not in PRBS_POLYNOMIALS:
+            raise ConfigurationError(
+                f"unsupported PRBS order {order}"
+            )
+        if resync_threshold < 2:
+            raise ConfigurationError("resync threshold must be >= 2")
+        self.order = int(order)
+        self.taps = PRBS_POLYNOMIALS[order]
+        self._mask = (1 << order) - 1
+        self.resync_threshold = int(resync_threshold)
+        self.state = CheckerState()
+        self._register = 0
+        self._fill = 0
+        self._consecutive_errors = 0
+
+    def _predict(self) -> int:
+        return ((self._register >> (self.taps[0] - 1))
+                ^ (self._register >> (self.taps[1] - 1))) & 1
+
+    def reset(self) -> None:
+        """Clear all state (a hardware sync-reset)."""
+        self.state = CheckerState()
+        self._register = 0
+        self._fill = 0
+        self._consecutive_errors = 0
+
+    def _resync(self) -> None:
+        self._fill = 0
+        self._register = 0
+        self.state.synchronized = False
+        self._consecutive_errors = 0
+
+    def push(self, bit: int) -> bool:
+        """Consume one received bit; returns True if it was an error.
+
+        During synchronization bits fill the register and are not
+        checked.
+        """
+        bit = int(bit) & 1
+        self.state.bits_in += 1
+        if self._fill < self.order:
+            self._register = ((self._register << 1) | bit) & self._mask
+            self._fill += 1
+            if self._fill == self.order:
+                if self._register == 0:
+                    # All-zeros cannot seed a PRBS; keep filling.
+                    self._fill = self.order - 1
+                else:
+                    self.state.synchronized = True
+            return False
+        predicted = self._predict()
+        error = bit != predicted
+        self.state.bits_checked += 1
+        if error:
+            self.state.errors += 1
+            self._consecutive_errors += 1
+            if self._consecutive_errors >= self.resync_threshold:
+                self._resync()
+                return True
+        else:
+            self._consecutive_errors = 0
+        # The *received* bit enters the register (self-sync): a
+        # channel error therefore poisons future predictions — the
+        # classic error-multiplication behaviour.
+        self._register = ((self._register << 1) | bit) & self._mask
+        return error
+
+    def run(self, bits: Iterable[int]) -> CheckerState:
+        """Consume a whole stream; returns the final state."""
+        for bit in np.asarray(bits).astype(np.uint8):
+            self.push(int(bit))
+        return self.state
+
+    def error_multiplication_factor(self) -> int:
+        """Errors counted per single channel error (= tap count)."""
+        return 2  # x^n + x^m + 1 has two feedback taps

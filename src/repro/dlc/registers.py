@@ -1,0 +1,153 @@
+"""Control/status register file of the DLC.
+
+The PC controls the DLC by reading and writing registers over USB
+(see :mod:`repro.usb.protocol`). This module provides the FPGA-side
+register file: named, addressed registers with width checking,
+read-only status registers, and optional write side effects (the
+hook the test sequencer uses to start/stop on register writes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.errors import ConfigurationError, ProtocolError
+
+
+class Register:
+    """One addressable register.
+
+    Parameters
+    ----------
+    name:
+        Symbolic name, unique within the file.
+    address:
+        Byte address, unique within the file.
+    width:
+        Width in bits (1-32).
+    reset_value:
+        Value after reset.
+    read_only:
+        Host writes raise :class:`ProtocolError` if True.
+    on_write:
+        Optional callback ``f(new_value)`` invoked after a
+        successful host write.
+    """
+
+    def __init__(self, name: str, address: int, width: int = 16,
+                 reset_value: int = 0, read_only: bool = False,
+                 on_write: Optional[Callable[[int], None]] = None):
+        if not 1 <= width <= 32:
+            raise ConfigurationError(
+                f"register width must be 1-32 bits, got {width}"
+            )
+        if address < 0:
+            raise ConfigurationError(f"address must be >= 0, got {address}")
+        self.name = name
+        self.address = int(address)
+        self.width = int(width)
+        self.mask = (1 << width) - 1
+        if reset_value & ~self.mask:
+            raise ConfigurationError(
+                f"reset value 0x{reset_value:x} exceeds {width} bits"
+            )
+        self.reset_value = int(reset_value)
+        self.read_only = bool(read_only)
+        self.on_write = on_write
+        self._value = self.reset_value
+
+    @property
+    def value(self) -> int:
+        """Current contents."""
+        return self._value
+
+    def reset(self) -> None:
+        """Return to the reset value (no write callback)."""
+        self._value = self.reset_value
+
+    def host_write(self, value: int) -> None:
+        """A write arriving from the host; honors read-only."""
+        if self.read_only:
+            raise ProtocolError(
+                f"register {self.name!r} at 0x{self.address:02x} is read-only"
+            )
+        if value & ~self.mask:
+            raise ProtocolError(
+                f"value 0x{value:x} exceeds {self.width}-bit register "
+                f"{self.name!r}"
+            )
+        self._value = int(value)
+        if self.on_write is not None:
+            self.on_write(self._value)
+
+    def hw_set(self, value: int) -> None:
+        """An internal (FPGA fabric) update; bypasses read-only."""
+        self._value = int(value) & self.mask
+
+    def __repr__(self) -> str:
+        ro = ", ro" if self.read_only else ""
+        return (f"Register({self.name!r}, addr=0x{self.address:02x}, "
+                f"width={self.width}{ro}, value=0x{self._value:x})")
+
+
+class RegisterFile:
+    """A set of registers addressable by name or address."""
+
+    def __init__(self):
+        self._by_name: Dict[str, Register] = {}
+        self._by_addr: Dict[int, Register] = {}
+
+    def add(self, register: Register) -> Register:
+        """Add a register; name and address must be unique."""
+        if register.name in self._by_name:
+            raise ConfigurationError(
+                f"duplicate register name {register.name!r}"
+            )
+        if register.address in self._by_addr:
+            raise ConfigurationError(
+                f"duplicate register address 0x{register.address:02x}"
+            )
+        self._by_name[register.name] = register
+        self._by_addr[register.address] = register
+        return register
+
+    def define(self, name: str, address: int, **kwargs) -> Register:
+        """Create and add a register in one call."""
+        return self.add(Register(name, address, **kwargs))
+
+    def __getitem__(self, name: str) -> Register:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no register named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Register]:
+        return iter(sorted(self._by_name.values(), key=lambda r: r.address))
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def at_address(self, address: int) -> Register:
+        """Look up by byte address (the USB protocol's view)."""
+        try:
+            return self._by_addr[address]
+        except KeyError:
+            raise ProtocolError(
+                f"no register at address 0x{address:02x}"
+            ) from None
+
+    def read(self, address: int) -> int:
+        """Host read at *address*."""
+        return self.at_address(address).value
+
+    def write(self, address: int, value: int) -> None:
+        """Host write at *address*."""
+        self.at_address(address).host_write(value)
+
+    def reset_all(self) -> None:
+        """Reset every register to its reset value."""
+        for reg in self._by_name.values():
+            reg.reset()

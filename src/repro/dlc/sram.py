@@ -1,0 +1,129 @@
+"""Optional SRAM pattern store.
+
+"A high-speed port to optional SRAM is also part of the design ...
+The SRAM can provide extended test pattern storage when algorithmic
+pattern generation is not feasible."
+
+The model is a word-addressable synchronous SRAM with bounded
+capacity and an access counter (used by the throughput model to cost
+stored-pattern tests against algorithmic ones).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class SRAM:
+    """Synchronous SRAM attached to the DLC's high-speed port.
+
+    Parameters
+    ----------
+    depth:
+        Number of words.
+    width:
+        Word width in bits.
+    access_time_ns:
+        Per-access cycle time in nanoseconds.
+    """
+
+    def __init__(self, depth: int = 1 << 18, width: int = 32,
+                 access_time_ns: float = 5.0):
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        if access_time_ns <= 0.0:
+            raise ConfigurationError("access time must be positive")
+        self.depth = int(depth)
+        self.width = int(width)
+        self.access_time_ns = float(access_time_ns)
+        self._mask = (1 << width) - 1
+        # Sparse storage: unwritten words read as zero, like real
+        # SRAM after a deterministic power-up in simulation.
+        self._data: Dict[int, int] = {}
+        # Injected manufacturing defects: (address, bit) -> 0/1.
+        self._stuck: Dict[tuple, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def inject_stuck_at(self, address: int, bit: int,
+                        value: int) -> None:
+        """Inject a stuck-at fault: cell (address, bit) always reads
+        *value* — the defect model memory test algorithms target."""
+        self._check_address(address)
+        if not 0 <= bit < self.width:
+            raise ConfigurationError(
+                f"bit {bit} out of range [0, {self.width})"
+            )
+        if value not in (0, 1):
+            raise ConfigurationError("stuck value must be 0 or 1")
+        self._stuck[(address, bit)] = value
+
+    def clear_faults(self) -> None:
+        """Remove all injected faults."""
+        self._stuck = {}
+
+    def _apply_faults(self, address: int, value: int) -> int:
+        for (addr, bit), stuck in self._stuck.items():
+            if addr == address:
+                if stuck:
+                    value |= (1 << bit)
+                else:
+                    value &= ~(1 << bit)
+        return value
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.depth:
+            raise ConfigurationError(
+                f"address 0x{address:x} out of range [0, 0x{self.depth:x})"
+            )
+
+    def write(self, address: int, value: int) -> None:
+        """Write one word."""
+        self._check_address(address)
+        if value & ~self._mask:
+            raise ConfigurationError(
+                f"value 0x{value:x} exceeds {self.width}-bit word"
+            )
+        self._data[address] = int(value)
+        self.writes += 1
+
+    def read(self, address: int) -> int:
+        """Read one word (unwritten words read 0).
+
+        Injected stuck-at faults corrupt the read value.
+        """
+        self._check_address(address)
+        self.reads += 1
+        return self._apply_faults(address, self._data.get(address, 0))
+
+    def write_block(self, address: int, values) -> None:
+        """Write consecutive words starting at *address*."""
+        for i, v in enumerate(values):
+            self.write(address + i, int(v))
+
+    def read_block(self, address: int, n: int) -> np.ndarray:
+        """Read *n* consecutive words."""
+        return np.array([self.read(address + i) for i in range(n)],
+                        dtype=np.int64)
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total storage in bits."""
+        return self.depth * self.width
+
+    def streaming_rate_gbps(self) -> float:
+        """Max pattern rate sustainable from this SRAM, Gbps.
+
+        One *width*-bit word per access time.
+        """
+        return self.width / self.access_time_ns
+
+    def __repr__(self) -> str:
+        return (f"SRAM({self.depth}x{self.width}, "
+                f"{self.access_time_ns} ns access)")

@@ -1,0 +1,185 @@
+"""State machines synthesized into the DLC.
+
+"State machines encoded in the FPGA, together with higher-speed PECL
+multiplexers and sampling circuits synthesize the desired tests in
+real time." This module gives a generic table-driven Moore machine
+plus the concrete test-sequencer FSM both applications use: idle →
+arm → run (pattern streaming) → done, with an abort path.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class StateMachine:
+    """Table-driven Moore state machine.
+
+    Transitions are keyed by ``(state, event)``. Unknown events in a
+    state are ignored by default (a hardware FSM simply holds state),
+    or raise if *strict* is set.
+    """
+
+    def __init__(self, initial: Hashable, strict: bool = False):
+        self._state = initial
+        self._initial = initial
+        self._strict = bool(strict)
+        self._transitions: Dict[Tuple[Hashable, Hashable], Hashable] = {}
+        self._entry_actions: Dict[Hashable, List[Callable[[], None]]] = {}
+        self._history: List[Hashable] = [initial]
+
+    @property
+    def state(self) -> Hashable:
+        """The current state."""
+        return self._state
+
+    @property
+    def history(self) -> List[Hashable]:
+        """Every state visited, in order (including the initial)."""
+        return list(self._history)
+
+    def add_transition(self, state: Hashable, event: Hashable,
+                       next_state: Hashable) -> None:
+        """Define ``state --event--> next_state``."""
+        key = (state, event)
+        if key in self._transitions:
+            raise ConfigurationError(
+                f"duplicate transition for {state!r} on {event!r}"
+            )
+        self._transitions[key] = next_state
+
+    def on_enter(self, state: Hashable,
+                 action: Callable[[], None]) -> None:
+        """Register an action to run each time *state* is entered."""
+        self._entry_actions.setdefault(state, []).append(action)
+
+    def fire(self, event: Hashable) -> Hashable:
+        """Apply *event*; return the (possibly unchanged) state."""
+        key = (self._state, event)
+        if key not in self._transitions:
+            if self._strict:
+                raise ConfigurationError(
+                    f"no transition from {self._state!r} on {event!r}"
+                )
+            return self._state
+        next_state = self._transitions[key]
+        if next_state != self._state:
+            self._state = next_state
+            self._history.append(next_state)
+            for action in self._entry_actions.get(next_state, []):
+                action()
+        return self._state
+
+    def reset(self) -> None:
+        """Force back to the initial state (no entry actions)."""
+        self._state = self._initial
+        self._history = [self._initial]
+
+
+class SequencerState(enum.Enum):
+    """States of the DLC test sequencer."""
+
+    IDLE = "idle"
+    ARMED = "armed"
+    RUNNING = "running"
+    DONE = "done"
+    ERROR = "error"
+
+
+class TestSequencer:
+    """The DLC's test-control FSM.
+
+    Wraps a :class:`StateMachine` with the concrete test flow:
+
+    * ``IDLE --arm--> ARMED`` (pattern loaded, outputs quiet)
+    * ``ARMED --trigger--> RUNNING`` (pattern streaming to PECL)
+    * ``RUNNING --complete--> DONE``
+    * ``RUNNING --abort--> IDLE``
+    * any state ``--fault--> ERROR``; ``ERROR --clear--> IDLE``
+
+    A cycle counter tracks pattern progress while running.
+    """
+
+    # Not a pytest test class despite the Test* name.
+    __test__ = False
+
+    def __init__(self, pattern_length: int = 0):
+        if pattern_length < 0:
+            raise ConfigurationError("pattern length must be >= 0")
+        self.pattern_length = int(pattern_length)
+        self.cycles_run = 0
+        fsm = StateMachine(SequencerState.IDLE)
+        for state in SequencerState:
+            if state is not SequencerState.ERROR:
+                fsm.add_transition(state, "fault", SequencerState.ERROR)
+        fsm.add_transition(SequencerState.IDLE, "arm", SequencerState.ARMED)
+        fsm.add_transition(SequencerState.ARMED, "trigger",
+                           SequencerState.RUNNING)
+        fsm.add_transition(SequencerState.ARMED, "abort",
+                           SequencerState.IDLE)
+        fsm.add_transition(SequencerState.RUNNING, "complete",
+                           SequencerState.DONE)
+        fsm.add_transition(SequencerState.RUNNING, "abort",
+                           SequencerState.IDLE)
+        fsm.add_transition(SequencerState.DONE, "arm",
+                           SequencerState.ARMED)
+        fsm.add_transition(SequencerState.ERROR, "clear",
+                           SequencerState.IDLE)
+        fsm.on_enter(SequencerState.RUNNING, self._on_start)
+        self._fsm = fsm
+
+    def _on_start(self) -> None:
+        self.cycles_run = 0
+
+    @property
+    def state(self) -> SequencerState:
+        """Current sequencer state."""
+        return self._fsm.state
+
+    def arm(self, pattern_length: Optional[int] = None) -> None:
+        """Load a pattern (optionally of a new length) and arm."""
+        if pattern_length is not None:
+            if pattern_length < 0:
+                raise ConfigurationError("pattern length must be >= 0")
+            self.pattern_length = int(pattern_length)
+        self._fsm.fire("arm")
+
+    def trigger(self) -> None:
+        """Start the armed test."""
+        self._fsm.fire("trigger")
+
+    def abort(self) -> None:
+        """Stop and return to idle."""
+        self._fsm.fire("abort")
+
+    def fault(self) -> None:
+        """Enter the error state."""
+        self._fsm.fire("fault")
+
+    def clear(self) -> None:
+        """Clear an error."""
+        self._fsm.fire("clear")
+
+    def clock(self, n_cycles: int = 1) -> SequencerState:
+        """Advance *n_cycles* fabric clocks while running.
+
+        Completion fires automatically when the pattern is exhausted.
+        """
+        if n_cycles < 0:
+            raise ConfigurationError("cycle count must be >= 0")
+        if self.state is SequencerState.RUNNING:
+            self.cycles_run += n_cycles
+            if self.pattern_length and self.cycles_run >= self.pattern_length:
+                self.cycles_run = self.pattern_length
+                self._fsm.fire("complete")
+        return self.state
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the pattern already streamed (0-1)."""
+        if self.pattern_length == 0:
+            return 0.0
+        return min(1.0, self.cycles_run / self.pattern_length)

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers
+can catch everything from this package with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or illegal settings."""
+
+
+class RateLimitError(ConfigurationError):
+    """A signal was driven faster than the component's rate ceiling."""
+
+
+class CalibrationError(ReproError):
+    """A calibration procedure failed to converge or was out of range."""
+
+
+class ProtocolError(ReproError):
+    """A communication protocol (USB, JTAG) was violated."""
+
+
+class MemoryError_(ReproError):
+    """An illegal memory operation (e.g. programming unerased FLASH)."""
+
+
+class FabricError(ReproError):
+    """A Data Vortex fabric invariant was violated."""
+
+
+class ProbeError(ReproError):
+    """A wafer-probing operation failed (no contact, bad site, ...)."""
+
+
+class MeasurementError(ReproError):
+    """A measurement could not be made (empty eye, no transitions, ...)."""

@@ -1,0 +1,28 @@
+"""Eye-diagram construction and metrology.
+
+Reproduces the sampling-oscilloscope measurements in the paper's
+evaluation: eye diagrams (Figures 7, 8, 16, 17, 19), peak-to-peak
+crossover jitter, and eye opening in unit intervals.
+"""
+
+from repro.eye.diagram import EyeDiagram
+from repro.eye.metrics import EyeMetrics, measure_eye
+from repro.eye.bathtub import bathtub_curve, empirical_bathtub
+from repro.eye.render import render_eye_ascii
+from repro.eye.decompose import JitterDecomposition, decompose_jitter
+from repro.eye.mask import EyeMask, MaskResult, margin_to_mask, mask_test
+
+__all__ = [
+    "EyeDiagram",
+    "EyeMetrics",
+    "measure_eye",
+    "bathtub_curve",
+    "empirical_bathtub",
+    "render_eye_ascii",
+    "JitterDecomposition",
+    "decompose_jitter",
+    "EyeMask",
+    "MaskResult",
+    "mask_test",
+    "margin_to_mask",
+]

@@ -1,0 +1,91 @@
+"""Bathtub curves: bit-error ratio versus sampling position.
+
+Extends the paper's eye measurements with the standard jitter-
+analysis view: given a jitter budget (or empirical crossings), how
+the BER varies as the sampling strobe moves across the unit interval.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.signal.jitter import JitterBudget
+
+
+def _q_tail(x: float, sigma: float) -> float:
+    """Gaussian tail probability P(X > x) for X ~ N(0, sigma)."""
+    if sigma <= 0.0:
+        return 0.0 if x > 0.0 else 1.0
+    return 0.5 * math.erfc(x / (sigma * math.sqrt(2.0)))
+
+
+def bathtub_curve(budget: JitterBudget, unit_interval: float,
+                  n_points: int = 101,
+                  transition_density: float = 0.5
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Analytic dual-Dirac bathtub.
+
+    Left and right eye edges each carry half the deterministic jitter
+    plus the Gaussian random tail; the BER at strobe position x is
+    the probability that either edge crosses x.
+
+    Returns
+    -------
+    (positions_ui, ber):
+        Strobe positions in UI [0, 1] and the corresponding BER.
+    """
+    if unit_interval <= 0.0:
+        raise MeasurementError("unit interval must be positive")
+    dj_half = (budget.dj_pp + budget.dcd_pp + budget.pj_pp) / 2.0
+    sigma = budget.rj_rms
+    x = np.linspace(0.0, 1.0, n_points) * unit_interval
+    ber = np.empty(n_points, dtype=np.float64)
+    for i, xi in enumerate(x):
+        # Left edge nominal at 0, right edge at UI.
+        left = 0.5 * (_q_tail(xi - dj_half, sigma)
+                      + _q_tail(xi + dj_half, sigma))
+        right = 0.5 * (_q_tail(unit_interval - xi - dj_half, sigma)
+                       + _q_tail(unit_interval - xi + dj_half, sigma))
+        ber[i] = transition_density * (left + right)
+    return x / unit_interval, ber
+
+
+def empirical_bathtub(crossing_deviations: np.ndarray,
+                      unit_interval: float,
+                      n_points: int = 101
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical bathtub from measured crossing deviations.
+
+    Each measured deviation represents a displaced eye edge; the
+    curve reports, per strobe position, the fraction of edges that
+    would have been sampled on the wrong side.
+    """
+    dev = np.asarray(crossing_deviations, dtype=np.float64)
+    if len(dev) == 0:
+        raise MeasurementError("no crossing deviations supplied")
+    if unit_interval <= 0.0:
+        raise MeasurementError("unit interval must be positive")
+    x = np.linspace(0.0, 1.0, n_points) * unit_interval
+    n = float(len(dev))
+    left_edges = dev            # cluster near 0
+    right_edges = dev + unit_interval
+    ber = np.empty(n_points, dtype=np.float64)
+    for i, xi in enumerate(x):
+        errs = np.count_nonzero(left_edges > xi) \
+            + np.count_nonzero(right_edges < xi)
+        ber[i] = errs / (2.0 * n)
+    return x / unit_interval, ber
+
+
+def eye_opening_at_ber(budget: JitterBudget, unit_interval: float,
+                       ber: float = 1e-12) -> float:
+    """Horizontal eye opening (UI) at a target BER from the budget.
+
+    ``opening = 1 - TJ(ber)/UI`` with dual-Dirac total jitter.
+    """
+    tj = budget.total_tj_at_ber(ber)
+    return max(0.0, 1.0 - tj / unit_interval)

@@ -1,0 +1,142 @@
+"""Folding a waveform into an eye diagram.
+
+An eye diagram overlays every bit cell of a long record onto a single
+one-UI (or two-UI) window, exactly as a sampling oscilloscope
+triggered by the bit clock does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.signal.waveform import Waveform
+from repro.signal.analysis import threshold_crossings
+from repro._units import unit_interval_ps
+
+
+class EyeDiagram:
+    """An eye diagram: folded samples plus folded threshold crossings.
+
+    Parameters
+    ----------
+    phases:
+        Sample times folded into [0, span_ui) UI, in ps.
+    voltages:
+        Sample voltages corresponding to *phases*.
+    unit_interval:
+        The bit period in ps.
+    crossing_phases:
+        Threshold-crossing times folded into [0, 1) UI, in ps.
+    threshold:
+        The crossing threshold voltage used.
+    """
+
+    def __init__(self, phases: np.ndarray, voltages: np.ndarray,
+                 unit_interval: float, crossing_phases: np.ndarray,
+                 threshold: float):
+        if len(phases) != len(voltages):
+            raise MeasurementError("phases and voltages length mismatch")
+        if unit_interval <= 0.0:
+            raise MeasurementError("unit interval must be positive")
+        self.phases = np.asarray(phases, dtype=np.float64)
+        self.voltages = np.asarray(voltages, dtype=np.float64)
+        self.unit_interval = float(unit_interval)
+        self.crossing_phases = np.asarray(crossing_phases, dtype=np.float64)
+        self.threshold = float(threshold)
+
+    @classmethod
+    def from_waveform(cls, waveform: Waveform, rate_gbps: float,
+                      threshold: Optional[float] = None,
+                      t_first_bit: float = 0.0,
+                      discard_ui: int = 1) -> "EyeDiagram":
+        """Fold *waveform* into an eye at *rate_gbps*.
+
+        Parameters
+        ----------
+        threshold:
+            Crossing threshold; default is the waveform midpoint.
+        t_first_bit:
+            Time at which bit cell 0 starts.
+        discard_ui:
+            Leading/trailing unit intervals to exclude (pattern
+            start-up and shut-down edges).
+        """
+        ui = unit_interval_ps(rate_gbps)
+        if threshold is None:
+            threshold = 0.5 * (waveform.min() + waveform.max())
+        t_lo = t_first_bit + discard_ui * ui
+        t_hi = waveform.t_end - discard_ui * ui
+        if t_hi - t_lo < 2.0 * ui:
+            raise MeasurementError(
+                "record too short for an eye diagram at this rate"
+            )
+        window = waveform.slice_time(t_lo, t_hi)
+        t = window.times() - t_first_bit
+        phases = np.mod(t, ui)
+        crossings = threshold_crossings(window, threshold) - t_first_bit
+        crossing_phases = np.mod(crossings, ui)
+        return cls(phases, window.values.copy(), ui, crossing_phases,
+                   threshold)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of folded voltage samples."""
+        return len(self.phases)
+
+    @property
+    def n_crossings(self) -> int:
+        """Number of folded threshold crossings."""
+        return len(self.crossing_phases)
+
+    def crossing_deviations(self) -> np.ndarray:
+        """Crossing-time deviations (ps) about the circular mean.
+
+        Folds wrap-around: a crossing nominally at phase 0 can fold
+        to just under one UI. Deviations are computed circularly so
+        both tails land on the same cluster.
+        """
+        if self.n_crossings == 0:
+            raise MeasurementError("eye has no threshold crossings")
+        ui = self.unit_interval
+        angles = 2.0 * np.pi * self.crossing_phases / ui
+        mean_angle = np.arctan2(np.mean(np.sin(angles)),
+                                np.mean(np.cos(angles)))
+        mean_phase = (mean_angle / (2.0 * np.pi)) * ui
+        dev = self.crossing_phases - mean_phase
+        dev = np.mod(dev + ui / 2.0, ui) - ui / 2.0
+        return dev
+
+    def crossover_phase(self) -> float:
+        """Mean crossover position in ps within [0, UI)."""
+        dev = self.crossing_deviations()
+        # Reconstruct the circular mean used by crossing_deviations.
+        ui = self.unit_interval
+        angles = 2.0 * np.pi * self.crossing_phases / ui
+        mean_angle = np.arctan2(np.mean(np.sin(angles)),
+                                np.mean(np.cos(angles)))
+        return float(np.mod((mean_angle / (2.0 * np.pi)) * ui, ui))
+
+    def samples_near_phase(self, phase: float,
+                           half_window: float) -> np.ndarray:
+        """Voltages sampled within +/- *half_window* ps of *phase*.
+
+        The window is circular in the UI.
+        """
+        ui = self.unit_interval
+        d = np.mod(self.phases - phase + ui / 2.0, ui) - ui / 2.0
+        return self.voltages[np.abs(d) <= half_window]
+
+    def histogram2d(self, n_time_bins: int = 64,
+                    n_volt_bins: int = 64) -> Tuple[np.ndarray, np.ndarray,
+                                                    np.ndarray]:
+        """2-D density (time x voltage), like a scope's color-graded eye."""
+        h, tx, vx = np.histogram2d(
+            self.phases, self.voltages,
+            bins=(n_time_bins, n_volt_bins),
+            range=((0.0, self.unit_interval),
+                   (float(self.voltages.min()), float(self.voltages.max()))),
+        )
+        return h, tx, vx

@@ -1,0 +1,175 @@
+"""Eye-mask testing.
+
+Production serial links are graded against a keep-out mask: a
+hexagon in the eye center plus top/bottom limit bars. The paper
+grades its eyes by opening (UI); a mask test is the standard
+pass/fail form of the same measurement, included here as the tool a
+production deployment of the mini-tester would use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.eye.diagram import EyeDiagram
+
+
+@dataclasses.dataclass(frozen=True)
+class EyeMask:
+    """A hexagonal center mask plus amplitude bars.
+
+    Coordinates are normalized: time in UI about the eye center
+    (x in [-0.5, 0.5]), voltage as a fraction of the nominal
+    amplitude about the eye midpoint (y in [-0.5, 0.5] covers the
+    full swing).
+
+    Attributes
+    ----------
+    x_inner:
+        Half-width of the hexagon's flat middle, UI.
+    x_outer:
+        Half-width at the y=0 points, UI.
+    y_height:
+        Half-height of the hexagon, fraction of amplitude.
+    y_limit:
+        Top/bottom keep-out: samples beyond this fraction above/
+        below the rails violate (overshoot bars).
+    """
+
+    x_inner: float = 0.15
+    x_outer: float = 0.30
+    y_height: float = 0.15
+    y_limit: float = 0.75
+
+    def __post_init__(self):
+        if not 0.0 < self.x_inner <= self.x_outer <= 0.5:
+            raise ConfigurationError(
+                "need 0 < x_inner <= x_outer <= 0.5"
+            )
+        if not 0.0 < self.y_height <= 0.5:
+            raise ConfigurationError("need 0 < y_height <= 0.5")
+        if self.y_limit <= 0.5:
+            raise ConfigurationError("y_limit must exceed 0.5")
+
+    def hexagon_vertices(self) -> List[Tuple[float, float]]:
+        """The mask polygon, counterclockwise from the left point."""
+        return [
+            (-self.x_outer, 0.0),
+            (-self.x_inner, -self.y_height),
+            (self.x_inner, -self.y_height),
+            (self.x_outer, 0.0),
+            (self.x_inner, self.y_height),
+            (-self.x_inner, self.y_height),
+        ]
+
+    def inside_hexagon(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Vectorized point-in-hexagon test (normalized coords)."""
+        # The hexagon is convex and symmetric: |y| <= y_height and
+        # |y| <= y_height * (x_outer - |x|)/(x_outer - x_inner)
+        # for |x| between x_inner and x_outer; nothing outside
+        # x_outer.
+        ax = np.abs(x)
+        ay = np.abs(y)
+        inside = (ax <= self.x_outer) & (ay <= self.y_height)
+        taper = ax > self.x_inner
+        slope_limit = self.y_height * (self.x_outer - ax) \
+            / (self.x_outer - self.x_inner)
+        inside &= np.where(taper, ay <= slope_limit, True)
+        return inside
+
+
+@dataclasses.dataclass(frozen=True)
+class MaskResult:
+    """Outcome of a mask test.
+
+    Attributes
+    ----------
+    hexagon_hits:
+        Samples inside the center keep-out.
+    bar_hits:
+        Samples beyond the amplitude bars.
+    n_samples:
+        Samples examined.
+    """
+
+    hexagon_hits: int
+    bar_hits: int
+    n_samples: int
+
+    @property
+    def total_hits(self) -> int:
+        """All violations."""
+        return self.hexagon_hits + self.bar_hits
+
+    @property
+    def passed(self) -> bool:
+        """True with zero violations."""
+        return self.total_hits == 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Violations per examined sample."""
+        if self.n_samples == 0:
+            return 0.0
+        return self.total_hits / self.n_samples
+
+
+def mask_test(eye: EyeDiagram, mask: EyeMask = EyeMask()) -> MaskResult:
+    """Run a mask test on a folded eye.
+
+    The eye center and amplitude are taken from the eye itself
+    (crossover phase + half a UI; mean rail levels).
+    """
+    ui = eye.unit_interval
+    center_phase = (eye.crossover_phase() + ui / 2.0) % ui
+    # Normalize time about the center, wrapped into [-0.5, 0.5) UI.
+    x = (eye.phases - center_phase) / ui
+    x = np.mod(x + 0.5, 1.0) - 0.5
+    highs = eye.voltages[eye.voltages > eye.threshold]
+    lows = eye.voltages[eye.voltages <= eye.threshold]
+    if len(highs) == 0 or len(lows) == 0:
+        raise ConfigurationError("eye has a single level; no mask test")
+    v_high = float(np.mean(highs))
+    v_low = float(np.mean(lows))
+    amplitude = v_high - v_low
+    mid = 0.5 * (v_high + v_low)
+    y = (eye.voltages - mid) / amplitude
+
+    hexagon_hits = int(np.count_nonzero(mask.inside_hexagon(x, y)))
+    bar_hits = int(np.count_nonzero(np.abs(y) > mask.y_limit))
+    return MaskResult(
+        hexagon_hits=hexagon_hits,
+        bar_hits=bar_hits,
+        n_samples=len(eye.phases),
+    )
+
+
+def margin_to_mask(eye: EyeDiagram, mask: EyeMask = EyeMask(),
+                   steps: int = 20) -> float:
+    """Mask margin: the largest scale factor the mask tolerates.
+
+    The hexagon is grown until samples hit it; the reported margin
+    is (largest passing scale - 1), e.g. +0.5 means the eye passes a
+    mask 50% larger. Returns -1.0 if even the nominal mask fails.
+    """
+    if steps < 2:
+        raise ConfigurationError("need >= 2 steps")
+    if not mask_test(eye, mask).passed:
+        return -1.0
+    margin = 0.0
+    for k in range(1, steps + 1):
+        scale = 1.0 + k * (0.1)
+        grown = EyeMask(
+            x_inner=min(mask.x_inner * scale, 0.49),
+            x_outer=min(mask.x_outer * scale, 0.5),
+            y_height=min(mask.y_height * scale, 0.5),
+            y_limit=mask.y_limit,
+        )
+        if not mask_test(eye, grown).passed:
+            break
+        margin = scale - 1.0
+    return margin

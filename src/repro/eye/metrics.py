@@ -1,0 +1,126 @@
+"""Eye metrics: jitter at the crossover, opening, height, width.
+
+The paper quotes two headline numbers per eye: peak-to-peak jitter
+measured at the crossover point and the usable eye opening in unit
+intervals. Its own figures satisfy ``opening = 1 - jitter_pp / UI``
+at every data rate, so that is the definition used here (see
+DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.eye.diagram import EyeDiagram
+
+
+@dataclasses.dataclass(frozen=True)
+class EyeMetrics:
+    """Summary measurements of one eye diagram.
+
+    Attributes
+    ----------
+    unit_interval:
+        Bit period in ps.
+    jitter_pp:
+        Peak-to-peak jitter at the crossover, ps.
+    jitter_rms:
+        RMS jitter at the crossover, ps.
+    eye_opening_ui:
+        Usable horizontal opening, ``1 - jitter_pp/UI``.
+    eye_width:
+        Horizontal opening in ps, ``UI - jitter_pp``.
+    eye_height:
+        Vertical opening at eye center, volts.
+    v_high, v_low:
+        Mean rail voltages measured at eye center.
+    amplitude:
+        ``v_high - v_low``.
+    n_crossings:
+        Number of crossover observations.
+    """
+
+    unit_interval: float
+    jitter_pp: float
+    jitter_rms: float
+    eye_opening_ui: float
+    eye_width: float
+    eye_height: float
+    v_high: float
+    v_low: float
+    amplitude: float
+    n_crossings: int
+
+    def summary(self) -> str:
+        """Human-readable one-line summary."""
+        rate = 1_000.0 / self.unit_interval
+        return (
+            f"{rate:.2f} Gbps eye: jitter {self.jitter_pp:.1f} ps p-p "
+            f"({self.jitter_rms:.2f} ps rms), opening "
+            f"{self.eye_opening_ui:.2f} UI, height {self.eye_height*1e3:.0f} mV, "
+            f"amplitude {self.amplitude*1e3:.0f} mV"
+        )
+
+
+def measure_eye(eye: EyeDiagram, center_window_frac: float = 0.1) -> EyeMetrics:
+    """Measure an :class:`EyeDiagram`.
+
+    Parameters
+    ----------
+    center_window_frac:
+        Width (fraction of UI) of the window at eye center used for
+        vertical measurements.
+    """
+    if eye.n_crossings < 2:
+        raise MeasurementError(
+            "eye diagram needs at least two crossings to measure jitter"
+        )
+    dev = eye.crossing_deviations()
+    jitter_pp = float(dev.max() - dev.min())
+    jitter_rms = float(np.std(dev))
+    ui = eye.unit_interval
+    eye_width = max(0.0, ui - jitter_pp)
+    eye_opening_ui = eye_width / ui
+
+    # Vertical measurements at eye center (half a UI from crossover).
+    center = np.mod(eye.crossover_phase() + ui / 2.0, ui)
+    half_window = 0.5 * center_window_frac * ui
+    center_volts = eye.samples_near_phase(center, half_window)
+    if len(center_volts) < 4:
+        raise MeasurementError("too few samples at eye center")
+    highs = center_volts[center_volts > eye.threshold]
+    lows = center_volts[center_volts <= eye.threshold]
+    if len(highs) == 0 or len(lows) == 0:
+        raise MeasurementError("eye is closed at center (one level only)")
+    v_high = float(np.mean(highs))
+    v_low = float(np.mean(lows))
+    eye_height = max(0.0, float(highs.min() - lows.max()))
+
+    return EyeMetrics(
+        unit_interval=ui,
+        jitter_pp=jitter_pp,
+        jitter_rms=jitter_rms,
+        eye_opening_ui=eye_opening_ui,
+        eye_width=eye_width,
+        eye_height=eye_height,
+        v_high=v_high,
+        v_low=v_low,
+        amplitude=v_high - v_low,
+        n_crossings=eye.n_crossings,
+    )
+
+
+def q_factor(metrics: EyeMetrics, noise_rms: float) -> float:
+    """Optical-style Q factor: amplitude over two sigma of noise.
+
+    Parameters
+    ----------
+    noise_rms:
+        RMS voltage noise on each rail (assumed equal).
+    """
+    if noise_rms <= 0.0:
+        raise MeasurementError("noise rms must be positive for Q factor")
+    return metrics.amplitude / (2.0 * noise_rms)

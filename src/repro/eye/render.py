@@ -1,0 +1,36 @@
+"""ASCII rendering of eye diagrams for terminal output.
+
+The examples print their eyes with this renderer, standing in for
+the photographs of the sampling-scope screen in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eye.diagram import EyeDiagram
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_eye_ascii(eye: EyeDiagram, width: int = 64,
+                     height: int = 20) -> str:
+    """Render the eye's 2-D density as ASCII art.
+
+    Darker characters mark higher trace density, mimicking a
+    color-graded sampling-scope display.
+    """
+    hist, _, _ = eye.histogram2d(n_time_bins=width, n_volt_bins=height)
+    # histogram2d returns time on axis 0; display wants voltage rows,
+    # top row = highest voltage.
+    density = hist.T[::-1]
+    peak = density.max()
+    if peak <= 0:
+        return "\n".join(" " * width for _ in range(height))
+    levels = np.clip(
+        (density / peak) ** 0.5 * (len(_SHADES) - 1), 0, len(_SHADES) - 1
+    ).astype(int)
+    rows = ["".join(_SHADES[v] for v in row) for row in levels]
+    ui_ps = eye.unit_interval
+    footer = f"|<-- 1 UI = {ui_ps:.0f} ps -->|".center(width)
+    return "\n".join(rows) + "\n" + footer

@@ -1,0 +1,12 @@
+"""Configuration FLASH memory and power-up loading.
+
+The DLC stores the FPGA's personalization data in FLASH, programmed
+from a PC over IEEE 1149.1. "Once programmed, it loads the
+personalization data to the FPGA upon power-up. The program can be
+changed by overwriting the FLASH."
+"""
+
+from repro.flash.memory import FlashMemory
+from repro.flash.config_loader import ConfigLoader, store_bitstream
+
+__all__ = ["FlashMemory", "ConfigLoader", "store_bitstream"]

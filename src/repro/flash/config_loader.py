@@ -1,0 +1,64 @@
+"""Power-up FPGA configuration from FLASH.
+
+On power-up the DLC's FLASH streams the stored bitstream into the
+FPGA. This module implements both directions: storing a bitstream
+image into FLASH (what JTAG programming ultimately does) and the
+power-up load with integrity checking.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.flash.memory import FlashMemory
+
+if TYPE_CHECKING:  # imported lazily at runtime: dlc imports flash
+    from repro.dlc.fpga import FPGA, Bitstream
+
+#: FLASH offset where the bitstream image lives.
+CONFIG_BASE = 0x0000
+
+
+def store_bitstream(flash: FlashMemory, bitstream: "Bitstream",
+                    base: int = CONFIG_BASE) -> int:
+    """Write a bitstream image into FLASH; returns bytes written."""
+    image = bitstream.to_bytes()
+    if base + len(image) > flash.size:
+        raise ConfigurationError(
+            f"bitstream of {len(image)} bytes does not fit in FLASH "
+            f"at 0x{base:x}"
+        )
+    flash.overwrite(base, image)
+    return len(image)
+
+
+class ConfigLoader:
+    """The configuration engine between FLASH and the FPGA."""
+
+    def __init__(self, flash: FlashMemory, base: int = CONFIG_BASE):
+        self.flash = flash
+        self.base = int(base)
+
+    def image_present(self) -> bool:
+        """True if FLASH holds something that looks like an image."""
+        return self.flash.read(self.base, 4) == b"RBIT"
+
+    def load_bitstream(self) -> "Bitstream":
+        """Parse the stored image (CRC-checked)."""
+        from repro.dlc.fpga import Bitstream
+
+        if not self.image_present():
+            raise ConfigurationError(
+                "no bitstream image in FLASH (device erased?)"
+            )
+        # Read generously; Bitstream.from_bytes takes what it needs.
+        data = self.flash.read(self.base,
+                               min(self.flash.size - self.base, 1 << 19))
+        return Bitstream.from_bytes(data)
+
+    def power_up(self, fpga: "FPGA") -> "Bitstream":
+        """Perform the power-up configuration sequence."""
+        bitstream = self.load_bitstream()
+        fpga.configure(bitstream)
+        return bitstream

@@ -1,0 +1,116 @@
+"""NOR-FLASH behavioral model with real erase/program semantics.
+
+FLASH can only clear bits when programming (1 -> 0); setting a bit
+back to 1 requires erasing the whole sector to 0xFF. The model
+enforces this, which is what makes the "overwrite the FLASH to adapt
+the DLC" flow in the paper a genuine erase-then-program sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MemoryError_
+
+
+class FlashMemory:
+    """Sector-erasable FLASH.
+
+    Parameters
+    ----------
+    size:
+        Capacity in bytes.
+    sector_size:
+        Erase granularity in bytes.
+    """
+
+    def __init__(self, size: int = 1 << 20, sector_size: int = 4096):
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        if sector_size < 1 or size % sector_size != 0:
+            raise ConfigurationError(
+                f"sector size {sector_size} must divide capacity {size}"
+            )
+        self.size = int(size)
+        self.sector_size = int(sector_size)
+        self._data = np.full(size, 0xFF, dtype=np.uint8)
+        self.program_cycles = 0
+        self.erase_cycles = 0
+
+    @property
+    def n_sectors(self) -> int:
+        """Number of erase sectors."""
+        return self.size // self.sector_size
+
+    def _check_range(self, address: int, length: int) -> None:
+        if address < 0 or length < 0 or address + length > self.size:
+            raise MemoryError_(
+                f"range [0x{address:x}, 0x{address + length:x}) outside "
+                f"device of 0x{self.size:x} bytes"
+            )
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read *length* bytes."""
+        self._check_range(address, length)
+        return bytes(self._data[address:address + length])
+
+    def erase_sector(self, sector: int) -> None:
+        """Erase one sector to 0xFF."""
+        if not 0 <= sector < self.n_sectors:
+            raise MemoryError_(
+                f"sector {sector} out of range [0, {self.n_sectors})"
+            )
+        start = sector * self.sector_size
+        self._data[start:start + self.sector_size] = 0xFF
+        self.erase_cycles += 1
+
+    def erase_range(self, address: int, length: int) -> None:
+        """Erase every sector overlapping [address, address+length)."""
+        self._check_range(address, length)
+        if length == 0:
+            return
+        first = address // self.sector_size
+        last = (address + length - 1) // self.sector_size
+        for s in range(first, last + 1):
+            self.erase_sector(s)
+
+    def program(self, address: int, data: Iterable[int]) -> None:
+        """Program bytes at *address*; can only clear bits (1 -> 0).
+
+        Attempting to set a 0 bit back to 1 raises
+        :class:`MemoryError_` — erase the sector first.
+        """
+        data = bytes(data)
+        self._check_range(address, len(data))
+        current = self._data[address:address + len(data)]
+        new = np.frombuffer(data, dtype=np.uint8)
+        # A program may only clear bits: new must be a subset of
+        # current's set bits, i.e. (current | new) == current... no:
+        # programming ANDs the cells, so the *result* is current & new.
+        # It matches the intent only if new has no bit set where
+        # current has it cleared.
+        illegal = (new & ~current) != 0
+        if np.any(illegal):
+            bad = address + int(np.flatnonzero(illegal)[0])
+            raise MemoryError_(
+                f"program at 0x{bad:x} tries to set a cleared bit; "
+                "erase the sector first"
+            )
+        self._data[address:address + len(data)] = current & new
+        self.program_cycles += 1
+
+    def overwrite(self, address: int, data: bytes) -> None:
+        """Erase-then-program convenience for whole-image updates.
+
+        Erases every sector the write touches, then programs. Other
+        data sharing those sectors is lost — exactly as on hardware.
+        """
+        self.erase_range(address, len(data))
+        self.program(address, data)
+
+    def is_erased(self, address: int, length: int) -> bool:
+        """True if the whole range reads 0xFF."""
+        self._check_range(address, length)
+        return bool(np.all(self._data[address:address + length] == 0xFF))

@@ -1,0 +1,27 @@
+"""PC-side control stack.
+
+The "PC Controller" of Figure 1: connects to the DLC over USB,
+programs the configuration FLASH over JTAG, and runs declarative
+test programs whose results land in a datalog.
+"""
+
+from repro.host.controller import PCController
+from repro.host.testprogram import TestProgram, TestStep, Limit
+from repro.host.results import TestRecord, Datalog, Verdict
+from repro.host.shmoo import ShmooResult, ShmooRunner, minitester_strobe_rate_shmoo
+from repro.host.session import SessionReport, TestSession
+
+__all__ = [
+    "PCController",
+    "TestProgram",
+    "TestStep",
+    "Limit",
+    "TestRecord",
+    "Datalog",
+    "Verdict",
+    "ShmooRunner",
+    "ShmooResult",
+    "minitester_strobe_rate_shmoo",
+    "TestSession",
+    "SessionReport",
+]

@@ -1,0 +1,132 @@
+"""The PC controller: one object that owns the whole bench.
+
+Wires the USB link to a DLC, optionally holds the JTAG programmer
+for FLASH updates, and exposes the high-level operations the paper's
+host software performs: reconfigure the board, set up a test, run
+it, poll for completion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.dlc.core import DigitalLogicCore, default_test_design
+from repro.dlc.fpga import Bitstream
+from repro.dlc.statemachine import SequencerState
+from repro.flash.config_loader import ConfigLoader
+from repro.jtag.chain import JTAGDevice, ScanChain
+from repro.jtag.flashprog import FlashProgrammer, make_flash_bridge_device
+from repro.usb.device import USBDevice
+from repro.usb.host import USBHost
+from repro.usb.protocol import DLCFunction, DLCProtocol
+
+
+class PCController:
+    """High-level control of one DLC board.
+
+    Parameters
+    ----------
+    dlc:
+        The board's logic core; a fresh one is built if omitted.
+    """
+
+    def __init__(self, dlc: Optional[DigitalLogicCore] = None):
+        self.dlc = dlc if dlc is not None else DigitalLogicCore()
+        self.usb_device = USBDevice()
+        self.usb_host = USBHost(self.usb_device)
+        self.function = DLCFunction(self.usb_device, self.dlc)
+        self.protocol = DLCProtocol(self.usb_host)
+        # JTAG side: FLASH bridge + the FPGA on one chain.
+        self.chain = ScanChain([
+            make_flash_bridge_device(self.dlc.flash),
+            JTAGDevice("fpga", self.dlc.fpga.idcode),
+        ])
+        self.programmer = FlashProgrammer(self.chain, bridge_index=0)
+        self.connected = False
+
+    # -- bring-up ---------------------------------------------------------
+
+    def connect(self) -> None:
+        """Enumerate USB and check the link."""
+        self.usb_host.enumerate()
+        if not self.protocol.ping():
+            raise ProtocolError("DLC did not answer the ping")
+        self.connected = True
+
+    def _require_connection(self) -> None:
+        if not self.connected:
+            raise ProtocolError("not connected; call connect() first")
+
+    def identify(self) -> dict:
+        """Read the board's ID and version registers."""
+        self._require_connection()
+        return {
+            "id": self.protocol.read_register(0x00),
+            "version": self.protocol.read_register(0x02),
+        }
+
+    # -- reconfiguration (the JTAG path) ---------------------------------
+
+    def update_firmware(self, bitstream: Optional[Bitstream] = None
+                        ) -> str:
+        """Program a new design into FLASH over JTAG and power-cycle.
+
+        This is the paper's adaptation flow: "quickly adapting the
+        DLC to handle new test applications".
+        """
+        if bitstream is None:
+            bitstream = default_test_design()
+        image = bitstream.to_bytes()
+        self.programmer.program_image(
+            image, base=0, sector_size=self.dlc.flash.sector_size
+        )
+        self.dlc.fpga.unconfigure()
+        loaded = ConfigLoader(self.dlc.flash).power_up(self.dlc.fpga)
+        return loaded.design_name
+
+    # -- test control -----------------------------------------------------
+
+    def setup_test(self, pattern_length: int, lfsr_order: int = 7,
+                   lfsr_seed: int = 1) -> None:
+        """Program the test parameters into DLC registers."""
+        self._require_connection()
+        if pattern_length < 1:
+            raise ConfigurationError("pattern length must be >= 1")
+        self.protocol.write_register(0x08, pattern_length)
+        self.protocol.write_register(0x10, lfsr_order)
+        self.protocol.write_register(0x0C, lfsr_seed)
+        self.dlc.reset_lfsrs()
+
+    def start_test(self) -> None:
+        """Arm and trigger via the control register."""
+        self._require_connection()
+        self.protocol.write_register(0x04, DigitalLogicCore.CTRL_ARM)
+        self.protocol.write_register(0x04, DigitalLogicCore.CTRL_TRIGGER)
+
+    def poll_status(self) -> SequencerState:
+        """Read the sequencer state back."""
+        self._require_connection()
+        code = self.protocol.read_register(0x06)
+        reverse = {v: k for k, v
+                   in DigitalLogicCore._STATUS_CODES.items()}
+        try:
+            return reverse[code]
+        except KeyError:
+            raise ProtocolError(f"unknown status code 0x{code:x}") from None
+
+    def run_to_completion(self, pattern_length: int,
+                          max_polls: int = 100) -> SequencerState:
+        """Set up, start, and clock a test until DONE."""
+        self.setup_test(pattern_length)
+        self.start_test()
+        chunk = max(1, pattern_length // 10)
+        for _ in range(max_polls):
+            state = self.poll_status()
+            if state is SequencerState.DONE:
+                return state
+            # Advancing the fabric clock stands in for wall time.
+            self.dlc.sequencer.clock(chunk)
+        raise ProtocolError(
+            f"test did not complete within {max_polls} polls"
+        )

@@ -1,0 +1,134 @@
+"""Test results and the datalog.
+
+Every measurement a test program makes becomes a record with its
+limits and verdict; the datalog aggregates records into the
+pass/fail summary and an exportable table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+class Verdict(enum.Enum):
+    """Outcome of one measurement against its limits."""
+
+    PASS = "pass"
+    FAIL = "fail"
+    INFO = "info"
+    """Logged without limits."""
+
+
+@dataclasses.dataclass(frozen=True)
+class TestRecord:
+    """One datalogged measurement.
+
+    Attributes
+    ----------
+    name:
+        Measurement identifier.
+    value:
+        Measured value.
+    units:
+        Units string for reports.
+    lo, hi:
+        Limits (None = unbounded on that side).
+    verdict:
+        PASS/FAIL/INFO.
+    """
+
+    __test__ = False  # not a pytest collection target
+
+    name: str
+    value: float
+    units: str = ""
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    verdict: Verdict = Verdict.INFO
+
+    @classmethod
+    def judged(cls, name: str, value: float, lo: Optional[float],
+               hi: Optional[float], units: str = "") -> "TestRecord":
+        """Build a record and judge it against its limits."""
+        ok = True
+        if lo is not None and value < lo:
+            ok = False
+        if hi is not None and value > hi:
+            ok = False
+        if lo is None and hi is None:
+            verdict = Verdict.INFO
+        else:
+            verdict = Verdict.PASS if ok else Verdict.FAIL
+        return cls(name, float(value), units, lo, hi, verdict)
+
+    def __str__(self) -> str:
+        limits = ""
+        if self.lo is not None or self.hi is not None:
+            limits = f" [{self.lo}, {self.hi}]"
+        return (f"{self.name}: {self.value:g} {self.units}{limits} "
+                f"-> {self.verdict.value.upper()}")
+
+
+class Datalog:
+    """Accumulates records across a test program run."""
+
+    def __init__(self):
+        self._records: List[TestRecord] = []
+
+    def add(self, record: TestRecord) -> None:
+        """Append one record."""
+        self._records.append(record)
+
+    def log(self, name: str, value: float, lo: Optional[float] = None,
+            hi: Optional[float] = None, units: str = "") -> TestRecord:
+        """Judge and append in one call."""
+        record = TestRecord.judged(name, value, lo, hi, units)
+        self.add(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[TestRecord]:
+        """All records in order."""
+        return list(self._records)
+
+    def failures(self) -> List[TestRecord]:
+        """Records that failed their limits."""
+        return [r for r in self._records if r.verdict is Verdict.FAIL]
+
+    @property
+    def passed(self) -> bool:
+        """True when nothing failed."""
+        return not self.failures()
+
+    def by_name(self, name: str) -> List[TestRecord]:
+        """All records with a given measurement name."""
+        return [r for r in self._records if r.name == name]
+
+    def summary(self) -> Dict[str, int]:
+        """Record counts per verdict."""
+        out = {v.value: 0 for v in Verdict}
+        for r in self._records:
+            out[r.verdict.value] += 1
+        return out
+
+    def to_csv(self) -> str:
+        """Export as CSV text (header + one line per record)."""
+        lines = ["name,value,units,lo,hi,verdict"]
+        for r in self._records:
+            lo = "" if r.lo is None else f"{r.lo:g}"
+            hi = "" if r.hi is None else f"{r.hi:g}"
+            lines.append(
+                f"{r.name},{r.value:g},{r.units},{lo},{hi},"
+                f"{r.verdict.value}"
+            )
+        return "\n".join(lines)

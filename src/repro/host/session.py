@@ -1,0 +1,164 @@
+"""The production test session: the whole flow in one object.
+
+Bring-up order on a real bench: connect to the board, run the
+power-on self-test, calibrate timing, qualify the signal path, then
+sort the wafer and export its map. :class:`TestSession` sequences
+exactly that, leaving a datalog trail at every step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError
+from repro.core.minitester import MiniTester
+from repro.dlc.selftest import SelfTestReport, run_self_test
+from repro.host.results import Datalog
+from repro.host.testprogram import TestProgram, standard_eye_program
+from repro.pecl.vernier import TimingVernier
+from repro.wafer.inkmap import export_map_file, summarize
+from repro.wafer.map import WaferMap
+from repro.wafer.probe import ProbeCard
+from repro.wafer.scheduler import MultiSiteScheduler
+
+
+@dataclasses.dataclass
+class SessionReport:
+    """Everything a finished session produced.
+
+    Attributes
+    ----------
+    self_test:
+        The board's power-on self-test report.
+    calibration_error_ps:
+        Worst edge-placement error after calibration.
+    qualification:
+        The signal-path qualification datalog.
+    wafers_sorted:
+        Wafers completed.
+    map_files:
+        Exported map-file texts, one per wafer.
+    """
+
+    self_test: Optional[SelfTestReport] = None
+    calibration_error_ps: Optional[float] = None
+    qualification: Optional[Datalog] = None
+    wafers_sorted: int = 0
+    map_files: list = dataclasses.field(default_factory=list)
+
+    @property
+    def ready_for_production(self) -> bool:
+        """Self-test passed, calibrated within claim, path qualified."""
+        return (self.self_test is not None and self.self_test.passed
+                and self.calibration_error_ps is not None
+                and self.calibration_error_ps <= 25.0
+                and self.qualification is not None
+                and self.qualification.passed)
+
+
+class TestSession:
+    """Sequences bring-up and production on one mini-tester.
+
+    Parameters
+    ----------
+    tester:
+        The system under session control; a fresh 5 Gbps
+        mini-tester by default.
+    """
+
+    __test__ = False  # not a pytest collection target
+
+    def __init__(self, tester: Optional[MiniTester] = None):
+        self.tester = tester if tester is not None else MiniTester()
+        self.report = SessionReport()
+        self._stage = "created"
+
+    @property
+    def stage(self) -> str:
+        """The last completed stage name."""
+        return self._stage
+
+    # -- bring-up steps, in order ---------------------------------------
+
+    def power_on(self) -> SelfTestReport:
+        """Step 1: the board checks itself."""
+        self.report.self_test = run_self_test(self.tester.dlc)
+        self._stage = "self-test"
+        if not self.report.self_test.passed:
+            raise ReproError(
+                "power-on self-test failed; board needs repair"
+            )
+        return self.report.self_test
+
+    def calibrate(self, rng: Optional[np.random.Generator] = None
+                  ) -> float:
+        """Step 2: calibrate the edge-placement vernier."""
+        self._require_stage("self-test")
+        if rng is None:
+            rng = np.random.default_rng(31)
+        line = self.tester.transmitter.delay_line
+        saved_code = line.code
+        vernier = TimingVernier(line, measurement_noise_rms=1.0)
+        vernier.calibrate(rng=rng)
+        worst = vernier.worst_case_error(n_targets=100, margin=30.0)
+        # The sweep leaves the line at its last target; restore the
+        # operating point so calibration does not shift the output.
+        line.set_code(saved_code)
+        self.report.calibration_error_ps = worst
+        self._stage = "calibrated"
+        return worst
+
+    def qualify(self, program: Optional[TestProgram] = None) -> Datalog:
+        """Step 3: qualify the signal path against limits."""
+        self._require_stage("calibrated")
+        if program is None:
+            program = standard_eye_program(
+                self.tester.rate_gbps, min_opening_ui=0.65,
+                n_bits=2000,
+            )
+        datalog = program.run(self.tester)
+        self.report.qualification = datalog
+        self._stage = "qualified"
+        if not datalog.passed:
+            raise ReproError(
+                "signal-path qualification failed: "
+                + "; ".join(str(r) for r in datalog.failures())
+            )
+        return datalog
+
+    # -- production -------------------------------------------------------
+
+    def sort_wafer(self, wafer: WaferMap,
+                   card: Optional[ProbeCard] = None,
+                   lot_id: str = "LOT01",
+                   seed: int = 0, **scheduler_kwargs) -> str:
+        """Step 4 (repeatable): sort one wafer; returns its map file."""
+        self._require_stage("qualified")
+        card = card if card is not None else ProbeCard(n_sites=4)
+        scheduler = MultiSiteScheduler(card, **scheduler_kwargs)
+        scheduler.sort_wafer(wafer, seed=seed)
+        scheduler.retest_skipped(wafer, seed=seed + 1)
+        self.report.wafers_sorted += 1
+        wafer_id = f"W{self.report.wafers_sorted:02d}"
+        map_file = export_map_file(wafer, lot_id=lot_id,
+                                   wafer_id=wafer_id)
+        self.report.map_files.append(map_file)
+        return map_file
+
+    def _require_stage(self, needed: str) -> None:
+        order = ["created", "self-test", "calibrated", "qualified"]
+        if order.index(self._stage) < order.index(needed):
+            raise ConfigurationError(
+                f"session is at stage {self._stage!r}; run the "
+                f"{needed!r} step first"
+            )
+
+    def run_bring_up(self) -> SessionReport:
+        """Steps 1-3 in order; returns the session report."""
+        self.power_on()
+        self.calibrate()
+        self.qualify()
+        return self.report

@@ -1,0 +1,131 @@
+"""2-D shmoo plots: pass/fail over a parameter plane.
+
+The characterization workhorse: sweep two knobs (rate x swing, rate
+x strobe position, ...) and plot the pass region. The paper's
+Figures 10/11 margining plus the mini-tester's strobe scan are 1-D
+cuts of exactly this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class ShmooResult:
+    """One completed shmoo.
+
+    Attributes
+    ----------
+    x_values, y_values:
+        The swept axes.
+    passes:
+        Boolean grid, shape (len(y_values), len(x_values)); row 0
+        is the first y value.
+    x_name, y_name:
+        Axis labels.
+    """
+
+    x_values: Sequence[float]
+    y_values: Sequence[float]
+    passes: np.ndarray
+    x_name: str = "x"
+    y_name: str = "y"
+
+    @property
+    def pass_fraction(self) -> float:
+        """Fraction of the plane that passes."""
+        return float(np.mean(self.passes))
+
+    def pass_region_contiguous_rows(self) -> bool:
+        """True when every row's pass region is one contiguous run
+        (the signature of a clean eye/margin boundary)."""
+        for row in self.passes:
+            idx = np.flatnonzero(row)
+            if len(idx) and not np.array_equal(
+                    idx, np.arange(idx[0], idx[-1] + 1)):
+                return False
+        return True
+
+    def render(self, pass_char: str = "P",
+               fail_char: str = ".") -> str:
+        """ASCII plot, first y value at the bottom row."""
+        lines = [f"shmoo: {self.y_name} (rows) vs {self.x_name} "
+                 f"(cols)"]
+        for yi in range(len(self.y_values) - 1, -1, -1):
+            row = "".join(pass_char if p else fail_char
+                          for p in self.passes[yi])
+            lines.append(f"{self.y_values[yi]:>8.3g} |{row}|")
+        lines.append(" " * 9 + "^" + f" {self.x_values[0]:g} .. "
+                     f"{self.x_values[-1]:g} {self.x_name}")
+        return "\n".join(lines)
+
+
+class ShmooRunner:
+    """Runs a pass/fail callable over a 2-D grid.
+
+    Parameters
+    ----------
+    test:
+        Callable ``f(x, y) -> bool``.
+    x_name, y_name:
+        Axis labels for rendering.
+    """
+
+    def __init__(self, test: Callable[[float, float], bool],
+                 x_name: str = "x", y_name: str = "y"):
+        self.test = test
+        self.x_name = x_name
+        self.y_name = y_name
+
+    def run(self, x_values: Sequence[float],
+            y_values: Sequence[float]) -> ShmooResult:
+        """Evaluate the full grid."""
+        x_values = list(x_values)
+        y_values = list(y_values)
+        if not x_values or not y_values:
+            raise ConfigurationError("both axes need values")
+        passes = np.zeros((len(y_values), len(x_values)), dtype=bool)
+        for yi, y in enumerate(y_values):
+            for xi, x in enumerate(x_values):
+                passes[yi, xi] = bool(self.test(x, y))
+        return ShmooResult(
+            x_values=tuple(x_values),
+            y_values=tuple(y_values),
+            passes=passes,
+            x_name=self.x_name,
+            y_name=self.y_name,
+        )
+
+
+def minitester_strobe_rate_shmoo(minitester, rates: Sequence[float],
+                                 strobe_fracs: Sequence[float],
+                                 n_bits: int = 300,
+                                 seed: int = 1) -> ShmooResult:
+    """The mini-tester's natural shmoo: strobe position vs rate.
+
+    Parameters
+    ----------
+    strobe_fracs:
+        Strobe positions as fractions of the unit interval.
+    """
+    def test(rate: float, frac: float) -> bool:
+        ui = 1_000.0 / rate
+        step = minitester.receiver.sampler.resolution
+        code = int(round(frac * ui / step))
+        code = min(code, minitester.receiver.sampler
+                   .delay_line.n_codes - 1)
+        result = minitester.run_loopback(
+            n_bits=n_bits, seed=seed, rate_gbps=rate,
+            strobe_code=code,
+        )
+        return result.passed
+
+    runner = ShmooRunner(test, x_name="rate (Gbps)",
+                         y_name="strobe (UI)")
+    return runner.run(rates, strobe_fracs)

@@ -1,0 +1,28 @@
+"""Bench instruments surrounding the DLC.
+
+The paper's setups use an external RF source as the low-jitter
+timing reference (Figure 1), a sampling oscilloscope for the eye and
+jitter measurements (Figures 6-11, 16-19), and DC power sources.
+A BERT model rounds out the receive-side checks.
+"""
+
+from repro.instruments.rfclock import RFClockSource, PhaseNoisePoint
+from repro.instruments.scope import SamplingScope, EdgeJitterResult
+from repro.instruments.bert import BitErrorRateTester
+from repro.instruments.power import DCSource, PowerBudget
+from repro.instruments.counter import CounterResult, FrequencyCounter
+from repro.instruments.jtol import JitterToleranceTester, TolerancePoint
+
+__all__ = [
+    "RFClockSource",
+    "PhaseNoisePoint",
+    "SamplingScope",
+    "EdgeJitterResult",
+    "BitErrorRateTester",
+    "DCSource",
+    "PowerBudget",
+    "FrequencyCounter",
+    "CounterResult",
+    "JitterToleranceTester",
+    "TolerancePoint",
+]

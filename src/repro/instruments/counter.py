@@ -1,0 +1,94 @@
+"""Frequency counter / time-interval analyzer.
+
+The third bench instrument: measures a clock's frequency from its
+crossings, the period jitter (cycle-to-cycle spread), and the time-
+interval error (TIE) record — the quantities behind the RF source's
+"low-jitter (picosecond) timing reference" requirement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.signal.analysis import threshold_crossings
+from repro.signal.waveform import Waveform
+
+
+@dataclasses.dataclass(frozen=True)
+class CounterResult:
+    """Frequency/jitter readout of one clock record.
+
+    Attributes
+    ----------
+    frequency_ghz:
+        Mean frequency from rising-edge spacing.
+    period_ps:
+        Mean period.
+    period_jitter_rms:
+        Std-dev of adjacent periods, ps.
+    period_jitter_pp:
+        Peak-to-peak period spread, ps.
+    tie_rms:
+        RMS time-interval error against the ideal clock, ps.
+    n_periods:
+        Periods measured.
+    """
+
+    frequency_ghz: float
+    period_ps: float
+    period_jitter_rms: float
+    period_jitter_pp: float
+    tie_rms: float
+    n_periods: int
+
+
+class FrequencyCounter:
+    """Crossing-based clock analyzer.
+
+    Parameters
+    ----------
+    threshold:
+        Crossing threshold; None = waveform midpoint.
+    """
+
+    def __init__(self, threshold: float = None):
+        self.threshold = threshold
+
+    def measure(self, waveform: Waveform) -> CounterResult:
+        """Measure frequency, period jitter, and TIE."""
+        threshold = self.threshold
+        if threshold is None:
+            threshold = 0.5 * (waveform.min() + waveform.max())
+        edges = threshold_crossings(waveform, threshold, "rising")
+        if len(edges) < 3:
+            raise MeasurementError(
+                f"need >= 3 rising edges, found {len(edges)}"
+            )
+        periods = np.diff(edges)
+        mean_period = float(periods.mean())
+        # TIE: deviation of each edge from the best-fit ideal clock.
+        n = np.arange(len(edges))
+        fit = np.polyfit(n, edges, 1)
+        ideal = np.polyval(fit, n)
+        tie = edges - ideal
+        return CounterResult(
+            frequency_ghz=1_000.0 / mean_period,
+            period_ps=mean_period,
+            period_jitter_rms=float(np.std(periods)),
+            period_jitter_pp=float(periods.max() - periods.min()),
+            tie_rms=float(np.std(tie)),
+            n_periods=len(periods),
+        )
+
+    def verify_frequency(self, waveform: Waveform,
+                         expected_ghz: float,
+                         tolerance_ppm: float = 1000.0) -> bool:
+        """True when the measured frequency is within tolerance."""
+        if expected_ghz <= 0.0:
+            raise MeasurementError("expected frequency must be positive")
+        result = self.measure(waveform)
+        error = abs(result.frequency_ghz - expected_ghz) / expected_ghz
+        return error * 1e6 <= tolerance_ppm

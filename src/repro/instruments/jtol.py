@@ -1,0 +1,116 @@
+"""Jitter tolerance measurement.
+
+The receive-side counterpart of the jitter generation story: how
+much *injected* sinusoidal jitter the sampler tolerates before bit
+errors appear, as a function of jitter frequency. Receivers track
+slow jitter (large tolerance at low frequency) and must absorb fast
+jitter within their timing margin — the classic jitter-tolerance
+"waterfall" template.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signal.jitter import JitterBudget, PeriodicJitter
+from repro.signal.nrz import NRZEncoder
+from repro.signal.prbs import prbs_bits
+from repro.signal.sampling import decide_bits
+
+
+@dataclasses.dataclass(frozen=True)
+class TolerancePoint:
+    """One frequency's tolerance result.
+
+    Attributes
+    ----------
+    frequency_ghz:
+        Injected jitter frequency.
+    tolerated_pp_ui:
+        Largest injected amplitude (in UI p-p) that stayed
+        error-free.
+    """
+
+    frequency_ghz: float
+    tolerated_pp_ui: float
+
+
+class JitterToleranceTester:
+    """Sweeps injected PJ amplitude per frequency until errors.
+
+    Parameters
+    ----------
+    rate_gbps:
+        Data rate under test.
+    base_budget:
+        The link's intrinsic jitter (present under the injection).
+    n_bits:
+        Pattern length per trial.
+    """
+
+    def __init__(self, rate_gbps: float = 2.5,
+                 base_budget: Optional[JitterBudget] = None,
+                 n_bits: int = 800):
+        if rate_gbps <= 0.0:
+            raise ConfigurationError("rate must be positive")
+        if n_bits < 64:
+            raise ConfigurationError("need >= 64 bits per trial")
+        self.rate_gbps = float(rate_gbps)
+        self.base_budget = base_budget if base_budget is not None \
+            else JitterBudget(rj_rms=2.0, dj_pp=10.0)
+        self.n_bits = int(n_bits)
+        self.ui = 1_000.0 / rate_gbps
+
+    def _error_free(self, pj_pp_ui: float, frequency_ghz: float,
+                    seed: int) -> bool:
+        bits = prbs_bits(7, self.n_bits, seed=1 + seed % 100)
+        components = list(self.base_budget.build().components)
+        if pj_pp_ui > 0.0:
+            components.append(PeriodicJitter(
+                pj_pp_ui * self.ui, frequency_ghz
+            ))
+        from repro.signal.jitter import CompositeJitter
+
+        encoder = NRZEncoder(self.rate_gbps, v_low=-0.4, v_high=0.4,
+                             t20_80=min(72.0, 0.4 * self.ui))
+        wf = encoder.encode(bits, jitter=CompositeJitter(components),
+                            rng=np.random.default_rng(seed))
+        got = decide_bits(wf, self.rate_gbps, 0.0, n_bits=self.n_bits)
+        return bool(np.array_equal(got, bits))
+
+    def tolerance_at(self, frequency_ghz: float, seed: int = 1,
+                     max_pp_ui: float = 1.5,
+                     resolution_ui: float = 0.05) -> TolerancePoint:
+        """Binary-search the largest tolerated amplitude."""
+        if frequency_ghz <= 0.0:
+            raise ConfigurationError("frequency must be positive")
+        lo, hi = 0.0, max_pp_ui
+        if not self._error_free(0.0, frequency_ghz, seed):
+            return TolerancePoint(frequency_ghz, 0.0)
+        while hi - lo > resolution_ui:
+            mid = 0.5 * (lo + hi)
+            if self._error_free(mid, frequency_ghz, seed):
+                lo = mid
+            else:
+                hi = mid
+        return TolerancePoint(frequency_ghz, lo)
+
+    def sweep(self, frequencies_ghz: Sequence[float],
+              seed: int = 1) -> List[TolerancePoint]:
+        """The tolerance curve over several jitter frequencies."""
+        return [self.tolerance_at(f, seed=seed)
+                for f in frequencies_ghz]
+
+    def margin_ui(self, seed: int = 1) -> float:
+        """The flat high-frequency tolerance: the raw eye margin.
+
+        At jitter frequencies far above any tracking, tolerance
+        equals the eye opening left by the intrinsic budget.
+        """
+        point = self.tolerance_at(0.5 / (self.ui / 1_000.0) / 10.0,
+                                  seed=seed)
+        return point.tolerated_pp_ui

@@ -1,0 +1,133 @@
+"""DC power sources and board power budgeting.
+
+Both systems list "DC power" among their few required connections
+(Figures 1 and 12). The model covers setpoints, current limits, and
+a rail-by-rail budget of the board's consumers — useful for the
+array-probing configuration where many mini-testers share supplies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+
+
+class DCSource:
+    """One programmable DC supply output.
+
+    Parameters
+    ----------
+    voltage:
+        Setpoint, volts.
+    current_limit:
+        Compliance limit, amps.
+    """
+
+    def __init__(self, voltage: float, current_limit: float = 2.0,
+                 name: str = "vcc"):
+        if current_limit <= 0.0:
+            raise ConfigurationError("current limit must be positive")
+        self.voltage = float(voltage)
+        self.current_limit = float(current_limit)
+        self.name = name
+        self.enabled = False
+        self._load_amps = 0.0
+
+    def enable(self) -> None:
+        """Turn the output on."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn the output off."""
+        self.enabled = False
+
+    def attach_load(self, amps: float) -> None:
+        """Add a load; trips (disables) past the current limit."""
+        if amps < 0.0:
+            raise ConfigurationError("load current must be >= 0")
+        self._load_amps += amps
+        if self._load_amps > self.current_limit:
+            self.enabled = False
+            raise ConfigurationError(
+                f"supply {self.name!r} tripped: load {self._load_amps:.2f} A "
+                f"exceeds the {self.current_limit:.2f} A limit"
+            )
+
+    @property
+    def load_amps(self) -> float:
+        """Attached load current, amps."""
+        return self._load_amps
+
+    @property
+    def power_watts(self) -> float:
+        """Power delivered when enabled."""
+        return self.voltage * self._load_amps if self.enabled else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class Consumer:
+    """A board-level power consumer on one rail."""
+
+    name: str
+    rail: str
+    amps: float
+
+    def __post_init__(self):
+        if self.amps < 0.0:
+            raise ConfigurationError("consumer current must be >= 0")
+
+
+#: Typical DLC board consumers (FPGA core+IO, USB uC, PECL, FLASH).
+DLC_CONSUMERS: List[Consumer] = [
+    Consumer("fpga_core", "1.5V", 0.60),
+    Consumer("fpga_io", "3.3V", 0.40),
+    Consumer("usb_micro", "3.3V", 0.08),
+    Consumer("flash", "3.3V", 0.03),
+    Consumer("pecl_stage", "3.3V", 0.90),
+]
+
+
+class PowerBudget:
+    """Rail-by-rail power accounting for one or more boards."""
+
+    def __init__(self):
+        self._consumers: List[Consumer] = []
+
+    def add(self, consumer: Consumer) -> None:
+        """Add one consumer."""
+        self._consumers.append(consumer)
+
+    def add_board(self, consumers: List[Consumer] = None,
+                  copies: int = 1) -> None:
+        """Add a whole board's consumers (default: a DLC board)."""
+        if copies < 1:
+            raise ConfigurationError("copies must be >= 1")
+        consumers = consumers if consumers is not None else DLC_CONSUMERS
+        for _ in range(copies):
+            self._consumers.extend(consumers)
+
+    def rail_currents(self) -> Dict[str, float]:
+        """Total current per rail, amps."""
+        totals: Dict[str, float] = {}
+        for c in self._consumers:
+            totals[c.rail] = totals.get(c.rail, 0.0) + c.amps
+        return totals
+
+    def total_power(self, rail_voltages: Dict[str, float]) -> float:
+        """Total power in watts given each rail's voltage."""
+        currents = self.rail_currents()
+        missing = set(currents) - set(rail_voltages)
+        if missing:
+            raise ConfigurationError(
+                f"no voltage given for rails: {sorted(missing)}"
+            )
+        return sum(rail_voltages[r] * a for r, a in currents.items())
+
+    def check_supplies(self, supplies: Dict[str, DCSource]) -> None:
+        """Attach all loads to the named supplies (trips on overload)."""
+        for rail, amps in self.rail_currents().items():
+            if rail not in supplies:
+                raise ConfigurationError(f"no supply for rail {rail!r}")
+            supplies[rail].attach_load(amps)

@@ -1,0 +1,143 @@
+"""RF clock source with a phase-noise-derived jitter figure.
+
+"An RF clock source (usually an external instrument) provides a
+low-jitter (picosecond) timing reference... 0.5~2.5 GHz." The model
+integrates a datasheet-style phase-noise mask into an rms jitter
+number and produces the :class:`~repro.dlc.clocking.ClockSignal`
+that seeds the PECL path's jitter budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.dlc.clocking import ClockSignal
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseNoisePoint:
+    """One point of a phase-noise mask.
+
+    Attributes
+    ----------
+    offset_hz:
+        Offset from the carrier, Hz.
+    dbc_per_hz:
+        Single-sideband phase noise, dBc/Hz.
+    """
+
+    offset_hz: float
+    dbc_per_hz: float
+
+    def __post_init__(self):
+        if self.offset_hz <= 0.0:
+            raise ConfigurationError("offset must be positive")
+
+
+#: A bench-synthesizer-class mask (typical mid-range instrument).
+DEFAULT_MASK: List[PhaseNoisePoint] = [
+    PhaseNoisePoint(1e3, -95.0),
+    PhaseNoisePoint(1e4, -105.0),
+    PhaseNoisePoint(1e5, -112.0),
+    PhaseNoisePoint(1e6, -120.0),
+    PhaseNoisePoint(1e7, -135.0),
+    PhaseNoisePoint(4e7, -145.0),
+]
+
+
+def integrate_phase_noise_jitter(mask: Sequence[PhaseNoisePoint],
+                                 carrier_ghz: float) -> float:
+    """RMS jitter (ps) from integrating a phase-noise mask.
+
+    Piecewise log-linear integration of L(f) over the mask span:
+    ``sigma = sqrt(2 * integral 10^(L/10) df) / (2 pi f_carrier)``.
+    """
+    if carrier_ghz <= 0.0:
+        raise ConfigurationError("carrier frequency must be positive")
+    pts = sorted(mask, key=lambda p: p.offset_hz)
+    if len(pts) < 2:
+        raise ConfigurationError("mask needs at least two points")
+    total = 0.0
+    for lo, hi in zip(pts[:-1], pts[1:]):
+        # log-linear segment: L(f) = a*log10(f) + b
+        x0, x1 = math.log10(lo.offset_hz), math.log10(hi.offset_hz)
+        if x1 <= x0:
+            raise ConfigurationError("mask offsets must increase")
+        a = (hi.dbc_per_hz - lo.dbc_per_hz) / (x1 - x0)
+        # Integrate 10^(L/10) df numerically over the segment
+        # (a small fixed trapezoid count is plenty for masks).
+        n = 64
+        for k in range(n):
+            f0 = 10 ** (x0 + (x1 - x0) * k / n)
+            f1 = 10 ** (x0 + (x1 - x0) * (k + 1) / n)
+            l0 = lo.dbc_per_hz + a * (math.log10(f0) - x0)
+            l1 = lo.dbc_per_hz + a * (math.log10(f1) - x0)
+            total += 0.5 * (10 ** (l0 / 10) + 10 ** (l1 / 10)) * (f1 - f0)
+    carrier_hz = carrier_ghz * 1e9
+    sigma_rad = math.sqrt(2.0 * total)
+    sigma_s = sigma_rad / (2.0 * math.pi * carrier_hz)
+    return sigma_s * 1e12
+
+
+class RFClockSource:
+    """A bench RF synthesizer.
+
+    Parameters
+    ----------
+    frequency_ghz:
+        Output frequency; instrument range 0.05-20 GHz (the systems
+        use 0.5-2.5 GHz).
+    mask:
+        Phase-noise mask; defaults to a mid-range instrument.
+    amplitude_dbm:
+        Output level (for completeness; the PECL path limits anyway).
+    """
+
+    MIN_GHZ = 0.05
+    MAX_GHZ = 20.0
+
+    def __init__(self, frequency_ghz: float,
+                 mask: Sequence[PhaseNoisePoint] = None,
+                 amplitude_dbm: float = 6.0):
+        if not self.MIN_GHZ <= frequency_ghz <= self.MAX_GHZ:
+            raise ConfigurationError(
+                f"frequency {frequency_ghz} GHz outside instrument range "
+                f"[{self.MIN_GHZ}, {self.MAX_GHZ}] GHz"
+            )
+        self.frequency_ghz = float(frequency_ghz)
+        self.mask = list(mask) if mask is not None else list(DEFAULT_MASK)
+        self.amplitude_dbm = float(amplitude_dbm)
+        self.enabled = False
+
+    @property
+    def jitter_rms(self) -> float:
+        """Integrated rms jitter of the output, ps."""
+        return integrate_phase_noise_jitter(self.mask, self.frequency_ghz)
+
+    def enable(self) -> None:
+        """Turn the output on."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn the output off."""
+        self.enabled = False
+
+    def output(self, name: str = "rf") -> ClockSignal:
+        """The output clock; source must be enabled."""
+        if not self.enabled:
+            raise ConfigurationError(
+                "RF source output is disabled; call enable() first"
+            )
+        return ClockSignal(self.frequency_ghz, jitter_rms=self.jitter_rms,
+                           name=name)
+
+    def set_frequency(self, frequency_ghz: float) -> None:
+        """Retune the carrier."""
+        if not self.MIN_GHZ <= frequency_ghz <= self.MAX_GHZ:
+            raise ConfigurationError(
+                f"frequency {frequency_ghz} GHz outside instrument range"
+            )
+        self.frequency_ghz = float(frequency_ghz)

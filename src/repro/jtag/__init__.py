@@ -1,0 +1,44 @@
+"""IEEE 1149.1 (boundary scan) interface.
+
+"The FLASH is programmed from a personal computer through an
+IEEE1149.1 (boundary scan) interface." This package implements the
+full 16-state TAP controller, instruction/data register shifting,
+a scan chain, and the FLASH programming flow over scan.
+"""
+
+from repro.jtag.tap import TAPController, TAPState
+from repro.jtag.instructions import Instruction, INSTRUCTION_WIDTH
+from repro.jtag.chain import ScanChain, JTAGDevice
+from repro.jtag.flashprog import FlashProgrammer
+from repro.jtag.boundary import (
+    BoundaryCell,
+    BoundaryRegister,
+    CellDirection,
+    PinState,
+    make_boundary_device,
+)
+from repro.jtag.interconnect import (
+    Board,
+    InterconnectResult,
+    Net,
+    run_interconnect_test,
+)
+
+__all__ = [
+    "TAPController",
+    "TAPState",
+    "Instruction",
+    "INSTRUCTION_WIDTH",
+    "ScanChain",
+    "JTAGDevice",
+    "FlashProgrammer",
+    "BoundaryCell",
+    "BoundaryRegister",
+    "CellDirection",
+    "PinState",
+    "make_boundary_device",
+    "Board",
+    "Net",
+    "InterconnectResult",
+    "run_interconnect_test",
+]

@@ -1,0 +1,131 @@
+"""Boundary-scan register: SAMPLE and EXTEST.
+
+The part of IEEE 1149.1 the FLASH path doesn't use: a register with
+one cell per pin, able to *sample* the pins' live values and — under
+EXTEST — *drive* the pins from scanned-in data. This is what makes
+board-level interconnect testing possible with no functional
+operation at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.jtag.chain import JTAGDevice
+from repro.jtag.instructions import Instruction
+
+
+class CellDirection(enum.Enum):
+    """Pin direction of one boundary cell."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclasses.dataclass(frozen=True)
+class BoundaryCell:
+    """One boundary-register cell.
+
+    Attributes
+    ----------
+    pin:
+        Pin name the cell observes/controls.
+    direction:
+        Input cells capture; output cells drive under EXTEST.
+    """
+
+    pin: str
+    direction: CellDirection
+
+
+class BoundaryRegister:
+    """The cells of one device, in scan order (cell 0 nearest TDO).
+
+    Parameters
+    ----------
+    cells:
+        Cell definitions.
+    read_pin:
+        ``f(pin) -> 0/1``: the live value at a pin.
+    drive_pin:
+        ``f(pin, value)``: force an output pin (EXTEST).
+    """
+
+    def __init__(self, cells: List[BoundaryCell],
+                 read_pin: Callable[[str], int],
+                 drive_pin: Callable[[str, int], None]):
+        if not cells:
+            raise ConfigurationError("boundary register needs cells")
+        names = [c.pin for c in cells]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate pin names in cells")
+        self.cells = list(cells)
+        self.read_pin = read_pin
+        self.drive_pin = drive_pin
+        self.extest_active = False
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def capture(self) -> int:
+        """Pack the pins' live values into the register (SAMPLE)."""
+        value = 0
+        for k, cell in enumerate(self.cells):
+            bit = int(self.read_pin(cell.pin)) & 1
+            value |= bit << k
+        return value
+
+    def update(self, value: int) -> None:
+        """Drive output cells from scanned-in data (EXTEST only)."""
+        if not self.extest_active:
+            return
+        for k, cell in enumerate(self.cells):
+            if cell.direction is CellDirection.OUTPUT:
+                self.drive_pin(cell.pin, (value >> k) & 1)
+
+
+def make_boundary_device(name: str, idcode: int,
+                         register: BoundaryRegister) -> JTAGDevice:
+    """A chain device whose SAMPLE/EXTEST work the boundary register.
+
+    SAMPLE captures the pins without disturbing them; EXTEST both
+    captures and, on update, drives the outputs from the scanned
+    data.
+    """
+    def handler(instruction: Instruction,
+                value: int) -> Optional[int]:
+        if instruction is Instruction.SAMPLE:
+            register.extest_active = False
+            return register.capture()
+        if instruction is Instruction.EXTEST:
+            register.extest_active = True
+            register.update(value)
+            return register.capture()
+        return None
+
+    return JTAGDevice(name, idcode, dr_handler=handler)
+
+
+class PinState:
+    """Simple pin-value store shared by a device and its board nets."""
+
+    def __init__(self, pins: List[str]):
+        if not pins:
+            raise ConfigurationError("need >= 1 pin")
+        self._values: Dict[str, int] = {p: 0 for p in pins}
+
+    def read(self, pin: str) -> int:
+        """The value currently at *pin*."""
+        try:
+            return self._values[pin]
+        except KeyError:
+            raise ConfigurationError(f"no pin {pin!r}") from None
+
+    def drive(self, pin: str, value: int) -> None:
+        """Set the value at *pin*."""
+        if pin not in self._values:
+            raise ConfigurationError(f"no pin {pin!r}")
+        self._values[pin] = int(value) & 1

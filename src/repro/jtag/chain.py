@@ -1,0 +1,191 @@
+"""Scan chain: devices in series on TDI -> TDO.
+
+Implements real shift semantics: IR scans shift every device's
+instruction register in series; DR scans shift whatever register
+each device's current instruction selects, so talking to one device
+means putting the others in BYPASS and padding the shifted vector.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ProtocolError
+from repro.jtag.instructions import Instruction, INSTRUCTION_WIDTH
+from repro.jtag.tap import TAPController, TAPState
+
+
+class JTAGDevice:
+    """One device on the chain.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label.
+    idcode:
+        32-bit IDCODE (LSB must be 1 per the standard).
+    dr_handler:
+        Optional callback ``f(instruction, update_value) -> capture``
+        implementing the device's private data registers. The return
+        value is captured on the *next* DR scan of that instruction.
+    """
+
+    def __init__(self, name: str, idcode: int,
+                 dr_handler: Optional[
+                     Callable[[Instruction, int], int]] = None):
+        if idcode & 1 == 0:
+            raise ProtocolError(
+                "IDCODE LSB must be 1 (IEEE 1149.1 marker bit)"
+            )
+        self.name = name
+        self.idcode = int(idcode)
+        self.tap = TAPController()
+        self.instruction = Instruction.IDCODE  # after reset
+        self._ir_shift = 0
+        self._dr_shift = 0
+        self._dr_capture_next: Dict[Instruction, int] = {}
+        self.dr_handler = dr_handler
+
+    def reset(self) -> None:
+        """TAP reset: IDCODE becomes the selected instruction."""
+        self.tap.reset()
+        self.instruction = Instruction.IDCODE
+
+    # -- shift plumbing (driven by the chain) ----------------------------
+
+    def capture_ir(self) -> None:
+        """Load the IR shift stage (standard requires ...01 LSBs)."""
+        self._ir_shift = 0b01
+
+    def shift_ir(self, tdi: int) -> int:
+        """One IR shift clock; returns this device's TDO bit."""
+        tdo = self._ir_shift & 1
+        self._ir_shift = (self._ir_shift >> 1) \
+            | ((tdi & 1) << (INSTRUCTION_WIDTH - 1))
+        return tdo
+
+    def update_ir(self) -> None:
+        """Latch the shifted instruction."""
+        try:
+            self.instruction = Instruction(self._ir_shift
+                                           & ((1 << INSTRUCTION_WIDTH) - 1))
+        except ValueError:
+            self.instruction = Instruction.BYPASS
+
+    def capture_dr(self) -> None:
+        """Load the selected data register's capture value."""
+        if self.instruction is Instruction.IDCODE:
+            self._dr_shift = self.idcode
+        elif self.instruction is Instruction.BYPASS:
+            self._dr_shift = 0
+        else:
+            self._dr_shift = self._dr_capture_next.get(self.instruction, 0)
+
+    def shift_dr(self, tdi: int) -> int:
+        """One DR shift clock; returns this device's TDO bit."""
+        width = self.instruction.dr_width
+        tdo = self._dr_shift & 1
+        self._dr_shift = (self._dr_shift >> 1) | ((tdi & 1) << (width - 1))
+        return tdo
+
+    def update_dr(self) -> None:
+        """Latch the shifted value into the selected register."""
+        width = self.instruction.dr_width
+        value = self._dr_shift & ((1 << width) - 1)
+        if self.dr_handler is not None:
+            capture = self.dr_handler(self.instruction, value)
+            if capture is not None:
+                self._dr_capture_next[self.instruction] = capture
+
+
+class ScanChain:
+    """Devices in TDI -> TDO series, plus the shift helpers."""
+
+    def __init__(self, devices: List[JTAGDevice]):
+        if not devices:
+            raise ProtocolError("scan chain needs >= 1 device")
+        self.devices = list(devices)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def reset(self) -> None:
+        """Reset every TAP on the chain."""
+        for dev in self.devices:
+            dev.reset()
+
+    def _shift_vector(self, bits: List[int], kind: str) -> List[int]:
+        """Shift a bit vector (LSB first) through the whole chain."""
+        out = []
+        for tdi in bits:
+            bit = tdi
+            # TDI enters the first device; its TDO feeds the next.
+            for dev in self.devices:
+                if kind == "ir":
+                    bit = dev.shift_ir(bit)
+                else:
+                    bit = dev.shift_dr(bit)
+            out.append(bit)
+        return out
+
+    def load_instructions(self,
+                          instructions: List[Instruction]) -> None:
+        """IR scan: one instruction per device (first = nearest TDI)."""
+        if len(instructions) != len(self.devices):
+            raise ProtocolError(
+                f"need {len(self.devices)} instructions, got "
+                f"{len(instructions)}"
+            )
+        for dev in self.devices:
+            dev.tap.navigate(TAPState.SHIFT_IR)
+            dev.capture_ir()
+        # Build the LSB-first vector: the device nearest TDO gets its
+        # bits out first, so the *last* device's opcode shifts first.
+        bits: List[int] = []
+        for instr in reversed(instructions):
+            for k in range(INSTRUCTION_WIDTH):
+                bits.append((instr.value >> k) & 1)
+        self._shift_vector(bits, "ir")
+        for dev in self.devices:
+            dev.update_ir()
+            dev.tap.navigate(TAPState.RUN_TEST_IDLE)
+
+    def scan_dr(self, values: List[int]) -> List[int]:
+        """DR scan: shift one value per device; returns captures.
+
+        Each device shifts its selected register's width.
+        """
+        if len(values) != len(self.devices):
+            raise ProtocolError(
+                f"need {len(self.devices)} values, got {len(values)}"
+            )
+        for dev in self.devices:
+            dev.tap.navigate(TAPState.SHIFT_DR)
+            dev.capture_dr()
+        bits: List[int] = []
+        for dev, value in zip(reversed(self.devices),
+                              reversed(values)):
+            width = dev.instruction.dr_width
+            for k in range(width):
+                bits.append((int(value) >> k) & 1)
+        out_bits = self._shift_vector(bits, "dr")
+        # Captured data comes out in the same layout the input went in.
+        captures: List[int] = []
+        pos = 0
+        for dev in reversed(self.devices):
+            width = dev.instruction.dr_width
+            value = 0
+            for k in range(width):
+                value |= (out_bits[pos + k] & 1) << k
+            captures.append(value)
+            pos += width
+        captures.reverse()
+        for dev in self.devices:
+            dev.update_dr()
+            dev.tap.navigate(TAPState.RUN_TEST_IDLE)
+        return captures
+
+    def read_idcodes(self) -> List[int]:
+        """Reset and read every device's IDCODE."""
+        self.reset()
+        return self.scan_dr([0] * len(self.devices))

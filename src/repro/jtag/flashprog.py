@@ -1,0 +1,135 @@
+"""FLASH programming over the scan chain.
+
+The PC's "MultiLink adaptor" path in Figure 2: JTAG private
+instructions latch an address and a data byte, then strobe erase /
+program / read operations against the configuration FLASH. The
+programmer wraps that into whole-image update with verify.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.flash.memory import FlashMemory
+from repro.jtag.chain import JTAGDevice, ScanChain
+from repro.jtag.instructions import Instruction
+
+#: IDCODE of the DLC's JTAG-to-FLASH bridge function.
+FLASH_BRIDGE_IDCODE = 0x0F1A5001
+
+
+def make_flash_bridge_device(flash: FlashMemory,
+                             name: str = "flash_bridge") -> JTAGDevice:
+    """A chain device whose private DRs drive the FLASH."""
+    state = {"address": 0, "data": 0}
+
+    def handler(instruction: Instruction, value: int) -> Optional[int]:
+        if instruction is Instruction.FLASH_ADDR:
+            state["address"] = value
+            return value
+        if instruction is Instruction.FLASH_DATA:
+            state["data"] = value & 0xFF
+            return value & 0xFF
+        if instruction is Instruction.FLASH_PROGRAM:
+            if value & 1:
+                flash.program(state["address"],
+                              bytes([state["data"]]))
+            return 1
+        if instruction is Instruction.FLASH_ERASE:
+            if value & 1:
+                sector = state["address"] // flash.sector_size
+                flash.erase_sector(sector)
+            return 1
+        if instruction is Instruction.FLASH_READ:
+            return flash.read(state["address"], 1)[0]
+        return None
+
+    return JTAGDevice(name, FLASH_BRIDGE_IDCODE, dr_handler=handler)
+
+
+class FlashProgrammer:
+    """Whole-image FLASH updates through one chain device.
+
+    Parameters
+    ----------
+    chain:
+        The board's scan chain.
+    bridge_index:
+        Position of the FLASH bridge device on the chain.
+    """
+
+    def __init__(self, chain: ScanChain, bridge_index: int = 0):
+        if not 0 <= bridge_index < len(chain):
+            raise ProtocolError(
+                f"bridge index {bridge_index} outside chain of "
+                f"{len(chain)}"
+            )
+        self.chain = chain
+        self.bridge_index = bridge_index
+
+    def _select(self, instruction: Instruction) -> None:
+        instructions = [Instruction.BYPASS] * len(self.chain)
+        instructions[self.bridge_index] = instruction
+        self.chain.load_instructions(instructions)
+
+    def _scan(self, value: int) -> int:
+        values = [0] * len(self.chain)
+        values[self.bridge_index] = value
+        return self.chain.scan_dr(values)[self.bridge_index]
+
+    def _set_address(self, address: int) -> None:
+        self._select(Instruction.FLASH_ADDR)
+        self._scan(address)
+
+    def erase_covering(self, address: int, length: int,
+                       sector_size: int) -> int:
+        """Erase every sector overlapping the range; returns count."""
+        if length <= 0:
+            raise ProtocolError("nothing to erase")
+        first = address // sector_size
+        last = (address + length - 1) // sector_size
+        for sector in range(first, last + 1):
+            self._set_address(sector * sector_size)
+            self._select(Instruction.FLASH_ERASE)
+            self._scan(1)
+        return last - first + 1
+
+    def program_byte(self, address: int, value: int) -> None:
+        """Program one byte (sector must already be erased)."""
+        self._set_address(address)
+        self._select(Instruction.FLASH_DATA)
+        self._scan(value & 0xFF)
+        self._select(Instruction.FLASH_PROGRAM)
+        self._scan(1)
+
+    def read_byte(self, address: int) -> int:
+        """Read one byte back through the scan chain."""
+        self._set_address(address)
+        self._select(Instruction.FLASH_READ)
+        # First scan arms the capture; second shifts it out.
+        self._scan(0)
+        return self._scan(0) & 0xFF
+
+    def program_image(self, image: bytes, base: int = 0,
+                      sector_size: int = 4096,
+                      verify: bool = True) -> int:
+        """Erase, program, and optionally verify a whole image.
+
+        Returns the number of bytes programmed. This is the paper's
+        "the program can be changed by overwriting the FLASH" flow.
+        """
+        if not image:
+            raise ProtocolError("empty image")
+        self.erase_covering(base, len(image), sector_size)
+        for offset, byte in enumerate(image):
+            self.program_byte(base + offset, byte)
+        if verify:
+            for offset, byte in enumerate(image):
+                got = self.read_byte(base + offset)
+                if got != byte:
+                    raise ProtocolError(
+                        f"verify failed at 0x{base + offset:x}: wrote "
+                        f"0x{byte:02x}, read 0x{got:02x}"
+                    )
+        return len(image)

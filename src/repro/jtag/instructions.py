@@ -1,0 +1,43 @@
+"""JTAG instruction set of the DLC's scan chain.
+
+Standard instructions (BYPASS, IDCODE, SAMPLE) plus the private
+instructions the board uses to reach the FLASH: address load, data
+load, and the program/erase/read strobes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Instruction register width on the DLC's devices.
+INSTRUCTION_WIDTH = 8
+
+
+class Instruction(enum.Enum):
+    """IR opcodes."""
+
+    EXTEST = 0x00
+    IDCODE = 0x01
+    SAMPLE = 0x02
+    FLASH_ADDR = 0x10
+    FLASH_DATA = 0x11
+    FLASH_PROGRAM = 0x12
+    FLASH_ERASE = 0x13
+    FLASH_READ = 0x14
+    BYPASS = 0xFF
+
+    @property
+    def dr_width(self) -> int:
+        """Data register length selected by this instruction."""
+        widths = {
+            Instruction.EXTEST: 64,       # boundary register
+            Instruction.IDCODE: 32,
+            Instruction.SAMPLE: 64,
+            Instruction.FLASH_ADDR: 24,
+            Instruction.FLASH_DATA: 8,
+            Instruction.FLASH_PROGRAM: 1,
+            Instruction.FLASH_ERASE: 1,
+            Instruction.FLASH_READ: 8,
+            Instruction.BYPASS: 1,
+        }
+        return widths[self]

@@ -1,0 +1,133 @@
+"""The 16-state IEEE 1149.1 TAP controller.
+
+The exact state machine from the standard, driven by TMS on each
+TCK rising edge. Five TMS=1 clocks reach Test-Logic-Reset from any
+state — a property the tests verify for all sixteen states.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+from repro.errors import ProtocolError
+
+
+class TAPState(enum.Enum):
+    """All sixteen TAP controller states."""
+
+    TEST_LOGIC_RESET = "test-logic-reset"
+    RUN_TEST_IDLE = "run-test-idle"
+    SELECT_DR_SCAN = "select-dr-scan"
+    CAPTURE_DR = "capture-dr"
+    SHIFT_DR = "shift-dr"
+    EXIT1_DR = "exit1-dr"
+    PAUSE_DR = "pause-dr"
+    EXIT2_DR = "exit2-dr"
+    UPDATE_DR = "update-dr"
+    SELECT_IR_SCAN = "select-ir-scan"
+    CAPTURE_IR = "capture-ir"
+    SHIFT_IR = "shift-ir"
+    EXIT1_IR = "exit1-ir"
+    PAUSE_IR = "pause-ir"
+    EXIT2_IR = "exit2-ir"
+    UPDATE_IR = "update-ir"
+
+
+#: (state, tms) -> next state, straight from the standard's diagram.
+_TRANSITIONS: Dict[Tuple[TAPState, int], TAPState] = {
+    (TAPState.TEST_LOGIC_RESET, 0): TAPState.RUN_TEST_IDLE,
+    (TAPState.TEST_LOGIC_RESET, 1): TAPState.TEST_LOGIC_RESET,
+    (TAPState.RUN_TEST_IDLE, 0): TAPState.RUN_TEST_IDLE,
+    (TAPState.RUN_TEST_IDLE, 1): TAPState.SELECT_DR_SCAN,
+    (TAPState.SELECT_DR_SCAN, 0): TAPState.CAPTURE_DR,
+    (TAPState.SELECT_DR_SCAN, 1): TAPState.SELECT_IR_SCAN,
+    (TAPState.CAPTURE_DR, 0): TAPState.SHIFT_DR,
+    (TAPState.CAPTURE_DR, 1): TAPState.EXIT1_DR,
+    (TAPState.SHIFT_DR, 0): TAPState.SHIFT_DR,
+    (TAPState.SHIFT_DR, 1): TAPState.EXIT1_DR,
+    (TAPState.EXIT1_DR, 0): TAPState.PAUSE_DR,
+    (TAPState.EXIT1_DR, 1): TAPState.UPDATE_DR,
+    (TAPState.PAUSE_DR, 0): TAPState.PAUSE_DR,
+    (TAPState.PAUSE_DR, 1): TAPState.EXIT2_DR,
+    (TAPState.EXIT2_DR, 0): TAPState.SHIFT_DR,
+    (TAPState.EXIT2_DR, 1): TAPState.UPDATE_DR,
+    (TAPState.UPDATE_DR, 0): TAPState.RUN_TEST_IDLE,
+    (TAPState.UPDATE_DR, 1): TAPState.SELECT_DR_SCAN,
+    (TAPState.SELECT_IR_SCAN, 0): TAPState.CAPTURE_IR,
+    (TAPState.SELECT_IR_SCAN, 1): TAPState.TEST_LOGIC_RESET,
+    (TAPState.CAPTURE_IR, 0): TAPState.SHIFT_IR,
+    (TAPState.CAPTURE_IR, 1): TAPState.EXIT1_IR,
+    (TAPState.SHIFT_IR, 0): TAPState.SHIFT_IR,
+    (TAPState.SHIFT_IR, 1): TAPState.EXIT1_IR,
+    (TAPState.EXIT1_IR, 0): TAPState.PAUSE_IR,
+    (TAPState.EXIT1_IR, 1): TAPState.UPDATE_IR,
+    (TAPState.PAUSE_IR, 0): TAPState.PAUSE_IR,
+    (TAPState.PAUSE_IR, 1): TAPState.EXIT2_IR,
+    (TAPState.EXIT2_IR, 0): TAPState.SHIFT_IR,
+    (TAPState.EXIT2_IR, 1): TAPState.UPDATE_IR,
+    (TAPState.UPDATE_IR, 0): TAPState.RUN_TEST_IDLE,
+    (TAPState.UPDATE_IR, 1): TAPState.SELECT_DR_SCAN,
+}
+
+
+class TAPController:
+    """One device's TAP controller."""
+
+    def __init__(self):
+        self._state = TAPState.TEST_LOGIC_RESET
+        self.tck_count = 0
+
+    @property
+    def state(self) -> TAPState:
+        """Current controller state."""
+        return self._state
+
+    def clock(self, tms: int) -> TAPState:
+        """One TCK rising edge with the given TMS level."""
+        if tms not in (0, 1):
+            raise ProtocolError(f"TMS must be 0 or 1, got {tms}")
+        self._state = _TRANSITIONS[(self._state, tms)]
+        self.tck_count += 1
+        return self._state
+
+    def reset(self) -> TAPState:
+        """Five TMS=1 clocks: guaranteed Test-Logic-Reset."""
+        for _ in range(5):
+            self.clock(1)
+        return self._state
+
+    def navigate(self, target: TAPState, max_clocks: int = 16) -> int:
+        """Drive TMS to reach *target*; returns clocks used.
+
+        Breadth-first over the TMS alphabet — mirrors what JTAG
+        software does with precomputed TMS paths.
+        """
+        if self._state is target:
+            return 0
+        from collections import deque
+
+        frontier = deque([(self._state, ())])
+        seen = {self._state}
+        path = None
+        while frontier:
+            state, tms_path = frontier.popleft()
+            if len(tms_path) > max_clocks:
+                break
+            for tms in (0, 1):
+                nxt = _TRANSITIONS[(state, tms)]
+                if nxt is target:
+                    path = tms_path + (tms,)
+                    frontier.clear()
+                    break
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append((nxt, tms_path + (tms,)))
+        if path is None:
+            raise ProtocolError(
+                f"no TMS path from {self._state} to {target} within "
+                f"{max_clocks} clocks"
+            )
+        for tms in path:
+            self.clock(tms)
+        return len(path)

@@ -1,0 +1,76 @@
+"""Optical fiber span.
+
+Short intra-cluster spans (the Data Vortex targets "low-latency
+transfer of small data packets within clusters of supercomputers"),
+so attenuation is small and chromatic dispersion only matters as a
+mild bandwidth limit at these lengths.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.signal.waveform import Waveform
+from repro.signal.edges import sigma_for_erf_edge
+
+#: Light travels ~4.9 ns per meter of standard single-mode fiber.
+FIBER_DELAY_PS_PER_M = 4_900.0
+
+
+class FiberSpan:
+    """A single-mode fiber span.
+
+    Parameters
+    ----------
+    length_m:
+        Span length in meters.
+    attenuation_db_per_km:
+        Fiber loss density (0.2 dB/km typical at 1550 nm).
+    dispersion_ps_nm_km:
+        Chromatic dispersion parameter D.
+    source_linewidth_nm:
+        Effective spectral width of the modulated source (sets how
+        much pulse spreading D produces).
+    """
+
+    def __init__(self, length_m: float = 50.0,
+                 attenuation_db_per_km: float = 0.2,
+                 dispersion_ps_nm_km: float = 17.0,
+                 source_linewidth_nm: float = 0.1):
+        if length_m <= 0.0:
+            raise ConfigurationError("length must be positive")
+        if attenuation_db_per_km < 0.0:
+            raise ConfigurationError("attenuation must be >= 0")
+        if source_linewidth_nm <= 0.0:
+            raise ConfigurationError("linewidth must be positive")
+        self.length_m = float(length_m)
+        self.attenuation_db_per_km = float(attenuation_db_per_km)
+        self.dispersion_ps_nm_km = float(dispersion_ps_nm_km)
+        self.source_linewidth_nm = float(source_linewidth_nm)
+
+    @property
+    def loss_db(self) -> float:
+        """Total span loss, dB."""
+        return self.attenuation_db_per_km * self.length_m / 1000.0
+
+    @property
+    def delay_ps(self) -> float:
+        """Propagation delay, ps."""
+        return FIBER_DELAY_PS_PER_M * self.length_m
+
+    @property
+    def pulse_spread_ps(self) -> float:
+        """RMS pulse spreading from dispersion, ps."""
+        return abs(self.dispersion_ps_nm_km) * self.source_linewidth_nm \
+            * self.length_m / 1000.0
+
+    def propagate(self, power: Waveform) -> Waveform:
+        """Carry an optical power waveform through the span."""
+        gain = 10.0 ** (-self.loss_db / 10.0)
+        values = power.values * gain
+        spread = self.pulse_spread_ps
+        if spread > 0.05 * power.dt:
+            from scipy.ndimage import gaussian_filter1d
+
+            values = gaussian_filter1d(values, spread / power.dt,
+                                       mode="nearest")
+        return Waveform(values, dt=power.dt, t0=power.t0 + self.delay_ps)

@@ -1,0 +1,128 @@
+"""Laser driver and directly-modulated laser model.
+
+Each test-bed channel drives a laser at its own wavelength. The
+model converts an electrical waveform into optical power: bias +
+modulation with a finite extinction ratio, the laser's own bandwidth
+limit, and relative-intensity noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signal.waveform import Waveform
+from repro.signal.edges import sigma_for_erf_edge
+
+
+@dataclasses.dataclass(frozen=True)
+class WavelengthChannel:
+    """One WDM wavelength slot.
+
+    Attributes
+    ----------
+    wavelength_nm:
+        Center wavelength.
+    index:
+        Grid index (0-based).
+    """
+
+    wavelength_nm: float
+    index: int
+
+    def __post_init__(self):
+        if self.wavelength_nm <= 0.0:
+            raise ConfigurationError("wavelength must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class LaserSpec:
+    """Directly-modulated laser parameters.
+
+    Attributes
+    ----------
+    p_high_mw:
+        Optical power for a logic high, mW.
+    extinction_ratio_db:
+        High/low power ratio, dB (finite: the low level is not dark).
+    bandwidth_ghz:
+        Modulation bandwidth.
+    rin_db_hz:
+        Relative intensity noise, dB/Hz.
+    """
+
+    p_high_mw: float = 1.0
+    extinction_ratio_db: float = 9.0
+    bandwidth_ghz: float = 8.0
+    rin_db_hz: float = -140.0
+
+    def __post_init__(self):
+        if self.p_high_mw <= 0.0:
+            raise ConfigurationError("high power must be positive")
+        if self.extinction_ratio_db <= 0.0:
+            raise ConfigurationError("extinction ratio must be positive dB")
+        if self.bandwidth_ghz <= 0.0:
+            raise ConfigurationError("bandwidth must be positive")
+
+    @property
+    def p_low_mw(self) -> float:
+        """Optical power for a logic low."""
+        return self.p_high_mw / (10.0 ** (self.extinction_ratio_db / 10.0))
+
+
+class LaserDriver:
+    """Electrical waveform -> optical power waveform.
+
+    Parameters
+    ----------
+    spec:
+        Laser parameters.
+    channel:
+        The wavelength this laser occupies.
+    """
+
+    def __init__(self, spec: LaserSpec = LaserSpec(),
+                 channel: WavelengthChannel = WavelengthChannel(1550.0, 0)):
+        self.spec = spec
+        self.channel = channel
+
+    def modulate(self, electrical: Waveform,
+                 rng: Optional[np.random.Generator] = None) -> Waveform:
+        """Convert an electrical drive into optical power (mW).
+
+        The electrical swing maps linearly onto [p_low, p_high]; the
+        laser's bandwidth rounds the edges further; RIN adds
+        multiplicative noise.
+        """
+        lo, hi = electrical.min(), electrical.max()
+        if hi <= lo:
+            raise ConfigurationError(
+                "drive waveform has no swing; laser needs modulation"
+            )
+        norm = (electrical.values - lo) / (hi - lo)
+        power = (self.spec.p_low_mw
+                 + norm * (self.spec.p_high_mw - self.spec.p_low_mw))
+        # Laser bandwidth: Gaussian smoothing equivalent to the
+        # modulation response.
+        t20_80 = 339.0 / self.spec.bandwidth_ghz * (0.8 / 0.339) * 0.25
+        sigma_samples = sigma_for_erf_edge(max(t20_80, 1e-6)) / electrical.dt
+        if sigma_samples > 0.05:
+            from scipy.ndimage import gaussian_filter1d
+
+            power = gaussian_filter1d(power, sigma_samples, mode="nearest")
+        if rng is not None:
+            # RIN over the simulation bandwidth (per-sample noise).
+            bw_hz = 0.5 / (electrical.dt * 1e-12)
+            rin_lin = 10.0 ** (self.spec.rin_db_hz / 10.0)
+            sigma_rel = np.sqrt(rin_lin * bw_hz)
+            power = power * (1.0 + rng.normal(0.0, sigma_rel,
+                                              size=len(power)))
+        return Waveform(np.maximum(power, 0.0), dt=electrical.dt,
+                        t0=electrical.t0)
+
+    def static_power(self, logic_high: bool) -> float:
+        """Settled optical power for a static drive level, mW."""
+        return self.spec.p_high_mw if logic_high else self.spec.p_low_mw

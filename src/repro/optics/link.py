@@ -1,0 +1,133 @@
+"""End-to-end optical link: E/O -> WDM -> fiber -> WDM -> O/E.
+
+Ties the optics together into the path one test-bed channel's signal
+takes on its way through the Data Vortex, with a link power budget
+check (transmit power vs. losses vs. receiver sensitivity).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.optics.fiber import FiberSpan
+from repro.optics.laser import LaserDriver, LaserSpec, WavelengthChannel
+from repro.optics.photodetector import Photodetector
+from repro.optics.wdm import WDMDemux, WDMMux, wavelength_grid
+from repro.signal.waveform import Waveform
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkBudget:
+    """Power accounting of the optical path, all in dB(m).
+
+    Attributes
+    ----------
+    tx_power_dbm:
+        Launch power.
+    total_loss_db:
+        Mux + fiber + demux losses.
+    rx_power_dbm:
+        Power at the detector.
+    sensitivity_dbm:
+        Receiver requirement for the target BER.
+    """
+
+    tx_power_dbm: float
+    total_loss_db: float
+    rx_power_dbm: float
+    sensitivity_dbm: float
+
+    @property
+    def margin_db(self) -> float:
+        """Headroom above the sensitivity floor."""
+        return self.rx_power_dbm - self.sensitivity_dbm
+
+    @property
+    def closes(self) -> bool:
+        """True when the link has positive margin."""
+        return self.margin_db > 0.0
+
+
+class OpticalLink:
+    """A parallel WDM link (one laser per test-bed channel).
+
+    Parameters
+    ----------
+    n_channels:
+        Parallel wavelength count.
+    fiber:
+        The shared span.
+    laser_spec:
+        Laser grade used on every channel.
+    """
+
+    def __init__(self, n_channels: int = 5,
+                 fiber: FiberSpan = None,
+                 laser_spec: LaserSpec = LaserSpec()):
+        if n_channels < 1:
+            raise ConfigurationError("need >= 1 channel")
+        self.grid = wavelength_grid(n_channels)
+        self.lasers = [
+            LaserDriver(laser_spec, ch) for ch in self.grid
+        ]
+        self.mux = WDMMux()
+        self.demux = WDMDemux()
+        self.fiber = fiber if fiber is not None else FiberSpan()
+        self.detector = Photodetector()
+
+    @property
+    def n_channels(self) -> int:
+        """Parallel wavelength count."""
+        return len(self.grid)
+
+    def transmit(self, electrical: Dict[int, Waveform],
+                 rng: Optional[np.random.Generator] = None
+                 ) -> Dict[int, Waveform]:
+        """Carry per-channel electrical waveforms across the link.
+
+        Parameters
+        ----------
+        electrical:
+            Waveforms keyed by channel index.
+
+        Returns
+        -------
+        dict
+            Received electrical waveforms, keyed the same way.
+        """
+        unknown = set(electrical) - {ch.index for ch in self.grid}
+        if unknown:
+            raise ConfigurationError(
+                f"no wavelengths for channel indices {sorted(unknown)}"
+            )
+        optical = {}
+        for ch, laser in zip(self.grid, self.lasers):
+            if ch.index in electrical:
+                optical[ch] = laser.modulate(electrical[ch.index], rng=rng)
+        on_fiber = self.mux.combine(optical)
+        after_fiber = {
+            ch: self.fiber.propagate(wf) for ch, wf in on_fiber.items()
+        }
+        split = self.demux.split(after_fiber)
+        return {
+            ch.index: self.detector.detect(wf, rng=rng)
+            for ch, wf in split.items()
+        }
+
+    def budget(self, target_snr: float = 14.0) -> LinkBudget:
+        """The static link power budget for one channel."""
+        import math
+
+        p_tx_dbm = 10.0 * math.log10(self.lasers[0].spec.p_high_mw)
+        loss = (self.mux.insertion_loss_db + self.fiber.loss_db
+                + self.demux.insertion_loss_db)
+        return LinkBudget(
+            tx_power_dbm=p_tx_dbm,
+            total_loss_db=loss,
+            rx_power_dbm=p_tx_dbm - loss,
+            sensitivity_dbm=self.detector.sensitivity_dbm(target_snr),
+        )

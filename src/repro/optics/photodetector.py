@@ -1,0 +1,93 @@
+"""Photodetector + transimpedance amplifier receiver.
+
+Back to the electrical domain at the receiving end: responsivity
+converts optical power to photocurrent, the TIA converts current to
+voltage with finite bandwidth, and shot + thermal noise set the
+receiver's sensitivity floor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signal.waveform import Waveform
+
+#: Electron charge, coulombs (for shot noise).
+_Q_ELECTRON = 1.602e-19
+
+
+class Photodetector:
+    """PIN photodiode + TIA.
+
+    Parameters
+    ----------
+    responsivity_a_w:
+        Photodiode responsivity, A/W (~0.9 typical InGaAs at 1550 nm).
+    tia_gain_ohm:
+        Transimpedance, volts out per amp in.
+    bandwidth_ghz:
+        Receiver bandwidth.
+    thermal_noise_pa_rthz:
+        Input-referred current noise density, pA/sqrt(Hz).
+    """
+
+    def __init__(self, responsivity_a_w: float = 0.9,
+                 tia_gain_ohm: float = 500.0,
+                 bandwidth_ghz: float = 7.0,
+                 thermal_noise_pa_rthz: float = 15.0):
+        if responsivity_a_w <= 0.0:
+            raise ConfigurationError("responsivity must be positive")
+        if tia_gain_ohm <= 0.0:
+            raise ConfigurationError("TIA gain must be positive")
+        if bandwidth_ghz <= 0.0:
+            raise ConfigurationError("bandwidth must be positive")
+        if thermal_noise_pa_rthz < 0.0:
+            raise ConfigurationError("noise density must be >= 0")
+        self.responsivity_a_w = float(responsivity_a_w)
+        self.tia_gain_ohm = float(tia_gain_ohm)
+        self.bandwidth_ghz = float(bandwidth_ghz)
+        self.thermal_noise_pa_rthz = float(thermal_noise_pa_rthz)
+
+    def detect(self, optical_mw: Waveform,
+               rng: Optional[np.random.Generator] = None) -> Waveform:
+        """Optical power (mW) in, electrical voltage out."""
+        power_w = optical_mw.values * 1e-3
+        current = self.responsivity_a_w * power_w
+        noise_bw_hz = min(self.bandwidth_ghz * 1e9,
+                          0.5 / (optical_mw.dt * 1e-12))
+        if rng is not None:
+            # Shot noise: sigma_i = sqrt(2 q I B), per sample.
+            shot_sigma = np.sqrt(
+                2.0 * _Q_ELECTRON * np.maximum(current, 0.0) * noise_bw_hz
+            )
+            thermal_sigma = (self.thermal_noise_pa_rthz * 1e-12
+                             * math.sqrt(noise_bw_hz))
+            current = current + rng.normal(0.0, 1.0, len(current)) \
+                * np.hypot(shot_sigma, thermal_sigma)
+        voltage = current * self.tia_gain_ohm
+        # TIA bandwidth as a Gaussian response.
+        t_r_ps = 339.0 / self.bandwidth_ghz
+        sigma_samples = (t_r_ps / 2.563) / optical_mw.dt
+        if sigma_samples > 0.05:
+            from scipy.ndimage import gaussian_filter1d
+
+            voltage = gaussian_filter1d(voltage, sigma_samples,
+                                        mode="nearest")
+        return Waveform(voltage, dt=optical_mw.dt, t0=optical_mw.t0)
+
+    def sensitivity_dbm(self, target_snr: float = 14.0) -> float:
+        """Receiver sensitivity: optical power for a given SNR, dBm.
+
+        SNR 14 (Q=7) corresponds to BER 1e-12 for NRZ.
+        """
+        if target_snr <= 0.0:
+            raise ConfigurationError("target SNR must be positive")
+        noise_bw_hz = self.bandwidth_ghz * 1e9
+        i_noise = (self.thermal_noise_pa_rthz * 1e-12
+                   * math.sqrt(noise_bw_hz))
+        p_w = target_snr * i_noise / self.responsivity_a_w
+        return 10.0 * math.log10(p_w / 1e-3)

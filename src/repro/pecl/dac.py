@@ -1,0 +1,166 @@
+"""Voltage-tuning DACs for the PECL output stage.
+
+Figures 10 and 11 demonstrate adjusting the high logic level in
+100 mV steps and the amplitude swing in 200 mV steps; "similar
+control is available on the low logic level and the midpoint bias".
+Each rail is driven by an 8-bit DAC.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.pecl.levels import PECLLevels, LVPECL_3V3
+
+
+class VoltageTuningDAC:
+    """An N-bit DAC setting one voltage rail.
+
+    Parameters
+    ----------
+    v_min, v_max:
+        Output range in volts (code 0 -> v_min, full scale -> v_max).
+    bits:
+        Resolution.
+    """
+
+    def __init__(self, v_min: float, v_max: float, bits: int = 8):
+        if v_max <= v_min:
+            raise ConfigurationError(
+                f"v_max ({v_max}) must exceed v_min ({v_min})"
+            )
+        if not 1 <= bits <= 16:
+            raise ConfigurationError(f"bits must be 1-16, got {bits}")
+        self.v_min = float(v_min)
+        self.v_max = float(v_max)
+        self.bits = int(bits)
+        self.full_scale = (1 << bits) - 1
+        self._code = 0
+
+    @property
+    def lsb(self) -> float:
+        """Volts per code step."""
+        return (self.v_max - self.v_min) / self.full_scale
+
+    @property
+    def code(self) -> int:
+        """Current code."""
+        return self._code
+
+    def set_code(self, code: int) -> float:
+        """Set the code; returns the output voltage."""
+        if not 0 <= code <= self.full_scale:
+            raise ConfigurationError(
+                f"code {code} out of range [0, {self.full_scale}]"
+            )
+        self._code = int(code)
+        return self.voltage
+
+    @property
+    def voltage(self) -> float:
+        """Current output voltage."""
+        return self.v_min + self._code * self.lsb
+
+    def code_for(self, voltage: float) -> int:
+        """Nearest code producing *voltage* (clamped into range)."""
+        code = round((voltage - self.v_min) / self.lsb)
+        return int(min(max(code, 0), self.full_scale))
+
+    def set_voltage(self, voltage: float) -> float:
+        """Program the nearest code for *voltage*; returns the
+        quantized output actually produced."""
+        return self.set_code(self.code_for(voltage))
+
+
+class LevelControl:
+    """Three-DAC control of VOH, VOL and the midpoint bias.
+
+    The produced :class:`PECLLevels` track the DAC outputs; sweeps in
+    fixed millivolt steps reproduce the paper's Figures 10 and 11.
+    """
+
+    def __init__(self, nominal: PECLLevels = LVPECL_3V3,
+                 adjustment_range: float = 1.0, bits: int = 8):
+        if adjustment_range <= 0.0:
+            raise ConfigurationError("adjustment range must be positive")
+        half = adjustment_range / 2.0
+        self.voh_dac = VoltageTuningDAC(nominal.v_high - half,
+                                        nominal.v_high + half, bits)
+        self.vol_dac = VoltageTuningDAC(nominal.v_low - half,
+                                        nominal.v_low + half, bits)
+        self.bias_dac = VoltageTuningDAC(nominal.midpoint - half,
+                                         nominal.midpoint + half, bits)
+        self.voh_dac.set_voltage(nominal.v_high)
+        self.vol_dac.set_voltage(nominal.v_low)
+        self.bias_dac.set_voltage(nominal.midpoint)
+        self._use_bias = False
+
+    @property
+    def levels(self) -> PECLLevels:
+        """Current output levels.
+
+        When a midpoint bias has been programmed, the swing from the
+        VOH/VOL DACs is re-centered on the bias voltage.
+        """
+        levels = PECLLevels(self.voh_dac.voltage, self.vol_dac.voltage)
+        if self._use_bias:
+            return levels.with_midpoint(self.bias_dac.voltage)
+        return levels
+
+    def set_high_level(self, voltage: float) -> PECLLevels:
+        """Program the high rail; returns the resulting levels."""
+        self.voh_dac.set_voltage(voltage)
+        if self.voh_dac.voltage <= self.vol_dac.voltage:
+            raise ConfigurationError(
+                f"high level {self.voh_dac.voltage:.3f} V would not "
+                f"exceed low level {self.vol_dac.voltage:.3f} V"
+            )
+        return self.levels
+
+    def set_low_level(self, voltage: float) -> PECLLevels:
+        """Program the low rail; returns the resulting levels."""
+        self.vol_dac.set_voltage(voltage)
+        if self.voh_dac.voltage <= self.vol_dac.voltage:
+            raise ConfigurationError(
+                f"low level {self.vol_dac.voltage:.3f} V would not be "
+                f"below high level {self.voh_dac.voltage:.3f} V"
+            )
+        return self.levels
+
+    def set_swing(self, swing: float) -> PECLLevels:
+        """Program a symmetric swing about the current midpoint."""
+        if swing <= 0.0:
+            raise ConfigurationError(f"swing must be positive, got {swing}")
+        mid = self.levels.midpoint
+        self.voh_dac.set_voltage(mid + swing / 2.0)
+        self.vol_dac.set_voltage(mid - swing / 2.0)
+        return self.levels
+
+    def set_midpoint(self, voltage: float) -> PECLLevels:
+        """Program the midpoint bias (re-centers the swing)."""
+        self.bias_dac.set_voltage(voltage)
+        self._use_bias = True
+        return self.levels
+
+    def sweep_high_level(self, n_steps: int,
+                         step: float = -0.1) -> List[PECLLevels]:
+        """Sweep VOH from its current value in fixed steps.
+
+        With the defaults this is Figure 10: the high level stepped
+        down in 100 mV increments.
+        """
+        start = self.voh_dac.voltage
+        out = []
+        for k in range(n_steps):
+            out.append(self.set_high_level(start + k * step))
+        return out
+
+    def sweep_swing(self, n_steps: int, step: float = -0.2
+                    ) -> List[PECLLevels]:
+        """Sweep the amplitude swing in fixed steps (Figure 11)."""
+        start = self.levels.swing
+        out = []
+        for k in range(n_steps):
+            out.append(self.set_swing(start + k * step))
+        return out

@@ -1,0 +1,77 @@
+"""Low-skew PECL clock fanout.
+
+"Clock Fanout" in Figure 15 distributes the RF reference to the
+serializers, delay lines, and sampler. Each output carries a small
+fixed skew (set at manufacture) and adds a little random jitter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.dlc.clocking import ClockSignal
+
+
+class ClockFanout:
+    """1:N clock distribution with bounded output skew.
+
+    Parameters
+    ----------
+    n_outputs:
+        Number of fanout copies.
+    skew_pp:
+        Peak-to-peak output-to-output skew, ps.
+    added_jitter_rms:
+        Random jitter added per output, ps rms.
+    seed:
+        Reproducible per-part skew assignment.
+    """
+
+    def __init__(self, n_outputs: int = 8, skew_pp: float = 10.0,
+                 added_jitter_rms: float = 0.5, seed: int = 3):
+        if n_outputs < 1:
+            raise ConfigurationError(f"need >= 1 output, got {n_outputs}")
+        if skew_pp < 0.0 or added_jitter_rms < 0.0:
+            raise ConfigurationError("skew and jitter must be >= 0")
+        self.n_outputs = int(n_outputs)
+        self.skew_pp = float(skew_pp)
+        self.added_jitter_rms = float(added_jitter_rms)
+        rng = np.random.default_rng(seed)
+        if n_outputs == 1:
+            self._skews = np.zeros(1)
+        else:
+            raw = rng.uniform(-0.5, 0.5, size=n_outputs)
+            raw -= raw.mean()
+            span = raw.max() - raw.min()
+            self._skews = raw / span * skew_pp if span > 0 else raw
+
+    def skew(self, output: int) -> float:
+        """Fixed skew of one output relative to the mean, ps."""
+        if not 0 <= output < self.n_outputs:
+            raise ConfigurationError(
+                f"output {output} out of range [0, {self.n_outputs})"
+            )
+        return float(self._skews[output])
+
+    def distribute(self, clock: ClockSignal) -> List[ClockSignal]:
+        """Produce the fanout copies of *clock*.
+
+        Each copy carries the input's jitter RSS-combined with the
+        fanout's addition. (Static skews are reported separately via
+        :meth:`skew`; a frozen ClockSignal has no phase field.)
+        """
+        import math
+
+        jitter = math.hypot(clock.jitter_rms, self.added_jitter_rms)
+        return [
+            ClockSignal(clock.frequency_ghz, jitter,
+                        name=f"{clock.name}.fo{i}")
+            for i in range(self.n_outputs)
+        ]
+
+    def max_skew(self) -> float:
+        """Largest output-to-output skew, ps."""
+        return float(self._skews.max() - self._skews.min())

@@ -1,0 +1,93 @@
+"""PECL logic levels and differential signaling helpers.
+
+PECL outputs swing roughly 800 mV between VOH = Vcc - 0.9 V and
+VOL = Vcc - 1.7 V. The paper's systems make all three anchors (high
+level, low level, midpoint bias) adjustable to characterize the DUT
+under non-ideal signal conditions (Figures 10 and 11).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.signal.waveform import Waveform
+
+
+@dataclasses.dataclass(frozen=True)
+class PECLLevels:
+    """A pair of logic levels.
+
+    Attributes
+    ----------
+    v_high:
+        Logic-high output voltage, volts.
+    v_low:
+        Logic-low output voltage, volts.
+    """
+
+    v_high: float
+    v_low: float
+
+    def __post_init__(self):
+        if self.v_high <= self.v_low:
+            raise ConfigurationError(
+                f"v_high ({self.v_high}) must exceed v_low ({self.v_low})"
+            )
+
+    @property
+    def swing(self) -> float:
+        """Amplitude swing, volts."""
+        return self.v_high - self.v_low
+
+    @property
+    def midpoint(self) -> float:
+        """Mid-swing voltage (the natural decision threshold)."""
+        return 0.5 * (self.v_high + self.v_low)
+
+    def with_high(self, v_high: float) -> "PECLLevels":
+        """New levels with the high rail moved."""
+        return PECLLevels(v_high, self.v_low)
+
+    def with_low(self, v_low: float) -> "PECLLevels":
+        """New levels with the low rail moved."""
+        return PECLLevels(self.v_high, v_low)
+
+    def with_swing(self, swing: float) -> "PECLLevels":
+        """New levels with the same midpoint and a new swing."""
+        if swing <= 0.0:
+            raise ConfigurationError(f"swing must be positive, got {swing}")
+        mid = self.midpoint
+        return PECLLevels(mid + swing / 2.0, mid - swing / 2.0)
+
+    def with_midpoint(self, midpoint: float) -> "PECLLevels":
+        """New levels shifted to a new midpoint, same swing."""
+        half = self.swing / 2.0
+        return PECLLevels(midpoint + half, midpoint - half)
+
+
+def lvpecl_levels(vcc: float = 3.3) -> PECLLevels:
+    """Nominal (LV)PECL levels for a supply of *vcc* volts."""
+    return PECLLevels(v_high=vcc - 0.9, v_low=vcc - 1.7)
+
+
+#: Nominal LVPECL levels at Vcc = 3.3 V: VOH 2.4 V, VOL 1.6 V.
+LVPECL_3V3 = lvpecl_levels(3.3)
+
+
+def differential(waveform: Waveform,
+                 levels: PECLLevels) -> Tuple[Waveform, Waveform]:
+    """Split a single-ended waveform into a PECL differential pair.
+
+    The true output follows the input; the complement mirrors it
+    about the midpoint.
+    """
+    mid = levels.midpoint
+    complement = waveform.scaled(-1.0, offset=2.0 * mid)
+    return waveform, complement
+
+
+def differential_to_single(p: Waveform, n: Waveform) -> Waveform:
+    """Recombine a differential pair: (p - n), centered at zero."""
+    return p - n

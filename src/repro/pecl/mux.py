@@ -1,0 +1,96 @@
+"""2:1 PECL multiplexer / selector.
+
+The mini-tester's second mux stage interleaves two 2.5 Gbps streams
+into one 5.0 Gbps stream (Figure 15); the same part also serves as a
+static data selector ("Data Select" in the figure). Interleave skew
+between the two phases appears as duty-cycle-distortion-like
+deterministic jitter at the output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signal.jitter import JitterBudget
+
+
+@dataclasses.dataclass(frozen=True)
+class MuxSpec:
+    """Datasheet parameters of the 2:1 mux.
+
+    Attributes
+    ----------
+    name:
+        Part label.
+    max_output_gbps:
+        Output rate ceiling.
+    phase_skew_pp:
+        Residual A/B phase skew, ps p-p (appears as DJ).
+    rj_rms:
+        Added random jitter, ps rms.
+    """
+
+    name: str = "pecl_mux_2to1"
+    max_output_gbps: float = 5.5
+    phase_skew_pp: float = 6.0
+    rj_rms: float = 0.8
+
+    def __post_init__(self):
+        if self.max_output_gbps <= 0.0:
+            raise ConfigurationError("mux output ceiling must be positive")
+        if self.phase_skew_pp < 0.0 or self.rj_rms < 0.0:
+            raise ConfigurationError("mux jitter terms must be >= 0")
+
+
+class Mux2to1:
+    """Bit-level 2:1 interleaver with a static-select mode."""
+
+    def __init__(self, spec: MuxSpec = MuxSpec()):
+        self.spec = spec
+
+    @property
+    def jitter_budget(self) -> JitterBudget:
+        """This stage's contribution to the path jitter budget."""
+        return JitterBudget(rj_rms=self.spec.rj_rms,
+                            dcd_pp=self.spec.phase_skew_pp)
+
+    def interleave(self, a, b, output_rate_gbps: float) -> np.ndarray:
+        """Interleave streams *a* and *b*: output = a0 b0 a1 b1 ...
+
+        Both inputs run at half the output rate.
+        """
+        if output_rate_gbps > self.spec.max_output_gbps:
+            raise ConfigurationError(
+                f"{self.spec.name}: {output_rate_gbps} Gbps exceeds the "
+                f"part's {self.spec.max_output_gbps} Gbps ceiling"
+            )
+        a = np.asarray(a).astype(np.uint8)
+        b = np.asarray(b).astype(np.uint8)
+        if a.shape != b.shape or a.ndim != 1:
+            raise ConfigurationError(
+                f"mux inputs must be equal-length 1-D streams; got "
+                f"{a.shape} and {b.shape}"
+            )
+        out = np.empty(2 * len(a), dtype=np.uint8)
+        out[0::2] = a
+        out[1::2] = b
+        return out
+
+    def select(self, a, b, select_b: bool) -> np.ndarray:
+        """Static selector: pass one input through unchanged."""
+        a = np.asarray(a).astype(np.uint8)
+        b = np.asarray(b).astype(np.uint8)
+        return b.copy() if select_b else a.copy()
+
+    def deinterleave(self, stream) -> tuple:
+        """Inverse of :meth:`interleave`: split even/odd bits."""
+        stream = np.asarray(stream).astype(np.uint8)
+        if len(stream) % 2 != 0:
+            raise ConfigurationError(
+                "deinterleave needs an even-length stream"
+            )
+        return stream[0::2].copy(), stream[1::2].copy()

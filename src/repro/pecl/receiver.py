@@ -1,0 +1,124 @@
+"""PECL receive path: analog input to recovered lanes.
+
+An input buffer regenerates the (possibly channel-degraded) signal,
+the PECL sampler strobes it at the programmed cell position, and an
+optional deserializer returns the data to DLC lane format. Includes
+bit-error accounting against an expected stream — the check the
+mini-tester performs on signals returned through the DUT.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.signal.waveform import Waveform
+from repro.pecl.buffer import OutputBuffer, BufferSpec, MINI_IO_BUFFER
+from repro.pecl.sampler import PECLSampler
+from repro.pecl.serializer import ParallelToSerial
+from repro._units import unit_interval_ps
+
+
+@dataclasses.dataclass(frozen=True)
+class BERResult:
+    """Outcome of a bit-error comparison.
+
+    Attributes
+    ----------
+    n_bits:
+        Bits compared.
+    n_errors:
+        Mismatches.
+    """
+
+    n_bits: int
+    n_errors: int
+
+    @property
+    def ber(self) -> float:
+        """Bit-error ratio."""
+        if self.n_bits == 0:
+            return 0.0
+        return self.n_errors / self.n_bits
+
+    def __str__(self) -> str:
+        return f"{self.n_errors}/{self.n_bits} errors (BER {self.ber:.2e})"
+
+
+class PECLReceiver:
+    """A complete receive channel.
+
+    Parameters
+    ----------
+    buffer_spec:
+        Input buffer grade.
+    deserializer:
+        Optional N:1 deserializer returning lane format.
+    threshold:
+        Decision voltage; default mid-rail of the buffer.
+    """
+
+    def __init__(self, buffer_spec: BufferSpec = MINI_IO_BUFFER,
+                 deserializer: Optional[ParallelToSerial] = None,
+                 threshold: Optional[float] = None):
+        self.input_buffer = OutputBuffer(buffer_spec)
+        if threshold is None:
+            threshold = self.input_buffer.levels.midpoint
+        self.sampler = PECLSampler(threshold=threshold)
+        self.deserializer = deserializer
+
+    def regenerate(self, waveform: Waveform) -> Waveform:
+        """Pass the input through the limiting input buffer."""
+        return self.input_buffer.process(waveform)
+
+    def receive_bits(self, waveform: Waveform, rate_gbps: float,
+                     n_bits: int, strobe_code: Optional[int] = None,
+                     t_first_bit: float = 0.0,
+                     rng: Optional[np.random.Generator] = None
+                     ) -> np.ndarray:
+        """Regenerate and strobe *n_bits* out of the waveform.
+
+        The strobe defaults to cell center (half a UI of delay-line
+        codes past the cell start).
+        """
+        if n_bits < 1:
+            raise ConfigurationError(f"need >= 1 bit, got {n_bits}")
+        regen = self.regenerate(waveform)
+        # The regenerated signal rides between the input buffer's
+        # rails; strobe against its midpoint.
+        self.sampler.threshold = self.input_buffer.levels.midpoint
+        if strobe_code is None:
+            ui = unit_interval_ps(rate_gbps)
+            strobe_code = int(round((ui / 2.0) / self.sampler.resolution))
+            strobe_code = min(strobe_code,
+                              self.sampler.delay_line.n_codes - 1)
+        return self.sampler.capture_bits(regen, rate_gbps, n_bits,
+                                         strobe_code, t_first_bit, rng)
+
+    def receive_lanes(self, waveform: Waveform, rate_gbps: float,
+                      n_bits: int, **kwargs) -> np.ndarray:
+        """Receive and deserialize back to DLC lane format."""
+        if self.deserializer is None:
+            raise ConfigurationError(
+                "no deserializer configured on this receiver"
+            )
+        bits = self.receive_bits(waveform, rate_gbps, n_bits, **kwargs)
+        usable = (len(bits) // self.deserializer.factor
+                  * self.deserializer.factor)
+        return self.deserializer.deserialize(bits[:usable])
+
+    @staticmethod
+    def compare(received, expected) -> BERResult:
+        """Count bit errors between two streams."""
+        received = np.asarray(received).astype(np.uint8)
+        expected = np.asarray(expected).astype(np.uint8)
+        if received.shape != expected.shape:
+            raise MeasurementError(
+                f"stream lengths differ: {received.shape} vs "
+                f"{expected.shape}"
+            )
+        errors = int(np.count_nonzero(received != expected))
+        return BERResult(n_bits=received.size, n_errors=errors)

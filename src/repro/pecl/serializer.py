@@ -1,0 +1,208 @@
+"""Parallel-to-serial conversion (the PECL "Muxs" of Figure 1).
+
+First stage: an N:1 serializer takes N DLC lanes at a few hundred
+Mbps to a single stream up to ~2.5 Gbps. Second stage (mini-tester,
+Figure 15): a 2:1 mux interleaves two such streams "to obtain double
+the final signal (up to 5.0 Gbps)".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RateLimitError
+from repro.signal.jitter import JitterBudget
+from repro.pecl.mux import Mux2to1, MuxSpec
+from repro._units import MBPS
+
+
+@dataclasses.dataclass(frozen=True)
+class SerializerSpec:
+    """Datasheet parameters of the N:1 serializer.
+
+    Attributes
+    ----------
+    name:
+        Part label.
+    factor:
+        Serialization ratio N.
+    max_output_gbps:
+        Output rate ceiling (first-stage PECL parts top out around
+        2.5-3.2 Gbps; "this bit rate is at the upper limit of some
+        of the individual PECL components" at 4 Gbps).
+    lane_skew_pp:
+        Residual lane-to-lane timing skew, ps p-p (appears as DJ).
+    rj_rms:
+        Added random jitter, ps rms.
+    """
+
+    name: str = "pecl_serializer_8to1"
+    factor: int = 8
+    max_output_gbps: float = 4.0
+    lane_skew_pp: float = 15.0
+    rj_rms: float = 2.4
+
+    def __post_init__(self):
+        if self.factor < 2:
+            raise ConfigurationError("serialization factor must be >= 2")
+        if self.max_output_gbps <= 0.0:
+            raise ConfigurationError("output ceiling must be positive")
+        if self.lane_skew_pp < 0.0 or self.rj_rms < 0.0:
+            raise ConfigurationError("jitter terms must be >= 0")
+
+
+class ParallelToSerial:
+    """N:1 serializer: N lanes in, one bit stream out.
+
+    Lane k of the input carries serial bits ``k, k+N, k+2N, ...``
+    (the layout :meth:`repro.dlc.core.DigitalLogicCore.prbs_lanes`
+    produces), so serialization is a round-robin walk of the lanes.
+    """
+
+    def __init__(self, spec: SerializerSpec = SerializerSpec()):
+        self.spec = spec
+
+    @property
+    def factor(self) -> int:
+        """Serialization ratio."""
+        return self.spec.factor
+
+    @property
+    def jitter_budget(self) -> JitterBudget:
+        """This stage's contribution to the path jitter budget."""
+        return JitterBudget(rj_rms=self.spec.rj_rms,
+                            dj_pp=self.spec.lane_skew_pp)
+
+    def required_lane_rate_mbps(self, output_rate_gbps: float) -> float:
+        """Per-lane input rate for a target output rate, in Mbps."""
+        return output_rate_gbps * 1_000.0 / self.factor
+
+    def check_rates(self, output_rate_gbps: float,
+                    lane_limit_mbps: float) -> None:
+        """Validate output ceiling and the feeding lanes' limit."""
+        if output_rate_gbps > self.spec.max_output_gbps:
+            raise ConfigurationError(
+                f"{self.spec.name}: {output_rate_gbps} Gbps exceeds the "
+                f"part's {self.spec.max_output_gbps} Gbps ceiling"
+            )
+        lane_rate = self.required_lane_rate_mbps(output_rate_gbps)
+        if lane_rate > lane_limit_mbps:
+            raise RateLimitError(
+                f"{self.spec.name}: feeding lanes need {lane_rate:.1f} "
+                f"Mbps, above the {lane_limit_mbps:.1f} Mbps I/O limit"
+            )
+
+    def serialize(self, lanes, output_rate_gbps: float,
+                  lane_limit_mbps: float = 400.0) -> np.ndarray:
+        """Serialize a (factor, n_words) lane array into one stream."""
+        self.check_rates(output_rate_gbps, lane_limit_mbps)
+        lanes = np.asarray(lanes).astype(np.uint8)
+        if lanes.ndim != 2 or lanes.shape[0] != self.factor:
+            raise ConfigurationError(
+                f"{self.spec.name} expects shape ({self.factor}, n); "
+                f"got {lanes.shape}"
+            )
+        # Round-robin: column-major interleave.
+        return lanes.T.reshape(-1).copy()
+
+    def deserialize(self, stream) -> np.ndarray:
+        """Inverse of :meth:`serialize`."""
+        stream = np.asarray(stream).astype(np.uint8)
+        if len(stream) % self.factor != 0:
+            raise ConfigurationError(
+                f"stream length {len(stream)} is not a multiple of "
+                f"{self.factor}"
+            )
+        return stream.reshape(-1, self.factor).T.copy()
+
+    def lanes_for_stream(self, bits) -> np.ndarray:
+        """Lane layout whose serialization reproduces *bits*.
+
+        For the single-stage serializer this is plain
+        deserialization; the name matches
+        :meth:`TwoStageSerializer.lanes_for_stream` so callers can
+        lay out lanes without knowing the topology.
+        """
+        return self.deserialize(bits)
+
+
+class TwoStageSerializer:
+    """The mini-tester's 16-lane, two-stage serializer (Figure 15).
+
+    "Two groups of eight such signals are multiplexed to form two
+    independent data sources at higher speeds (up to 2.5 Gbps).
+    These are then combined in a second-stage multiplexer to obtain
+    double the final signal (up to 5.0 Gbps)."
+    """
+
+    def __init__(self, first_stage: SerializerSpec = SerializerSpec(),
+                 second_stage: MuxSpec = MuxSpec()):
+        self.stage_a = ParallelToSerial(first_stage)
+        self.stage_b = ParallelToSerial(first_stage)
+        self.mux = Mux2to1(second_stage)
+
+    @property
+    def total_lanes(self) -> int:
+        """Total DLC lanes consumed (two groups of N)."""
+        return self.stage_a.factor + self.stage_b.factor
+
+    @property
+    def jitter_budget(self) -> JitterBudget:
+        """Combined contribution of both stages.
+
+        The two first-stage serializers run in parallel paths, so
+        their bounded skew does not double; the budget takes one
+        first-stage contribution plus the final mux.
+        """
+        return self.stage_a.jitter_budget.combined(self.mux.jitter_budget)
+
+    def required_lane_rate_mbps(self, output_rate_gbps: float) -> float:
+        """Per-lane DLC rate for a target final output rate."""
+        half_rate = output_rate_gbps / 2.0
+        return self.stage_a.required_lane_rate_mbps(half_rate)
+
+    def serialize(self, lanes, output_rate_gbps: float,
+                  lane_limit_mbps: float = 400.0) -> np.ndarray:
+        """Serialize a (2N, n_words) array to the final stream.
+
+        The final stream interleaves the two groups' streams, so the
+        original serial order is group-A bit, group-B bit, ... —
+        lanes must be loaded accordingly (even serial bits across
+        group A, odd across group B), which
+        :meth:`split_serial_stream` produces.
+        """
+        lanes = np.asarray(lanes).astype(np.uint8)
+        if lanes.ndim != 2 or lanes.shape[0] != self.total_lanes:
+            raise ConfigurationError(
+                f"two-stage serializer expects shape ({self.total_lanes}, "
+                f"n); got {lanes.shape}"
+            )
+        half_rate = output_rate_gbps / 2.0
+        n = self.stage_a.factor
+        stream_a = self.stage_a.serialize(lanes[:n], half_rate,
+                                          lane_limit_mbps)
+        stream_b = self.stage_b.serialize(lanes[n:], half_rate,
+                                          lane_limit_mbps)
+        return self.mux.interleave(stream_a, stream_b, output_rate_gbps)
+
+    def split_serial_stream(self, bits) -> np.ndarray:
+        """Arrange a serial stream into the (2N, n_words) lane layout
+        whose re-serialization reproduces the stream."""
+        bits = np.asarray(bits).astype(np.uint8)
+        n = self.stage_a.factor
+        group = 2 * n
+        if len(bits) % group != 0:
+            raise ConfigurationError(
+                f"stream length {len(bits)} is not a multiple of {group}"
+            )
+        a_bits, b_bits = self.mux.deinterleave(bits)
+        lanes_a = self.stage_a.deserialize(a_bits)
+        lanes_b = self.stage_b.deserialize(b_bits)
+        return np.vstack([lanes_a, lanes_b])
+
+    def lanes_for_stream(self, bits) -> np.ndarray:
+        """Alias of :meth:`split_serial_stream` (common interface)."""
+        return self.split_serial_stream(bits)

@@ -1,0 +1,132 @@
+"""Timing generator: per-pin edge formatting.
+
+Section 2 lists "PECL multiplexers, timing generators, and sampling
+circuits" as the performance layer. A timing generator turns one
+data bit per cycle into formatted edges: the classic ATE pin formats
+(NRZ, RZ/R1 pulses, surround-by-complement) with programmable
+leading/trailing edge placement — each edge positioned by a delay
+line at 10 ps resolution.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pecl.delay import ProgrammableDelayLine
+from repro._units import unit_interval_ps
+
+
+class PinFormat(enum.Enum):
+    """Standard ATE drive formats."""
+
+    NRZ = "nrz"
+    """Non-return-to-zero: the data value holds the whole cycle."""
+
+    RZ = "rz"
+    """Return-to-zero: a 1 drives a pulse between the edges; 0 stays
+    low."""
+
+    R1 = "r1"
+    """Return-to-one: a 0 drives a low pulse; 1 stays high."""
+
+    SBC = "sbc"
+    """Surround-by-complement: the complement drives outside the
+    edge window, the data inside (maximally stressful format)."""
+
+
+class TimingGenerator:
+    """Formats a data stream into edge-placed drive bits.
+
+    Parameters
+    ----------
+    fmt:
+        Pin format.
+    leading_delay, trailing_delay:
+        Delay lines placing the two edges inside the cycle.
+    """
+
+    def __init__(self, fmt: PinFormat = PinFormat.NRZ,
+                 leading_delay: Optional[ProgrammableDelayLine] = None,
+                 trailing_delay: Optional[ProgrammableDelayLine] = None):
+        self.fmt = fmt
+        self.leading_delay = leading_delay or ProgrammableDelayLine()
+        self.trailing_delay = trailing_delay or ProgrammableDelayLine()
+
+    def set_edges(self, leading_ps: float, trailing_ps: float,
+                  period_ps: float) -> None:
+        """Program the edge positions within the cycle.
+
+        Both must land inside the period with the leading edge
+        first.
+        """
+        if not 0.0 <= leading_ps < trailing_ps <= period_ps:
+            raise ConfigurationError(
+                f"need 0 <= leading ({leading_ps}) < trailing "
+                f"({trailing_ps}) <= period ({period_ps})"
+            )
+        self.leading_delay.set_code(
+            self.leading_delay.code_for_delay(
+                self.leading_delay.insertion_delay + leading_ps
+            )
+        )
+        self.trailing_delay.set_code(
+            self.trailing_delay.code_for_delay(
+                self.trailing_delay.insertion_delay + trailing_ps
+            )
+        )
+
+    def edge_positions(self) -> tuple:
+        """(leading, trailing) placement inside the cycle, ps."""
+        lead = (self.leading_delay.actual_delay()
+                - self.leading_delay.insertion_delay)
+        trail = (self.trailing_delay.actual_delay()
+                 - self.trailing_delay.insertion_delay)
+        return lead, trail
+
+    def format_cycle(self, bit: int, subcycle_times: np.ndarray
+                     ) -> np.ndarray:
+        """The drive value over one cycle at the given offsets (ps)."""
+        lead, trail = self.edge_positions()
+        t = np.asarray(subcycle_times, dtype=np.float64)
+        in_window = (t >= lead) & (t < trail)
+        bit = int(bit) & 1
+        if self.fmt is PinFormat.NRZ:
+            return np.full(len(t), bit, dtype=np.uint8)
+        if self.fmt is PinFormat.RZ:
+            return np.where(in_window & bool(bit), 1, 0).astype(np.uint8)
+        if self.fmt is PinFormat.R1:
+            return np.where(in_window & (not bit), 0, 1).astype(np.uint8)
+        if self.fmt is PinFormat.SBC:
+            return np.where(in_window, bit, 1 - bit).astype(np.uint8)
+        raise ConfigurationError(f"unknown format {self.fmt!r}")
+
+    def format_stream(self, bits, cycle_ps: float,
+                      resolution_ps: float = 50.0) -> np.ndarray:
+        """Format a whole data stream at sub-cycle resolution.
+
+        Returns the drive stream sampled every *resolution_ps*
+        (which must divide the cycle).
+        """
+        if cycle_ps <= 0.0:
+            raise ConfigurationError("cycle must be positive")
+        steps = cycle_ps / resolution_ps
+        if abs(steps - round(steps)) > 1e-9 or steps < 1:
+            raise ConfigurationError(
+                f"resolution {resolution_ps} ps must divide the "
+                f"cycle {cycle_ps} ps"
+            )
+        n_steps = int(round(steps))
+        offsets = resolution_ps * np.arange(n_steps)
+        out = []
+        for bit in np.asarray(bits).astype(np.uint8):
+            out.append(self.format_cycle(int(bit), offsets))
+        return np.concatenate(out)
+
+    def effective_pulse_width(self) -> float:
+        """Width of the formatted pulse window, ps."""
+        lead, trail = self.edge_positions()
+        return trail - lead

@@ -1,0 +1,136 @@
+"""Waveform measurements: crossings, transition times, swing.
+
+These mirror the oscilloscope measurements reported in the paper:
+20-80% rise/fall times (Figures 6 and 18), amplitude swing and logic
+levels (Figures 10 and 11), and threshold-crossing instants used by
+jitter and eye metrology.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.signal.waveform import Waveform
+
+
+def threshold_crossings(waveform: Waveform, threshold: float,
+                        direction: str = "both") -> np.ndarray:
+    """Linearly interpolated times where the waveform crosses *threshold*.
+
+    Parameters
+    ----------
+    direction:
+        ``"rising"``, ``"falling"``, or ``"both"``.
+    """
+    if direction not in ("rising", "falling", "both"):
+        raise MeasurementError(f"unknown crossing direction {direction!r}")
+    v = waveform.values
+    above = v > threshold
+    change = np.flatnonzero(np.diff(above.astype(np.int8)) != 0)
+    if len(change) == 0:
+        return np.empty(0)
+    v0 = v[change]
+    v1 = v[change + 1]
+    frac = (threshold - v0) / (v1 - v0)
+    times = waveform.t0 + waveform.dt * (change + frac)
+    if direction == "rising":
+        return times[v1 > v0]
+    if direction == "falling":
+        return times[v1 < v0]
+    return times
+
+
+def _levels_for_transition(waveform: Waveform) -> Tuple[float, float]:
+    """Estimate settled low/high levels from the record extremes.
+
+    Uses the 2nd/98th percentiles so a little overshoot or noise does
+    not skew the reference levels.
+    """
+    v = waveform.values
+    lo = float(np.percentile(v, 2.0))
+    hi = float(np.percentile(v, 98.0))
+    if hi - lo <= 0.0:
+        raise MeasurementError("waveform has no swing; cannot find levels")
+    return lo, hi
+
+
+def rise_time(waveform: Waveform, low_frac: float = 0.2,
+              high_frac: float = 0.8) -> float:
+    """20-80% rise time (ps) of the first rising transition.
+
+    The reference levels default to 20%/80% of the settled swing, as
+    in the paper's measurements.
+    """
+    lo, hi = _levels_for_transition(waveform)
+    swing = hi - lo
+    t_low = threshold_crossings(waveform, lo + low_frac * swing, "rising")
+    t_high = threshold_crossings(waveform, lo + high_frac * swing, "rising")
+    if len(t_low) == 0 or len(t_high) == 0:
+        raise MeasurementError("no complete rising transition in record")
+    # Pair each low crossing with the first high crossing after it.
+    for tl in t_low:
+        later = t_high[t_high > tl]
+        if len(later):
+            return float(later[0] - tl)
+    raise MeasurementError("rising transition never completes")
+
+
+def fall_time(waveform: Waveform, low_frac: float = 0.2,
+              high_frac: float = 0.8) -> float:
+    """80-20% fall time (ps) of the first falling transition."""
+    lo, hi = _levels_for_transition(waveform)
+    swing = hi - lo
+    t_high = threshold_crossings(waveform, lo + high_frac * swing, "falling")
+    t_low = threshold_crossings(waveform, lo + low_frac * swing, "falling")
+    if len(t_low) == 0 or len(t_high) == 0:
+        raise MeasurementError("no complete falling transition in record")
+    for th in t_high:
+        later = t_low[t_low > th]
+        if len(later):
+            return float(later[0] - th)
+    raise MeasurementError("falling transition never completes")
+
+
+def measure_swing(waveform: Waveform) -> Tuple[float, float, float]:
+    """Return ``(v_low, v_high, swing)`` from level histograms.
+
+    Levels are taken as the modes of the lower and upper halves of
+    the voltage histogram — the scope's "top/base" measurement.
+    """
+    v = waveform.values
+    if len(v) < 4:
+        raise MeasurementError("record too short to measure swing")
+    mid = 0.5 * (float(v.min()) + float(v.max()))
+    low_samples = v[v <= mid]
+    high_samples = v[v > mid]
+    if len(low_samples) == 0 or len(high_samples) == 0:
+        raise MeasurementError("waveform does not occupy two levels")
+
+    def _mode(samples: np.ndarray) -> float:
+        hist, edges = np.histogram(samples, bins=64)
+        k = int(np.argmax(hist))
+        return float(0.5 * (edges[k] + edges[k + 1]))
+
+    v_low = _mode(low_samples)
+    v_high = _mode(high_samples)
+    return v_low, v_high, v_high - v_low
+
+
+def transition_density(bits) -> float:
+    """Fraction of bit boundaries at which the data changes.
+
+    PRBS data approaches 0.5; clock-like data is 1.0.
+    """
+    bits = np.asarray(bits).astype(np.int8)
+    if len(bits) < 2:
+        raise MeasurementError("need at least two bits")
+    return float(np.mean(np.diff(bits) != 0))
+
+
+def overshoot(waveform: Waveform) -> float:
+    """Fractional overshoot above the settled high level."""
+    v_low, v_high, swing = measure_swing(waveform)
+    return max(0.0, (waveform.max() - v_high) / swing)

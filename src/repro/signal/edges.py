@@ -1,0 +1,116 @@
+"""Edge synthesis with controlled 20-80% rise/fall times.
+
+The paper reports 20-80% transition times (70-75 ps for the optical
+test bed's SiGe buffers, 120 ps for the mini-tester I/O buffers).
+These functions generate transition shapes whose *measured* 20-80%
+time equals the requested value.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class EdgeShape(enum.Enum):
+    """Analytic shapes available for a logic transition."""
+
+    ERF = "erf"
+    """Gaussian-response edge: v = erf-shaped. Typical of cascaded
+    bandwidth-limited buffers (central-limit behaviour)."""
+
+    EXPONENTIAL = "exponential"
+    """Single-pole RC response. Slower tails than erf."""
+
+    LINEAR = "linear"
+    """Ideal linear ramp (used for idealized timing analysis)."""
+
+
+# For an erf edge v(t) = 0.5*(1+erf(t/(sqrt(2)*sigma))), the 20-80%
+# time is 2*sqrt(2)*erfinv(0.6)*sigma.
+_ERF_2080_FACTOR = 2.0 * math.sqrt(2.0) * 0.5951160814499948  # erfinv(0.6)
+
+# For a single-pole edge v(t) = 1-exp(-t/tau), t20=tau*ln(1/0.8),
+# t80=tau*ln(1/0.2) -> t2080 = tau*ln(4).
+_EXP_2080_FACTOR = math.log(4.0)
+
+
+def edge_profile(t: np.ndarray, t20_80: float,
+                 shape: EdgeShape = EdgeShape.ERF) -> np.ndarray:
+    """Normalized 0->1 transition centered at t=0.
+
+    Parameters
+    ----------
+    t:
+        Time axis in ps, with t=0 at the 50% crossing.
+    t20_80:
+        Desired 20-80% transition time in ps. Zero gives a step.
+    shape:
+        Analytic edge shape.
+    """
+    t = np.asarray(t, dtype=np.float64)
+    if t20_80 < 0.0:
+        raise ConfigurationError(f"transition time must be >= 0, got {t20_80}")
+    if t20_80 == 0.0:
+        return (t >= 0.0).astype(np.float64)
+    if shape is EdgeShape.ERF:
+        from scipy.special import erf
+
+        sigma = t20_80 / _ERF_2080_FACTOR
+        return 0.5 * (1.0 + erf(t / (math.sqrt(2.0) * sigma)))
+    if shape is EdgeShape.EXPONENTIAL:
+        tau = t20_80 / _EXP_2080_FACTOR
+        # Shift so the 50% point sits at t=0: 1-exp(-t/tau)=0.5 at
+        # t = tau*ln2.
+        ts = t + tau * math.log(2.0)
+        out = np.where(ts >= 0.0, 1.0 - np.exp(-np.maximum(ts, 0.0) / tau), 0.0)
+        return out
+    if shape is EdgeShape.LINEAR:
+        # 20-80% spans 0.6 of the swing, so the full ramp is
+        # t20_80/0.6 long, centered at t=0.
+        full = t20_80 / 0.6
+        return np.clip(t / full + 0.5, 0.0, 1.0)
+    raise ConfigurationError(f"unknown edge shape {shape!r}")
+
+
+def synthesize_edge(t20_80: float, rising: bool = True,
+                    shape: EdgeShape = EdgeShape.ERF,
+                    dt: float = 1.0, padding: float = 3.0):
+    """Return (times, values) for a single normalized transition.
+
+    The record spans ``padding * t20_80`` before and after the 50%
+    point (minimum 5 ps on each side so a zero-rise-time step still
+    has flat regions).
+    """
+    from repro.signal.waveform import Waveform
+
+    half_span = max(padding * t20_80, 5.0)
+    n = int(round(2.0 * half_span / dt)) + 1
+    t = -half_span + dt * np.arange(n)
+    v = edge_profile(t, t20_80, shape)
+    if not rising:
+        v = 1.0 - v
+    return Waveform(v, dt=dt, t0=-half_span)
+
+
+def sigma_for_erf_edge(t20_80: float) -> float:
+    """Gaussian sigma of an erf edge with the given 20-80% time."""
+    if t20_80 <= 0.0:
+        raise ConfigurationError(f"transition time must be > 0, got {t20_80}")
+    return t20_80 / _ERF_2080_FACTOR
+
+
+def combine_rise_times(*t20_80s: float) -> float:
+    """RSS-combine cascaded stage transition times.
+
+    Cascaded Gaussian-response stages combine in root-sum-square:
+    the output 20-80% time is sqrt(sum of squares) of the stages'.
+
+    >>> round(combine_rise_times(30.0, 40.0), 3)
+    50.0
+    """
+    return math.sqrt(sum(t * t for t in t20_80s))

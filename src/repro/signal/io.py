@@ -1,0 +1,77 @@
+"""Waveform and datalog persistence.
+
+Plain-text interchange: waveforms as two-column CSV (time_ps,
+volts) — the format scopes export and SI tools import — and datalog
+CSV via :meth:`repro.host.results.Datalog.to_csv`.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signal.waveform import Waveform
+
+
+def save_waveform_csv(waveform: Waveform,
+                      destination: Union[str, TextIO]) -> int:
+    """Write a waveform as ``time_ps,volts`` CSV; returns rows.
+
+    Parameters
+    ----------
+    destination:
+        File path or open text stream.
+    """
+    times = waveform.times()
+    values = waveform.values
+    lines = ["time_ps,volts"]
+    lines.extend(f"{t:.6g},{v:.9g}" for t, v in zip(times, values))
+    text = "\n".join(lines) + "\n"
+    if isinstance(destination, str):
+        with open(destination, "w") as f:
+            f.write(text)
+    else:
+        destination.write(text)
+    return len(values)
+
+
+def load_waveform_csv(source: Union[str, TextIO]) -> Waveform:
+    """Read a ``time_ps,volts`` CSV back into a waveform.
+
+    The time column must be uniformly spaced (scope exports are);
+    non-uniform spacing raises :class:`ConfigurationError`.
+    """
+    if isinstance(source, str):
+        with open(source) as f:
+            text = f.read()
+    else:
+        text = source.read()
+    lines = [ln.strip() for ln in text.splitlines() if ln.strip()]
+    if not lines or not lines[0].lower().startswith("time"):
+        raise ConfigurationError("missing 'time_ps,volts' header")
+    rows = lines[1:]
+    if len(rows) < 2:
+        raise ConfigurationError("need at least two samples")
+    data = np.array([
+        [float(x) for x in row.split(",")] for row in rows
+    ])
+    if data.shape[1] != 2:
+        raise ConfigurationError("expected exactly two columns")
+    times, values = data[:, 0], data[:, 1]
+    dts = np.diff(times)
+    dt = float(np.median(dts))
+    if dt <= 0.0 or np.any(np.abs(dts - dt) > 1e-6 * max(dt, 1.0)):
+        raise ConfigurationError("time axis is not uniformly spaced")
+    return Waveform(values, dt=dt, t0=float(times[0]))
+
+
+def roundtrip_equal(a: Waveform, b: Waveform,
+                    atol: float = 1e-6) -> bool:
+    """True when two waveforms match within tolerance."""
+    return (len(a) == len(b)
+            and abs(a.dt - b.dt) < atol
+            and abs(a.t0 - b.t0) < atol
+            and bool(np.allclose(a.values, b.values, atol=atol)))

@@ -1,0 +1,274 @@
+"""Jitter models: random, deterministic, duty-cycle, and periodic.
+
+The paper decomposes timing noise implicitly: Figure 9 measures a
+*single* repeated transition (24 ps p-p, 3.2 ps rms — random jitter
+only, "not including data dependent effects"), while the eye diagrams
+(Figures 7, 8, 16, 17, 19) show ~47-50 ps p-p at the crossover, which
+adds data-dependent (deterministic) jitter. These classes inject each
+component as a per-edge timing offset.
+
+All jitter classes implement ``offsets(edge_times, directions, bits
+_before, rng)`` returning one time offset (ps) per edge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Dual-Dirac Q factor for BER 1e-12 (standard jitter arithmetic).
+Q_BER_1E12 = 7.034
+
+
+class JitterModel:
+    """Base interface: produce per-edge timing offsets in ps."""
+
+    def offsets(self, edge_times: np.ndarray, directions: np.ndarray,
+                history: np.ndarray,
+                rng: np.random.Generator) -> np.ndarray:
+        """Return a timing offset in ps for every edge.
+
+        Parameters
+        ----------
+        edge_times:
+            Nominal edge times in ps.
+        directions:
+            +1 for rising, -1 for falling, one per edge.
+        history:
+            For each edge, a small integer encoding the preceding bit
+            pattern (used by data-dependent models).
+        rng:
+            Random generator for stochastic components.
+        """
+        raise NotImplementedError
+
+    def peak_to_peak(self, n_edges: int = 1000) -> float:
+        """Expected peak-to-peak contribution over *n_edges* edges."""
+        raise NotImplementedError
+
+
+class RandomJitter(JitterModel):
+    """Unbounded Gaussian (random) jitter.
+
+    Parameters
+    ----------
+    rms:
+        One-sigma jitter in ps. The paper's Figure 9 implies about
+        3.2 ps rms for the clock + logic path.
+    """
+
+    def __init__(self, rms: float):
+        if rms < 0.0:
+            raise ConfigurationError(f"rms jitter must be >= 0, got {rms}")
+        self.rms = float(rms)
+
+    def offsets(self, edge_times, directions, history, rng):
+        return rng.normal(0.0, self.rms, size=len(edge_times))
+
+    def peak_to_peak(self, n_edges: int = 1000) -> float:
+        """Expected p-p of *n_edges* Gaussian samples (~2*sqrt(2 ln n))."""
+        if n_edges < 2 or self.rms == 0.0:
+            return 0.0
+        return 2.0 * math.sqrt(2.0 * math.log(n_edges)) * self.rms
+
+    def __repr__(self) -> str:
+        return f"RandomJitter(rms={self.rms} ps)"
+
+
+class DeterministicJitter(JitterModel):
+    """Bounded data-dependent jitter (dual-Dirac model).
+
+    Each edge is advanced or retarded by half the peak-to-peak value
+    depending on the preceding bit history — a standard stand-in for
+    inter-symbol interference when no explicit channel is simulated.
+    """
+
+    def __init__(self, peak_to_peak: float, history_bits: int = 2):
+        if peak_to_peak < 0.0:
+            raise ConfigurationError(
+                f"p-p jitter must be >= 0, got {peak_to_peak}"
+            )
+        if history_bits < 1:
+            raise ConfigurationError("history_bits must be >= 1")
+        self.pp = float(peak_to_peak)
+        self.history_bits = int(history_bits)
+
+    def offsets(self, edge_times, directions, history, rng):
+        # Parity of the recent bit history picks the Dirac component:
+        # edges preceded by "dense" transitions arrive early, edges
+        # after long runs arrive late (the classic ISI signature).
+        h = np.asarray(history, dtype=np.int64)
+        parity = np.zeros(len(h), dtype=np.float64)
+        hh = h.copy()
+        for _ in range(self.history_bits):
+            parity += hh & 1
+            hh >>= 1
+        sign = np.where(parity >= (self.history_bits / 2.0), 1.0, -1.0)
+        return sign * (self.pp / 2.0)
+
+    def peak_to_peak(self, n_edges: int = 1000) -> float:
+        return self.pp
+
+    def __repr__(self) -> str:
+        return f"DeterministicJitter(pp={self.pp} ps)"
+
+
+class DutyCycleDistortion(JitterModel):
+    """Rising and falling edges shifted in opposite directions."""
+
+    def __init__(self, peak_to_peak: float):
+        if peak_to_peak < 0.0:
+            raise ConfigurationError(
+                f"p-p DCD must be >= 0, got {peak_to_peak}"
+            )
+        self.pp = float(peak_to_peak)
+
+    def offsets(self, edge_times, directions, history, rng):
+        return np.asarray(directions, dtype=np.float64) * (self.pp / 2.0)
+
+    def peak_to_peak(self, n_edges: int = 1000) -> float:
+        return self.pp
+
+    def __repr__(self) -> str:
+        return f"DutyCycleDistortion(pp={self.pp} ps)"
+
+
+class PeriodicJitter(JitterModel):
+    """Sinusoidal jitter, e.g. from supply ripple or spurious coupling."""
+
+    def __init__(self, peak_to_peak: float, frequency_ghz: float,
+                 phase: float = 0.0):
+        if peak_to_peak < 0.0:
+            raise ConfigurationError(
+                f"p-p PJ must be >= 0, got {peak_to_peak}"
+            )
+        if frequency_ghz <= 0.0:
+            raise ConfigurationError(
+                f"PJ frequency must be > 0, got {frequency_ghz}"
+            )
+        self.pp = float(peak_to_peak)
+        self.frequency_ghz = float(frequency_ghz)
+        self.phase = float(phase)
+
+    def offsets(self, edge_times, directions, history, rng):
+        t = np.asarray(edge_times, dtype=np.float64)
+        # frequency in GHz == cycles per ns; edge times are ps.
+        omega = 2.0 * math.pi * self.frequency_ghz / 1000.0
+        return (self.pp / 2.0) * np.sin(omega * t + self.phase)
+
+    def peak_to_peak(self, n_edges: int = 1000) -> float:
+        return self.pp
+
+    def __repr__(self) -> str:
+        return (f"PeriodicJitter(pp={self.pp} ps, "
+                f"f={self.frequency_ghz} GHz)")
+
+
+class CompositeJitter(JitterModel):
+    """Sum of independent jitter components."""
+
+    def __init__(self, components: Sequence[JitterModel]):
+        self.components = list(components)
+
+    def offsets(self, edge_times, directions, history, rng):
+        total = np.zeros(len(edge_times), dtype=np.float64)
+        for comp in self.components:
+            total += comp.offsets(edge_times, directions, history, rng)
+        return total
+
+    def peak_to_peak(self, n_edges: int = 1000) -> float:
+        # Deterministic parts add linearly; this is a (conservative)
+        # linear sum, the convention used for total-jitter budgets.
+        return sum(c.peak_to_peak(n_edges) for c in self.components)
+
+    def __repr__(self) -> str:
+        return f"CompositeJitter({self.components!r})"
+
+
+@dataclasses.dataclass(frozen=True)
+class JitterBudget:
+    """A jitter budget in the standard RJ/DJ decomposition.
+
+    Attributes
+    ----------
+    rj_rms:
+        Random jitter sigma in ps.
+    dj_pp:
+        Data-dependent (deterministic) jitter p-p in ps.
+    dcd_pp:
+        Duty-cycle distortion p-p in ps.
+    pj_pp:
+        Periodic jitter p-p in ps.
+    pj_frequency_ghz:
+        Periodic jitter frequency (only meaningful if pj_pp > 0).
+    """
+
+    rj_rms: float = 0.0
+    dj_pp: float = 0.0
+    dcd_pp: float = 0.0
+    pj_pp: float = 0.0
+    pj_frequency_ghz: float = 0.1
+
+    def __post_init__(self):
+        for name in ("rj_rms", "dj_pp", "dcd_pp", "pj_pp"):
+            if getattr(self, name) < 0.0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    def build(self) -> CompositeJitter:
+        """Materialize the budget as a :class:`CompositeJitter`."""
+        parts: list[JitterModel] = []
+        if self.rj_rms > 0.0:
+            parts.append(RandomJitter(self.rj_rms))
+        if self.dj_pp > 0.0:
+            parts.append(DeterministicJitter(self.dj_pp))
+        if self.dcd_pp > 0.0:
+            parts.append(DutyCycleDistortion(self.dcd_pp))
+        if self.pj_pp > 0.0:
+            parts.append(PeriodicJitter(self.pj_pp, self.pj_frequency_ghz))
+        return CompositeJitter(parts)
+
+    def total_pp(self, n_edges: int = 1000) -> float:
+        """Expected total p-p jitter over *n_edges* observations."""
+        rj = RandomJitter(self.rj_rms).peak_to_peak(n_edges)
+        return rj + self.dj_pp + self.dcd_pp + self.pj_pp
+
+    def total_tj_at_ber(self, ber: float = 1e-12) -> float:
+        """Dual-Dirac total jitter TJ = DJ + 2*Q(ber)*RJ."""
+        if not 0.0 < ber < 0.5:
+            raise ConfigurationError(f"BER must be in (0, 0.5), got {ber}")
+        from scipy.special import erfcinv
+
+        q = math.sqrt(2.0) * erfcinv(2.0 * ber)
+        return (self.dj_pp + self.dcd_pp + self.pj_pp
+                + 2.0 * q * self.rj_rms)
+
+    def combined(self, other: "JitterBudget") -> "JitterBudget":
+        """Combine two budgets: RJ in RSS, bounded parts linearly."""
+        return JitterBudget(
+            rj_rms=math.hypot(self.rj_rms, other.rj_rms),
+            dj_pp=self.dj_pp + other.dj_pp,
+            dcd_pp=self.dcd_pp + other.dcd_pp,
+            pj_pp=self.pj_pp + other.pj_pp,
+            pj_frequency_ghz=self.pj_frequency_ghz,
+        )
+
+
+def measure_rms(offsets: np.ndarray) -> float:
+    """RMS (sigma) of a set of timing offsets, mean removed."""
+    offsets = np.asarray(offsets, dtype=np.float64)
+    if len(offsets) == 0:
+        return 0.0
+    return float(np.std(offsets))
+
+
+def measure_peak_to_peak(offsets: np.ndarray) -> float:
+    """Peak-to-peak of a set of timing offsets."""
+    offsets = np.asarray(offsets, dtype=np.float64)
+    if len(offsets) == 0:
+        return 0.0
+    return float(offsets.max() - offsets.min())

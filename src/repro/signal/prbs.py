@@ -1,0 +1,98 @@
+"""Pseudo-random binary sequence utilities.
+
+The DLC generates its test patterns with LFSRs (the paper's eye
+diagrams use "a pseudo-random bit pattern produced by an LFSR in the
+DLC"). This module provides the standard PRBS polynomials and a fast
+software generator used by both the DLC model (``repro.dlc.lfsr``)
+and test equipment models (``repro.instruments.bert``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Standard PRBS feedback tap pairs (x^n + x^m + 1), keyed by order.
+PRBS_POLYNOMIALS: Dict[int, Tuple[int, int]] = {
+    7: (7, 6),
+    9: (9, 5),
+    11: (11, 9),
+    15: (15, 14),
+    23: (23, 18),
+    31: (31, 28),
+}
+
+
+def prbs_bits(order: int, length: int, seed: int = 1) -> np.ndarray:
+    """Generate *length* bits of a PRBS-*order* sequence.
+
+    Parameters
+    ----------
+    order:
+        PRBS order; must be one of :data:`PRBS_POLYNOMIALS`.
+    length:
+        Number of bits to produce.
+    seed:
+        Nonzero initial LFSR state.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of 0/1 ``uint8`` values.
+    """
+    if order not in PRBS_POLYNOMIALS:
+        raise ConfigurationError(
+            f"unsupported PRBS order {order}; choose from "
+            f"{sorted(PRBS_POLYNOMIALS)}"
+        )
+    if length < 0:
+        raise ConfigurationError(f"length must be >= 0, got {length}")
+    if seed <= 0 or seed >= (1 << order):
+        raise ConfigurationError(
+            f"seed must be in [1, 2^{order}-1], got {seed}"
+        )
+    tap_a, tap_b = PRBS_POLYNOMIALS[order]
+    state = seed
+    out = np.empty(length, dtype=np.uint8)
+    mask = (1 << order) - 1
+    # Fibonacci LFSR, shifting left: for x^n + x^m + 1 the feedback
+    # is the XOR of state bits n-1 and m-1 (0-indexed from the LSB).
+    shift_a = tap_a - 1
+    shift_b = tap_b - 1
+    for i in range(length):
+        bit = ((state >> shift_a) ^ (state >> shift_b)) & 1
+        state = ((state << 1) | bit) & mask
+        out[i] = bit
+    return out
+
+
+def prbs_period(order: int) -> int:
+    """The repetition period of a maximal-length PRBS of *order*.
+
+    >>> prbs_period(7)
+    127
+    """
+    if order not in PRBS_POLYNOMIALS:
+        raise ConfigurationError(f"unsupported PRBS order {order}")
+    return (1 << order) - 1
+
+
+def run_length_histogram(bits: np.ndarray) -> Dict[int, int]:
+    """Histogram of run lengths (consecutive identical bits).
+
+    A maximal-length PRBS has a characteristic run-length
+    distribution; tests use this to validate generator correctness.
+    """
+    bits = np.asarray(bits)
+    if len(bits) == 0:
+        return {}
+    change = np.flatnonzero(np.diff(bits.astype(np.int8)) != 0)
+    boundaries = np.concatenate(([-1], change, [len(bits) - 1]))
+    runs = np.diff(boundaries)
+    hist: Dict[int, int] = {}
+    for r in runs:
+        hist[int(r)] = hist.get(int(r), 0) + 1
+    return hist

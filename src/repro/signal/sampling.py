@@ -1,0 +1,116 @@
+"""Sampling and bit decision.
+
+Models the receive side of a test channel: strobe a waveform at
+programmed instants, compare against a decision threshold, and
+recover bits. The PECL sampler model in ``repro.pecl.sampler`` builds
+on these primitives and adds strobe-placement resolution and aperture
+jitter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.signal.waveform import Waveform
+from repro._units import unit_interval_ps
+
+
+def sample_waveform(waveform: Waveform, times: np.ndarray) -> np.ndarray:
+    """Sample *waveform* voltage at the given instants (ps)."""
+    return waveform.values_at(np.asarray(times, dtype=np.float64))
+
+
+def decide_bits(waveform: Waveform, rate_gbps: float,
+                threshold: float, sample_offset_ui: float = 0.5,
+                n_bits: Optional[int] = None,
+                t_first_bit: float = 0.0) -> np.ndarray:
+    """Recover a bit sequence from an NRZ waveform.
+
+    Parameters
+    ----------
+    waveform:
+        The analog record.
+    rate_gbps:
+        Data rate; bit cells are ``1000/rate`` ps wide.
+    threshold:
+        Decision voltage.
+    sample_offset_ui:
+        Where in the bit cell to strobe (0.5 = cell center).
+    n_bits:
+        How many bits to recover; default: as many whole cells as fit.
+    t_first_bit:
+        Time (ps) at which bit cell 0 begins.
+    """
+    ui = unit_interval_ps(rate_gbps)
+    if not 0.0 <= sample_offset_ui <= 1.0:
+        raise ConfigurationError(
+            f"sample offset must be in [0, 1] UI, got {sample_offset_ui}"
+        )
+    if n_bits is None:
+        n_bits = int((waveform.t_end - t_first_bit) // ui)
+    if n_bits <= 0:
+        raise MeasurementError("waveform too short to recover any bits")
+    strobe_times = t_first_bit + ui * (np.arange(n_bits) + sample_offset_ui)
+    samples = sample_waveform(waveform, strobe_times)
+    return (samples > threshold).astype(np.uint8)
+
+
+class Sampler:
+    """A strobed comparator with optional aperture jitter.
+
+    Parameters
+    ----------
+    threshold:
+        Decision voltage in volts.
+    aperture_rms:
+        RMS strobe-placement jitter in ps (sampler aperture).
+    hysteresis:
+        Comparator hysteresis band in volts; inputs within
+        ``threshold +/- hysteresis/2`` retain the previous decision.
+    """
+
+    def __init__(self, threshold: float = 0.0, aperture_rms: float = 0.0,
+                 hysteresis: float = 0.0):
+        if aperture_rms < 0.0:
+            raise ConfigurationError(
+                f"aperture jitter must be >= 0, got {aperture_rms}"
+            )
+        if hysteresis < 0.0:
+            raise ConfigurationError(
+                f"hysteresis must be >= 0, got {hysteresis}"
+            )
+        self.threshold = float(threshold)
+        self.aperture_rms = float(aperture_rms)
+        self.hysteresis = float(hysteresis)
+        self._last_decision = 0
+
+    def strobe(self, waveform: Waveform, times: np.ndarray,
+               rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Strobe the waveform at *times* and return 0/1 decisions."""
+        times = np.asarray(times, dtype=np.float64)
+        if self.aperture_rms > 0.0:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            times = times + rng.normal(0.0, self.aperture_rms,
+                                       size=len(times))
+        volts = sample_waveform(waveform, times)
+        if self.hysteresis == 0.0:
+            out = (volts > self.threshold).astype(np.uint8)
+            if len(out):
+                self._last_decision = int(out[-1])
+            return out
+        hi = self.threshold + self.hysteresis / 2.0
+        lo = self.threshold - self.hysteresis / 2.0
+        out = np.empty(len(volts), dtype=np.uint8)
+        state = self._last_decision
+        for i, v in enumerate(volts):
+            if v > hi:
+                state = 1
+            elif v < lo:
+                state = 0
+            out[i] = state
+        self._last_decision = state
+        return out

@@ -1,0 +1,121 @@
+"""Spectral analysis of waveforms.
+
+The lab's second instrument after the sampling scope: a spectrum
+view. Used to check the serialized data's sinc-shaped spectrum, find
+clock feedthrough spurs from the mux stages, and measure the duty-
+cycle-distortion signature (even harmonics of a clock pattern).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.signal.waveform import Waveform
+
+
+def power_spectrum(waveform: Waveform,
+                   window: str = "hann") -> Tuple[np.ndarray, np.ndarray]:
+    """One-sided power spectrum of a waveform.
+
+    Returns
+    -------
+    (frequencies_ghz, power):
+        Frequency axis in GHz and linear power per bin (mean-removed
+        input, window-compensated).
+    """
+    v = waveform.values
+    if len(v) < 8:
+        raise MeasurementError("record too short for a spectrum")
+    x = v - v.mean()
+    if window == "hann":
+        w = np.hanning(len(x))
+    elif window == "rect":
+        w = np.ones(len(x))
+    else:
+        raise MeasurementError(f"unknown window {window!r}")
+    x = x * w / (np.sum(w) / len(w))
+    spectrum = np.fft.rfft(x)
+    power = (np.abs(spectrum) ** 2) / (len(x) ** 2)
+    power[1:] *= 2.0  # fold negative frequencies
+    # dt is ps -> sample rate in THz; axis in GHz.
+    freqs_ghz = np.fft.rfftfreq(len(x), d=waveform.dt) * 1_000.0
+    return freqs_ghz, power
+
+
+def spectral_peak(waveform: Waveform,
+                  f_min_ghz: float = 0.0,
+                  f_max_ghz: float = None) -> Tuple[float, float]:
+    """Largest spectral line in a band: (frequency_ghz, power)."""
+    freqs, power = power_spectrum(waveform)
+    if f_max_ghz is None:
+        f_max_ghz = float(freqs[-1])
+    mask = (freqs >= f_min_ghz) & (freqs <= f_max_ghz)
+    if not mask.any():
+        raise MeasurementError("no spectral bins in the requested band")
+    idx = np.flatnonzero(mask)[np.argmax(power[mask])]
+    return float(freqs[idx]), float(power[idx])
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockSpectrum:
+    """Harmonic analysis of a clock-like waveform.
+
+    Attributes
+    ----------
+    fundamental_ghz:
+        Measured fundamental frequency.
+    fundamental_power:
+        Linear power of the fundamental.
+    even_odd_ratio_db:
+        Power of the 2nd harmonic relative to the fundamental, dB.
+        An ideal 50% clock has no even harmonics; duty-cycle
+        distortion raises them.
+    """
+
+    fundamental_ghz: float
+    fundamental_power: float
+    even_odd_ratio_db: float
+
+
+def analyze_clock(waveform: Waveform,
+                  expected_ghz: float) -> ClockSpectrum:
+    """Find the fundamental near *expected_ghz* and grade the DCD.
+
+    The second-harmonic-to-fundamental ratio is the classic
+    frequency-domain duty-cycle measurement.
+    """
+    if expected_ghz <= 0.0:
+        raise MeasurementError("expected frequency must be positive")
+    freqs, power = power_spectrum(waveform)
+    f0, p0 = spectral_peak(waveform, 0.7 * expected_ghz,
+                           1.3 * expected_ghz)
+    # Second harmonic within a band around 2*f0.
+    band = (freqs >= 1.7 * f0) & (freqs <= 2.3 * f0)
+    if not band.any():
+        raise MeasurementError("record too short to see the 2nd harmonic")
+    p2 = float(power[band].max())
+    ratio_db = 10.0 * np.log10(max(p2, 1e-30) / max(p0, 1e-30))
+    return ClockSpectrum(
+        fundamental_ghz=f0,
+        fundamental_power=p0,
+        even_odd_ratio_db=ratio_db,
+    )
+
+
+def occupied_bandwidth(waveform: Waveform,
+                       fraction: float = 0.99) -> float:
+    """Bandwidth containing *fraction* of the signal power, GHz."""
+    if not 0.0 < fraction < 1.0:
+        raise MeasurementError("fraction must be in (0, 1)")
+    freqs, power = power_spectrum(waveform)
+    total = power.sum()
+    if total <= 0.0:
+        raise MeasurementError("no AC power in the record")
+    cumulative = np.cumsum(power) / total
+    idx = int(np.searchsorted(cumulative, fraction))
+    idx = min(idx, len(freqs) - 1)
+    return float(freqs[idx])

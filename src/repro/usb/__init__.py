@@ -1,0 +1,37 @@
+"""USB control channel between the PC and the DLC.
+
+"A personal computer communicates through a Universal Serial Bus
+(USB) with the DLC, and provides high-level control of the tests."
+The model is transaction-level: packets with real CRCs, a device
+with control/bulk endpoints (the DLC's microcontroller), a host
+controller, and the register/pattern command protocol riding on
+bulk transfers.
+"""
+
+from repro.usb.packets import (
+    PID,
+    TokenPacket,
+    DataPacket,
+    HandshakePacket,
+    crc5,
+    crc16,
+)
+from repro.usb.device import USBDevice, Endpoint, EndpointType
+from repro.usb.host import USBHost
+from repro.usb.protocol import DLCProtocol, DLCFunction, Command
+
+__all__ = [
+    "PID",
+    "TokenPacket",
+    "DataPacket",
+    "HandshakePacket",
+    "crc5",
+    "crc16",
+    "USBDevice",
+    "Endpoint",
+    "EndpointType",
+    "USBHost",
+    "DLCProtocol",
+    "DLCFunction",
+    "Command",
+]

@@ -1,0 +1,188 @@
+"""The DLC's USB device side (the microcontroller).
+
+A device with a control endpoint (enumeration) and a pair of bulk
+endpoints carrying the DLC command protocol. Data toggles, NAK on
+empty reads, and CRC checking behave as on the wire.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.usb.packets import (
+    PID,
+    DataPacket,
+    HandshakePacket,
+    TokenPacket,
+)
+
+
+class EndpointType(enum.Enum):
+    """Transfer types the model supports."""
+
+    CONTROL = "control"
+    BULK = "bulk"
+
+
+class Endpoint:
+    """One device endpoint with its FIFO and data toggle.
+
+    Parameters
+    ----------
+    number:
+        Endpoint number.
+    ep_type:
+        Control or bulk.
+    max_packet:
+        Largest payload accepted per transaction.
+    """
+
+    def __init__(self, number: int, ep_type: EndpointType,
+                 max_packet: int = 64):
+        if not 0 <= number <= 15:
+            raise ProtocolError(f"bad endpoint number {number}")
+        if max_packet < 1:
+            raise ProtocolError("max packet must be >= 1")
+        self.number = int(number)
+        self.ep_type = ep_type
+        self.max_packet = int(max_packet)
+        self.rx_fifo: Deque[bytes] = deque()
+        self.tx_fifo: Deque[bytes] = deque()
+        self.expected_toggle = PID.DATA0
+        self.next_tx_toggle = PID.DATA0
+        self.stalled = False
+
+    def _flip(self, pid: PID) -> PID:
+        return PID.DATA1 if pid is PID.DATA0 else PID.DATA0
+
+    def receive(self, packet: DataPacket) -> HandshakePacket:
+        """Handle an OUT data packet; returns the handshake."""
+        if self.stalled:
+            return HandshakePacket(PID.STALL)
+        if not packet.valid():
+            # Corrupted data gets no handshake on real USB; the model
+            # returns NAK so the host retries.
+            return HandshakePacket(PID.NAK)
+        if len(packet.data) > self.max_packet:
+            raise ProtocolError(
+                f"EP{self.number}: {len(packet.data)} bytes exceed "
+                f"max packet {self.max_packet}"
+            )
+        if packet.pid is not self.expected_toggle:
+            # Duplicate (host missed our ACK): ACK again, drop data.
+            return HandshakePacket(PID.ACK)
+        self.rx_fifo.append(packet.data)
+        self.expected_toggle = self._flip(self.expected_toggle)
+        return HandshakePacket(PID.ACK)
+
+    def transmit(self) -> Optional[DataPacket]:
+        """Produce the next IN data packet, or None to NAK."""
+        if self.stalled or not self.tx_fifo:
+            return None
+        data = self.tx_fifo.popleft()
+        packet = DataPacket(self.next_tx_toggle, data)
+        self.next_tx_toggle = self._flip(self.next_tx_toggle)
+        return packet
+
+    def queue_tx(self, data: bytes) -> None:
+        """Queue device->host data, split to max-packet chunks."""
+        data = bytes(data)
+        for i in range(0, len(data), self.max_packet):
+            self.tx_fifo.append(data[i:i + self.max_packet])
+        if not data:
+            self.tx_fifo.append(b"")
+
+
+class USBDevice:
+    """The DLC board's USB function.
+
+    Parameters
+    ----------
+    address:
+        Bus address (assigned 0 until enumeration).
+    """
+
+    VENDOR_ID = 0x6A5A
+    PRODUCT_ID = 0x0D1C
+
+    def __init__(self, address: int = 0):
+        self.address = int(address)
+        self.configured = False
+        self.endpoints: Dict[int, Endpoint] = {
+            0: Endpoint(0, EndpointType.CONTROL),
+            1: Endpoint(1, EndpointType.BULK),
+            2: Endpoint(2, EndpointType.BULK),
+        }
+        #: Called with each complete bulk OUT payload, may queue a
+        #: reply (the protocol layer installs this).
+        self.on_bulk_out: Optional[Callable[[bytes], None]] = None
+
+    def endpoint(self, number: int) -> Endpoint:
+        """Look up one endpoint."""
+        try:
+            return self.endpoints[number]
+        except KeyError:
+            raise ProtocolError(f"no endpoint {number}") from None
+
+    def handle_token(self, token: TokenPacket,
+                     data: Optional[DataPacket] = None):
+        """Process one transaction from the host.
+
+        Returns a :class:`HandshakePacket` for OUT/SETUP, or a
+        :class:`DataPacket`/None (NAK) for IN.
+        """
+        if not token.valid():
+            raise ProtocolError("token packet failed CRC5")
+        if token.address != self.address:
+            return None  # not for us; bus silence
+        ep = self.endpoint(token.endpoint)
+        if token.pid in (PID.OUT, PID.SETUP):
+            if data is None:
+                raise ProtocolError("OUT/SETUP token without data")
+            if token.pid is PID.SETUP:
+                # SETUP always clears a halt condition (USB 2.0 8.5.3).
+                ep.stalled = False
+                ep.expected_toggle = PID.DATA0
+                handshake = ep.receive(data)
+                if handshake.pid is PID.ACK and ep.rx_fifo:
+                    self._handle_setup(ep)
+                return handshake
+            handshake = ep.receive(data)
+            if handshake.pid is PID.ACK and ep.number != 0 \
+                    and self.on_bulk_out is not None and ep.rx_fifo:
+                self.on_bulk_out(ep.rx_fifo.popleft())
+            return handshake
+        if token.pid is PID.IN:
+            if ep.stalled:
+                return HandshakePacket(PID.STALL)
+            return ep.transmit()
+        raise ProtocolError(f"device cannot handle {token.pid}")
+
+    # -- minimal control requests -----------------------------------------
+
+    SET_ADDRESS = 0x05
+    GET_DESCRIPTOR = 0x06
+    SET_CONFIGURATION = 0x09
+
+    def _handle_setup(self, ep0: Endpoint) -> None:
+        request = ep0.rx_fifo.popleft()
+        if len(request) < 8:
+            raise ProtocolError("setup packet shorter than 8 bytes")
+        b_request = request[1]
+        w_value = request[2] | (request[3] << 8)
+        if b_request == self.SET_ADDRESS:
+            self.address = w_value & 0x7F
+            ep0.queue_tx(b"")
+        elif b_request == self.GET_DESCRIPTOR:
+            ep0.queue_tx(
+                self.VENDOR_ID.to_bytes(2, "little")
+                + self.PRODUCT_ID.to_bytes(2, "little")
+            )
+        elif b_request == self.SET_CONFIGURATION:
+            self.configured = True
+            ep0.queue_tx(b"")
+        else:
+            ep0.stalled = True

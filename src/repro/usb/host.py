@@ -1,0 +1,132 @@
+"""USB host controller: the PC's side of the link.
+
+Issues transactions to one attached device with bounded NAK
+retries, performs the short enumeration dance, and exposes
+control/bulk transfer primitives to the protocol layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.usb.device import USBDevice
+from repro.usb.packets import (
+    PID,
+    DataPacket,
+    HandshakePacket,
+    TokenPacket,
+)
+
+
+class USBHost:
+    """Host controller with one attached device.
+
+    Parameters
+    ----------
+    device:
+        The DLC's USB function.
+    max_retries:
+        NAK retries per transaction before declaring an error.
+    """
+
+    def __init__(self, device: USBDevice, max_retries: int = 8):
+        if max_retries < 1:
+            raise ProtocolError("need >= 1 retry")
+        self.device = device
+        self.max_retries = int(max_retries)
+        self._out_toggle = {}
+        self.transactions = 0
+
+    # -- low-level transactions ----------------------------------------
+
+    def _out(self, endpoint: int, payload: bytes,
+             setup: bool = False) -> None:
+        pid = PID.SETUP if setup else PID.OUT
+        toggle_key = (self.device.address, endpoint)
+        if setup:
+            self._out_toggle[toggle_key] = PID.DATA0
+        toggle = self._out_toggle.get(toggle_key, PID.DATA0)
+        token = TokenPacket(pid, self.device.address, endpoint)
+        data = DataPacket(toggle, payload)
+        for _ in range(self.max_retries):
+            self.transactions += 1
+            handshake = self.device.handle_token(token, data)
+            if handshake is None:
+                raise ProtocolError("device did not respond (address?)")
+            if handshake.pid is PID.STALL:
+                raise ProtocolError(f"EP{endpoint} stalled")
+            if handshake.pid is PID.ACK:
+                self._out_toggle[toggle_key] = (
+                    PID.DATA1 if toggle is PID.DATA0 else PID.DATA0
+                )
+                return
+        raise ProtocolError(
+            f"EP{endpoint} NAKed {self.max_retries} OUT attempts"
+        )
+
+    def _in(self, endpoint: int) -> Optional[bytes]:
+        token = TokenPacket(PID.IN, self.device.address, endpoint)
+        for _ in range(self.max_retries):
+            self.transactions += 1
+            result = self.device.handle_token(token)
+            if isinstance(result, HandshakePacket) \
+                    and result.pid is PID.STALL:
+                raise ProtocolError(f"EP{endpoint} stalled on IN")
+            if isinstance(result, DataPacket):
+                if not result.valid():
+                    continue  # corrupted; retry
+                return result.data
+            # None = NAK; retry.
+        return None
+
+    # -- transfers ----------------------------------------------------------
+
+    def control_transfer(self, request: bytes) -> bytes:
+        """SETUP + IN status/data stage on endpoint 0."""
+        if len(request) < 8:
+            raise ProtocolError("control requests are 8+ bytes")
+        self._out(0, request, setup=True)
+        data = self._in(0)
+        return data if data is not None else b""
+
+    def bulk_out(self, payload: bytes, endpoint: int = 1) -> None:
+        """Send host->device data on a bulk endpoint."""
+        ep = self.device.endpoint(endpoint)
+        for i in range(0, max(len(payload), 1), ep.max_packet):
+            self._out(endpoint, payload[i:i + ep.max_packet])
+
+    def bulk_in(self, endpoint: int = 2,
+                max_packets: int = 64) -> bytes:
+        """Drain device->host data from a bulk endpoint."""
+        chunks = []
+        for _ in range(max_packets):
+            data = self._in(endpoint)
+            if data is None:
+                break
+            chunks.append(data)
+            ep = self.device.endpoint(endpoint)
+            if len(data) < ep.max_packet:
+                break  # short packet ends the transfer
+        return b"".join(chunks)
+
+    # -- enumeration -------------------------------------------------------
+
+    def enumerate(self, new_address: int = 5) -> bytes:
+        """Assign an address, fetch IDs, set the configuration."""
+        if not 1 <= new_address <= 127:
+            raise ProtocolError(f"bad address {new_address}")
+        set_addr = bytes([0x00, USBDevice.SET_ADDRESS,
+                          new_address & 0xFF, 0x00, 0, 0, 0, 0])
+        self._out(0, set_addr, setup=True)
+        self._in(0)  # status stage
+        # Subsequent traffic uses the new address.
+        get_desc = bytes([0x80, USBDevice.GET_DESCRIPTOR, 0, 1, 0, 0, 8, 0])
+        self._out(0, get_desc, setup=True)
+        descriptor = self._in(0) or b""
+        set_cfg = bytes([0x00, USBDevice.SET_CONFIGURATION, 1, 0, 0, 0, 0, 0])
+        self._out(0, set_cfg, setup=True)
+        self._in(0)
+        if not self.device.configured:
+            raise ProtocolError("device refused configuration")
+        return descriptor

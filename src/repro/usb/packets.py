@@ -1,0 +1,146 @@
+"""USB packet structures and checksums.
+
+Transaction-level USB: token packets (IN/OUT/SETUP) protected by
+CRC5, data packets (DATA0/DATA1) protected by CRC16, and handshake
+packets (ACK/NAK/STALL). The CRC polynomials are the real ones, so
+corruption is genuinely detectable in fault-injection tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import ProtocolError
+
+
+class PID(enum.Enum):
+    """Packet identifiers (the subset the DLC link uses)."""
+
+    OUT = 0b0001
+    IN = 0b1001
+    SETUP = 0b1101
+    DATA0 = 0b0011
+    DATA1 = 0b1011
+    ACK = 0b0010
+    NAK = 0b1010
+    STALL = 0b1110
+
+
+def crc5(value: int, n_bits: int = 11) -> int:
+    """USB CRC5 (poly x^5 + x^2 + 1) over *n_bits* of *value*.
+
+    Used on the 11-bit address+endpoint field of token packets.
+    """
+    poly = 0b00101
+    crc = 0b11111
+    for i in range(n_bits):
+        bit = (value >> i) & 1
+        top = (crc >> 4) & 1
+        crc = ((crc << 1) & 0b11111)
+        if bit ^ top:
+            crc ^= poly
+    return crc ^ 0b11111
+
+
+def crc16(data: bytes) -> int:
+    """USB CRC16 (poly x^16 + x^15 + x^2 + 1) over *data*."""
+    poly = 0x8005
+    crc = 0xFFFF
+    for byte in data:
+        for i in range(8):
+            bit = (byte >> i) & 1
+            top = (crc >> 15) & 1
+            crc = (crc << 1) & 0xFFFF
+            if bit ^ top:
+                crc ^= poly
+    return crc ^ 0xFFFF
+
+
+@dataclasses.dataclass(frozen=True)
+class TokenPacket:
+    """IN/OUT/SETUP token.
+
+    Attributes
+    ----------
+    pid:
+        Must be a token PID.
+    address:
+        Device address, 0-127.
+    endpoint:
+        Endpoint number, 0-15.
+    crc:
+        CRC5 over address+endpoint; computed when omitted (None).
+    """
+
+    pid: PID
+    address: int
+    endpoint: int
+    crc: int = None
+
+    def __post_init__(self):
+        if self.pid not in (PID.OUT, PID.IN, PID.SETUP):
+            raise ProtocolError(f"{self.pid} is not a token PID")
+        if not 0 <= self.address <= 127:
+            raise ProtocolError(f"bad device address {self.address}")
+        if not 0 <= self.endpoint <= 15:
+            raise ProtocolError(f"bad endpoint {self.endpoint}")
+        if self.crc is None:
+            object.__setattr__(self, "crc", crc5(self._field()))
+
+    def _field(self) -> int:
+        return self.address | (self.endpoint << 7)
+
+    def valid(self) -> bool:
+        """True when the stored CRC matches the fields."""
+        return self.crc == crc5(self._field())
+
+
+@dataclasses.dataclass(frozen=True)
+class DataPacket:
+    """DATA0/DATA1 payload packet.
+
+    Attributes
+    ----------
+    pid:
+        DATA0 or DATA1 (the alternating toggle).
+    data:
+        Payload bytes.
+    crc:
+        CRC16; computed when omitted (None).
+    """
+
+    pid: PID
+    data: bytes
+    crc: int = None
+
+    def __post_init__(self):
+        if self.pid not in (PID.DATA0, PID.DATA1):
+            raise ProtocolError(f"{self.pid} is not a data PID")
+        object.__setattr__(self, "data", bytes(self.data))
+        if self.crc is None:
+            object.__setattr__(self, "crc", crc16(self.data))
+
+    def valid(self) -> bool:
+        """True when the stored CRC matches the payload."""
+        return self.crc == crc16(self.data)
+
+    def corrupted(self, byte_index: int, bit: int = 0) -> "DataPacket":
+        """A copy with one bit flipped but the old CRC (for fault
+        injection tests)."""
+        if not 0 <= byte_index < len(self.data):
+            raise ProtocolError("corruption index outside payload")
+        mutated = bytearray(self.data)
+        mutated[byte_index] ^= (1 << bit)
+        return DataPacket(self.pid, bytes(mutated), crc=self.crc)
+
+
+@dataclasses.dataclass(frozen=True)
+class HandshakePacket:
+    """ACK/NAK/STALL handshake."""
+
+    pid: PID
+
+    def __post_init__(self):
+        if self.pid not in (PID.ACK, PID.NAK, PID.STALL):
+            raise ProtocolError(f"{self.pid} is not a handshake PID")

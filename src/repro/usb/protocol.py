@@ -1,0 +1,145 @@
+"""The DLC command protocol carried over USB bulk transfers.
+
+Frames are ``[opcode][u16 address][u32 value]`` (7 bytes) host to
+device; replies are ``[opcode][u32 value]``. Three commands cover
+what the paper's host software needs: register write, register read,
+and pattern-vector upload (streamed into the DLC's pattern memory).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from repro.errors import ProtocolError
+from repro.dlc.core import DigitalLogicCore
+from repro.dlc.pattern import PatternMemory
+from repro.usb.device import USBDevice
+from repro.usb.host import USBHost
+
+
+class Command(enum.Enum):
+    """Protocol opcodes."""
+
+    REG_WRITE = 0x01
+    REG_READ = 0x02
+    PATTERN_LOAD = 0x03
+    NOP = 0x00
+
+
+def encode_command(command: Command, address: int = 0,
+                   value: int = 0) -> bytes:
+    """Serialize one command frame."""
+    if not 0 <= address <= 0xFFFF:
+        raise ProtocolError(f"address 0x{address:x} exceeds 16 bits")
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ProtocolError(f"value 0x{value:x} exceeds 32 bits")
+    return (bytes([command.value]) + address.to_bytes(2, "big")
+            + value.to_bytes(4, "big"))
+
+
+def decode_command(frame: bytes):
+    """Parse one command frame into (command, address, value)."""
+    if len(frame) != 7:
+        raise ProtocolError(
+            f"command frames are 7 bytes, got {len(frame)}"
+        )
+    try:
+        command = Command(frame[0])
+    except ValueError:
+        raise ProtocolError(f"unknown opcode 0x{frame[0]:02x}") from None
+    address = int.from_bytes(frame[1:3], "big")
+    value = int.from_bytes(frame[3:7], "big")
+    return command, address, value
+
+
+class DLCFunction:
+    """Device-side protocol handler: frames -> DLC register file.
+
+    Installed as the USB device's bulk-OUT callback; replies go out
+    the bulk-IN endpoint.
+    """
+
+    def __init__(self, device: USBDevice, dlc: DigitalLogicCore,
+                 pattern_memory: PatternMemory = None):
+        self.device = device
+        self.dlc = dlc
+        # Note: an empty PatternMemory is falsy (len 0), so the
+        # presence check must be identity, not truthiness.
+        self.pattern_memory = pattern_memory \
+            if pattern_memory is not None else PatternMemory(32, 4096)
+        self._pattern_buffer: List[int] = []
+        device.on_bulk_out = self._handle_frame
+
+    def _reply(self, command: Command, value: int) -> None:
+        frame = bytes([command.value]) + value.to_bytes(4, "big")
+        self.device.endpoint(2).queue_tx(frame)
+
+    def _handle_frame(self, frame: bytes) -> None:
+        # Bulk payloads may carry several frames back to back.
+        if len(frame) % 7 != 0:
+            raise ProtocolError(
+                f"bulk payload of {len(frame)} bytes is not whole frames"
+            )
+        for i in range(0, len(frame), 7):
+            command, address, value = decode_command(frame[i:i + 7])
+            if command is Command.REG_WRITE:
+                self.dlc.host_write(address, value)
+                self._reply(command, value)
+            elif command is Command.REG_READ:
+                self._reply(command, self.dlc.host_read(address))
+            elif command is Command.PATTERN_LOAD:
+                # address carries the remaining-count; value the vector.
+                self._pattern_buffer.append(value)
+                if address == 0:
+                    self.pattern_memory.load(self._pattern_buffer)
+                    self._pattern_buffer = []
+                self._reply(command, len(self._pattern_buffer))
+            elif command is Command.NOP:
+                self._reply(command, 0)
+
+
+class DLCProtocol:
+    """Host-side API: typed calls -> USB bulk traffic."""
+
+    def __init__(self, host: USBHost):
+        self.host = host
+
+    def _roundtrip(self, frame: bytes) -> int:
+        self.host.bulk_out(frame, endpoint=1)
+        reply = self.host.bulk_in(endpoint=2)
+        if len(reply) < 5:
+            raise ProtocolError(
+                f"short reply ({len(reply)} bytes) from the DLC"
+            )
+        return int.from_bytes(reply[1:5], "big")
+
+    def write_register(self, address: int, value: int) -> None:
+        """Write one DLC register."""
+        echoed = self._roundtrip(
+            encode_command(Command.REG_WRITE, address, value)
+        )
+        if echoed != value:
+            raise ProtocolError(
+                f"write echo mismatch: sent 0x{value:x}, got 0x{echoed:x}"
+            )
+
+    def read_register(self, address: int) -> int:
+        """Read one DLC register."""
+        return self._roundtrip(encode_command(Command.REG_READ, address))
+
+    def load_pattern(self, vectors) -> None:
+        """Stream vectors into the DLC's pattern memory."""
+        vectors = list(vectors)
+        if not vectors:
+            raise ProtocolError("no vectors to load")
+        for k, v in enumerate(vectors):
+            remaining = len(vectors) - 1 - k
+            self._roundtrip(
+                encode_command(Command.PATTERN_LOAD,
+                               min(remaining, 0xFFFF), int(v))
+            )
+
+    def ping(self) -> bool:
+        """NOP round trip; True when the link is alive."""
+        return self._roundtrip(encode_command(Command.NOP)) == 0

@@ -1,0 +1,54 @@
+"""The Data Vortex optical packet switching fabric.
+
+The Optical Test Bed's DUT (Section 3): "an experimental switching
+fabric designed to address the issues associated with interfacing an
+optical packet interconnection network to high-performance computing
+systems" [4, 5]. The fabric is a multi-level minimum-logic network:
+C concentric cylinders of A angles x H heights, with deflection
+routing and no internal buffering ("virtual buffering" = circling a
+cylinder until the way in is clear).
+"""
+
+from repro.vortex.packet import VortexPacket
+from repro.vortex.topology import VortexTopology, NodeAddress
+from repro.vortex.node import RoutingNode, RoutingDecision
+from repro.vortex.fabric import DataVortexFabric, FabricConfig
+from repro.vortex.routing import resolved_height_bits, wants_descent
+from repro.vortex.stats import FabricStats, LatencyRecord
+from repro.vortex.traffic import (
+    BurstyTraffic,
+    HotspotTraffic,
+    LoadPoint,
+    PermutationTraffic,
+    TrafficPattern,
+    UniformTraffic,
+    compare_patterns,
+    load_sweep,
+    run_load_point,
+)
+from repro.vortex.visualize import occupancy_sparkline, render_fabric_ascii
+
+__all__ = [
+    "VortexPacket",
+    "VortexTopology",
+    "NodeAddress",
+    "RoutingNode",
+    "RoutingDecision",
+    "DataVortexFabric",
+    "FabricConfig",
+    "resolved_height_bits",
+    "wants_descent",
+    "FabricStats",
+    "LatencyRecord",
+    "TrafficPattern",
+    "UniformTraffic",
+    "HotspotTraffic",
+    "PermutationTraffic",
+    "BurstyTraffic",
+    "LoadPoint",
+    "run_load_point",
+    "load_sweep",
+    "compare_patterns",
+    "render_fabric_ascii",
+    "occupancy_sparkline",
+]

@@ -1,0 +1,219 @@
+"""Cycle-accurate Data Vortex fabric simulator.
+
+Synchronous slot-time simulation: every cycle each resident packet
+takes exactly one hop (crossing, ingression, or ejection). Inner-
+cylinder traffic has priority — a packet may only descend into a
+node that is free after the inner cylinders have moved — which is
+the deflection-routing discipline that replaces buffering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, FabricError
+from repro.vortex.node import RoutingDecision, RoutingNode
+from repro.vortex.packet import VortexPacket
+from repro.vortex.routing import at_destination, wants_descent
+from repro.vortex.stats import FabricStats
+from repro.vortex.topology import NodeAddress, VortexTopology
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricConfig:
+    """Simulation parameters.
+
+    Attributes
+    ----------
+    n_angles, n_heights:
+        Topology size (cylinder count follows from the heights).
+    slot_time_ps:
+        One hop's duration — the test bed's packet slot time
+        (25.6 ns at the nominal format).
+    """
+
+    n_angles: int = 3
+    n_heights: int = 4
+    slot_time_ps: float = 25_600.0
+
+    def __post_init__(self):
+        if self.slot_time_ps <= 0.0:
+            raise ConfigurationError("slot time must be positive")
+
+
+class DataVortexFabric:
+    """The running fabric: nodes, injection queues, output queues."""
+
+    def __init__(self, config: FabricConfig = FabricConfig()):
+        self.config = config
+        self.topology = VortexTopology(config.n_angles, config.n_heights)
+        self.nodes: Dict[NodeAddress, RoutingNode] = {
+            addr: RoutingNode(addr) for addr in self.topology.nodes()
+        }
+        self.cycle = 0
+        self.injection_queue: Deque[VortexPacket] = deque()
+        self.output_queues: Dict[int, List[VortexPacket]] = {
+            h: [] for h in range(config.n_heights)
+        }
+        self.stats = FabricStats()
+        self._next_packet_id = 0
+        self._inject_angle = 0
+
+    # -- packet entry ------------------------------------------------------
+
+    def submit(self, destination_height: int,
+               payload=None) -> VortexPacket:
+        """Queue a packet for injection; returns the packet object."""
+        if not 0 <= destination_height < self.topology.n_heights:
+            raise ConfigurationError(
+                f"destination {destination_height} outside the fabric's "
+                f"{self.topology.n_heights} heights"
+            )
+        packet = VortexPacket(
+            packet_id=self._next_packet_id,
+            destination_height=destination_height,
+            payload=payload,
+            injected_cycle=self.cycle,
+        )
+        self._next_packet_id += 1
+        self.injection_queue.append(packet)
+        self.stats.submitted += 1
+        return packet
+
+    def submit_slot(self, slot) -> VortexPacket:
+        """Queue a test-bed :class:`PacketSlot` as an optical packet."""
+        packet = VortexPacket.from_slot(slot, self._next_packet_id,
+                                        self.cycle)
+        if packet.destination_height >= self.topology.n_heights:
+            raise ConfigurationError(
+                f"slot address {packet.destination_height} outside the "
+                f"fabric's {self.topology.n_heights} heights"
+            )
+        self._next_packet_id += 1
+        self.injection_queue.append(packet)
+        self.stats.submitted += 1
+        return packet
+
+    # -- the clock ---------------------------------------------------------
+
+    def step(self) -> Dict[int, RoutingDecision]:
+        """Advance one slot time. Returns each moved packet's decision."""
+        topo = self.topology
+        decisions: Dict[int, RoutingDecision] = {}
+        new_occupancy: Dict[NodeAddress, VortexPacket] = {}
+
+        # Inner cylinders first: their moves free (or keep) the nodes
+        # outer packets want to descend into.
+        for c in range(topo.n_cylinders - 1, -1, -1):
+            for addr, node in self.nodes.items():
+                if addr.cylinder != c or not node.occupied:
+                    continue
+                packet = node.release()
+                packet.hops += 1
+                if at_destination(topo, addr, packet.destination_height):
+                    self.output_queues[addr.height].append(packet)
+                    self.stats.record_delivery(packet, self.cycle + 1)
+                    decisions[packet.packet_id] = RoutingDecision.EJECT
+                    continue
+                if wants_descent(topo, addr, packet.destination_height):
+                    target = topo.descend_next(addr)
+                    if (target not in new_occupancy
+                            and not self.nodes[target].occupied):
+                        new_occupancy[target] = packet
+                        decisions[packet.packet_id] = \
+                            RoutingDecision.DESCEND
+                        continue
+                    packet.deflections += 1
+                    self.stats.deflections += 1
+                    decisions[packet.packet_id] = RoutingDecision.DEFLECT
+                else:
+                    decisions[packet.packet_id] = RoutingDecision.CIRCLE
+                target = topo.same_cylinder_next(addr)
+                if target in new_occupancy:
+                    raise FabricError(
+                        f"crossing-link contention at {target}: the "
+                        "crossing pattern must be a permutation"
+                    )
+                new_occupancy[target] = packet
+
+        # Injection into free outermost nodes, round-robin by angle.
+        self._inject(new_occupancy)
+
+        # Commit.
+        for node in self.nodes.values():
+            if node.occupied:
+                raise FabricError(
+                    f"node {node.address} not drained during step"
+                )
+        for addr, packet in new_occupancy.items():
+            self.nodes[addr].accept(packet)
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+        return decisions
+
+    def _inject(self, new_occupancy: Dict[NodeAddress, VortexPacket]
+                ) -> None:
+        if not self.injection_queue:
+            return
+        a0 = self._inject_angle
+        for k in range(self.topology.n_angles):
+            if not self.injection_queue:
+                break
+            angle = (a0 + k) % self.topology.n_angles
+            for height in range(self.topology.n_heights):
+                if not self.injection_queue:
+                    break
+                addr = NodeAddress(0, angle, height)
+                if addr in new_occupancy or self.nodes[addr].occupied:
+                    self.stats.injection_blocks += 1
+                    continue
+                packet = self.injection_queue.popleft()
+                packet.injected_cycle = self.cycle
+                new_occupancy[addr] = packet
+                self.stats.injected += 1
+        self._inject_angle = (a0 + 1) % self.topology.n_angles
+
+    def run(self, n_cycles: int) -> FabricStats:
+        """Step the fabric *n_cycles* times."""
+        if n_cycles < 0:
+            raise ConfigurationError("cycle count must be >= 0")
+        for _ in range(n_cycles):
+            self.step()
+        return self.stats
+
+    def drain(self, max_cycles: int = 10_000) -> FabricStats:
+        """Run until every submitted packet is delivered."""
+        for _ in range(max_cycles):
+            if self.packets_in_flight == 0 and not self.injection_queue:
+                return self.stats
+            self.step()
+        raise FabricError(
+            f"fabric did not drain within {max_cycles} cycles "
+            f"({self.packets_in_flight} packets still in flight)"
+        )
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def packets_in_flight(self) -> int:
+        """Packets currently resident in fabric nodes."""
+        return sum(1 for n in self.nodes.values() if n.occupied)
+
+    def occupancy_by_cylinder(self) -> Dict[int, int]:
+        """Resident packet count per cylinder."""
+        out = {c: 0 for c in range(self.topology.n_cylinders)}
+        for node in self.nodes.values():
+            if node.occupied:
+                out[node.address.cylinder] += 1
+        return out
+
+    def delivered(self, height: Optional[int] = None) -> List[VortexPacket]:
+        """Packets delivered (optionally at one output height)."""
+        if height is not None:
+            return list(self.output_queues[height])
+        out: List[VortexPacket] = []
+        for q in self.output_queues.values():
+            out.extend(q)
+        return out

@@ -1,0 +1,65 @@
+"""One Data Vortex routing node.
+
+A 2x2 all-optical switch point: one packet in residence at most,
+two exits (crossing link / ingression link), and a deflection-
+control input from the inner cylinder that can veto descent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.errors import FabricError
+from repro.vortex.packet import VortexPacket
+from repro.vortex.topology import NodeAddress
+
+
+class RoutingDecision(enum.Enum):
+    """What a node does with its resident packet this cycle."""
+
+    EJECT = "eject"
+    DESCEND = "descend"
+    CIRCLE = "circle"
+    DEFLECT = "deflect"
+    """Wanted to descend but was blocked — circles instead."""
+
+
+@dataclasses.dataclass
+class RoutingNode:
+    """A node with at-most-one resident packet.
+
+    Attributes
+    ----------
+    address:
+        The node's fixed position.
+    packet:
+        The resident packet, if any.
+    """
+
+    address: NodeAddress
+    packet: Optional[VortexPacket] = None
+
+    @property
+    def occupied(self) -> bool:
+        """True when a packet is in residence."""
+        return self.packet is not None
+
+    def accept(self, packet: VortexPacket) -> None:
+        """Take a packet in; a second simultaneous resident is a
+        fabric contention bug."""
+        if self.packet is not None:
+            raise FabricError(
+                f"node {self.address} already holds packet "
+                f"{self.packet.packet_id}; cannot accept "
+                f"{packet.packet_id}"
+            )
+        self.packet = packet
+
+    def release(self) -> VortexPacket:
+        """Hand the resident packet over (node becomes free)."""
+        if self.packet is None:
+            raise FabricError(f"node {self.address} is empty")
+        packet, self.packet = self.packet, None
+        return packet

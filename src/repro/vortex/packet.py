@@ -1,0 +1,68 @@
+"""Optical packets traversing the Data Vortex.
+
+A packet is the optical form of one test-bed slot (see
+:mod:`repro.core.packetformat`): a frame bit, header (routing
+address) bits on their own wavelengths, and the payload riding along
+untouched — the vortex routes on the header only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass
+class VortexPacket:
+    """One packet in flight.
+
+    Attributes
+    ----------
+    packet_id:
+        Unique identifier.
+    destination_height:
+        Target output height (the routing address).
+    payload:
+        Opaque payload bits (carried, never examined).
+    injected_cycle:
+        Fabric cycle at which the packet entered.
+    hops:
+        Total node-to-node hops taken so far.
+    deflections:
+        Times the packet was denied descent and circled instead.
+    """
+
+    packet_id: int
+    destination_height: int
+    payload: Optional[np.ndarray] = None
+    injected_cycle: int = 0
+    hops: int = 0
+    deflections: int = 0
+
+    def __post_init__(self):
+        if self.destination_height < 0:
+            raise ConfigurationError("destination height must be >= 0")
+
+    def latency(self, current_cycle: int) -> int:
+        """Cycles in flight as of *current_cycle*."""
+        return current_cycle - self.injected_cycle
+
+    @classmethod
+    def from_slot(cls, slot, packet_id: int,
+                  injected_cycle: int = 0) -> "VortexPacket":
+        """Build a packet from a test-bed :class:`PacketSlot`.
+
+        The slot's header bits give the destination height; the
+        payload channels are flattened into the optical payload.
+        """
+        payload = np.concatenate(slot.payload) if slot.payload else None
+        return cls(
+            packet_id=packet_id,
+            destination_height=slot.address(),
+            payload=payload,
+            injected_cycle=injected_cycle,
+        )

@@ -1,0 +1,56 @@
+"""Header-bit routing logic of the Data Vortex node.
+
+The node's "minimum logic": compare one bit of the packet's header
+(destination height) against the node's own height and decide —
+descend toward the output, or circle the cylinder. No arithmetic, no
+stored state, which is what makes an all-optical implementation
+possible.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.vortex.topology import VortexTopology, NodeAddress
+
+
+def resolved_height_bits(topology: VortexTopology, height: int,
+                         destination: int, cylinder: int) -> bool:
+    """True if height bits 0..cylinder-1 (MSB first) match the
+    destination — the invariant a packet must satisfy on arrival at
+    *cylinder*."""
+    for c in range(min(cylinder, topology.height_bits)):
+        if topology.height_bit(height, c) != \
+                topology.height_bit(destination, c):
+            return False
+    return True
+
+
+def wants_descent(topology: VortexTopology, addr: NodeAddress,
+                  destination: int) -> bool:
+    """Does a packet at *addr* want the ingression link?
+
+    At cylinder c the packet descends when routing bit c of its
+    current height already matches the destination; otherwise it
+    takes the crossing link (which flips that bit) and tries again
+    next angle.
+    """
+    topology.validate(addr)
+    if not 0 <= destination < topology.n_heights:
+        raise ConfigurationError(
+            f"destination {destination} outside fabric heights"
+        )
+    c = addr.cylinder
+    if c >= topology.n_cylinders - 1:
+        return False  # innermost: circles until ejection
+    if c >= topology.height_bits:
+        return True
+    return (topology.height_bit(addr.height, c)
+            == topology.height_bit(destination, c))
+
+
+def at_destination(topology: VortexTopology, addr: NodeAddress,
+                   destination: int) -> bool:
+    """True when the packet can eject: innermost cylinder, height
+    equal to the destination."""
+    return (addr.cylinder == topology.n_cylinders - 1
+            and addr.height == destination)

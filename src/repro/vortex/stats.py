@@ -1,0 +1,130 @@
+"""Fabric performance statistics.
+
+Latency, throughput, and deflection accounting for the Data Vortex —
+the figures of merit the test bed exists to measure (ref [4] reports
+latency and routing behaviour of the eight-node hardware demo).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyRecord:
+    """One delivered packet's journey summary.
+
+    Attributes
+    ----------
+    packet_id:
+        Which packet.
+    latency_cycles:
+        Injection to delivery, in slot times.
+    hops:
+        Node-to-node hops taken.
+    deflections:
+        Denied descents along the way.
+    destination:
+        Output height reached.
+    """
+
+    packet_id: int
+    latency_cycles: int
+    hops: int
+    deflections: int
+    destination: int
+
+
+class FabricStats:
+    """Mutable counters filled in by the fabric as it runs."""
+
+    def __init__(self):
+        self.submitted = 0
+        self.injected = 0
+        self.injection_blocks = 0
+        self.deflections = 0
+        self.cycles = 0
+        self.records: List[LatencyRecord] = []
+
+    @property
+    def delivered(self) -> int:
+        """Packets that reached their output."""
+        return len(self.records)
+
+    def record_delivery(self, packet, cycle: int) -> None:
+        """Log one delivery (called by the fabric)."""
+        self.records.append(LatencyRecord(
+            packet_id=packet.packet_id,
+            latency_cycles=cycle - packet.injected_cycle,
+            hops=packet.hops,
+            deflections=packet.deflections,
+            destination=packet.destination_height,
+        ))
+
+    # -- summaries ---------------------------------------------------------
+
+    def latencies(self) -> np.ndarray:
+        """Delivered-packet latencies in cycles."""
+        return np.array([r.latency_cycles for r in self.records],
+                        dtype=np.int64)
+
+    def mean_latency(self) -> float:
+        """Average delivery latency in cycles."""
+        lat = self.latencies()
+        if len(lat) == 0:
+            raise MeasurementError("no packets delivered yet")
+        return float(lat.mean())
+
+    def max_latency(self) -> int:
+        """Worst delivery latency in cycles."""
+        lat = self.latencies()
+        if len(lat) == 0:
+            raise MeasurementError("no packets delivered yet")
+        return int(lat.max())
+
+    def mean_latency_ps(self, slot_time_ps: float) -> float:
+        """Average latency in ps for a given slot time."""
+        return self.mean_latency() * slot_time_ps
+
+    def throughput(self) -> float:
+        """Delivered packets per cycle."""
+        if self.cycles == 0:
+            raise MeasurementError("fabric has not run")
+        return self.delivered / self.cycles
+
+    def deflection_rate(self) -> float:
+        """Deflections per delivered packet."""
+        if self.delivered == 0:
+            raise MeasurementError("no packets delivered yet")
+        return self.deflections / self.delivered
+
+    def acceptance_rate(self) -> float:
+        """Injections over injection attempts (1.0 = no backpressure)."""
+        attempts = self.injected + self.injection_blocks
+        if attempts == 0:
+            raise MeasurementError("no injection attempts yet")
+        return self.injected / attempts
+
+    def per_destination_counts(self) -> Dict[int, int]:
+        """Delivered packets per output height."""
+        out: Dict[int, int] = {}
+        for r in self.records:
+            out[r.destination] = out.get(r.destination, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        """Human-readable digest."""
+        if self.delivered == 0:
+            return (f"{self.cycles} cycles, {self.submitted} submitted, "
+                    "0 delivered")
+        return (
+            f"{self.cycles} cycles: {self.delivered}/{self.submitted} "
+            f"delivered, mean latency {self.mean_latency():.2f} cycles, "
+            f"max {self.max_latency()}, "
+            f"{self.deflection_rate():.2f} deflections/packet"
+        )

@@ -1,0 +1,142 @@
+"""Data Vortex topology: C cylinders of A angles x H heights.
+
+The multi-level minimum-logic network of Reed's patent [5]: packets
+enter at the outermost cylinder, progress one angle per hop, and
+work inward one cylinder at a time. Cylinder c resolves bit c (MSB
+first) of the destination height: the same-cylinder "crossing" link
+flips that bit, the ingression link preserves height. The innermost
+cylinder circles packets to their output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class NodeAddress:
+    """Position of one routing node.
+
+    Attributes
+    ----------
+    cylinder:
+        0 = outermost (injection), C-1 = innermost (ejection).
+    angle:
+        Position around the cylinder, [0, A).
+    height:
+        Position along the cylinder axis, [0, H).
+    """
+
+    cylinder: int
+    angle: int
+    height: int
+
+
+class VortexTopology:
+    """The (A, C, H) Data Vortex graph.
+
+    Parameters
+    ----------
+    n_angles:
+        Angles per cylinder (A).
+    n_heights:
+        Heights per cylinder (H); must be a power of two.
+
+    The cylinder count is fixed by the routing scheme:
+    ``C = log2(H) + 1`` — one cylinder per height bit plus the
+    innermost collection cylinder.
+    """
+
+    def __init__(self, n_angles: int, n_heights: int):
+        if n_angles < 1:
+            raise ConfigurationError(f"need >= 1 angle, got {n_angles}")
+        if n_heights < 1 or (n_heights & (n_heights - 1)) != 0:
+            raise ConfigurationError(
+                f"heights must be a power of two, got {n_heights}"
+            )
+        self.n_angles = int(n_angles)
+        self.n_heights = int(n_heights)
+        self.height_bits = self.n_heights.bit_length() - 1
+        self.n_cylinders = self.height_bits + 1
+
+    @property
+    def n_nodes(self) -> int:
+        """Total routing nodes in the fabric."""
+        return self.n_cylinders * self.n_angles * self.n_heights
+
+    def nodes(self) -> Iterator[NodeAddress]:
+        """Every node address, outermost cylinder first."""
+        for c in range(self.n_cylinders):
+            for a in range(self.n_angles):
+                for h in range(self.n_heights):
+                    yield NodeAddress(c, a, h)
+
+    def validate(self, addr: NodeAddress) -> None:
+        """Raise if *addr* is outside the fabric."""
+        if not (0 <= addr.cylinder < self.n_cylinders
+                and 0 <= addr.angle < self.n_angles
+                and 0 <= addr.height < self.n_heights):
+            raise ConfigurationError(f"address {addr} outside fabric")
+
+    # -- link structure ------------------------------------------------
+
+    def routing_bit(self, cylinder: int) -> int:
+        """Which height bit cylinder *cylinder* resolves (MSB first).
+
+        The innermost cylinder resolves nothing (all bits done).
+        """
+        if not 0 <= cylinder < self.n_cylinders:
+            raise ConfigurationError(f"cylinder {cylinder} out of range")
+        return cylinder
+
+    def _bit_mask(self, cylinder: int) -> int:
+        # Bit c counted from the MSB of a height_bits-wide field.
+        return 1 << (self.height_bits - 1 - cylinder)
+
+    def crossing_height(self, cylinder: int, height: int) -> int:
+        """Height after a same-cylinder hop (the crossing pattern).
+
+        In cylinder c the pattern flips routing bit c; the innermost
+        cylinder preserves height (pure circulation).
+        """
+        if cylinder >= self.height_bits:
+            return height
+        return height ^ self._bit_mask(cylinder)
+
+    def same_cylinder_next(self, addr: NodeAddress) -> NodeAddress:
+        """The same-cylinder (deflection/search) link target."""
+        self.validate(addr)
+        return NodeAddress(
+            addr.cylinder,
+            (addr.angle + 1) % self.n_angles,
+            self.crossing_height(addr.cylinder, addr.height),
+        )
+
+    def descend_next(self, addr: NodeAddress) -> NodeAddress:
+        """The ingression link target (one cylinder inward)."""
+        self.validate(addr)
+        if addr.cylinder >= self.n_cylinders - 1:
+            raise ConfigurationError(
+                "innermost cylinder has no ingression link"
+            )
+        return NodeAddress(
+            addr.cylinder + 1,
+            (addr.angle + 1) % self.n_angles,
+            addr.height,
+        )
+
+    def height_bit(self, height: int, cylinder: int) -> int:
+        """Bit *cylinder* (MSB first) of a height value."""
+        if cylinder >= self.height_bits:
+            raise ConfigurationError(
+                f"height has only {self.height_bits} bits"
+            )
+        return (height >> (self.height_bits - 1 - cylinder)) & 1
+
+    def __repr__(self) -> str:
+        return (f"VortexTopology(A={self.n_angles}, "
+                f"C={self.n_cylinders}, H={self.n_heights}, "
+                f"{self.n_nodes} nodes)")

@@ -1,0 +1,56 @@
+"""ASCII visualization of fabric state.
+
+Renders cylinder occupancy as rings of characters — the quick-look
+debugging view for deflection behaviour (hot cylinders show up as
+dense rings).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.vortex.fabric import DataVortexFabric
+
+
+def render_fabric_ascii(fabric: DataVortexFabric) -> str:
+    """One line per (cylinder, height) row; '*' marks occupancy.
+
+    Columns are angles. The outermost (injection) cylinder prints
+    first.
+    """
+    topo = fabric.topology
+    lines: List[str] = []
+    for c in range(topo.n_cylinders):
+        tag = "inject" if c == 0 else (
+            "eject" if c == topo.n_cylinders - 1 else ""
+        )
+        lines.append(f"cylinder {c} {tag}".rstrip())
+        for h in range(topo.n_heights):
+            row = []
+            for a in range(topo.n_angles):
+                from repro.vortex.topology import NodeAddress
+
+                node = fabric.nodes[NodeAddress(c, a, h)]
+                row.append("*" if node.occupied else ".")
+            lines.append(f"  h{h:<2} " + " ".join(row))
+    lines.append(
+        f"in-flight {fabric.packets_in_flight}, "
+        f"queued {len(fabric.injection_queue)}, "
+        f"delivered {fabric.stats.delivered}"
+    )
+    return "\n".join(lines)
+
+
+def occupancy_sparkline(fabric: DataVortexFabric) -> str:
+    """One character per cylinder: density of resident packets."""
+    shades = " .:-=+*#%@"
+    topo = fabric.topology
+    per_cylinder = fabric.occupancy_by_cylinder()
+    capacity = topo.n_angles * topo.n_heights
+    out = []
+    for c in range(topo.n_cylinders):
+        density = per_cylinder[c] / capacity
+        idx = min(len(shades) - 1, int(density * (len(shades) - 1)
+                                       + 0.5))
+        out.append(shades[idx])
+    return "[" + "".join(out) + "]"

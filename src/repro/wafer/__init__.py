@@ -1,0 +1,52 @@
+"""Wafer-level probing environment (Section 4's application).
+
+A wafer map of WLP die with compliant leads, DUTs with BIST, the
+probe card (contact yield, touchdowns), the multi-site parallel test
+scheduler of Figure 13, and the production throughput model behind
+the paper's "increasing production throughput by an order of
+magnitude" claim.
+"""
+
+from repro.wafer.map import WaferMap, Die, DieState
+from repro.wafer.bist import BISTEngine, MISR, BISTResult
+from repro.wafer.dut import WLPDevice, DUTSpec
+from repro.wafer.probe import ProbeCard, Touchdown
+from repro.wafer.scheduler import MultiSiteScheduler, SiteAssignment
+from repro.wafer.throughput import ThroughputModel, ThroughputReport
+from repro.wafer.binning import (
+    BinResult,
+    DEFAULT_BINS,
+    SpeedBin,
+    SpeedBinner,
+)
+from repro.wafer.inkmap import (
+    BinSummary,
+    export_map_file,
+    render_bin_map,
+    summarize,
+)
+
+__all__ = [
+    "WaferMap",
+    "Die",
+    "DieState",
+    "BISTEngine",
+    "MISR",
+    "BISTResult",
+    "WLPDevice",
+    "DUTSpec",
+    "ProbeCard",
+    "Touchdown",
+    "MultiSiteScheduler",
+    "SiteAssignment",
+    "ThroughputModel",
+    "ThroughputReport",
+    "SpeedBin",
+    "SpeedBinner",
+    "BinResult",
+    "DEFAULT_BINS",
+    "BinSummary",
+    "summarize",
+    "render_bin_map",
+    "export_map_file",
+]

@@ -1,0 +1,150 @@
+"""Speed binning of WLP devices.
+
+Production sort does more than pass/fail: parts are graded into
+speed bins by the highest rate at which they still test clean. The
+mini-tester's rate-programmable loopback makes this natural — sweep
+the rate, find the last passing point, assign the bin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProbeError
+from repro.signal.sampling import decide_bits
+from repro.signal.prbs import prbs_bits
+from repro.signal.nrz import bits_to_waveform
+from repro.wafer.dut import WLPDevice
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeedBin:
+    """One bin definition.
+
+    Attributes
+    ----------
+    name:
+        Bin label ("5G", "2G5", "reject").
+    min_rate_gbps:
+        Lowest passing rate qualifying for this bin.
+    """
+
+    name: str
+    min_rate_gbps: float
+
+    def __post_init__(self):
+        if self.min_rate_gbps < 0.0:
+            raise ConfigurationError("bin rate must be >= 0")
+
+
+#: Default bin table for a 5 Gbps product (fastest bin first).
+DEFAULT_BINS: List[SpeedBin] = [
+    SpeedBin("bin1_5G", 5.0),
+    SpeedBin("bin2_4G", 4.0),
+    SpeedBin("bin3_2G5", 2.5),
+    SpeedBin("reject", 0.0),
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class BinResult:
+    """Binning outcome for one device.
+
+    Attributes
+    ----------
+    bin:
+        The assigned bin.
+    max_passing_rate_gbps:
+        Highest rate that tested clean (0 if none).
+    rates_tested:
+        The sweep actually run.
+    """
+
+    bin: SpeedBin
+    max_passing_rate_gbps: float
+    rates_tested: Sequence[float]
+
+
+class SpeedBinner:
+    """Grades DUTs by sweeping the loopback rate.
+
+    Parameters
+    ----------
+    bins:
+        Bin table, fastest first; the last entry is the reject bin.
+    n_bits:
+        Loopback pattern length per rate point.
+    """
+
+    def __init__(self, bins: Optional[List[SpeedBin]] = None,
+                 n_bits: int = 400):
+        bins = list(bins) if bins is not None else list(DEFAULT_BINS)
+        if len(bins) < 2:
+            raise ConfigurationError(
+                "need at least one real bin plus the reject bin"
+            )
+        rates = [b.min_rate_gbps for b in bins]
+        if rates != sorted(rates, reverse=True):
+            raise ConfigurationError(
+                "bins must be ordered fastest to slowest"
+            )
+        if bins[-1].min_rate_gbps != 0.0:
+            raise ConfigurationError(
+                "the last bin must be the reject bin (rate 0)"
+            )
+        if n_bits < 16:
+            raise ConfigurationError("need >= 16 bits per point")
+        self.bins = bins
+        self.n_bits = int(n_bits)
+
+    def _passes_at(self, dut: WLPDevice, rate: float,
+                   seed: int) -> bool:
+        """One rate point: PRBS through the DUT's loopback path."""
+        bits = prbs_bits(7, self.n_bits, seed=1 + seed % 100)
+        wf = bits_to_waveform(bits, rate, v_low=1.6, v_high=2.4,
+                              t20_80=120.0,
+                              rng=np.random.default_rng(seed))
+        try:
+            looped = dut.loopback(wf, rate)
+        except ProbeError:
+            return False
+        threshold = 0.5 * (looped.min() + looped.max())
+        # A collapsed signal (slow die) has no usable swing.
+        if looped.peak_to_peak() < 0.15:
+            return False
+        got = decide_bits(looped, rate, threshold, n_bits=self.n_bits)
+        return bool(np.array_equal(got, bits))
+
+    def grade(self, dut: WLPDevice, seed: int = 0) -> BinResult:
+        """Assign *dut* to a bin.
+
+        BIST must pass at any speed; then the rate sweep runs the
+        bin thresholds fastest-first and stops at the first pass.
+        """
+        if not dut.run_bist(128).passed:
+            return BinResult(bin=self.bins[-1],
+                             max_passing_rate_gbps=0.0,
+                             rates_tested=())
+        tested = []
+        for bin_ in self.bins[:-1]:
+            rate = bin_.min_rate_gbps
+            tested.append(rate)
+            if self._passes_at(dut, rate, seed):
+                return BinResult(bin=bin_,
+                                 max_passing_rate_gbps=rate,
+                                 rates_tested=tuple(tested))
+        return BinResult(bin=self.bins[-1],
+                         max_passing_rate_gbps=0.0,
+                         rates_tested=tuple(tested))
+
+    def bin_distribution(self, duts: Sequence[WLPDevice],
+                         seed: int = 0) -> dict:
+        """Bin counts over a population of devices."""
+        counts = {b.name: 0 for b in self.bins}
+        for k, dut in enumerate(duts):
+            result = self.grade(dut, seed=seed + k)
+            counts[result.bin.name] += 1
+        return counts

@@ -1,0 +1,152 @@
+"""Built-in self-test: LFSR stimulus + MISR signature.
+
+"The complexity of the PCB is minimized by using only a small number
+of signals for each mini-tester, taking advantage of BIST features
+of the DUT." The classic BIST pair: an LFSR generates on-chip
+stimulus, a multiple-input signature register compresses responses;
+the tester only starts the engine and reads the signature.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.dlc.lfsr import LFSR
+
+
+class MISR:
+    """Multiple-input signature register.
+
+    A standard LFSR compactor: each cycle the register shifts with
+    its feedback polynomial and XORs the parallel response word in.
+
+    Parameters
+    ----------
+    width:
+        Register width (also the response word width).
+    taps:
+        Feedback taps as (width, m); defaults to a primitive pair
+        when one is known.
+    """
+
+    def __init__(self, width: int = 16, taps=None):
+        if width < 2:
+            raise ConfigurationError(f"width must be >= 2, got {width}")
+        self.width = int(width)
+        self._mask = (1 << width) - 1
+        if taps is None:
+            standard = {8: (8, 6), 16: (16, 14), 32: (32, 28)}
+            taps = standard.get(width, (width, width - 1))
+        self.taps = taps
+        self._state = 0
+
+    @property
+    def signature(self) -> int:
+        """Current register contents."""
+        return self._state
+
+    def reset(self) -> None:
+        """Clear to the all-zeros seed."""
+        self._state = 0
+
+    def compact(self, word: int) -> int:
+        """Absorb one response word; returns the new signature."""
+        if word & ~self._mask:
+            raise ConfigurationError(
+                f"response word 0x{word:x} wider than {self.width} bits"
+            )
+        fb = ((self._state >> (self.taps[0] - 1))
+              ^ (self._state >> (self.taps[1] - 1))) & 1
+        self._state = (((self._state << 1) | fb) & self._mask) ^ word
+        return self._state
+
+    def compact_stream(self, words) -> int:
+        """Absorb a sequence of words; returns the final signature."""
+        for w in words:
+            self.compact(int(w))
+        return self._state
+
+
+@dataclasses.dataclass(frozen=True)
+class BISTResult:
+    """Outcome of one BIST run.
+
+    Attributes
+    ----------
+    signature:
+        Signature the MISR produced.
+    golden:
+        The expected (fault-free) signature.
+    n_vectors:
+        Patterns applied.
+    """
+
+    signature: int
+    golden: int
+    n_vectors: int
+
+    @property
+    def passed(self) -> bool:
+        """True when the signature matches the golden value."""
+        return self.signature == self.golden
+
+
+class BISTEngine:
+    """The DUT's on-chip self-test engine.
+
+    Parameters
+    ----------
+    response_width:
+        Width of the response bus into the MISR.
+    lfsr_order:
+        Stimulus generator order.
+    fault_mask:
+        Optional "manufacturing defect": an XOR corruption applied
+        to one response word (vector index, bit mask). None = good
+        die.
+    """
+
+    def __init__(self, response_width: int = 16, lfsr_order: int = 15,
+                 fault_mask: Optional[tuple] = None):
+        self.response_width = int(response_width)
+        self.lfsr_order = int(lfsr_order)
+        self.fault_mask = fault_mask
+
+    def _responses(self, n_vectors: int) -> np.ndarray:
+        """Fault-free responses: the DUT's logic is modeled as a
+        deterministic mix of the stimulus words."""
+        lfsr = LFSR(self.lfsr_order, seed=1)
+        words = lfsr.words(n_vectors, self.response_width)
+        mask = (1 << self.response_width) - 1
+        # A simple invertible "combinational logic" stand-in.
+        return np.array(
+            [((w * 2654435761) ^ (w >> 3)) & mask for w in words],
+            dtype=np.int64,
+        )
+
+    def golden_signature(self, n_vectors: int) -> int:
+        """Signature of a fault-free die."""
+        misr = MISR(self.response_width)
+        return misr.compact_stream(self._responses(n_vectors))
+
+    def run(self, n_vectors: int = 256) -> BISTResult:
+        """Run BIST; a configured fault corrupts one response."""
+        if n_vectors < 1:
+            raise ConfigurationError("need >= 1 vector")
+        responses = self._responses(n_vectors)
+        if self.fault_mask is not None:
+            index, bits = self.fault_mask
+            if 0 <= index < n_vectors:
+                responses = responses.copy()
+                responses[index] ^= bits
+        misr = MISR(self.response_width)
+        signature = misr.compact_stream(responses)
+        return BISTResult(
+            signature=signature,
+            golden=self.golden_signature(n_vectors),
+            n_vectors=n_vectors,
+        )

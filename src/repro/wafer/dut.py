@@ -1,0 +1,162 @@
+"""The WLP device under test.
+
+"5 Gbps IC with BIST" (Figure 12): a wafer-level-packaged part whose
+high-speed path the mini-tester exercises through the compliant
+leads, with an on-chip BIST engine for the digital core. A DUT can
+carry defects: a high-speed path that degrades the signal, a BIST
+fault, or open leads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProbeError
+from repro.channel.interposer import CompliantLead
+from repro.signal.waveform import Waveform
+from repro.wafer.bist import BISTEngine, BISTResult
+
+
+@dataclasses.dataclass(frozen=True)
+class DUTSpec:
+    """Device parameters.
+
+    Attributes
+    ----------
+    max_rate_gbps:
+        Rated speed of the high-speed loopback path.
+    n_leads:
+        Compliant lead count.
+    loopback_loss_db:
+        Through-DUT loss of the test path.
+    """
+
+    max_rate_gbps: float = 5.0
+    n_leads: int = 64
+    loopback_loss_db: float = 1.0
+
+    def __post_init__(self):
+        if self.max_rate_gbps <= 0.0:
+            raise ConfigurationError("rated speed must be positive")
+        if self.n_leads < 1:
+            raise ConfigurationError("need >= 1 lead")
+        if self.loopback_loss_db < 0.0:
+            raise ConfigurationError("loss must be >= 0")
+
+
+class WLPDevice:
+    """One wafer-level-packaged DUT.
+
+    Parameters
+    ----------
+    spec:
+        Device parameters.
+    lead:
+        Compliant-lead parasitics (shared by all leads).
+    bist_fault:
+        Optional (vector, bitmask) BIST defect.
+    open_leads:
+        Lead indices with no contact (mechanical defects).
+    speed_derate:
+        Fraction of rated speed this die actually achieves (< 1.0
+        models a slow corner die).
+    """
+
+    def __init__(self, spec: DUTSpec = DUTSpec(),
+                 lead: CompliantLead = CompliantLead(),
+                 bist_fault: Optional[tuple] = None,
+                 open_leads: Optional[set] = None,
+                 speed_derate: float = 1.0):
+        if not 0.0 < speed_derate <= 1.0:
+            raise ConfigurationError(
+                f"speed derate must be in (0, 1], got {speed_derate}"
+            )
+        self.spec = spec
+        self.lead = lead
+        self.bist = BISTEngine(fault_mask=bist_fault)
+        self.open_leads = set(open_leads or ())
+        bad = {i for i in self.open_leads
+               if not 0 <= i < spec.n_leads}
+        if bad:
+            raise ConfigurationError(
+                f"open-lead indices out of range: {sorted(bad)}"
+            )
+        self.speed_derate = float(speed_derate)
+
+    @property
+    def effective_max_rate_gbps(self) -> float:
+        """The speed this individual die sustains."""
+        return self.spec.max_rate_gbps * self.speed_derate
+
+    def lead_contact(self, lead_index: int) -> bool:
+        """True when the lead makes electrical contact."""
+        if not 0 <= lead_index < self.spec.n_leads:
+            raise ProbeError(
+                f"lead {lead_index} out of range "
+                f"[0, {self.spec.n_leads})"
+            )
+        return lead_index not in self.open_leads
+
+    def loopback(self, waveform: Waveform, rate_gbps: float,
+                 lead_index: int = 0,
+                 t_first_bit: float = 0.0) -> Waveform:
+        """Pass the tester's signal through the DUT's test path.
+
+        The on-die loopback is *digital* (a retimed repeater, the
+        usual high-speed DFT structure): the input is sampled at the
+        applied rate, regenerated, and re-driven through the output
+        lead. A die driven beyond its rating misses its internal
+        flip-flop timing — cells are held at the previous value with
+        a probability that grows with the overclock ratio, producing
+        hard functional bit errors rather than a gently smaller
+        swing.
+
+        Parameters
+        ----------
+        t_first_bit:
+            Time at which bit cell 0 of the incoming stream starts.
+        """
+        if not self.lead_contact(lead_index):
+            raise ProbeError(
+                f"lead {lead_index} is open; no signal through the DUT"
+            )
+        from repro.signal.sampling import decide_bits
+        from repro.signal.nrz import NRZEncoder
+        from repro._units import unit_interval_ps
+
+        mid = 0.5 * (waveform.min() + waveform.max())
+        bits = decide_bits(waveform, rate_gbps, mid,
+                           t_first_bit=t_first_bit)
+        # Internal retiming failure past the rating: hold-previous
+        # errors with probability growing as the overclock deepens.
+        over = rate_gbps / self.effective_max_rate_gbps
+        if over > 1.0:
+            p_fail = min(1.0, 3.0 * (over - 1.0))
+            rng = np.random.default_rng(self.spec.n_leads * 7919
+                                        + lead_index)
+            held = rng.random(len(bits)) < p_fail
+            corrupted = bits.copy()
+            for k in np.flatnonzero(held):
+                corrupted[k] = corrupted[k - 1] if k else 0
+            bits = corrupted
+        # Re-drive: the DUT's output buffer between the incoming
+        # rails, then the output lead's loss.
+        gain = 10.0 ** (-self.spec.loopback_loss_db / 20.0)
+        swing = waveform.max() - waveform.min()
+        encoder = NRZEncoder(
+            rate_gbps,
+            v_low=mid - gain * swing / 2.0,
+            v_high=mid + gain * swing / 2.0,
+            t20_80=100.0,
+            dt=waveform.dt,
+        )
+        out = encoder.encode(bits)
+        # encode() puts bit cell 0 at t=0; restore the caller's frame.
+        return out.shifted(t_first_bit)
+
+    def run_bist(self, n_vectors: int = 256) -> BISTResult:
+        """Start the on-chip BIST and return its result."""
+        return self.bist.run(n_vectors)

@@ -1,0 +1,114 @@
+"""Wafer bin-map export.
+
+After sort, the wafer's results travel downstream as a bin map (the
+descendant of physically inking bad dies). This module renders the
+classic ASCII map and the bin-summary block production systems
+exchange.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.wafer.map import DieState, WaferMap
+
+#: Standard single-character codes per die state.
+STATE_CODES: Dict[DieState, str] = {
+    DieState.PASSED: "1",
+    DieState.FAILED: "X",
+    DieState.SKIPPED: "?",
+    DieState.UNTESTED: ".",
+    DieState.TESTING: "~",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class BinSummary:
+    """Counts extracted from one wafer map.
+
+    Attributes
+    ----------
+    total:
+        Dies on the wafer.
+    passed, failed, skipped, untested:
+        Per-state counts.
+    """
+
+    total: int
+    passed: int
+    failed: int
+    skipped: int
+    untested: int
+
+    @property
+    def yield_percent(self) -> float:
+        """Pass yield over tested dies, percent."""
+        tested = self.passed + self.failed
+        if tested == 0:
+            return 0.0
+        return 100.0 * self.passed / tested
+
+
+def summarize(wafer: WaferMap) -> BinSummary:
+    """Count die states across the wafer."""
+    counts = {state: 0 for state in DieState}
+    for die in wafer:
+        counts[die.state] += 1
+    return BinSummary(
+        total=len(wafer),
+        passed=counts[DieState.PASSED],
+        failed=counts[DieState.FAILED],
+        skipped=counts[DieState.SKIPPED],
+        untested=counts[DieState.UNTESTED] + counts[DieState.TESTING],
+    )
+
+
+def render_bin_map(wafer: WaferMap,
+                   codes: Optional[Dict[DieState, str]] = None) -> str:
+    """The ASCII bin map: one character per die, row per y."""
+    codes = codes if codes is not None else STATE_CODES
+    for state in DieState:
+        if state not in codes:
+            raise ConfigurationError(f"no code for state {state}")
+    xs = sorted({d.x for d in wafer})
+    ys = sorted({d.y for d in wafer})
+    if not xs:
+        raise ConfigurationError("wafer has no dies")
+    rows = []
+    for y in reversed(ys):
+        row = "".join(
+            codes[wafer.die_at(x, y).state] if wafer.has_die(x, y)
+            else " "
+            for x in xs
+        )
+        rows.append(row)
+    return "\n".join(rows)
+
+
+def export_map_file(wafer: WaferMap, lot_id: str = "LOT01",
+                    wafer_id: str = "W01") -> str:
+    """A complete map-file text block: header + map + summary.
+
+    The layout follows the spirit of SEMI map formats: identifying
+    header, the die grid, then bin totals.
+    """
+    if not lot_id or not wafer_id:
+        raise ConfigurationError("lot and wafer ids are required")
+    summary = summarize(wafer)
+    header = [
+        f"LOT: {lot_id}",
+        f"WAFER: {wafer_id}",
+        f"DIES: {summary.total}",
+        f"MAP:",
+    ]
+    footer = [
+        "SUMMARY:",
+        f"  pass:     {summary.passed}",
+        f"  fail:     {summary.failed}",
+        f"  skipped:  {summary.skipped}",
+        f"  untested: {summary.untested}",
+        f"  yield:    {summary.yield_percent:.1f}%",
+    ]
+    return "\n".join(header + [render_bin_map(wafer)] + footer) + "\n"

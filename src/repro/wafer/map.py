@@ -1,0 +1,132 @@
+"""Wafer map: the grid of die to be probed.
+
+Dies live on an x/y grid clipped to the wafer circle; each tracks
+its test state. The map feeds the multi-site scheduler and the
+throughput model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ProbeError
+
+
+class DieState(enum.Enum):
+    """Lifecycle of one die during wafer sort."""
+
+    UNTESTED = "untested"
+    TESTING = "testing"
+    PASSED = "passed"
+    FAILED = "failed"
+    SKIPPED = "skipped"
+
+
+@dataclasses.dataclass
+class Die:
+    """One die site.
+
+    Attributes
+    ----------
+    x, y:
+        Grid coordinates (0 at wafer center).
+    state:
+        Test lifecycle state.
+    """
+
+    x: int
+    y: int
+    state: DieState = DieState.UNTESTED
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        """Grid coordinates as a tuple."""
+        return (self.x, self.y)
+
+
+class WaferMap:
+    """All die sites on one wafer.
+
+    Parameters
+    ----------
+    diameter_mm:
+        Wafer diameter (200 mm default).
+    die_width_mm, die_height_mm:
+        Die step sizes.
+    edge_exclusion_mm:
+        Ring near the edge with no full die.
+    """
+
+    def __init__(self, diameter_mm: float = 200.0,
+                 die_width_mm: float = 5.0, die_height_mm: float = 5.0,
+                 edge_exclusion_mm: float = 3.0):
+        if diameter_mm <= 0.0 or die_width_mm <= 0.0 \
+                or die_height_mm <= 0.0:
+            raise ConfigurationError("wafer/die dimensions must be positive")
+        if edge_exclusion_mm < 0.0:
+            raise ConfigurationError("edge exclusion must be >= 0")
+        self.diameter_mm = float(diameter_mm)
+        self.die_width_mm = float(die_width_mm)
+        self.die_height_mm = float(die_height_mm)
+        self.edge_exclusion_mm = float(edge_exclusion_mm)
+        self._dies = {}
+        radius = diameter_mm / 2.0 - edge_exclusion_mm
+        n_x = int(diameter_mm / die_width_mm) + 1
+        n_y = int(diameter_mm / die_height_mm) + 1
+        for ix in range(-n_x, n_x + 1):
+            for iy in range(-n_y, n_y + 1):
+                # A die counts if all four corners are on the wafer.
+                cx = ix * die_width_mm
+                cy = iy * die_height_mm
+                corners = [
+                    (cx + sx * die_width_mm / 2.0,
+                     cy + sy * die_height_mm / 2.0)
+                    for sx in (-1, 1) for sy in (-1, 1)
+                ]
+                if all(math.hypot(px, py) <= radius
+                       for px, py in corners):
+                    self._dies[(ix, iy)] = Die(ix, iy)
+
+    def __len__(self) -> int:
+        return len(self._dies)
+
+    def __iter__(self) -> Iterator[Die]:
+        return iter(sorted(self._dies.values(),
+                           key=lambda d: (d.y, d.x)))
+
+    def die_at(self, x: int, y: int) -> Die:
+        """Look up one die; raises for off-wafer coordinates."""
+        try:
+            return self._dies[(x, y)]
+        except KeyError:
+            raise ProbeError(f"no die at ({x}, {y})") from None
+
+    def has_die(self, x: int, y: int) -> bool:
+        """True if a full die exists at the coordinates."""
+        return (x, y) in self._dies
+
+    def dies_in_state(self, state: DieState) -> List[Die]:
+        """All dies currently in *state*."""
+        return [d for d in self if d.state is state]
+
+    def untested(self) -> List[Die]:
+        """Dies still waiting for test."""
+        return self.dies_in_state(DieState.UNTESTED)
+
+    def yield_fraction(self) -> float:
+        """Passed over tested (passed + failed)."""
+        passed = len(self.dies_in_state(DieState.PASSED))
+        failed = len(self.dies_in_state(DieState.FAILED))
+        tested = passed + failed
+        if tested == 0:
+            raise ProbeError("no dies tested yet")
+        return passed / tested
+
+    def neighbors(self, die: Die, dx: int = 1,
+                  dy: int = 0) -> Optional[Die]:
+        """The die at a grid offset from *die* (None off-wafer)."""
+        key = (die.x + dx, die.y + dy)
+        return self._dies.get(key)

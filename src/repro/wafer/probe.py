@@ -1,0 +1,116 @@
+"""Probe card and touchdown mechanics.
+
+The mini-tester rides "the top side of a multi-layer printed circuit
+board which serves in place of the traditional probe card". The
+model covers touchdowns (stepping the wafer under the card), contact
+yield per touchdown, and the per-touchdown time budget the
+throughput model consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProbeError
+from repro.wafer.map import Die, DieState, WaferMap
+
+
+@dataclasses.dataclass(frozen=True)
+class Touchdown:
+    """One placement of the probe card on the wafer.
+
+    Attributes
+    ----------
+    sites:
+        Die positions under tester sites this touchdown (None for a
+        site hanging off the wafer).
+    index_time_s:
+        Stepping/alignment time consumed.
+    """
+
+    sites: Tuple[Optional[Tuple[int, int]], ...]
+    index_time_s: float
+
+    @property
+    def active_sites(self) -> int:
+        """Sites landing on real die."""
+        return sum(1 for s in self.sites if s is not None)
+
+
+class ProbeCard:
+    """The probe card carrying one or more mini-tester sites.
+
+    Parameters
+    ----------
+    n_sites:
+        Mini-testers on the card (Figure 13's array).
+    site_pitch_x:
+        Die-grid columns between adjacent sites.
+    contact_yield:
+        Probability a touchdown makes good contact at a site.
+    index_time_s:
+        Wafer stepping time per touchdown.
+    """
+
+    def __init__(self, n_sites: int = 1, site_pitch_x: int = 1,
+                 contact_yield: float = 0.995,
+                 index_time_s: float = 0.8):
+        if n_sites < 1:
+            raise ConfigurationError(f"need >= 1 site, got {n_sites}")
+        if site_pitch_x < 1:
+            raise ConfigurationError("site pitch must be >= 1")
+        if not 0.0 < contact_yield <= 1.0:
+            raise ConfigurationError(
+                f"contact yield must be in (0, 1], got {contact_yield}"
+            )
+        if index_time_s <= 0.0:
+            raise ConfigurationError("index time must be positive")
+        self.n_sites = int(n_sites)
+        self.site_pitch_x = int(site_pitch_x)
+        self.contact_yield = float(contact_yield)
+        self.index_time_s = float(index_time_s)
+
+    def plan_touchdowns(self, wafer: WaferMap) -> List[Touchdown]:
+        """Cover every die with the fewest touchdowns.
+
+        Sites sit in a row along x at the configured pitch; the plan
+        rasters the wafer row by row.
+        """
+        dies = {d.position for d in wafer}
+        if not dies:
+            raise ProbeError("wafer has no dies")
+        covered = set()
+        touchdowns: List[Touchdown] = []
+        span = self.n_sites * self.site_pitch_x
+        ys = sorted({y for _, y in dies})
+        for y in ys:
+            xs = sorted(x for x, yy in dies if yy == y)
+            x_cursor = xs[0]
+            while x_cursor <= xs[-1]:
+                sites = []
+                landed = False
+                for s in range(self.n_sites):
+                    pos = (x_cursor + s * self.site_pitch_x, y)
+                    if pos in dies and pos not in covered:
+                        sites.append(pos)
+                        covered.add(pos)
+                        landed = True
+                    else:
+                        sites.append(None)
+                if landed:
+                    touchdowns.append(Touchdown(tuple(sites),
+                                                self.index_time_s))
+                x_cursor += span
+        remaining = dies - covered
+        if remaining:
+            raise ProbeError(
+                f"touchdown plan missed {len(remaining)} dies"
+            )
+        return touchdowns
+
+    def contact_ok(self, rng: np.random.Generator) -> bool:
+        """Bernoulli draw of one site's contact success."""
+        return bool(rng.random() < self.contact_yield)

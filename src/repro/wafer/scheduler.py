@@ -1,0 +1,177 @@
+"""Multi-site parallel test execution (Figure 13).
+
+"The miniature tester may be replicated in array form ... Functional
+testing can then be done in parallel, increasing production
+throughput by an order of magnitude." The scheduler walks the
+touchdown plan, runs every landed site's test concurrently (each
+touchdown costs the *slowest* site's test time, not the sum), and
+writes results into the wafer map.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.wafer.dut import WLPDevice
+from repro.wafer.map import DieState, WaferMap
+from repro.wafer.probe import ProbeCard, Touchdown
+
+
+@dataclasses.dataclass(frozen=True)
+class SiteAssignment:
+    """One site's work during one touchdown.
+
+    Attributes
+    ----------
+    site:
+        Site index on the card.
+    die_position:
+        Which die it landed on.
+    passed:
+        Test outcome (None when contact failed).
+    test_time_s:
+        Time that site's test took.
+    """
+
+    site: int
+    die_position: Tuple[int, int]
+    passed: Optional[bool]
+    test_time_s: float
+
+
+@dataclasses.dataclass
+class SortRun:
+    """Results of probing one wafer.
+
+    Attributes
+    ----------
+    assignments:
+        Every (touchdown, site) outcome.
+    total_time_s:
+        Wall-clock test time including stepping.
+    touchdowns:
+        Touchdowns executed.
+    """
+
+    assignments: List[SiteAssignment]
+    total_time_s: float
+    touchdowns: int
+
+    @property
+    def dies_tested(self) -> int:
+        """Dies with a definite pass/fail."""
+        return sum(1 for a in self.assignments if a.passed is not None)
+
+    @property
+    def dies_passed(self) -> int:
+        """Dies that passed."""
+        return sum(1 for a in self.assignments if a.passed)
+
+    @property
+    def retest_needed(self) -> int:
+        """Sites where contact failed (die left untested)."""
+        return sum(1 for a in self.assignments if a.passed is None)
+
+
+class MultiSiteScheduler:
+    """Runs a wafer sort with an array of mini-testers.
+
+    Parameters
+    ----------
+    card:
+        The probe card (site count, contact yield, stepping time).
+    test_time_s:
+        Nominal per-die test time.
+    dut_factory:
+        Builds the DUT model for a die position (lets callers seed
+        defects); default: all-good dice.
+    """
+
+    def __init__(self, card: ProbeCard, test_time_s: float = 2.0,
+                 dut_factory: Optional[
+                     Callable[[Tuple[int, int]], WLPDevice]] = None):
+        if test_time_s <= 0.0:
+            raise ConfigurationError("test time must be positive")
+        self.card = card
+        self.test_time_s = float(test_time_s)
+        self.dut_factory = dut_factory or (lambda pos: WLPDevice())
+
+    def _test_one(self, dut: WLPDevice,
+                  rng: np.random.Generator) -> Tuple[bool, float]:
+        """One die's test: BIST plus outcome; returns (pass, time)."""
+        result = dut.run_bist(n_vectors=128)
+        # Site-to-site time variation (settling, retries): +/-10%.
+        t = self.test_time_s * float(rng.uniform(0.9, 1.1))
+        return result.passed, t
+
+    def sort_wafer(self, wafer: WaferMap, seed: int = 0) -> SortRun:
+        """Probe the whole wafer; updates die states in place."""
+        rng = np.random.default_rng(seed)
+        plan = self.card.plan_touchdowns(wafer)
+        assignments: List[SiteAssignment] = []
+        total_time = 0.0
+        for touchdown in plan:
+            total_time += touchdown.index_time_s
+            slowest = 0.0
+            for site, pos in enumerate(touchdown.sites):
+                if pos is None:
+                    continue
+                die = wafer.die_at(*pos)
+                die.state = DieState.TESTING
+                if not self.card.contact_ok(rng):
+                    die.state = DieState.SKIPPED
+                    assignments.append(SiteAssignment(
+                        site, pos, None, 0.0
+                    ))
+                    continue
+                dut = self.dut_factory(pos)
+                passed, t = self._test_one(dut, rng)
+                slowest = max(slowest, t)
+                die.state = DieState.PASSED if passed else DieState.FAILED
+                assignments.append(SiteAssignment(site, pos, passed, t))
+            # Parallel sites: the touchdown takes the slowest site.
+            total_time += slowest
+        return SortRun(assignments=assignments, total_time_s=total_time,
+                       touchdowns=len(plan))
+
+    def retest_skipped(self, wafer: WaferMap, seed: int = 1,
+                       max_passes: int = 3) -> SortRun:
+        """Re-probe dies skipped for contact failure.
+
+        Production flow: after the main pass, step back to each
+        skipped die (single-site touchdowns) up to *max_passes*
+        times. Returns the combined retest run.
+        """
+        if max_passes < 1:
+            raise ConfigurationError("need >= 1 retest pass")
+        rng = np.random.default_rng(seed)
+        assignments: List[SiteAssignment] = []
+        total_time = 0.0
+        touchdowns = 0
+        for _ in range(max_passes):
+            skipped = wafer.dies_in_state(DieState.SKIPPED)
+            if not skipped:
+                break
+            for die in skipped:
+                touchdowns += 1
+                total_time += self.card.index_time_s
+                if not self.card.contact_ok(rng):
+                    assignments.append(SiteAssignment(
+                        0, die.position, None, 0.0
+                    ))
+                    continue
+                dut = self.dut_factory(die.position)
+                passed, t = self._test_one(dut, rng)
+                total_time += t
+                die.state = DieState.PASSED if passed \
+                    else DieState.FAILED
+                assignments.append(SiteAssignment(
+                    0, die.position, passed, t
+                ))
+        return SortRun(assignments=assignments,
+                       total_time_s=total_time,
+                       touchdowns=touchdowns)

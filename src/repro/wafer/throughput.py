@@ -1,0 +1,103 @@
+"""Production throughput model for parallel wafer probing.
+
+Quantifies the paper's claim that array-form mini-testers increase
+"production throughput by an order of magnitude": wafers per hour as
+a function of site count, test time, stepping time and die count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class ThroughputReport:
+    """Throughput of one configuration.
+
+    Attributes
+    ----------
+    n_sites:
+        Parallel mini-tester sites.
+    touchdowns:
+        Touchdowns per wafer.
+    wafer_time_s:
+        Time to sort one wafer.
+    wafers_per_hour:
+        The headline number.
+    speedup_vs_single:
+        Ratio against the same parameters at one site.
+    """
+
+    n_sites: int
+    touchdowns: int
+    wafer_time_s: float
+    wafers_per_hour: float
+    speedup_vs_single: float
+
+
+class ThroughputModel:
+    """Analytic wafer-sort throughput.
+
+    Parameters
+    ----------
+    n_dies:
+        Dies per wafer.
+    test_time_s:
+        Per-die test time (dominated by the 5 Gbps functional test
+        plus BIST).
+    index_time_s:
+        Prober stepping time per touchdown.
+    load_time_s:
+        Wafer load/unload overhead.
+    """
+
+    def __init__(self, n_dies: int = 1000, test_time_s: float = 2.0,
+                 index_time_s: float = 0.8, load_time_s: float = 60.0):
+        if n_dies < 1:
+            raise ConfigurationError("need >= 1 die")
+        if test_time_s <= 0.0 or index_time_s <= 0.0 or load_time_s < 0.0:
+            raise ConfigurationError("times must be positive")
+        self.n_dies = int(n_dies)
+        self.test_time_s = float(test_time_s)
+        self.index_time_s = float(index_time_s)
+        self.load_time_s = float(load_time_s)
+
+    def wafer_time(self, n_sites: int) -> float:
+        """Seconds to sort one wafer with *n_sites* parallel sites."""
+        if n_sites < 1:
+            raise ConfigurationError("need >= 1 site")
+        touchdowns = math.ceil(self.n_dies / n_sites)
+        return (self.load_time_s
+                + touchdowns * (self.index_time_s + self.test_time_s))
+
+    def report(self, n_sites: int) -> ThroughputReport:
+        """Full throughput report for *n_sites*."""
+        t = self.wafer_time(n_sites)
+        t1 = self.wafer_time(1)
+        return ThroughputReport(
+            n_sites=n_sites,
+            touchdowns=math.ceil(self.n_dies / n_sites),
+            wafer_time_s=t,
+            wafers_per_hour=3600.0 / t,
+            speedup_vs_single=t1 / t,
+        )
+
+    def sites_for_speedup(self, target: float = 10.0,
+                          max_sites: int = 1024) -> int:
+        """Smallest site count achieving *target* speedup.
+
+        The paper's "order of magnitude" needs roughly 10-16 sites
+        (overheads keep the scaling sublinear).
+        """
+        if target < 1.0:
+            raise ConfigurationError("target speedup must be >= 1")
+        for n in range(1, max_sites + 1):
+            if self.report(n).speedup_vs_single >= target:
+                return n
+        raise ConfigurationError(
+            f"speedup {target}x unreachable within {max_sites} sites "
+            "(fixed overheads dominate)"
+        )

@@ -1,0 +1,103 @@
+"""Tests for waveform measurements."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.signal.analysis import (
+    fall_time,
+    measure_swing,
+    overshoot,
+    rise_time,
+    threshold_crossings,
+    transition_density,
+)
+from repro.signal.edges import synthesize_edge
+from repro.signal.nrz import bits_to_waveform
+from repro.signal.waveform import Waveform
+
+
+class TestThresholdCrossings:
+    def test_single_rising(self):
+        wf = Waveform([0.0, 1.0], dt=10.0)
+        t = threshold_crossings(wf, 0.5, "rising")
+        assert t[0] == pytest.approx(5.0)
+
+    def test_direction_filtering(self):
+        wf = Waveform([0.0, 1.0, 0.0], dt=10.0)
+        assert len(threshold_crossings(wf, 0.5, "rising")) == 1
+        assert len(threshold_crossings(wf, 0.5, "falling")) == 1
+        assert len(threshold_crossings(wf, 0.5, "both")) == 2
+
+    def test_no_crossings(self):
+        wf = Waveform([0.0, 0.1], dt=1.0)
+        assert len(threshold_crossings(wf, 0.5)) == 0
+
+    def test_bad_direction(self):
+        with pytest.raises(MeasurementError):
+            threshold_crossings(Waveform([0.0, 1.0]), 0.5, "sideways")
+
+    def test_t0_offset_included(self):
+        wf = Waveform([0.0, 1.0], dt=10.0, t0=100.0)
+        assert threshold_crossings(wf, 0.5)[0] == pytest.approx(105.0)
+
+
+class TestRiseFall:
+    @pytest.mark.parametrize("t2080", [30.0, 72.0, 120.0])
+    def test_rise_matches_synthesis(self, t2080):
+        wf = synthesize_edge(t2080, rising=True, dt=0.5)
+        assert rise_time(wf) == pytest.approx(t2080, rel=0.05)
+
+    def test_fall_matches_synthesis(self):
+        wf = synthesize_edge(72.0, rising=False, dt=0.5)
+        assert fall_time(wf) == pytest.approx(72.0, rel=0.05)
+
+    def test_paper_figure6_rise_range(self):
+        """Figure 6: 20-80% transitions measured at 70-75 ps."""
+        wf = bits_to_waveform([0, 1, 1, 1], 2.5, t20_80=72.0, dt=0.5)
+        assert 65.0 < rise_time(wf) < 80.0
+
+    def test_no_transition_raises(self):
+        wf = bits_to_waveform([1, 0, 0], 2.5, t20_80=30.0)
+        with pytest.raises(MeasurementError):
+            rise_time(wf.slice_time(wf.t0, 350.0))
+
+    def test_flat_waveform_raises(self):
+        with pytest.raises(MeasurementError):
+            rise_time(Waveform([1.0] * 100))
+
+
+class TestSwing:
+    def test_nominal_levels(self):
+        wf = bits_to_waveform(np.tile([0, 1], 50), 2.5,
+                              v_low=1.6, v_high=2.4, t20_80=30.0)
+        lo, hi, swing = measure_swing(wf)
+        assert lo == pytest.approx(1.6, abs=0.05)
+        assert hi == pytest.approx(2.4, abs=0.05)
+        assert swing == pytest.approx(0.8, abs=0.08)
+
+    def test_short_record_raises(self):
+        with pytest.raises(MeasurementError):
+            measure_swing(Waveform([1.0, 2.0]))
+
+    def test_overshoot_zero_for_clean(self):
+        wf = bits_to_waveform(np.tile([0, 1], 20), 2.5, t20_80=30.0)
+        assert overshoot(wf) == pytest.approx(0.0, abs=0.05)
+
+
+class TestTransitionDensity:
+    def test_clock_pattern(self):
+        assert transition_density(np.tile([0, 1], 20)) == 1.0
+
+    def test_constant(self):
+        assert transition_density(np.ones(10)) == 0.0
+
+    def test_prbs_near_half(self):
+        from repro.signal.prbs import prbs_bits
+
+        density = transition_density(prbs_bits(15, 10000))
+        assert 0.45 < density < 0.55
+
+    def test_single_bit_raises(self):
+        with pytest.raises(MeasurementError):
+            transition_density(np.array([1]))

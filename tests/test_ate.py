@@ -1,0 +1,99 @@
+"""Tests for the cost model and capability comparison."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ate.comparison import compare_systems, cost_summary
+from repro.ate.cost import (
+    BillOfMaterials,
+    CostModel,
+    LineItem,
+    conventional_ate_cost,
+    dlc_testbed_bom,
+    minitester_bom,
+)
+
+
+class TestBOM:
+    def test_line_item_extended(self):
+        assert LineItem("x", 10.0, 3).extended == 30.0
+
+    def test_total(self):
+        bom = BillOfMaterials("b")
+        bom.add("a", 10.0).add("b", 5.0, 2)
+        assert bom.total == 20.0
+
+    def test_per_channel(self):
+        bom = BillOfMaterials("b")
+        bom.add("a", 100.0)
+        assert bom.per_channel(4) == 25.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LineItem("x", -1.0)
+        with pytest.raises(ConfigurationError):
+            LineItem("x", 1.0, 0)
+        with pytest.raises(ConfigurationError):
+            BillOfMaterials("")
+
+    def test_reference_boms_nonempty(self):
+        assert dlc_testbed_bom().total > 1000.0
+        assert minitester_bom().total > 1000.0
+
+    def test_testbed_dominated_by_fpga_and_pcb(self):
+        bom = dlc_testbed_bom()
+        big = {i.part for i in bom.items if i.extended >= 300.0}
+        assert any("FPGA" in p for p in big)
+
+
+class TestCostComparison:
+    def test_ate_cost_scales(self):
+        assert conventional_ate_cost(20) > conventional_ate_cost(10)
+
+    def test_paper_headline_claim(self):
+        """'Significantly lower in cost than conventional ATE':
+        the test-bed must come out several times cheaper per
+        channel."""
+        model = CostModel(dlc_testbed_bom(), n_channels=10)
+        assert model.savings_factor() > 3.0
+
+    def test_replication_amortizes_nre(self):
+        """Figure 13's array: copies pay BOM only, so the per-system
+        cost falls toward the BOM."""
+        model = CostModel(minitester_bom(), n_channels=2,
+                          nre=50_000.0)
+        one = model.replication_cost(1)
+        sixteen = model.replication_cost(16)
+        assert sixteen < 16 * one
+        per_copy_16 = sixteen / 16
+        assert per_copy_16 < 0.3 * one
+
+    def test_cost_summary_keys(self):
+        summary = cost_summary()
+        assert summary["testbed_savings_factor"] > 1.0
+        assert summary["ate_per_channel"] > \
+            summary["testbed_per_channel"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            conventional_ate_cost(0)
+        with pytest.raises(ConfigurationError):
+            CostModel(dlc_testbed_bom(), n_channels=0)
+
+
+class TestCapabilities:
+    def test_dlc_wins_performance_axes(self):
+        rows = {c.axis: c for c in compare_systems()}
+        assert rows["max data rate (Gbps)"].dlc_wins
+        assert rows["timing resolution (ps)"].dlc_wins
+        assert rows["edge placement accuracy (ps)"].dlc_wins
+
+    def test_ate_wins_generality(self):
+        rows = {c.axis: c for c in compare_systems()}
+        assert not rows["channel count"].dlc_wins
+        assert not rows["general-purpose features"].dlc_wins
+
+    def test_rate_parameter(self):
+        rows = compare_systems(mini_rate_gbps=2.0)
+        rate_row = [r for r in rows if "data rate" in r.axis][0]
+        assert not rate_row.dlc_wins

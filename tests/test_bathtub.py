@@ -1,0 +1,71 @@
+"""Tests for bathtub curves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.eye.bathtub import (
+    bathtub_curve,
+    empirical_bathtub,
+    eye_opening_at_ber,
+)
+from repro.signal.jitter import JitterBudget
+
+
+class TestAnalyticBathtub:
+    def test_shape_is_bathtub(self):
+        budget = JitterBudget(rj_rms=3.0, dj_pp=20.0)
+        x, ber = bathtub_curve(budget, 400.0)
+        # High at the edges, low at center.
+        assert ber[0] > 0.1
+        assert ber[-1] > 0.1
+        assert ber[len(ber) // 2] < 1e-12
+
+    def test_symmetry(self):
+        budget = JitterBudget(rj_rms=3.0, dj_pp=10.0)
+        x, ber = bathtub_curve(budget, 400.0, n_points=101)
+        np.testing.assert_allclose(ber, ber[::-1], rtol=1e-6)
+
+    def test_more_rj_widens_tails(self):
+        ui = 400.0
+        _, tight = bathtub_curve(JitterBudget(rj_rms=2.0), ui)
+        _, loose = bathtub_curve(JitterBudget(rj_rms=8.0), ui)
+        mid = len(tight) // 4
+        assert loose[mid] > tight[mid]
+
+    def test_rejects_bad_ui(self):
+        with pytest.raises(MeasurementError):
+            bathtub_curve(JitterBudget(rj_rms=1.0), 0.0)
+
+
+class TestEmpiricalBathtub:
+    def test_matches_deviation_spread(self):
+        rng = np.random.default_rng(0)
+        dev = rng.normal(0.0, 5.0, size=2000)
+        x, ber = empirical_bathtub(dev, 400.0)
+        # At x=0 half the left-edge population violates; the right
+        # edge contributes nothing, so BER = 0.5 * 0.5 = 0.25.
+        assert ber[0] == pytest.approx(0.25, abs=0.05)
+        assert ber[len(ber) // 2] == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            empirical_bathtub(np.array([]), 400.0)
+
+
+class TestOpeningAtBER:
+    def test_matches_paper_style_numbers(self):
+        """RJ 3.2 / DJ 23 at 2.5 Gbps: opening ~0.83 UI at 1e-12
+        (slightly tighter than the scope's visual 0.88)."""
+        budget = JitterBudget(rj_rms=3.2, dj_pp=23.0)
+        opening = eye_opening_at_ber(budget, 400.0)
+        assert 0.78 < opening < 0.88
+
+    def test_closes_at_huge_jitter(self):
+        budget = JitterBudget(rj_rms=50.0, dj_pp=300.0)
+        assert eye_opening_at_ber(budget, 400.0) == 0.0
+
+    def test_scales_with_ui(self):
+        budget = JitterBudget(rj_rms=3.2, dj_pp=23.0)
+        assert eye_opening_at_ber(budget, 1000.0) > \
+            eye_opening_at_ber(budget, 200.0)

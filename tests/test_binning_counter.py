@@ -1,0 +1,113 @@
+"""Tests for speed binning and the frequency counter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.instruments.counter import FrequencyCounter
+from repro.signal.jitter import JitterBudget
+from repro.signal.nrz import bits_to_waveform
+from repro.wafer.binning import (
+    BinResult,
+    DEFAULT_BINS,
+    SpeedBin,
+    SpeedBinner,
+)
+from repro.wafer.dut import WLPDevice
+
+
+class TestSpeedBinner:
+    def test_good_die_gets_top_bin(self):
+        result = SpeedBinner().grade(WLPDevice(), seed=1)
+        assert result.bin.name == "bin1_5G"
+        assert result.max_passing_rate_gbps == 5.0
+
+    def test_slow_die_gets_lower_bin(self):
+        # 60% of 5 Gbps = 3 Gbps: passes 2.5 G, fails 5 and 4 G.
+        slow = WLPDevice(speed_derate=0.6)
+        result = SpeedBinner().grade(slow, seed=1)
+        assert result.bin.name == "bin3_2G5"
+        assert list(result.rates_tested) == [5.0, 4.0, 2.5]
+
+    def test_bist_failure_rejects(self):
+        bad = WLPDevice(bist_fault=(3, 0x1))
+        result = SpeedBinner().grade(bad)
+        assert result.bin.name == "reject"
+        assert result.rates_tested == ()
+
+    def test_dead_die_rejects(self):
+        dead = WLPDevice(speed_derate=0.05)
+        result = SpeedBinner().grade(dead, seed=2)
+        assert result.bin.name == "reject"
+
+    def test_distribution(self):
+        duts = [WLPDevice(), WLPDevice(speed_derate=0.6),
+                WLPDevice(bist_fault=(0, 1))]
+        counts = SpeedBinner().bin_distribution(duts, seed=3)
+        assert counts["bin1_5G"] == 1
+        assert counts["bin3_2G5"] == 1
+        assert counts["reject"] == 1
+
+    def test_bin_table_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpeedBinner(bins=[SpeedBin("only", 1.0)])
+        with pytest.raises(ConfigurationError):
+            SpeedBinner(bins=[SpeedBin("a", 1.0), SpeedBin("b", 2.0),
+                              SpeedBin("reject", 0.0)])
+        with pytest.raises(ConfigurationError):
+            SpeedBinner(bins=[SpeedBin("a", 2.0),
+                              SpeedBin("b", 1.0)])
+
+    def test_default_bins_sane(self):
+        assert DEFAULT_BINS[0].min_rate_gbps == 5.0
+        assert DEFAULT_BINS[-1].name == "reject"
+
+
+class TestFrequencyCounter:
+    def _clock(self, rate=2.5, jitter=None, n=400, seed=0):
+        bits = np.tile([0, 1], n)
+        return bits_to_waveform(
+            bits, rate, t20_80=20.0,
+            jitter=jitter, rng=np.random.default_rng(seed),
+        )
+
+    def test_frequency_of_clean_clock(self):
+        # 0101 at 2.5 Gbps is a 1.25 GHz clock.
+        result = FrequencyCounter().measure(self._clock())
+        assert result.frequency_ghz == pytest.approx(1.25, rel=1e-3)
+        assert result.period_ps == pytest.approx(800.0, rel=1e-3)
+
+    def test_clean_clock_no_jitter(self):
+        result = FrequencyCounter().measure(self._clock())
+        assert result.period_jitter_rms < 0.5
+        assert result.tie_rms < 0.5
+
+    def test_jitter_measured(self):
+        jitter = JitterBudget(rj_rms=4.0).build()
+        result = FrequencyCounter().measure(
+            self._clock(jitter=jitter, seed=3)
+        )
+        # Period jitter of independent edges: sqrt(2) * sigma.
+        assert result.period_jitter_rms == pytest.approx(
+            4.0 * np.sqrt(2.0), rel=0.25
+        )
+        assert result.tie_rms == pytest.approx(4.0, rel=0.3)
+
+    def test_verify_frequency(self):
+        counter = FrequencyCounter()
+        wf = self._clock()
+        assert counter.verify_frequency(wf, 1.25)
+        assert not counter.verify_frequency(wf, 1.30)
+
+    def test_needs_edges(self):
+        flat = bits_to_waveform([1, 1, 1], 2.5)
+        with pytest.raises(MeasurementError):
+            FrequencyCounter().measure(flat)
+
+    def test_bad_expected(self):
+        with pytest.raises(MeasurementError):
+            FrequencyCounter().verify_frequency(self._clock(), -1.0)
+
+    def test_counts_periods(self):
+        result = FrequencyCounter().measure(self._clock(n=100))
+        assert result.n_periods == pytest.approx(99, abs=2)

@@ -1,0 +1,81 @@
+"""Tests for the timing budget and deskew calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.budget import TimingBudget, system_timing_budget
+from repro.core.calibration import DeskewCalibration
+from repro.pecl.serializer import ParallelToSerial
+from repro.pecl.transmitter import PECLTransmitter
+
+
+class TestTimingBudget:
+    def test_paper_claim_met(self):
+        """The default hardware parameters must support the +/-25 ps
+        accuracy the paper demonstrates."""
+        assert system_timing_budget().meets(25.0)
+
+    def test_worst_case_is_linear_sum(self):
+        b = TimingBudget(quantization=5.0, calibration_residual=3.0,
+                         fanout_skew=5.0, drift=2.0, random_rms=3.2)
+        assert b.worst_case() == pytest.approx(5 + 3 + 5 + 2 + 9.6)
+
+    def test_rss_below_worst_case(self):
+        b = system_timing_budget()
+        assert b.rss() < b.worst_case()
+
+    def test_terms_account_for_total(self):
+        b = system_timing_budget()
+        assert sum(b.terms().values()) == pytest.approx(b.worst_case())
+
+    def test_coarser_delay_breaks_claim(self):
+        """With a 39 ps ATE-class vernier the claim would fail —
+        the 10 ps delay line is load-bearing."""
+        coarse = system_timing_budget(delay_step=39.0)
+        assert not coarse.meets(25.0)
+
+    def test_negative_terms_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingBudget(quantization=-1.0)
+
+
+class TestDeskew:
+    def _channels(self, n=5):
+        return {
+            f"ch{i}": PECLTransmitter(ParallelToSerial())
+            for i in range(n)
+        }
+
+    def test_measure_skews(self):
+        cal = DeskewCalibration(self._channels())
+        skews = cal.measure_skews(np.random.default_rng(0))
+        assert len(skews) == 5
+        # Insertion delays sit near 250 ps.
+        for v in skews.values():
+            assert 200.0 < v < 320.0
+
+    def test_deskew_residuals_small(self):
+        cal = DeskewCalibration(self._channels(),
+                                measurement_noise_rms=1.0)
+        residuals = cal.deskew(np.random.default_rng(1))
+        for r in residuals.values():
+            assert abs(r) < 15.0
+
+    def test_alignment_verifies_25ps(self):
+        cal = DeskewCalibration(self._channels())
+        assert cal.verify_alignment(tolerance_ps=25.0,
+                                    rng=np.random.default_rng(2))
+
+    def test_needs_channels(self):
+        with pytest.raises(ConfigurationError):
+            DeskewCalibration({})
+
+    def test_noisier_measurement_worse_alignment(self):
+        quiet = DeskewCalibration(self._channels(),
+                                  measurement_noise_rms=0.1)
+        noisy = DeskewCalibration(self._channels(),
+                                  measurement_noise_rms=8.0)
+        r_quiet = quiet.max_residual(np.random.default_rng(3))
+        r_noisy = noisy.max_residual(np.random.default_rng(3))
+        assert r_noisy > r_quiet

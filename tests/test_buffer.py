@@ -1,0 +1,115 @@
+"""Tests for output buffers (SiGe and mini-tester grades)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pecl.buffer import (
+    BufferSpec,
+    CMOS_BUFFER,
+    MINI_IO_BUFFER,
+    OutputBuffer,
+    SIGE_BUFFER,
+)
+from repro.signal.analysis import measure_swing, rise_time
+from repro.signal.nrz import bits_to_waveform
+from repro.signal.waveform import Waveform
+
+
+class TestSpecs:
+    def test_sige_is_fast(self):
+        assert SIGE_BUFFER.t20_80 == pytest.approx(72.0)
+        assert SIGE_BUFFER.max_rate_gbps >= 5.0
+
+    def test_mini_io_is_slower(self):
+        assert MINI_IO_BUFFER.t20_80 == pytest.approx(120.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BufferSpec("x", -1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            BufferSpec("x", 1.0, 0.0, 0.0, 0.0)
+
+
+class TestDrive:
+    def test_rise_time_matches_spec(self):
+        buf = OutputBuffer(SIGE_BUFFER)
+        wf = buf.drive([0, 1, 1, 1], 2.5, rng=np.random.default_rng(0))
+        assert rise_time(wf) == pytest.approx(72.0, rel=0.1)
+
+    def test_levels_are_pecl(self):
+        buf = OutputBuffer(SIGE_BUFFER)
+        wf = buf.drive(np.tile([0, 1], 40), 2.5,
+                       rng=np.random.default_rng(0))
+        lo, hi, swing = measure_swing(wf)
+        assert swing == pytest.approx(0.8, abs=0.08)
+
+    def test_rate_ceiling(self):
+        buf = OutputBuffer(MINI_IO_BUFFER)
+        with pytest.raises(ConfigurationError):
+            buf.drive([0, 1], 7.0)
+
+    def test_jitter_budget_exposed(self):
+        budget = OutputBuffer(SIGE_BUFFER).jitter_budget
+        assert budget.rj_rms == SIGE_BUFFER.rj_rms
+        assert budget.dj_pp == SIGE_BUFFER.dj_pp
+
+
+class TestEffectiveSwing:
+    def test_full_swing_at_low_rate(self):
+        buf = OutputBuffer(MINI_IO_BUFFER)
+        assert buf.effective_swing(1.0) == pytest.approx(0.8, rel=0.01)
+
+    def test_reduced_swing_at_5g(self):
+        """Figure 18: 120 ps edges limit amplitude at 5 Gbps."""
+        buf = OutputBuffer(MINI_IO_BUFFER)
+        swing_5g = buf.effective_swing(5.0)
+        assert swing_5g < 0.78
+        assert swing_5g > 0.4  # eyes still open (Figure 19)
+
+    def test_monotone_in_rate(self):
+        buf = OutputBuffer(MINI_IO_BUFFER)
+        swings = [buf.effective_swing(r) for r in (1.0, 2.5, 5.0)]
+        assert swings[0] >= swings[1] >= swings[2]
+
+    def test_rendered_waveform_matches_model(self):
+        """The analytic effective swing must match the rendered
+        waveform's measured amplitude at 5 Gbps."""
+        buf = OutputBuffer(MINI_IO_BUFFER)
+        wf = buf.drive(np.tile([0, 1], 100), 5.0,
+                       rng=np.random.default_rng(1))
+        # Exclude the padding/boundary cells: the first and last
+        # edges have extra settling room and reach the full rails.
+        interior = wf.slice_time(5 * 200.0, 195 * 200.0)
+        measured = interior.peak_to_peak()
+        assert measured == pytest.approx(buf.effective_swing(5.0),
+                                         rel=0.2)
+
+
+class TestProcess:
+    def test_regenerates_levels(self):
+        buf = OutputBuffer(SIGE_BUFFER)
+        small = bits_to_waveform(np.tile([0, 1], 30), 2.5,
+                                 v_low=-0.05, v_high=0.05, t20_80=100.0)
+        out = buf.process(small)
+        lo, hi, swing = measure_swing(out)
+        assert swing == pytest.approx(0.8, abs=0.1)
+
+    def test_bandwidth_limits_edges(self):
+        buf = OutputBuffer(MINI_IO_BUFFER)
+        step = Waveform(np.concatenate([np.zeros(500), np.ones(500)]),
+                        dt=1.0)
+        out = buf.process(step)
+        assert rise_time(out) == pytest.approx(120.0, rel=0.15)
+
+    def test_cascade_rss(self):
+        buf = OutputBuffer(SIGE_BUFFER)
+        assert buf.cascade_t20_80(72.0) == \
+            pytest.approx(np.hypot(72.0, 72.0))
+
+
+class TestAblationBaseline:
+    def test_cmos_buffer_much_slower(self):
+        """The ablation baseline: no SiGe final stage."""
+        assert CMOS_BUFFER.t20_80 > 3.0 * SIGE_BUFFER.t20_80
+        assert CMOS_BUFFER.max_rate_gbps < 2.5

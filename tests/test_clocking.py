@@ -1,0 +1,93 @@
+"""Tests for DLC clock management."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dlc.clocking import (
+    ClockManager,
+    ClockSignal,
+    DCM_ADDED_JITTER_RMS,
+)
+
+
+class TestClockSignal:
+    def test_period(self):
+        assert ClockSignal(2.5).period == pytest.approx(400.0)
+
+    def test_divide(self):
+        clk = ClockSignal(2.5, jitter_rms=1.0).divided(8)
+        assert clk.frequency_ghz == pytest.approx(0.3125)
+
+    def test_divide_jitter_rss(self):
+        clk = ClockSignal(1.0, jitter_rms=3.0).divided(
+            2, added_jitter_rms=4.0
+        )
+        assert clk.jitter_rms == pytest.approx(5.0)
+
+    def test_multiply(self):
+        clk = ClockSignal(1.25, jitter_rms=0.0).multiplied(2)
+        assert clk.frequency_ghz == pytest.approx(2.5)
+
+    def test_divide_names(self):
+        clk = ClockSignal(1.0, name="rf").divided(4)
+        assert clk.name == "rf/4"
+
+    def test_bad_ratio(self):
+        with pytest.raises(ConfigurationError):
+            ClockSignal(1.0).divided(0)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ConfigurationError):
+            ClockSignal(1.0, jitter_rms=-1.0)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ConfigurationError):
+            ClockSignal(0.0)
+
+
+class TestClockManager:
+    def test_crystal_present(self):
+        mgr = ClockManager()
+        assert "xtal12M" in mgr.clocks
+        assert mgr.crystal.frequency_ghz == pytest.approx(0.012)
+
+    def test_register_external(self):
+        mgr = ClockManager()
+        rf = ClockSignal(2.5, 1.0, name="rf")
+        mgr.register(rf)
+        assert mgr.clocks["rf"] is rf
+
+    def test_duplicate_name_rejected(self):
+        mgr = ClockManager()
+        mgr.register(ClockSignal(2.5, name="rf"))
+        with pytest.raises(ConfigurationError):
+            mgr.register(ClockSignal(1.0, name="rf"))
+
+    def test_fabric_clock_within_ceiling(self):
+        mgr = ClockManager()
+        rf = ClockSignal(2.5, jitter_rms=1.0, name="rf")
+        fab = mgr.derive_fabric_clock(rf, divide=8)
+        assert fab.frequency_ghz <= mgr.max_fabric_ghz
+        assert fab.jitter_rms == pytest.approx(
+            math.hypot(1.0, DCM_ADDED_JITTER_RMS)
+        )
+
+    def test_fabric_clock_too_fast_rejected(self):
+        mgr = ClockManager(max_fabric_ghz=0.4)
+        rf = ClockSignal(2.5, name="rf")
+        with pytest.raises(ConfigurationError):
+            mgr.derive_fabric_clock(rf, divide=2)
+
+    def test_divider_selection(self):
+        mgr = ClockManager(max_fabric_ghz=0.4)
+        # 2.5 GHz / 8 = 312.5 MHz: fits directly.
+        assert mgr.fabric_divider_for(2.5, 8) == 8
+        # 5.0 GHz / 8 = 625 MHz: needs another factor of 2.
+        assert mgr.fabric_divider_for(5.0, 8) == 16
+
+    def test_dcm_jitter_motivates_pecl(self):
+        """The CMOS DCM's jitter dwarfs the PECL path's — the reason
+        timing-critical edges use the RF reference directly."""
+        assert DCM_ADDED_JITTER_RMS > 3.0

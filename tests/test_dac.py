@@ -1,0 +1,93 @@
+"""Tests for voltage-tuning DACs (Figures 10 and 11 controls)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pecl.dac import LevelControl, VoltageTuningDAC
+from repro.pecl.levels import LVPECL_3V3
+
+
+class TestDAC:
+    def test_endpoints(self):
+        dac = VoltageTuningDAC(1.0, 3.0, bits=8)
+        assert dac.set_code(0) == pytest.approx(1.0)
+        assert dac.set_code(255) == pytest.approx(3.0)
+
+    def test_lsb(self):
+        dac = VoltageTuningDAC(0.0, 2.55, bits=8)
+        assert dac.lsb == pytest.approx(0.01)
+
+    def test_code_for_voltage(self):
+        dac = VoltageTuningDAC(0.0, 2.55, bits=8)
+        assert dac.code_for(1.0) == 100
+
+    def test_set_voltage_quantizes(self):
+        dac = VoltageTuningDAC(0.0, 2.55, bits=8)
+        out = dac.set_voltage(1.004)
+        assert out == pytest.approx(1.0)
+
+    def test_clamping(self):
+        dac = VoltageTuningDAC(0.0, 1.0, bits=8)
+        assert dac.code_for(5.0) == 255
+        assert dac.code_for(-5.0) == 0
+
+    def test_code_bounds(self):
+        dac = VoltageTuningDAC(0.0, 1.0, bits=4)
+        with pytest.raises(ConfigurationError):
+            dac.set_code(16)
+
+    def test_range_validation(self):
+        with pytest.raises(ConfigurationError):
+            VoltageTuningDAC(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            VoltageTuningDAC(0.0, 1.0, bits=0)
+
+
+class TestLevelControl:
+    def test_starts_at_nominal(self):
+        ctl = LevelControl()
+        assert ctl.levels.v_high == pytest.approx(LVPECL_3V3.v_high,
+                                                  abs=0.01)
+        assert ctl.levels.v_low == pytest.approx(LVPECL_3V3.v_low,
+                                                 abs=0.01)
+
+    def test_figure10_high_level_steps(self):
+        """VOH stepped down in 100 mV increments, 4 steps."""
+        ctl = LevelControl()
+        levels = ctl.sweep_high_level(4, step=-0.1)
+        highs = [lv.v_high for lv in levels]
+        diffs = [highs[k] - highs[k + 1] for k in range(3)]
+        for d in diffs:
+            assert d == pytest.approx(0.1, abs=0.01)
+
+    def test_figure11_swing_steps(self):
+        """Swing stepped in 200 mV increments."""
+        ctl = LevelControl()
+        levels = ctl.sweep_swing(3, step=-0.2)
+        swings = [lv.swing for lv in levels]
+        assert swings[0] - swings[1] == pytest.approx(0.2, abs=0.01)
+        assert swings[1] - swings[2] == pytest.approx(0.2, abs=0.01)
+
+    def test_swing_keeps_midpoint(self):
+        ctl = LevelControl()
+        mid0 = ctl.levels.midpoint
+        ctl.set_swing(0.4)
+        assert ctl.levels.midpoint == pytest.approx(mid0, abs=0.02)
+
+    def test_midpoint_bias(self):
+        ctl = LevelControl()
+        lv = ctl.set_midpoint(1.8)
+        assert lv.midpoint == pytest.approx(1.8, abs=0.01)
+        assert lv.swing == pytest.approx(0.8, abs=0.02)
+
+    def test_crossing_levels_rejected(self):
+        # A wide adjustment range lets VOH reach below VOL, which
+        # the control must refuse.
+        ctl = LevelControl(adjustment_range=2.0)
+        with pytest.raises(ConfigurationError):
+            ctl.set_high_level(1.5)  # below the 1.6 V low rail
+
+    def test_low_level_control(self):
+        ctl = LevelControl()
+        lv = ctl.set_low_level(1.4)
+        assert lv.v_low == pytest.approx(1.4, abs=0.01)

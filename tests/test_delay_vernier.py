@@ -1,0 +1,111 @@
+"""Tests for the programmable delay line and the calibrated vernier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError, ConfigurationError
+from repro.pecl.delay import ProgrammableDelayLine
+from repro.pecl.vernier import TimingVernier
+from repro.signal.waveform import Waveform
+
+
+class TestDelayLine:
+    def test_paper_parameters(self):
+        """10 ps steps over ~10 ns (1024 codes)."""
+        line = ProgrammableDelayLine()
+        assert line.step == 10.0
+        assert line.full_range == pytest.approx(10_230.0)
+
+    def test_nominal_delay(self):
+        line = ProgrammableDelayLine(insertion_delay=250.0)
+        assert line.nominal_delay(0) == 250.0
+        assert line.nominal_delay(100) == 1250.0
+
+    def test_actual_includes_inl(self):
+        line = ProgrammableDelayLine(inl_pp=20.0)
+        errors = [line.actual_delay(c) - line.nominal_delay(c)
+                  for c in range(line.n_codes)]
+        assert max(errors) - min(errors) <= 20.0 + 1e-9
+        assert max(abs(e) for e in errors) > 2.0  # INL is real
+
+    def test_inl_anchored_at_ends(self):
+        line = ProgrammableDelayLine()
+        assert line.inl(0) == pytest.approx(0.0, abs=1e-9)
+        assert line.inl(line.n_codes - 1) == pytest.approx(0.0,
+                                                           abs=1e-9)
+
+    def test_set_code(self):
+        line = ProgrammableDelayLine()
+        d = line.set_code(42)
+        assert line.code == 42
+        assert d == line.actual_delay(42)
+
+    def test_code_bounds(self):
+        line = ProgrammableDelayLine(n_codes=16)
+        with pytest.raises(ConfigurationError):
+            line.set_code(16)
+
+    def test_dnl_small(self):
+        line = ProgrammableDelayLine()
+        dnls = [abs(line.dnl(c)) for c in range(1, line.n_codes)]
+        assert max(dnls) < line.step  # monotone in practice
+
+    def test_code_for_delay(self):
+        line = ProgrammableDelayLine(insertion_delay=250.0)
+        assert line.code_for_delay(250.0) == 0
+        assert line.code_for_delay(1250.0) == 100
+
+    def test_apply_shifts_waveform(self):
+        line = ProgrammableDelayLine(inl_pp=0.0, insertion_delay=100.0)
+        wf = Waveform([0.0, 1.0], dt=1.0)
+        out = line.apply(wf, code=5)
+        assert out.t0 == pytest.approx(150.0)
+
+    def test_same_seed_same_part(self):
+        a = ProgrammableDelayLine(seed=9)
+        b = ProgrammableDelayLine(seed=9)
+        assert a.actual_delay(500) == b.actual_delay(500)
+
+    def test_different_seed_different_part(self):
+        a = ProgrammableDelayLine(seed=9)
+        b = ProgrammableDelayLine(seed=10)
+        diffs = [abs(a.inl(c) - b.inl(c)) for c in range(0, 1024, 64)]
+        assert max(diffs) > 0.5
+
+
+class TestVernier:
+    def test_uncalibrated_rejects_lookup(self):
+        vern = TimingVernier(ProgrammableDelayLine())
+        with pytest.raises(CalibrationError):
+            vern.code_for_delay(500.0)
+
+    def test_calibration_beats_raw_inl(self):
+        """Calibrated placement error must collapse to roughly the
+        quantization floor, well under the raw INL."""
+        line = ProgrammableDelayLine(inl_pp=20.0, seed=4)
+        vern = TimingVernier(line, measurement_noise_rms=0.5)
+        vern.calibrate(n_averages=8, rng=np.random.default_rng(2))
+        worst = vern.worst_case_error(n_targets=100, margin=20.0)
+        assert worst < line.step  # ~step/2 + noise
+        assert worst < line.worst_case_error() + 1.0
+
+    def test_supports_25ps_accuracy_claim(self):
+        """Placement error stays within the paper's +/-25 ps."""
+        line = ProgrammableDelayLine(inl_pp=20.0)
+        vern = TimingVernier(line, measurement_noise_rms=1.0)
+        vern.calibrate(rng=np.random.default_rng(3))
+        assert vern.worst_case_error(margin=20.0) < 25.0
+
+    def test_out_of_range_target(self):
+        line = ProgrammableDelayLine()
+        vern = TimingVernier(line)
+        vern.calibrate()
+        with pytest.raises(CalibrationError):
+            vern.place_edge(line.full_range * 10.0)
+
+    def test_place_edge_returns_actual(self):
+        line = ProgrammableDelayLine(inl_pp=5.0)
+        vern = TimingVernier(line, measurement_noise_rms=0.1)
+        vern.calibrate(rng=np.random.default_rng(5))
+        actual = vern.place_edge(1000.0)
+        assert actual == pytest.approx(1000.0, abs=10.0)

@@ -1,0 +1,23 @@
+"""Run the library's doctest examples as part of the suite."""
+
+import doctest
+
+import pytest
+
+import repro._units
+import repro.signal.edges
+import repro.signal.prbs
+import repro.core.budget
+
+
+@pytest.mark.parametrize("module", [
+    repro._units,
+    repro.signal.edges,
+    repro.signal.prbs,
+    repro.core.budget,
+])
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failures in {module.__name__}"
+    )

@@ -1,0 +1,100 @@
+"""Tests for edge synthesis: shapes and 20-80% timing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signal.edges import (
+    EdgeShape,
+    combine_rise_times,
+    edge_profile,
+    sigma_for_erf_edge,
+    synthesize_edge,
+)
+from repro.signal.analysis import rise_time, fall_time
+
+
+class TestEdgeProfile:
+    def test_step_when_zero_rise(self):
+        t = np.array([-1.0, -0.001, 0.0, 1.0])
+        v = edge_profile(t, 0.0)
+        np.testing.assert_allclose(v, [0.0, 0.0, 1.0, 1.0])
+
+    def test_monotone_erf(self):
+        t = np.linspace(-300, 300, 601)
+        v = edge_profile(t, 72.0, EdgeShape.ERF)
+        assert np.all(np.diff(v) >= 0.0)
+
+    def test_fifty_percent_at_zero(self):
+        for shape in EdgeShape:
+            v = edge_profile(np.array([0.0]), 80.0, shape)
+            assert v[0] == pytest.approx(0.5, abs=1e-6), shape
+
+    def test_saturates(self):
+        v = edge_profile(np.array([-1e4, 1e4]), 72.0)
+        assert v[0] == pytest.approx(0.0, abs=1e-9)
+        assert v[1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_rejects_negative_rise(self):
+        with pytest.raises(ConfigurationError):
+            edge_profile(np.array([0.0]), -1.0)
+
+    @pytest.mark.parametrize("shape", list(EdgeShape))
+    @pytest.mark.parametrize("t2080", [30.0, 72.0, 120.0])
+    def test_2080_time_is_exact(self, shape, t2080):
+        """The measured 20-80% time must equal the requested value."""
+        t = np.linspace(-6 * t2080, 6 * t2080, 20001)
+        v = edge_profile(t, t2080, shape)
+        t20 = np.interp(0.2, v, t)
+        t80 = np.interp(0.8, v, t)
+        assert t80 - t20 == pytest.approx(t2080, rel=2e-3)
+
+
+class TestSynthesizeEdge:
+    def test_rising_edge_measures_right(self):
+        wf = synthesize_edge(72.0, rising=True, dt=0.5)
+        assert rise_time(wf) == pytest.approx(72.0, rel=0.03)
+
+    def test_falling_edge_measures_right(self):
+        wf = synthesize_edge(120.0, rising=False, dt=0.5)
+        assert fall_time(wf) == pytest.approx(120.0, rel=0.03)
+
+    def test_record_has_flat_regions(self):
+        wf = synthesize_edge(72.0)
+        assert wf.values[0] == pytest.approx(0.0, abs=1e-6)
+        assert wf.values[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_zero_rise_still_has_span(self):
+        wf = synthesize_edge(0.0)
+        assert wf.duration >= 10.0
+
+
+class TestSigmaAndCombining:
+    def test_sigma_scales_linearly(self):
+        assert sigma_for_erf_edge(144.0) == \
+            pytest.approx(2.0 * sigma_for_erf_edge(72.0))
+
+    def test_sigma_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            sigma_for_erf_edge(0.0)
+
+    def test_combine_rss(self):
+        assert combine_rise_times(30.0, 40.0) == pytest.approx(50.0)
+
+    def test_combine_single(self):
+        assert combine_rise_times(72.0) == pytest.approx(72.0)
+
+    def test_combine_matches_cascade_measurement(self):
+        """RSS prediction vs. actually cascading two Gaussian stages."""
+        from scipy.ndimage import gaussian_filter1d
+        from repro.signal.waveform import Waveform
+
+        dt = 0.25
+        wf = synthesize_edge(60.0, dt=dt, padding=6.0)
+        sigma2 = sigma_for_erf_edge(80.0) / dt
+        cascaded = Waveform(
+            gaussian_filter1d(wf.values, sigma2, mode="nearest"),
+            dt=dt, t0=wf.t0,
+        )
+        expected = combine_rise_times(60.0, 80.0)
+        assert rise_time(cascaded) == pytest.approx(expected, rel=0.05)

@@ -1,0 +1,94 @@
+"""Tests for eye-mask testing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eye.diagram import EyeDiagram
+from repro.eye.mask import EyeMask, MaskResult, margin_to_mask, mask_test
+from repro.signal.jitter import JitterBudget
+from repro.signal.nrz import bits_to_waveform
+from repro.signal.prbs import prbs_bits
+
+
+def _eye(rj=0.0, dj=0.0, rate=2.5, t2080=72.0, n=2000, seed=1):
+    bits = prbs_bits(7, n)
+    jitter = JitterBudget(rj_rms=rj, dj_pp=dj).build() \
+        if (rj or dj) else None
+    wf = bits_to_waveform(bits, rate, v_low=-0.4, v_high=0.4,
+                          t20_80=t2080, jitter=jitter,
+                          rng=np.random.default_rng(seed))
+    return EyeDiagram.from_waveform(wf, rate)
+
+
+class TestMaskGeometry:
+    def test_hexagon_vertices(self):
+        mask = EyeMask(x_inner=0.1, x_outer=0.3, y_height=0.2)
+        verts = mask.hexagon_vertices()
+        assert len(verts) == 6
+        assert verts[0] == (-0.3, 0.0)
+
+    def test_point_tests(self):
+        mask = EyeMask(x_inner=0.1, x_outer=0.3, y_height=0.2)
+        x = np.array([0.0, 0.0, 0.29, 0.29, 0.5])
+        y = np.array([0.0, 0.19, 0.0, 0.15, 0.0])
+        inside = mask.inside_hexagon(x, y)
+        # Center and mid-height center are inside; the near-tip
+        # point at height 0.15 is outside the taper; far x outside.
+        np.testing.assert_array_equal(inside,
+                                      [True, True, True, False,
+                                       False])
+
+    def test_geometry_validated(self):
+        with pytest.raises(ConfigurationError):
+            EyeMask(x_inner=0.4, x_outer=0.3)
+        with pytest.raises(ConfigurationError):
+            EyeMask(y_limit=0.4)
+
+
+class TestMaskTest:
+    def test_clean_eye_passes(self):
+        result = mask_test(_eye())
+        assert result.passed
+        assert result.n_samples > 1000
+
+    def test_paper_class_eye_passes_standard_mask(self):
+        """A 0.88 UI eye clears a mask occupying ~0.6 UI width."""
+        result = mask_test(_eye(rj=3.2, dj=23.0))
+        assert result.passed
+
+    def test_heavy_jitter_fails(self):
+        result = mask_test(_eye(rj=25.0, dj=120.0, seed=3))
+        assert not result.passed
+        assert result.hexagon_hits > 0
+
+    def test_slow_edges_at_5g_hit_wide_mask(self):
+        """At 5 Gbps with 120 ps edges, a mask wider than the eye's
+        0.75 UI opening must collect hits."""
+        eye = _eye(rate=5.0, t2080=120.0, rj=3.0, dj=25.0, seed=4)
+        wide = EyeMask(x_inner=0.35, x_outer=0.45, y_height=0.3)
+        assert not mask_test(eye, wide).passed
+
+    def test_result_arithmetic(self):
+        r = MaskResult(hexagon_hits=2, bar_hits=1, n_samples=100)
+        assert r.total_hits == 3
+        assert r.hit_ratio == pytest.approx(0.03)
+        assert not r.passed
+
+
+class TestMargin:
+    def test_clean_eye_has_margin(self):
+        assert margin_to_mask(_eye()) > 0.2
+
+    def test_jittery_eye_less_margin(self):
+        clean = margin_to_mask(_eye(seed=5))
+        noisy = margin_to_mask(_eye(rj=6.0, dj=60.0, seed=5))
+        assert noisy < clean
+
+    def test_failing_eye_negative(self):
+        eye = _eye(rj=25.0, dj=130.0, seed=6)
+        assert margin_to_mask(eye) == -1.0
+
+    def test_steps_validated(self):
+        with pytest.raises(ConfigurationError):
+            margin_to_mask(_eye(), steps=1)

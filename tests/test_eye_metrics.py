@@ -1,0 +1,95 @@
+"""Tests for eye metrology, including the paper's identity
+opening = 1 - jitter_pp/UI."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.eye.diagram import EyeDiagram
+from repro.eye.metrics import EyeMetrics, measure_eye, q_factor
+from repro.signal.jitter import JitterBudget
+from repro.signal.nrz import bits_to_waveform
+from repro.signal.prbs import prbs_bits
+
+
+def _eye(rate=2.5, n=2000, rj=0.0, dj=0.0, seed=1, t2080=72.0):
+    bits = prbs_bits(7, n)
+    jitter = JitterBudget(rj_rms=rj, dj_pp=dj).build() \
+        if (rj or dj) else None
+    wf = bits_to_waveform(bits, rate, v_low=-0.4, v_high=0.4,
+                          t20_80=t2080, jitter=jitter,
+                          rng=np.random.default_rng(seed))
+    return EyeDiagram.from_waveform(wf, rate)
+
+
+class TestBasicMetrics:
+    def test_clean_eye_nearly_full(self):
+        m = measure_eye(_eye())
+        assert m.eye_opening_ui > 0.97
+        assert m.jitter_pp < 10.0
+
+    def test_amplitude(self):
+        m = measure_eye(_eye())
+        assert m.amplitude == pytest.approx(0.8, abs=0.05)
+        assert m.v_high == pytest.approx(0.4, abs=0.03)
+        assert m.v_low == pytest.approx(-0.4, abs=0.03)
+
+    def test_opening_identity(self):
+        """opening must equal 1 - jitter_pp/UI by construction."""
+        m = measure_eye(_eye(rj=3.2, dj=23.0, seed=2))
+        assert m.eye_opening_ui == \
+            pytest.approx(1.0 - m.jitter_pp / m.unit_interval)
+
+    def test_eye_width(self):
+        m = measure_eye(_eye(rj=3.0, seed=4))
+        assert m.eye_width == pytest.approx(
+            m.unit_interval - m.jitter_pp
+        )
+
+    def test_summary_string(self):
+        m = measure_eye(_eye())
+        text = m.summary()
+        assert "2.50 Gbps" in text
+        assert "UI" in text
+
+
+class TestPaperValues:
+    """The headline eye numbers of the evaluation figures."""
+
+    def test_figure7_2g5(self):
+        """2.5 Gbps: ~47 ps p-p, ~0.88 UI."""
+        m = measure_eye(_eye(rj=3.2, dj=23.0, n=4000, seed=11))
+        assert 35.0 < m.jitter_pp < 58.0
+        assert 0.85 <= m.eye_opening_ui <= 0.92
+
+    def test_figure8_4g0(self):
+        """4.0 Gbps: same jitter, ~0.81 UI (UI shrinks to 250 ps)."""
+        m = measure_eye(_eye(rate=4.0, rj=3.2, dj=23.0, n=4000,
+                             seed=12))
+        assert 0.76 <= m.eye_opening_ui <= 0.87
+
+    def test_jitter_is_rate_independent(self):
+        """The paper sees ~47 ps p-p at both 2.5 and 4.0 Gbps."""
+        m25 = measure_eye(_eye(rate=2.5, rj=3.2, dj=23.0, n=4000,
+                               seed=13))
+        m40 = measure_eye(_eye(rate=4.0, rj=3.2, dj=23.0, n=4000,
+                               seed=13))
+        assert abs(m25.jitter_pp - m40.jitter_pp) < 10.0
+
+
+class TestDegenerateEyes:
+    def test_too_few_crossings(self):
+        eye = EyeDiagram(np.array([0.0]), np.array([0.0]), 400.0,
+                         np.array([1.0]), 0.0)
+        with pytest.raises(MeasurementError):
+            measure_eye(eye)
+
+    def test_q_factor(self):
+        m = measure_eye(_eye())
+        assert q_factor(m, noise_rms=0.01) == \
+            pytest.approx(m.amplitude / 0.02)
+
+    def test_q_factor_rejects_zero_noise(self):
+        m = measure_eye(_eye())
+        with pytest.raises(MeasurementError):
+            q_factor(m, 0.0)

@@ -1,0 +1,45 @@
+"""Tests for ASCII eye rendering."""
+
+import numpy as np
+
+from repro.eye.diagram import EyeDiagram
+from repro.eye.render import render_eye_ascii
+from repro.signal.nrz import bits_to_waveform
+from repro.signal.prbs import prbs_bits
+
+
+def _eye():
+    bits = prbs_bits(7, 1000)
+    wf = bits_to_waveform(bits, 2.5, v_low=-0.4, v_high=0.4,
+                          t20_80=72.0)
+    return EyeDiagram.from_waveform(wf, 2.5)
+
+
+class TestRender:
+    def test_dimensions(self):
+        text = render_eye_ascii(_eye(), width=40, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 11  # rows + footer
+        assert all(len(line) == 40 for line in lines[:10])
+
+    def test_footer_shows_ui(self):
+        text = render_eye_ascii(_eye())
+        assert "400 ps" in text
+
+    def test_rails_are_dense(self):
+        """Top and bottom rows (the rails) should carry dense marks;
+        the eye center should be open (spaces)."""
+        text = render_eye_ascii(_eye(), width=64, height=16)
+        lines = text.splitlines()[:16]
+        top_density = sum(c != " " for c in lines[0]) / 64.0
+        mid_row = lines[8]
+        # The middle row should be mostly open except near crossings.
+        mid_density = sum(c != " " for c in mid_row) / 64.0
+        assert top_density > 0.5
+        assert mid_density < 0.5
+
+    def test_empty_eye_blank(self):
+        eye = EyeDiagram(np.array([0.0]), np.array([0.0]), 400.0,
+                         np.array([0.0]), 0.5)
+        text = render_eye_ascii(eye, width=8, height=4)
+        assert text is not None

@@ -1,0 +1,206 @@
+"""Failure-injection tests: the stack under misbehaving hardware.
+
+Corrupted USB packets, flaky bus devices, broken JTAG chains, worn
+FLASH, dying DUTs — the error paths a bring-up engineer actually
+hits, exercised deliberately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    FabricError,
+    MemoryError_,
+    ProtocolError,
+)
+
+
+class TestUSBFaults:
+    def test_corrupt_data_is_retried_and_recovered(self):
+        """A device that corrupts the first attempt of every IN
+        transfer: the host's CRC check must catch it and the retry
+        must succeed."""
+        from repro.usb.device import USBDevice
+        from repro.usb.host import USBHost
+        from repro.usb.packets import DataPacket, PID
+
+        device = USBDevice()
+        host = USBHost(device)
+        host.enumerate()
+
+        ep = device.endpoint(2)
+        ep.queue_tx(b"payload")
+        original_transmit = ep.transmit
+        state = {"corrupted_once": False}
+
+        def flaky_transmit():
+            packet = original_transmit()
+            if packet is not None and not state["corrupted_once"]:
+                state["corrupted_once"] = True
+                bad = packet.corrupted(0)
+                # Put the good packet back for the retry.
+                ep.tx_fifo.appendleft(packet.data)
+                ep.next_tx_toggle = packet.pid
+                return bad
+            return packet
+
+        ep.transmit = flaky_transmit
+        data = host.bulk_in(endpoint=2)
+        assert data == b"payload"
+        assert state["corrupted_once"]
+
+    def test_persistent_nak_gives_up(self):
+        from repro.usb.device import USBDevice
+        from repro.usb.host import USBHost
+
+        device = USBDevice()
+        host = USBHost(device, max_retries=3)
+        host.enumerate()
+        # Nothing queued: IN always NAKs; bulk_in returns empty.
+        assert host.bulk_in(endpoint=2) == b""
+
+    def test_malformed_frame_rejected_by_function(self):
+        from repro.dlc.clocking import ClockSignal
+        from repro.dlc.core import DigitalLogicCore
+        from repro.usb.device import USBDevice
+        from repro.usb.host import USBHost
+        from repro.usb.protocol import DLCFunction
+
+        dlc = DigitalLogicCore(rf_clock=ClockSignal(2.5, 1.0, "rf"))
+        dlc.configure_direct()
+        device = USBDevice()
+        host = USBHost(device)
+        host.enumerate()
+        DLCFunction(device, dlc)
+        with pytest.raises(ProtocolError):
+            host.bulk_out(b"\x01\x02\x03", endpoint=1)  # 3 bytes
+
+
+class TestJTAGFaults:
+    def test_unknown_opcode_becomes_bypass(self):
+        """Shifting a nonsense opcode must leave the device in
+        BYPASS, not crash the chain."""
+        from repro.jtag.chain import JTAGDevice, ScanChain
+        from repro.jtag.instructions import Instruction
+        from repro.jtag.tap import TAPState
+
+        dev = JTAGDevice("d", 0x01008093)
+        chain = ScanChain([dev])
+        chain.reset()
+        dev.tap.navigate(TAPState.SHIFT_IR)
+        dev.capture_ir()
+        for _ in range(8):
+            dev.shift_ir(1)  # 0xFF is BYPASS, try 0xAB next
+        dev.update_ir()
+        assert dev.instruction is Instruction.BYPASS
+        dev.capture_ir()
+        for bit in (1, 1, 0, 1, 0, 1, 0, 1):  # 0xAB: not defined
+            dev.shift_ir(bit)
+        dev.update_ir()
+        assert dev.instruction is Instruction.BYPASS
+
+    def test_flash_verify_catches_corruption(self):
+        """A FLASH cell that drops a bit after programming must be
+        caught by the programmer's verify pass."""
+        from repro.flash.memory import FlashMemory
+        from repro.jtag.chain import ScanChain
+        from repro.jtag.flashprog import (
+            FlashProgrammer,
+            make_flash_bridge_device,
+        )
+
+        flash = FlashMemory(size=1 << 14, sector_size=4096)
+        chain = ScanChain([make_flash_bridge_device(flash)])
+        prog = FlashProgrammer(chain, 0)
+
+        original_program = flash.program
+        state = {"armed": True}
+
+        def weak_program(address, data):
+            data = bytes(data)
+            if state["armed"] and address == 5 and data != b"\xff":
+                state["armed"] = False
+                data = bytes([data[0] & 0x7F])  # drop the MSB
+            original_program(address, data)
+
+        flash.program = weak_program
+        image = bytes([0xFF] * 4 + [0xAA] + [0x80] + [0x55] * 4)
+        with pytest.raises(ProtocolError, match="verify failed"):
+            prog.program_image(image, sector_size=flash.sector_size)
+
+
+class TestFlashWear:
+    def test_wear_counters_accumulate(self):
+        from repro.dlc.core import DigitalLogicCore, default_test_design
+
+        dlc = DigitalLogicCore()
+        for _ in range(5):
+            dlc.program_flash(default_test_design())
+        assert dlc.flash.erase_cycles >= 5
+        assert dlc.flash.program_cycles >= 5
+
+
+class TestFabricFaults:
+    def test_double_occupancy_detected(self):
+        """Forcing two packets into one node must raise the fabric
+        invariant error, not silently drop one."""
+        from repro.vortex.fabric import DataVortexFabric, FabricConfig
+        from repro.vortex.packet import VortexPacket
+        from repro.vortex.topology import NodeAddress
+
+        fab = DataVortexFabric(FabricConfig(n_angles=2, n_heights=4))
+        addr = NodeAddress(0, 0, 0)
+        fab.nodes[addr].accept(VortexPacket(1, 0))
+        with pytest.raises(FabricError):
+            fab.nodes[addr].accept(VortexPacket(2, 0))
+
+
+class TestDUTFaults:
+    def test_all_leads_open_blocks_everything(self):
+        from repro.errors import ProbeError
+        from repro.signal.nrz import bits_to_waveform
+        from repro.wafer.dut import DUTSpec, WLPDevice
+
+        dut = WLPDevice(DUTSpec(n_leads=4), open_leads={0, 1, 2, 3})
+        wf = bits_to_waveform([0, 1], 2.5)
+        for lead in range(4):
+            with pytest.raises(ProbeError):
+                dut.loopback(wf, 2.5, lead_index=lead)
+
+    def test_binner_handles_open_lead_gracefully(self):
+        from repro.wafer.binning import SpeedBinner
+        from repro.wafer.dut import WLPDevice
+
+        dut = WLPDevice(open_leads={0})
+        result = SpeedBinner().grade(dut, seed=1)
+        assert result.bin.name == "reject"
+
+
+class TestInstrumentFaults:
+    def test_scope_with_huge_noise_still_measures(self):
+        """A noisy scope degrades but does not crash the eye
+        measurement."""
+        from repro.instruments.scope import SamplingScope
+        from repro.signal.nrz import bits_to_waveform
+        from repro.signal.prbs import prbs_bits
+
+        noisy = SamplingScope(vertical_noise_rms=0.05,
+                              timebase_jitter_rms=5.0)
+        wf = bits_to_waveform(prbs_bits(7, 2000), 2.5,
+                              v_low=1.6, v_high=2.4, t20_80=72.0)
+        m = noisy.measure_eye(wf, 2.5, rng=np.random.default_rng(1))
+        clean = SamplingScope(vertical_noise_rms=0.0,
+                              timebase_jitter_rms=0.0)
+        m_clean = clean.measure_eye(wf, 2.5)
+        assert m.jitter_pp > m_clean.jitter_pp
+
+    def test_power_trip_propagates(self):
+        from repro.instruments.power import DCSource, PowerBudget
+
+        budget = PowerBudget()
+        budget.add_board(copies=16)  # an array draws real current
+        weak = {"1.5V": DCSource(1.5, 2.0, "core"),
+                "3.3V": DCSource(3.3, 2.0, "io")}
+        with pytest.raises(ConfigurationError):
+            budget.check_supplies(weak)

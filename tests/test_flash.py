@@ -1,0 +1,112 @@
+"""Tests for the FLASH model and power-up configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemoryError_
+from repro.dlc.core import default_test_design
+from repro.dlc.fpga import FPGA
+from repro.flash.config_loader import ConfigLoader, store_bitstream
+from repro.flash.memory import FlashMemory
+
+
+class TestFlashSemantics:
+    def test_erased_reads_ff(self):
+        flash = FlashMemory(size=4096, sector_size=1024)
+        assert flash.read(0, 4) == b"\xFF\xFF\xFF\xFF"
+        assert flash.is_erased(0, 4096)
+
+    def test_program_clears_bits(self):
+        flash = FlashMemory(size=4096, sector_size=1024)
+        flash.program(0, b"\x0F")
+        assert flash.read(0, 1) == b"\x0F"
+
+    def test_program_cannot_set_bits(self):
+        flash = FlashMemory(size=4096, sector_size=1024)
+        flash.program(0, b"\x0F")
+        with pytest.raises(MemoryError_):
+            flash.program(0, b"\xF0")
+
+    def test_program_can_clear_more(self):
+        flash = FlashMemory(size=4096, sector_size=1024)
+        flash.program(0, b"\x0F")
+        flash.program(0, b"\x0E")  # clearing within set bits: fine
+        assert flash.read(0, 1) == b"\x0E"
+
+    def test_erase_sector(self):
+        flash = FlashMemory(size=4096, sector_size=1024)
+        flash.program(100, b"\x00")
+        flash.erase_sector(0)
+        assert flash.read(100, 1) == b"\xFF"
+
+    def test_erase_granularity(self):
+        """Erasing sector 0 must not touch sector 1."""
+        flash = FlashMemory(size=4096, sector_size=1024)
+        flash.program(2000, b"\x33")
+        flash.erase_sector(0)
+        assert flash.read(2000, 1) == b"\x33"
+
+    def test_overwrite_destroys_sector_neighbours(self):
+        """overwrite() erases whole sectors — co-resident data in
+        the same sector is lost, as on real hardware."""
+        flash = FlashMemory(size=4096, sector_size=1024)
+        flash.program(10, b"\x42")
+        flash.overwrite(100, b"\x01\x02")
+        assert flash.read(10, 1) == b"\xFF"
+
+    def test_range_checks(self):
+        flash = FlashMemory(size=1024, sector_size=256)
+        with pytest.raises(MemoryError_):
+            flash.read(1020, 8)
+        with pytest.raises(MemoryError_):
+            flash.erase_sector(4)
+
+    def test_cycle_counters(self):
+        flash = FlashMemory(size=1024, sector_size=256)
+        flash.program(0, b"\x00")
+        flash.erase_sector(0)
+        assert flash.program_cycles == 1
+        assert flash.erase_cycles == 1
+
+    def test_sector_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            FlashMemory(size=1000, sector_size=300)
+
+
+class TestConfigLoader:
+    def test_power_up_flow(self):
+        flash = FlashMemory()
+        bitstream = default_test_design()
+        store_bitstream(flash, bitstream)
+        fpga = FPGA()
+        loaded = ConfigLoader(flash).power_up(fpga)
+        assert fpga.configured
+        assert loaded.design_name == bitstream.design_name
+        assert loaded.crc32 == bitstream.crc32
+
+    def test_empty_flash_rejected(self):
+        loader = ConfigLoader(FlashMemory())
+        with pytest.raises(ConfigurationError):
+            loader.power_up(FPGA())
+
+    def test_image_present(self):
+        flash = FlashMemory()
+        loader = ConfigLoader(flash)
+        assert not loader.image_present()
+        store_bitstream(flash, default_test_design())
+        assert loader.image_present()
+
+    def test_corrupted_image_rejected(self):
+        flash = FlashMemory()
+        store_bitstream(flash, default_test_design())
+        # Clear a payload bit (legal FLASH op) to corrupt the image.
+        offset = 200
+        byte = flash.read(offset, 1)[0]
+        if byte != 0:
+            flash.program(offset, bytes([byte & (byte - 1)]))
+            with pytest.raises(ConfigurationError):
+                ConfigLoader(flash).power_up(FPGA())
+
+    def test_oversized_bitstream_rejected(self):
+        flash = FlashMemory(size=64, sector_size=64)
+        with pytest.raises(ConfigurationError):
+            store_bitstream(flash, default_test_design())

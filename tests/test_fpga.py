@@ -1,0 +1,126 @@
+"""Tests for the FPGA device model and bitstreams."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dlc.fpga import (
+    Bitstream,
+    FPGA,
+    FPGAResources,
+    XC2V1000,
+    XC2V1000_IDCODE,
+)
+
+
+def _design(gates=100_000, io=40, bram=64):
+    return Bitstream("test_design", FPGAResources(gates, io, bram),
+                     payload=b"\x01\x02\x03\x04" * 32)
+
+
+class TestResources:
+    def test_fits(self):
+        assert FPGAResources(10, 10, 10).fits_in(XC2V1000)
+
+    def test_does_not_fit(self):
+        huge = FPGAResources(2_000_000, 10, 10)
+        assert not huge.fits_in(XC2V1000)
+
+    def test_add(self):
+        total = FPGAResources(1, 2, 3) + FPGAResources(10, 20, 30)
+        assert total == FPGAResources(11, 22, 33)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FPGAResources(-1, 0, 0)
+
+
+class TestBitstream:
+    def test_crc_valid(self):
+        assert _design().verify()
+
+    def test_roundtrip(self):
+        bs = _design()
+        restored = Bitstream.from_bytes(bs.to_bytes())
+        assert restored.design_name == bs.design_name
+        assert restored.usage == bs.usage
+        assert restored.payload == bs.payload
+
+    def test_corruption_detected(self):
+        data = bytearray(_design().to_bytes())
+        data[-1] ^= 0xFF
+        with pytest.raises(ConfigurationError):
+            Bitstream.from_bytes(bytes(data))
+
+    def test_bad_magic(self):
+        with pytest.raises(ConfigurationError):
+            Bitstream.from_bytes(b"NOPE" + b"\x00" * 32)
+
+    def test_truncated(self):
+        data = _design().to_bytes()[:-4]
+        with pytest.raises(ConfigurationError):
+            Bitstream.from_bytes(data)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bitstream("", FPGAResources(1, 1, 1))
+
+
+class TestFPGA:
+    def test_configure(self):
+        fpga = FPGA()
+        fpga.configure(_design())
+        assert fpga.configured
+        assert fpga.design_name == "test_design"
+
+    def test_oversized_design_rejected(self):
+        fpga = FPGA()
+        huge = Bitstream("huge", FPGAResources(10_000_000, 1, 1))
+        with pytest.raises(ConfigurationError):
+            fpga.configure(huge)
+
+    def test_unconfigure(self):
+        fpga = FPGA()
+        fpga.configure(_design())
+        fpga.unconfigure()
+        assert not fpga.configured
+
+    def test_idcode(self):
+        assert FPGA().idcode == XC2V1000_IDCODE
+
+    def test_bank_allocation(self):
+        fpga = FPGA()
+        fpga.configure(_design())
+        bank = fpga.allocate_bank("tx", 8)
+        assert bank.n_pins == 8
+        assert fpga.io_pins_used == 8
+
+    def test_bank_requires_configuration(self):
+        with pytest.raises(ConfigurationError):
+            FPGA().allocate_bank("tx", 8)
+
+    def test_duplicate_bank_rejected(self):
+        fpga = FPGA()
+        fpga.configure(_design())
+        fpga.allocate_bank("tx", 8)
+        with pytest.raises(ConfigurationError):
+            fpga.allocate_bank("tx", 8)
+
+    def test_io_exhaustion(self):
+        fpga = FPGA()
+        fpga.configure(_design())
+        with pytest.raises(ConfigurationError):
+            fpga.allocate_bank("huge", XC2V1000.io_pins + 1)
+
+    def test_utilization(self):
+        fpga = FPGA()
+        fpga.configure(_design(gates=500_000))
+        util = fpga.utilization()
+        assert util["logic_gates"] == pytest.approx(0.5)
+
+    def test_configuration_clears_banks(self):
+        fpga = FPGA()
+        fpga.configure(_design())
+        fpga.allocate_bank("tx", 8)
+        fpga.configure(_design())
+        with pytest.raises(ConfigurationError):
+            fpga.bank("tx")

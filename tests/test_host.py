@@ -1,0 +1,149 @@
+"""Tests for the PC controller, test programs, and the datalog."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.dlc.core import default_test_design
+from repro.dlc.statemachine import SequencerState
+from repro.host.controller import PCController
+from repro.host.results import Datalog, TestRecord, Verdict
+from repro.host.testprogram import Limit, TestProgram, TestStep
+
+
+class TestRecordAndDatalog:
+    def test_judgement_pass(self):
+        r = TestRecord.judged("eye", 0.88, lo=0.6, hi=None, units="UI")
+        assert r.verdict is Verdict.PASS
+
+    def test_judgement_fail_low(self):
+        r = TestRecord.judged("eye", 0.5, lo=0.6, hi=None)
+        assert r.verdict is Verdict.FAIL
+
+    def test_judgement_fail_high(self):
+        r = TestRecord.judged("jitter", 90.0, lo=None, hi=80.0)
+        assert r.verdict is Verdict.FAIL
+
+    def test_no_limits_is_info(self):
+        r = TestRecord.judged("temp", 25.0, None, None)
+        assert r.verdict is Verdict.INFO
+
+    def test_datalog_pass_state(self):
+        log = Datalog()
+        log.log("a", 1.0, lo=0.5)
+        assert log.passed
+        log.log("b", 0.1, lo=0.5)
+        assert not log.passed
+        assert len(log.failures()) == 1
+
+    def test_datalog_by_name(self):
+        log = Datalog()
+        log.log("x", 1.0)
+        log.log("x", 2.0)
+        assert len(log.by_name("x")) == 2
+
+    def test_summary_counts(self):
+        log = Datalog()
+        log.log("a", 1.0, lo=0.0)
+        log.log("b", 1.0)
+        counts = log.summary()
+        assert counts["pass"] == 1
+        assert counts["info"] == 1
+
+    def test_csv_export(self):
+        log = Datalog()
+        log.log("eye", 0.88, lo=0.6, units="UI")
+        csv = log.to_csv()
+        assert csv.splitlines()[0] == "name,value,units,lo,hi,verdict"
+        assert "eye,0.88,UI,0.6,,pass" in csv
+
+    def test_record_str(self):
+        r = TestRecord.judged("eye", 0.88, 0.6, None, "UI")
+        assert "PASS" in str(r)
+
+
+class TestTestProgram:
+    def test_runs_steps_in_order(self):
+        seen = []
+
+        def make(name):
+            def measure(sys_):
+                seen.append(name)
+                return 1.0
+            return measure
+
+        prog = TestProgram("p")
+        prog.add_step("s1", make("s1"), lo=0.0)
+        prog.add_step("s2", make("s2"), lo=0.0)
+        log = prog.run(None)
+        assert seen == ["s1", "s2"]
+        assert log.passed
+
+    def test_stop_on_fail(self):
+        prog = TestProgram("p", stop_on_fail=True)
+        prog.add_step("bad", lambda s: 0.0, lo=1.0)
+        prog.add_step("never", lambda s: 1.0 / 0.0)
+        log = prog.run(None)
+        assert len(log) == 1
+
+    def test_continue_on_fail(self):
+        prog = TestProgram("p", stop_on_fail=False)
+        prog.add_step("bad", lambda s: 0.0, lo=1.0)
+        prog.add_step("good", lambda s: 2.0, lo=1.0)
+        log = prog.run(None)
+        assert len(log) == 2
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TestProgram("p").run(None)
+
+    def test_limit_sanity(self):
+        with pytest.raises(ConfigurationError):
+            Limit(lo=2.0, hi=1.0)
+
+    def test_standard_eye_program(self):
+        from repro.core.testbed import OpticalTestBed
+        from repro.host.testprogram import standard_eye_program
+
+        bed = OpticalTestBed()
+        prog = standard_eye_program(2.5, min_opening_ui=0.7,
+                                    n_bits=1500)
+        log = prog.run(bed)
+        assert log.passed
+        assert log.records[0].name == "eye_opening"
+
+
+class TestPCController:
+    @pytest.fixture
+    def pc(self):
+        controller = PCController()
+        controller.dlc.configure_direct()
+        controller.connect()
+        return controller
+
+    def test_requires_connection(self):
+        pc = PCController()
+        with pytest.raises(ProtocolError):
+            pc.identify()
+
+    def test_identify(self, pc):
+        info = pc.identify()
+        assert info["id"] == 0xD1C5
+
+    def test_run_to_completion(self, pc):
+        assert pc.run_to_completion(300) is SequencerState.DONE
+
+    def test_setup_validates(self, pc):
+        with pytest.raises(ConfigurationError):
+            pc.setup_test(0)
+
+    def test_firmware_update(self, pc):
+        name = pc.update_firmware(default_test_design("rev_b"))
+        assert name == "rev_b"
+        assert pc.dlc.fpga.design_name == "rev_b"
+        # The board still answers after reconfiguration.
+        assert pc.protocol.ping()
+
+    def test_poll_status(self, pc):
+        pc.setup_test(100)
+        pc.start_test()
+        assert pc.poll_status() is SequencerState.RUNNING

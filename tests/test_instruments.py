@@ -1,0 +1,218 @@
+"""Tests for the bench instruments: RF source, scope, BERT, power."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.instruments.bert import BitErrorRateTester
+from repro.instruments.power import (
+    Consumer,
+    DCSource,
+    DLC_CONSUMERS,
+    PowerBudget,
+)
+from repro.instruments.rfclock import (
+    DEFAULT_MASK,
+    PhaseNoisePoint,
+    RFClockSource,
+    integrate_phase_noise_jitter,
+)
+from repro.instruments.scope import SamplingScope
+from repro.signal.nrz import bits_to_waveform
+from repro.signal.prbs import prbs_bits
+
+
+class TestRFClock:
+    def test_jitter_in_picoseconds(self):
+        """A bench synthesizer's integrated jitter is sub-ps to a
+        few ps — the 'low-jitter (picosecond) timing reference'."""
+        src = RFClockSource(2.5)
+        assert 0.05 < src.jitter_rms < 3.0
+
+    def test_jitter_falls_with_carrier(self):
+        """Same phase noise at a higher carrier = less time jitter."""
+        lo = RFClockSource(0.5).jitter_rms
+        hi = RFClockSource(2.5).jitter_rms
+        assert hi < lo
+
+    def test_output_requires_enable(self):
+        src = RFClockSource(2.5)
+        with pytest.raises(ConfigurationError):
+            src.output()
+        src.enable()
+        clk = src.output()
+        assert clk.frequency_ghz == 2.5
+
+    def test_frequency_range(self):
+        with pytest.raises(ConfigurationError):
+            RFClockSource(0.001)
+        with pytest.raises(ConfigurationError):
+            RFClockSource(100.0)
+
+    def test_retune(self):
+        src = RFClockSource(1.0)
+        src.set_frequency(2.0)
+        assert src.frequency_ghz == 2.0
+
+    def test_noisier_mask_more_jitter(self):
+        noisy = [PhaseNoisePoint(p.offset_hz, p.dbc_per_hz + 20.0)
+                 for p in DEFAULT_MASK]
+        assert integrate_phase_noise_jitter(noisy, 2.5) > \
+            integrate_phase_noise_jitter(DEFAULT_MASK, 2.5)
+
+    def test_mask_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            integrate_phase_noise_jitter(
+                [PhaseNoisePoint(1e3, -90.0)], 1.0
+            )
+
+
+class TestSamplingScope:
+    def test_acquire_adds_noise(self):
+        scope = SamplingScope(vertical_noise_rms=0.01)
+        wf = bits_to_waveform(np.tile([0, 1], 20), 2.5)
+        acq = scope.acquire(wf, np.random.default_rng(0))
+        assert not np.array_equal(acq.values, wf.values)
+
+    def test_noiseless_scope_transparent(self):
+        scope = SamplingScope(timebase_jitter_rms=0.0,
+                              vertical_noise_rms=0.0)
+        wf = bits_to_waveform([0, 1], 2.5)
+        acq = scope.acquire(wf)
+        np.testing.assert_array_equal(acq.values, wf.values)
+
+    def test_measure_eye(self):
+        scope = SamplingScope()
+        bits = prbs_bits(7, 2000)
+        wf = bits_to_waveform(bits, 2.5, v_low=1.6, v_high=2.4,
+                              t20_80=72.0)
+        m = scope.measure_eye(wf, 2.5, rng=np.random.default_rng(1))
+        assert m.eye_opening_ui > 0.9
+
+    def test_edge_jitter_measures_source(self):
+        """Feeding edges with known sigma, the scope (with its own
+        small timebase jitter) must report approximately it."""
+        from repro.signal.jitter import JitterBudget
+
+        scope = SamplingScope(timebase_jitter_rms=0.5)
+        budget = JitterBudget(rj_rms=3.0).build()
+
+        def source(rng):
+            return bits_to_waveform([0, 0, 1, 1], 2.5, t20_80=50.0,
+                                    jitter=budget, rng=rng)
+
+        result = scope.edge_jitter(source, n_acquisitions=400, seed=2)
+        assert result.rms == pytest.approx(np.hypot(3.0, 0.5), rel=0.2)
+        assert result.peak_to_peak > 4 * result.rms
+
+    def test_edge_jitter_needs_crossings(self):
+        scope = SamplingScope()
+
+        def flat(rng):
+            return bits_to_waveform([1, 1], 2.5)
+
+        with pytest.raises(MeasurementError):
+            scope.edge_jitter(flat, n_acquisitions=10)
+
+    def test_rise_time_readout(self):
+        scope = SamplingScope(vertical_noise_rms=0.001)
+        wf = bits_to_waveform([0, 1, 1, 1], 2.5, t20_80=72.0, dt=0.5)
+        assert scope.rise_time(wf) == pytest.approx(72.0, rel=0.15)
+
+
+class TestBERT:
+    def test_error_free(self):
+        bert = BitErrorRateTester()
+        received = bert.pattern(1000)
+        assert bert.measure(received).n_errors == 0
+
+    def test_alignment(self):
+        bert = BitErrorRateTester()
+        ref = bert.pattern(1100)
+        received = ref[37:37 + 1000]
+        lag, aligned = bert.align(received, ref)
+        assert lag == 37
+        result = bert.measure(received)
+        assert result.n_errors == 0
+
+    def test_counts_errors(self):
+        bert = BitErrorRateTester()
+        received = bert.pattern(1000).copy()
+        received[10] ^= 1
+        received[20] ^= 1
+        result = bert.measure(received)
+        assert result.n_errors == 2
+
+    def test_confidence_bound_zero_errors(self):
+        # 3e9 bits error-free -> BER < 1e-9 at 95%.
+        bound = BitErrorRateTester.ber_upper_bound(3_000_000_000, 0)
+        assert bound == pytest.approx(1e-9, rel=0.05)
+
+    def test_confidence_bound_with_errors(self):
+        b0 = BitErrorRateTester.ber_upper_bound(10**6, 0)
+        b2 = BitErrorRateTester.ber_upper_bound(10**6, 2)
+        assert b2 > b0
+
+    def test_bits_for_ber(self):
+        n = BitErrorRateTester.bits_for_ber(1e-12)
+        assert n == pytest.approx(3.0e12, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BitErrorRateTester.ber_upper_bound(0)
+        with pytest.raises(ConfigurationError):
+            BitErrorRateTester.bits_for_ber(-1.0)
+
+
+class TestPower:
+    def test_source_load(self):
+        src = DCSource(3.3, current_limit=2.0)
+        src.enable()
+        src.attach_load(1.5)
+        assert src.power_watts == pytest.approx(4.95)
+
+    def test_trip_on_overload(self):
+        src = DCSource(3.3, current_limit=1.0)
+        src.enable()
+        with pytest.raises(ConfigurationError):
+            src.attach_load(1.5)
+        assert not src.enabled
+
+    def test_budget_rails(self):
+        budget = PowerBudget()
+        budget.add_board()
+        currents = budget.rail_currents()
+        assert set(currents) == {"1.5V", "3.3V"}
+
+    def test_total_power(self):
+        budget = PowerBudget()
+        budget.add_board()
+        watts = budget.total_power({"1.5V": 1.5, "3.3V": 3.3})
+        expected = sum(
+            c.amps * (1.5 if c.rail == "1.5V" else 3.3)
+            for c in DLC_CONSUMERS
+        )
+        assert watts == pytest.approx(expected)
+
+    def test_missing_rail_voltage(self):
+        budget = PowerBudget()
+        budget.add(Consumer("x", "5V", 0.1))
+        with pytest.raises(ConfigurationError):
+            budget.total_power({"3.3V": 3.3})
+
+    def test_array_of_testers_scales(self):
+        """Sixteen mini-testers (Figure 13) need 16x the current."""
+        one = PowerBudget()
+        one.add_board()
+        sixteen = PowerBudget()
+        sixteen.add_board(copies=16)
+        assert sixteen.rail_currents()["3.3V"] == \
+            pytest.approx(16 * one.rail_currents()["3.3V"])
+
+    def test_check_supplies(self):
+        budget = PowerBudget()
+        budget.add_board()
+        supplies = {"1.5V": DCSource(1.5, 5.0, "core"),
+                    "3.3V": DCSource(3.3, 5.0, "io")}
+        budget.check_supplies(supplies)
+        assert supplies["3.3V"].load_amps > 0.0

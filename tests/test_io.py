@@ -1,0 +1,83 @@
+"""Tests for rate-limited FPGA I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, RateLimitError
+from repro.dlc.io import (
+    DEFAULT_DERATED_MBPS,
+    IOBank,
+    IOPin,
+    IOStandard,
+    SILICON_MAX_MBPS,
+)
+
+
+class TestIOPin:
+    def test_drive_within_limit(self):
+        pin = IOPin("p0", max_rate_mbps=400.0)
+        bits = pin.drive([0, 1, 1, 0], 312.5)
+        np.testing.assert_array_equal(bits, [0, 1, 1, 0])
+        assert pin.last_rate_mbps == 312.5
+
+    def test_overdrive_raises(self):
+        pin = IOPin("p0", max_rate_mbps=400.0)
+        with pytest.raises(RateLimitError):
+            pin.drive([0, 1], 500.0)
+
+    def test_silicon_ceiling_enforced_at_config(self):
+        with pytest.raises(ConfigurationError):
+            IOPin("p0", max_rate_mbps=SILICON_MAX_MBPS + 1.0)
+
+    def test_limit_at_silicon_max_allowed(self):
+        pin = IOPin("p0", max_rate_mbps=SILICON_MAX_MBPS)
+        pin.drive([1], 800.0)
+
+    def test_derated_default(self):
+        assert IOPin("p").max_rate_mbps == DEFAULT_DERATED_MBPS
+
+    def test_bad_bits(self):
+        pin = IOPin("p0")
+        with pytest.raises(ConfigurationError):
+            pin.drive([0, 2], 100.0)
+
+    def test_bad_rate(self):
+        pin = IOPin("p0")
+        with pytest.raises(ConfigurationError):
+            pin.drive([0], 0.0)
+
+    def test_standards(self):
+        pin = IOPin("p0", standard=IOStandard.LVDS)
+        assert pin.standard is IOStandard.LVDS
+
+
+class TestIOBank:
+    def test_drive_lanes(self):
+        bank = IOBank("tx", 4)
+        lanes = np.array([[0, 1], [1, 0], [1, 1], [0, 0]])
+        out = bank.drive(lanes, 300.0)
+        np.testing.assert_array_equal(out, lanes)
+
+    def test_lane_shape_checked(self):
+        bank = IOBank("tx", 4)
+        with pytest.raises(ConfigurationError):
+            bank.drive(np.zeros((3, 2)), 300.0)
+
+    def test_per_pin_limit_applies(self):
+        bank = IOBank("tx", 2, max_rate_mbps=300.0)
+        with pytest.raises(RateLimitError):
+            bank.drive(np.zeros((2, 4)), 400.0)
+
+    def test_aggregate_rate(self):
+        bank = IOBank("tx", 8)
+        # 8 lanes at 312.5 Mbps = one 2.5 Gbps serial stream.
+        assert bank.aggregate_rate_gbps(312.5) == pytest.approx(2.5)
+
+    def test_pin_names(self):
+        bank = IOBank("tx", 2)
+        assert bank.pins[0].name == "tx[0]"
+        assert bank.pins[1].name == "tx[1]"
+
+    def test_needs_pins(self):
+        with pytest.raises(ConfigurationError):
+            IOBank("tx", 0)

@@ -1,0 +1,162 @@
+"""Tests for jitter models and the RJ/DJ budget arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signal.jitter import (
+    CompositeJitter,
+    DeterministicJitter,
+    DutyCycleDistortion,
+    JitterBudget,
+    PeriodicJitter,
+    RandomJitter,
+    measure_peak_to_peak,
+    measure_rms,
+)
+
+
+def _edges(n=1000, ui=400.0, seed=0):
+    rng = np.random.default_rng(seed)
+    times = np.arange(n) * ui
+    directions = rng.choice([-1.0, 1.0], size=n)
+    history = rng.integers(0, 16, size=n)
+    return times, directions, history
+
+
+class TestRandomJitter:
+    def test_rms_matches(self):
+        rj = RandomJitter(3.2)
+        t, d, h = _edges(20000)
+        off = rj.offsets(t, d, h, np.random.default_rng(1))
+        assert measure_rms(off) == pytest.approx(3.2, rel=0.05)
+
+    def test_zero_rms(self):
+        rj = RandomJitter(0.0)
+        t, d, h = _edges(100)
+        assert np.all(rj.offsets(t, d, h,
+                                 np.random.default_rng(0)) == 0.0)
+
+    def test_expected_pp_grows_with_n(self):
+        rj = RandomJitter(3.2)
+        assert rj.peak_to_peak(10000) > rj.peak_to_peak(100)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            RandomJitter(-1.0)
+
+
+class TestDeterministicJitter:
+    def test_bounded(self):
+        dj = DeterministicJitter(23.0)
+        t, d, h = _edges(5000)
+        off = dj.offsets(t, d, h, np.random.default_rng(0))
+        assert np.all(np.abs(off) <= 11.5 + 1e-12)
+
+    def test_bimodal(self):
+        dj = DeterministicJitter(23.0)
+        t, d, h = _edges(5000)
+        off = dj.offsets(t, d, h, np.random.default_rng(0))
+        assert set(np.unique(off)) == {-11.5, 11.5}
+
+    def test_deterministic_given_history(self):
+        dj = DeterministicJitter(20.0)
+        t, d, h = _edges(100)
+        a = dj.offsets(t, d, h, np.random.default_rng(0))
+        b = dj.offsets(t, d, h, np.random.default_rng(99))
+        np.testing.assert_array_equal(a, b)
+
+    def test_peak_to_peak(self):
+        assert DeterministicJitter(23.0).peak_to_peak() == 23.0
+
+
+class TestDutyCycleDistortion:
+    def test_splits_by_direction(self):
+        dcd = DutyCycleDistortion(10.0)
+        t = np.arange(4) * 100.0
+        d = np.array([1.0, -1.0, 1.0, -1.0])
+        h = np.zeros(4, dtype=np.int64)
+        off = dcd.offsets(t, d, h, np.random.default_rng(0))
+        np.testing.assert_allclose(off, [5.0, -5.0, 5.0, -5.0])
+
+
+class TestPeriodicJitter:
+    def test_amplitude_bound(self):
+        pj = PeriodicJitter(8.0, frequency_ghz=0.1)
+        t, d, h = _edges(5000)
+        off = pj.offsets(t, d, h, np.random.default_rng(0))
+        assert np.max(np.abs(off)) <= 4.0 + 1e-9
+        assert np.max(np.abs(off)) > 3.5  # actually explores the range
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicJitter(5.0, frequency_ghz=0.0)
+
+
+class TestComposite:
+    def test_sums_components(self):
+        comp = CompositeJitter([DutyCycleDistortion(10.0),
+                                DeterministicJitter(6.0)])
+        t, d, h = _edges(100)
+        total = comp.offsets(t, d, h, np.random.default_rng(0))
+        a = DutyCycleDistortion(10.0).offsets(t, d, h, None)
+        b = DeterministicJitter(6.0).offsets(t, d, h, None)
+        np.testing.assert_allclose(total, a + b)
+
+    def test_pp_is_linear_sum(self):
+        comp = CompositeJitter([DutyCycleDistortion(10.0),
+                                DeterministicJitter(6.0)])
+        assert comp.peak_to_peak() == pytest.approx(16.0)
+
+
+class TestJitterBudget:
+    def test_build_components(self):
+        budget = JitterBudget(rj_rms=3.2, dj_pp=23.0, dcd_pp=6.0)
+        comp = budget.build()
+        kinds = {type(c) for c in comp.components}
+        assert kinds == {RandomJitter, DeterministicJitter,
+                         DutyCycleDistortion}
+
+    def test_zero_terms_skipped(self):
+        comp = JitterBudget(rj_rms=1.0).build()
+        assert len(comp.components) == 1
+
+    def test_combined_rss_and_linear(self):
+        a = JitterBudget(rj_rms=3.0, dj_pp=10.0)
+        b = JitterBudget(rj_rms=4.0, dj_pp=5.0)
+        c = a.combined(b)
+        assert c.rj_rms == pytest.approx(5.0)
+        assert c.dj_pp == pytest.approx(15.0)
+
+    def test_total_tj_at_ber(self):
+        budget = JitterBudget(rj_rms=3.2, dj_pp=23.0)
+        tj = budget.total_tj_at_ber(1e-12)
+        # Q(1e-12) ~ 7.03
+        assert tj == pytest.approx(23.0 + 2 * 7.034 * 3.2, rel=0.01)
+
+    def test_tj_rejects_bad_ber(self):
+        with pytest.raises(ConfigurationError):
+            JitterBudget(rj_rms=1.0).total_tj_at_ber(0.7)
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ConfigurationError):
+            JitterBudget(rj_rms=-0.1)
+
+    def test_paper_budget_total(self):
+        """The calibrated model: RJ 3.2 rms + DJ 23 -> ~47 ps p-p,
+        the paper's crossover jitter at 2.5 and 4 Gbps."""
+        budget = JitterBudget(rj_rms=3.2, dj_pp=23.0)
+        total = budget.total_pp(n_edges=1300)
+        assert 40.0 < total < 55.0
+
+
+class TestMeasurementHelpers:
+    def test_measure_rms_removes_mean(self):
+        assert measure_rms(np.array([5.0, 5.0, 5.0])) == 0.0
+
+    def test_measure_pp(self):
+        assert measure_peak_to_peak(np.array([-2.0, 3.0])) == 5.0
+
+    def test_empty_arrays(self):
+        assert measure_rms(np.array([])) == 0.0
+        assert measure_peak_to_peak(np.array([])) == 0.0

@@ -1,0 +1,124 @@
+"""Tests for the scan chain and FLASH programming over JTAG."""
+
+import pytest
+
+from repro.errors import MemoryError_, ProtocolError
+from repro.flash.memory import FlashMemory
+from repro.jtag.chain import JTAGDevice, ScanChain
+from repro.jtag.flashprog import (
+    FLASH_BRIDGE_IDCODE,
+    FlashProgrammer,
+    make_flash_bridge_device,
+)
+from repro.jtag.instructions import Instruction
+
+
+def _chain_with_flash(n_extra=1):
+    flash = FlashMemory(size=1 << 15, sector_size=4096)
+    devices = [make_flash_bridge_device(flash)]
+    for k in range(n_extra):
+        devices.append(JTAGDevice(f"dev{k}", 0x01008093))
+    return flash, ScanChain(devices)
+
+
+class TestChain:
+    def test_idcodes(self):
+        _, chain = _chain_with_flash()
+        codes = chain.read_idcodes()
+        assert codes == [FLASH_BRIDGE_IDCODE, 0x01008093]
+
+    def test_idcode_marker_bit(self):
+        with pytest.raises(ProtocolError):
+            JTAGDevice("bad", 0x2)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ProtocolError):
+            ScanChain([])
+
+    def test_instruction_count_checked(self):
+        _, chain = _chain_with_flash()
+        with pytest.raises(ProtocolError):
+            chain.load_instructions([Instruction.BYPASS])
+
+    def test_bypass_capture(self):
+        _, chain = _chain_with_flash()
+        chain.reset()
+        chain.load_instructions([Instruction.BYPASS,
+                                 Instruction.BYPASS])
+        captures = chain.scan_dr([0, 0])
+        assert captures == [0, 0]
+
+    def test_three_device_chain(self):
+        flash, chain = _chain_with_flash(n_extra=2)
+        codes = chain.read_idcodes()
+        assert len(codes) == 3
+        assert codes[0] == FLASH_BRIDGE_IDCODE
+
+
+class TestFlashProgramming:
+    def test_program_and_verify(self):
+        flash, chain = _chain_with_flash()
+        prog = FlashProgrammer(chain, 0)
+        image = bytes(range(64))
+        n = prog.program_image(image, sector_size=flash.sector_size)
+        assert n == 64
+        assert flash.read(0, 64) == image
+
+    def test_read_back(self):
+        flash, chain = _chain_with_flash()
+        prog = FlashProgrammer(chain, 0)
+        prog.program_image(b"\xCA\xFE", sector_size=flash.sector_size)
+        assert prog.read_byte(0) == 0xCA
+        assert prog.read_byte(1) == 0xFE
+
+    def test_overwrite_requires_erase(self):
+        """Programming 0->1 without erase is a FLASH violation the
+        programmer must avoid by erasing first."""
+        flash, chain = _chain_with_flash()
+        prog = FlashProgrammer(chain, 0)
+        prog.program_image(b"\x00\x00", sector_size=flash.sector_size)
+        # Image update: program_image erases first, so this works.
+        prog.program_image(b"\xFF\x01", sector_size=flash.sector_size)
+        assert flash.read(0, 2) == b"\xFF\x01"
+
+    def test_direct_program_without_erase_fails(self):
+        flash, chain = _chain_with_flash()
+        prog = FlashProgrammer(chain, 0)
+        prog.program_byte(0, 0x00)
+        with pytest.raises(MemoryError_):
+            prog.program_byte(0, 0xFF)
+
+    def test_bad_bridge_index(self):
+        _, chain = _chain_with_flash()
+        with pytest.raises(ProtocolError):
+            FlashProgrammer(chain, 5)
+
+    def test_empty_image_rejected(self):
+        _, chain = _chain_with_flash()
+        with pytest.raises(ProtocolError):
+            FlashProgrammer(chain, 0).program_image(b"")
+
+    def test_cross_sector_erase(self):
+        flash, chain = _chain_with_flash()
+        prog = FlashProgrammer(chain, 0)
+        count = prog.erase_covering(4000, 200, flash.sector_size)
+        assert count == 2  # range straddles the 4096 boundary
+
+
+class TestEndToEndReconfiguration:
+    def test_bitstream_via_jtag_then_power_up(self):
+        """The paper's full adaptation flow: new bitstream over
+        JTAG into FLASH, FPGA reconfigures at power-up."""
+        from repro.dlc.core import DigitalLogicCore, default_test_design
+
+        dlc = DigitalLogicCore()
+        bridge = make_flash_bridge_device(dlc.flash)
+        chain = ScanChain([bridge,
+                           JTAGDevice("fpga", dlc.fpga.idcode)])
+        prog = FlashProgrammer(chain, 0)
+        image = default_test_design("new_app").to_bytes()
+        prog.program_image(image,
+                           sector_size=dlc.flash.sector_size)
+        loaded = dlc.power_up()
+        assert loaded.design_name == "new_app"
+        assert dlc.fpga.configured

@@ -1,0 +1,70 @@
+"""Tests for PECL levels and differential signaling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pecl.levels import (
+    LVPECL_3V3,
+    PECLLevels,
+    differential,
+    differential_to_single,
+    lvpecl_levels,
+)
+from repro.signal.waveform import Waveform
+
+
+class TestLevels:
+    def test_nominal_lvpecl(self):
+        assert LVPECL_3V3.v_high == pytest.approx(2.4)
+        assert LVPECL_3V3.v_low == pytest.approx(1.6)
+        assert LVPECL_3V3.swing == pytest.approx(0.8)
+        assert LVPECL_3V3.midpoint == pytest.approx(2.0)
+
+    def test_supply_scaling(self):
+        lv = lvpecl_levels(5.0)
+        assert lv.v_high == pytest.approx(4.1)
+        assert lv.v_low == pytest.approx(3.3)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PECLLevels(1.0, 2.0)
+
+    def test_with_high(self):
+        lv = LVPECL_3V3.with_high(2.3)
+        assert lv.v_high == 2.3
+        assert lv.v_low == LVPECL_3V3.v_low
+
+    def test_with_swing_keeps_midpoint(self):
+        lv = LVPECL_3V3.with_swing(0.4)
+        assert lv.swing == pytest.approx(0.4)
+        assert lv.midpoint == pytest.approx(2.0)
+
+    def test_with_midpoint_keeps_swing(self):
+        lv = LVPECL_3V3.with_midpoint(1.5)
+        assert lv.midpoint == pytest.approx(1.5)
+        assert lv.swing == pytest.approx(0.8)
+
+    def test_with_swing_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            LVPECL_3V3.with_swing(0.0)
+
+
+class TestDifferential:
+    def test_pair_mirrors_about_midpoint(self):
+        wf = Waveform([1.6, 2.4, 2.0], dt=1.0)
+        p, n = differential(wf, LVPECL_3V3)
+        np.testing.assert_allclose(p.values, [1.6, 2.4, 2.0])
+        np.testing.assert_allclose(n.values, [2.4, 1.6, 2.0])
+
+    def test_recombination_doubles_swing(self):
+        wf = Waveform([1.6, 2.4], dt=1.0)
+        p, n = differential(wf, LVPECL_3V3)
+        diff = differential_to_single(p, n)
+        np.testing.assert_allclose(diff.values, [-0.8, 0.8])
+
+    def test_common_mode_cancels(self):
+        wf = Waveform([2.0, 2.0], dt=1.0)
+        p, n = differential(wf, LVPECL_3V3)
+        diff = differential_to_single(p, n)
+        np.testing.assert_allclose(diff.values, [0.0, 0.0])

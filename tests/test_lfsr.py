@@ -1,0 +1,92 @@
+"""Tests for the register-accurate LFSR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dlc.lfsr import LFSR
+from repro.signal.prbs import prbs_bits
+
+
+class TestStepping:
+    def test_matches_prbs_bits(self):
+        """The hardware register and the fast generator must agree."""
+        lfsr = LFSR(7, seed=1)
+        np.testing.assert_array_equal(lfsr.bits(500),
+                                      prbs_bits(7, 500, seed=1))
+
+    def test_step_equals_bits(self):
+        a = LFSR(9, seed=5)
+        b = LFSR(9, seed=5)
+        stepped = [a.step() for _ in range(64)]
+        np.testing.assert_array_equal(stepped, b.bits(64))
+
+    def test_state_advances(self):
+        lfsr = LFSR(7)
+        s0 = lfsr.state
+        lfsr.step()
+        assert lfsr.state != s0
+
+    def test_period(self):
+        lfsr = LFSR(7)
+        assert lfsr.period == 127
+
+    def test_full_cycle_returns_to_seed(self):
+        lfsr = LFSR(7, seed=29)
+        lfsr.bits(127)
+        assert lfsr.state == 29
+
+    def test_reset(self):
+        lfsr = LFSR(7, seed=29)
+        lfsr.bits(13)
+        lfsr.reset()
+        assert lfsr.state == 29
+
+
+class TestWords:
+    def test_words_msb_first(self):
+        a = LFSR(7, seed=1)
+        b = LFSR(7, seed=1)
+        words = a.words(4, 8)
+        stream = b.bits(32)
+        for k, word in enumerate(words):
+            expect = 0
+            for bit in stream[8 * k:8 * (k + 1)]:
+                expect = (expect << 1) | int(bit)
+            assert word == expect
+
+    def test_word_width_validation(self):
+        with pytest.raises(ConfigurationError):
+            LFSR(7).words(1, 0)
+
+
+class TestConstruction:
+    def test_unknown_order_needs_taps(self):
+        with pytest.raises(ConfigurationError):
+            LFSR(13)
+
+    def test_explicit_taps(self):
+        lfsr = LFSR(5, taps=(5, 3), seed=1)
+        seen = set()
+        for _ in range(31):
+            seen.add(lfsr.state)
+            lfsr.step()
+        assert len(seen) == 31  # maximal for x^5+x^3+1
+
+    def test_first_tap_must_equal_order(self):
+        with pytest.raises(ConfigurationError):
+            LFSR(7, taps=(6, 3))
+
+    def test_second_tap_range(self):
+        with pytest.raises(ConfigurationError):
+            LFSR(7, taps=(7, 7))
+
+    def test_seed_range(self):
+        with pytest.raises(ConfigurationError):
+            LFSR(7, seed=0)
+        with pytest.raises(ConfigurationError):
+            LFSR(7, seed=128)
+
+    def test_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            LFSR(7).bits(-1)

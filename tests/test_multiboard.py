@@ -1,0 +1,73 @@
+"""Tests for multi-board synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.multiboard import ArrayReport, BoardArray, \
+    array_for_scaling
+from repro.core.scaling import size_configuration
+
+
+class TestBoardArray:
+    def test_channel_accounting(self):
+        array = BoardArray(n_boards=3, channels_per_board=5)
+        assert array.n_boards == 3
+        assert array.n_channels == 15
+        assert len(array.all_channels()) == 15
+
+    def test_channel_names_unique(self):
+        array = BoardArray(n_boards=2, channels_per_board=4)
+        names = list(array.all_channels())
+        assert len(names) == len(set(names))
+        assert "b0.ch0" in names
+        assert "b1.ch3" in names
+
+    def test_board_skews_bounded(self):
+        array = BoardArray(n_boards=4, fanout_skew_pp=12.0)
+        skews = [array.board_skew(b) for b in range(4)]
+        assert max(skews) - min(skews) == pytest.approx(12.0,
+                                                        abs=1e-6)
+
+    def test_deskew_residuals_small(self):
+        array = BoardArray(n_boards=2, channels_per_board=3)
+        residuals = array.deskew(rng=np.random.default_rng(1))
+        assert len(residuals) == 6
+        assert max(abs(r) for r in residuals.values()) < 15.0
+
+    def test_report_meets_claim(self):
+        array = BoardArray(n_boards=3, channels_per_board=5,
+                           fanout_skew_pp=12.0)
+        report = array.report(rng=np.random.default_rng(2))
+        assert isinstance(report, ArrayReport)
+        assert report.meets_25ps
+
+    def test_sloppy_distribution_misses_claim(self):
+        array = BoardArray(n_boards=3, fanout_skew_pp=60.0)
+        report = array.report(rng=np.random.default_rng(3))
+        assert not report.meets_25ps
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BoardArray(n_boards=0)
+        with pytest.raises(ConfigurationError):
+            BoardArray(n_boards=1, channels_per_board=0)
+        array = BoardArray(n_boards=2)
+        with pytest.raises(ConfigurationError):
+            array.board_skew(2)
+
+
+class TestScalingIntegration:
+    def test_array_for_640g_at_2g5(self):
+        """The feasible low-rate Terabit path: 256 channels over
+        several boards, all within the timing claim."""
+        scaling = size_configuration(word_width=16, rate_gbps=2.5)
+        array = array_for_scaling(scaling)
+        assert array.n_channels >= scaling.wavelengths
+        report = array.report(rng=np.random.default_rng(4))
+        assert report.meets_25ps
+
+    def test_boards_match_scaling(self):
+        scaling = size_configuration(word_width=64, rate_gbps=2.5)
+        array = array_for_scaling(scaling)
+        assert array.n_boards == scaling.boards

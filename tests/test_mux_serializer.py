@@ -1,0 +1,141 @@
+"""Tests for the 2:1 mux and the N:1 / two-stage serializers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, RateLimitError
+from repro.pecl.mux import Mux2to1, MuxSpec
+from repro.pecl.serializer import (
+    ParallelToSerial,
+    SerializerSpec,
+    TwoStageSerializer,
+)
+from repro.signal.prbs import prbs_bits
+
+
+class TestMux2to1:
+    def test_interleave(self):
+        mux = Mux2to1()
+        out = mux.interleave([1, 0, 1], [0, 0, 1], 5.0)
+        np.testing.assert_array_equal(out, [1, 0, 0, 0, 1, 1])
+
+    def test_deinterleave_roundtrip(self):
+        mux = Mux2to1()
+        a = prbs_bits(7, 64)
+        b = prbs_bits(7, 64, seed=3)
+        out = mux.interleave(a, b, 5.0)
+        a2, b2 = mux.deinterleave(out)
+        np.testing.assert_array_equal(a, a2)
+        np.testing.assert_array_equal(b, b2)
+
+    def test_rate_ceiling(self):
+        mux = Mux2to1(MuxSpec(max_output_gbps=5.5))
+        with pytest.raises(ConfigurationError):
+            mux.interleave([1], [0], 6.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Mux2to1().interleave([1, 0], [1], 5.0)
+
+    def test_select_mode(self):
+        mux = Mux2to1()
+        np.testing.assert_array_equal(
+            mux.select([1, 1], [0, 0], select_b=True), [0, 0]
+        )
+
+    def test_jitter_budget_has_skew(self):
+        budget = Mux2to1().jitter_budget
+        assert budget.dcd_pp > 0.0
+
+    def test_odd_deinterleave_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Mux2to1().deinterleave([1, 0, 1])
+
+
+class TestParallelToSerial:
+    def test_round_robin(self):
+        ser = ParallelToSerial(SerializerSpec(factor=4))
+        lanes = np.array([
+            [1, 0],   # serial bits 0, 4
+            [0, 1],   # serial bits 1, 5
+            [1, 1],   # serial bits 2, 6
+            [0, 0],   # serial bits 3, 7
+        ])
+        out = ser.serialize(lanes, 1.0)
+        np.testing.assert_array_equal(out, [1, 0, 1, 0, 0, 1, 1, 0])
+
+    def test_deserialize_roundtrip(self):
+        ser = ParallelToSerial()
+        serial = prbs_bits(7, 256)
+        lanes = ser.deserialize(serial)
+        np.testing.assert_array_equal(ser.serialize(lanes, 2.5), serial)
+
+    def test_lane_rate(self):
+        ser = ParallelToSerial()
+        assert ser.required_lane_rate_mbps(2.5) == pytest.approx(312.5)
+
+    def test_output_ceiling(self):
+        ser = ParallelToSerial(SerializerSpec(max_output_gbps=4.0))
+        with pytest.raises(ConfigurationError):
+            ser.check_rates(4.5, 800.0)
+
+    def test_lane_limit(self):
+        ser = ParallelToSerial()
+        with pytest.raises(RateLimitError):
+            ser.check_rates(4.0, 400.0)  # needs 500 Mbps lanes
+
+    def test_wrong_shape(self):
+        ser = ParallelToSerial()
+        with pytest.raises(ConfigurationError):
+            ser.serialize(np.zeros((4, 8)), 2.5)
+
+    def test_non_multiple_deserialize(self):
+        with pytest.raises(ConfigurationError):
+            ParallelToSerial().deserialize(np.zeros(13))
+
+
+class TestTwoStageSerializer:
+    def test_total_lanes(self):
+        assert TwoStageSerializer().total_lanes == 16
+
+    def test_roundtrip(self):
+        two = TwoStageSerializer()
+        serial = prbs_bits(15, 512)
+        lanes = two.split_serial_stream(serial)
+        assert lanes.shape == (16, 32)
+        out = two.serialize(lanes, 5.0)
+        np.testing.assert_array_equal(out, serial)
+
+    def test_lane_rate_for_5g(self):
+        """At 5 Gbps, each of 16 lanes runs 312.5 Mbps — inside the
+        DLC's 400 Mbps derating, the whole point of two stages."""
+        two = TwoStageSerializer()
+        assert two.required_lane_rate_mbps(5.0) == pytest.approx(312.5)
+
+    def test_first_stage_ceiling_applies_to_half_rate(self):
+        two = TwoStageSerializer(
+            SerializerSpec(max_output_gbps=2.5)
+        )
+        lanes = np.zeros((16, 8), dtype=np.uint8)
+        # 5 Gbps final = 2.5 Gbps halves: exactly at the ceiling.
+        two.serialize(lanes, 5.0)
+        with pytest.raises(ConfigurationError):
+            two.serialize(lanes, 6.0)
+
+    def test_jitter_budget_combines_stages(self):
+        two = TwoStageSerializer()
+        budget = two.jitter_budget
+        assert budget.dj_pp == pytest.approx(
+            two.stage_a.spec.lane_skew_pp
+        )
+        assert budget.dcd_pp == pytest.approx(
+            two.mux.spec.phase_skew_pp
+        )
+
+    def test_wrong_shape(self):
+        with pytest.raises(ConfigurationError):
+            TwoStageSerializer().serialize(np.zeros((8, 4)), 5.0)
+
+    def test_split_requires_multiple_of_16(self):
+        with pytest.raises(ConfigurationError):
+            TwoStageSerializer().split_serial_stream(np.zeros(17))

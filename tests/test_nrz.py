@@ -1,0 +1,118 @@
+"""Tests for NRZ waveform synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signal.jitter import DutyCycleDistortion, JitterBudget
+from repro.signal.nrz import NRZEncoder, bits_to_waveform
+from repro.signal.analysis import threshold_crossings
+from repro.signal.sampling import decide_bits
+
+
+class TestEncoding:
+    def test_levels(self):
+        wf = bits_to_waveform([0, 1, 0, 1], 2.5, v_low=-0.4, v_high=0.4)
+        assert wf.min() == pytest.approx(-0.4, abs=1e-9)
+        assert wf.max() == pytest.approx(0.4, abs=1e-9)
+
+    def test_constant_ones(self):
+        wf = bits_to_waveform([1, 1, 1], 2.5, v_high=2.4, v_low=1.6)
+        assert wf.min() == pytest.approx(2.4)
+
+    def test_constant_zeros(self):
+        wf = bits_to_waveform([0, 0, 0], 2.5, v_high=2.4, v_low=1.6)
+        assert wf.max() == pytest.approx(1.6)
+
+    def test_bits_recoverable(self):
+        bits = np.array([0, 1, 1, 0, 1, 0, 0, 1], dtype=np.uint8)
+        wf = bits_to_waveform(bits, 2.5, t20_80=72.0)
+        got = decide_bits(wf, 2.5, threshold=0.5, n_bits=8)
+        np.testing.assert_array_equal(got, bits)
+
+    def test_bits_recoverable_at_5g(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        wf = bits_to_waveform(bits, 5.0, t20_80=120.0)
+        got = decide_bits(wf, 5.0, threshold=0.5, n_bits=8)
+        np.testing.assert_array_equal(got, bits)
+
+    def test_edge_positions(self):
+        """The 0->1 edge of bit 1 crosses 50% at exactly 1 UI."""
+        wf = bits_to_waveform([0, 1], 2.5, t20_80=72.0)
+        crossings = threshold_crossings(wf, 0.5, "rising")
+        assert len(crossings) == 1
+        assert crossings[0] == pytest.approx(400.0, abs=1.0)
+
+    def test_empty_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_waveform([], 2.5)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_waveform([0, 2], 2.5)
+
+    def test_inverted_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NRZEncoder(2.5, v_low=1.0, v_high=0.0)
+
+    def test_padding(self):
+        wf = bits_to_waveform([1, 0], 2.5)
+        assert wf.t0 == pytest.approx(-400.0)
+        assert wf.t_end >= 2 * 400.0 + 400.0 - 1.0
+
+
+class TestEdgeBookkeeping:
+    def test_edge_times_and_directions(self):
+        enc = NRZEncoder(2.5)
+        times, dirs, hist = enc.edge_times_and_directions(
+            np.array([0, 1, 1, 0], dtype=np.uint8)
+        )
+        np.testing.assert_allclose(times, [400.0, 1200.0])
+        np.testing.assert_allclose(dirs, [1.0, -1.0])
+
+    def test_no_edges_for_constant(self):
+        enc = NRZEncoder(2.5)
+        times, dirs, hist = enc.edge_times_and_directions(
+            np.array([1, 1, 1], dtype=np.uint8)
+        )
+        assert len(times) == 0
+
+    def test_history_encodes_previous_bits(self):
+        enc = NRZEncoder(2.5)
+        bits = np.array([1, 0, 1, 1, 0], dtype=np.uint8)
+        _, _, hist = enc.edge_times_and_directions(bits)
+        # First edge between index 0 (1) and 1 (0): history bit0 = 1.
+        assert hist[0] & 1 == 1
+
+
+class TestJitterInjection:
+    def test_dcd_shifts_edges(self):
+        """DCD must move rising and falling edges apart."""
+        bits = np.tile([0, 1], 50)
+        clean = bits_to_waveform(bits, 2.5, t20_80=30.0)
+        jittered = bits_to_waveform(bits, 2.5, t20_80=30.0,
+                                    jitter=DutyCycleDistortion(40.0))
+        t_clean = threshold_crossings(clean, 0.5, "rising")
+        t_jit = threshold_crossings(jittered, 0.5, "rising")
+        shift = np.mean(t_jit[:40] - t_clean[:40])
+        assert shift == pytest.approx(20.0, abs=2.0)
+
+    def test_random_jitter_spreads_crossings(self):
+        bits = np.tile([0, 1], 400)
+        budget = JitterBudget(rj_rms=5.0)
+        wf = bits_to_waveform(bits, 2.5, t20_80=30.0,
+                              jitter=budget.build(),
+                              rng=np.random.default_rng(3))
+        t = threshold_crossings(wf, 0.5, "rising")
+        residual = (t - 400.0) % 800.0
+        residual = np.where(residual > 400.0, residual - 800.0, residual)
+        assert 3.0 < np.std(residual) < 8.0
+
+    def test_same_seed_reproducible(self):
+        bits = np.tile([0, 1, 1, 0], 20)
+        budget = JitterBudget(rj_rms=3.0).build()
+        a = bits_to_waveform(bits, 2.5, t20_80=50.0, jitter=budget,
+                             rng=np.random.default_rng(7))
+        b = bits_to_waveform(bits, 2.5, t20_80=50.0, jitter=budget,
+                             rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.values, b.values)

@@ -1,0 +1,141 @@
+"""Tests for the Figure 4 packet slot format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.packetformat import PacketSlot, PacketSlotFormat
+
+
+class TestFormatArithmetic:
+    """Every number printed on Figure 4 must come out of the model."""
+
+    def test_slot_is_64_bits(self):
+        assert PacketSlotFormat().slot_bits == 64
+
+    def test_slot_time_25_6ns(self):
+        assert PacketSlotFormat().slot_time == pytest.approx(25_600.0)
+
+    def test_valid_data_12_8ns(self):
+        assert PacketSlotFormat().valid_data_time == \
+            pytest.approx(12_800.0)
+
+    def test_guard_2_0ns(self):
+        assert PacketSlotFormat().guard_time == pytest.approx(2_000.0)
+
+    def test_dead_3_2ns(self):
+        assert PacketSlotFormat().dead_time == pytest.approx(3_200.0)
+
+    def test_window_46_bits_18_4ns(self):
+        fmt = PacketSlotFormat()
+        assert fmt.window_bits == 46
+        assert fmt.window_time == pytest.approx(18_400.0)
+
+    def test_bit_period_400ps(self):
+        assert PacketSlotFormat().bit_period == pytest.approx(400.0)
+
+    def test_structure_adds_up(self):
+        fmt = PacketSlotFormat()
+        assert fmt.dead_bits + 2 * fmt.guard_bits + fmt.window_bits \
+            == fmt.slot_bits
+        assert (fmt.pre_clock_bits + fmt.payload_bits
+                + fmt.post_clock_bits) == fmt.window_bits
+
+    def test_slots_per_second(self):
+        # 25.6 ns slots -> ~39 M slots/s.
+        assert PacketSlotFormat().slots_per_second() == \
+            pytest.approx(39.0625e6)
+
+    def test_payload_bandwidth(self):
+        # 32 of 64 periods carry data: half the channel rate.
+        assert PacketSlotFormat().payload_bandwidth_gbps() == \
+            pytest.approx(1.25)
+
+    def test_scales_with_rate(self):
+        fmt = PacketSlotFormat(rate_gbps=5.0)
+        assert fmt.bit_period == pytest.approx(200.0)
+        assert fmt.slot_time == pytest.approx(12_800.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PacketSlotFormat(rate_gbps=0.0)
+        with pytest.raises(ConfigurationError):
+            PacketSlotFormat(payload_bits=0)
+
+
+class TestPacketSlot:
+    def _slot(self, address=5):
+        fmt = PacketSlotFormat()
+        rng = np.random.default_rng(0)
+        return PacketSlot.random(fmt, address, rng), fmt
+
+    def test_payload_in_window(self):
+        slot, fmt = self._slot()
+        bits = slot.data_bits(0)
+        assert len(bits) == fmt.slot_bits
+        # Quiet outside the data window.
+        assert not bits[:fmt.data_start_bit].any()
+        assert not bits[fmt.data_end_bit:].any()
+        np.testing.assert_array_equal(
+            bits[fmt.data_start_bit:fmt.data_end_bit], slot.payload[0]
+        )
+
+    def test_clock_toggles_through_window(self):
+        slot, fmt = self._slot()
+        clock = slot.clock_bits()
+        window = clock[fmt.window_start_bit:
+                       fmt.window_start_bit + fmt.window_bits]
+        assert np.all(np.diff(window.astype(int)) != 0)  # toggles
+        assert not clock[:fmt.window_start_bit].any()
+
+    def test_frame_marks_valid_data(self):
+        slot, fmt = self._slot()
+        frame = slot.frame_bits()
+        assert frame[fmt.data_start_bit]
+        assert frame[fmt.data_end_bit - 1]
+        assert not frame[fmt.data_start_bit - 1]
+        assert not frame[fmt.data_end_bit]
+
+    def test_empty_slot_has_no_frame(self):
+        fmt = PacketSlotFormat()
+        slot = PacketSlot(fmt,
+                          [[0] * 32 for _ in range(4)],
+                          [0, 0, 0, 0], frame=False)
+        assert not slot.frame_bits().any()
+
+    def test_header_encodes_address(self):
+        slot, fmt = self._slot(address=0b1010)
+        assert slot.address() == 0b1010
+        # Header bit 0 is the MSB.
+        assert slot.header_bits(0).any()
+        assert not slot.header_bits(1).any()
+
+    def test_header_held_through_window(self):
+        slot, fmt = self._slot(address=0b1000)
+        h = slot.header_bits(0)
+        window = h[fmt.window_start_bit:
+                   fmt.window_start_bit + fmt.window_bits]
+        assert window.all()
+
+    def test_all_channels_keys(self):
+        slot, fmt = self._slot()
+        channels = slot.all_channels()
+        assert set(channels) == {
+            "clock", "frame", "data0", "data1", "data2", "data3",
+            "header0", "header1", "header2", "header3",
+        }
+
+    def test_payload_length_checked(self):
+        fmt = PacketSlotFormat()
+        with pytest.raises(ConfigurationError):
+            PacketSlot(fmt, [[0] * 31] * 4, [0] * 4)
+
+    def test_channel_count_checked(self):
+        fmt = PacketSlotFormat()
+        with pytest.raises(ConfigurationError):
+            PacketSlot(fmt, [[0] * 32] * 3, [0] * 4)
+
+    def test_address_range_checked(self):
+        fmt = PacketSlotFormat()
+        with pytest.raises(ConfigurationError):
+            PacketSlot.random(fmt, address=16)

@@ -1,0 +1,105 @@
+"""Tests for pattern memory and algorithmic generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dlc.pattern import (
+    AlgorithmicPattern,
+    PatternMemory,
+    checkerboard,
+    counting_pattern,
+    prbs_pattern,
+    walking_ones,
+    walking_zeros,
+)
+
+
+class TestPatternMemory:
+    def test_load_and_fetch(self):
+        mem = PatternMemory(width=8, depth=16)
+        mem.load([0x0F, 0xF0, 0xAA])
+        assert mem.vector(1) == 0xF0
+        assert len(mem) == 3
+
+    def test_depth_enforced(self):
+        mem = PatternMemory(width=8, depth=2)
+        with pytest.raises(ConfigurationError):
+            mem.load([1, 2, 3])
+
+    def test_width_enforced(self):
+        mem = PatternMemory(width=4, depth=4)
+        with pytest.raises(ConfigurationError):
+            mem.load([16])
+
+    def test_stream_bits(self):
+        mem = PatternMemory(width=4, depth=4)
+        mem.load([0b0001, 0b0011, 0b0000])
+        np.testing.assert_array_equal(mem.stream_bits(0), [1, 1, 0])
+        np.testing.assert_array_equal(mem.stream_bits(1), [0, 1, 0])
+
+    def test_lanes_shape(self):
+        mem = PatternMemory(width=4, depth=8)
+        mem.load([1, 2, 3, 4])
+        assert mem.lanes().shape == (4, 4)
+
+    def test_bad_index(self):
+        mem = PatternMemory(width=4, depth=4)
+        mem.load([1])
+        with pytest.raises(ConfigurationError):
+            mem.vector(5)
+
+    def test_bad_lane(self):
+        mem = PatternMemory(width=4, depth=4)
+        mem.load([1])
+        with pytest.raises(ConfigurationError):
+            mem.stream_bits(4)
+
+
+class TestAlgorithmicPatterns:
+    def test_walking_ones(self):
+        pat = walking_ones(4)
+        assert pat.vectors(5) == [0b0001, 0b0010, 0b0100, 0b1000,
+                                  0b0001]
+
+    def test_walking_zeros(self):
+        pat = walking_zeros(4)
+        assert pat.vectors(2) == [0b1110, 0b1101]
+
+    def test_checkerboard_alternates(self):
+        pat = checkerboard(8)
+        v0, v1 = pat.vector(0), pat.vector(1)
+        assert v0 ^ v1 == 0xFF
+        assert pat.vector(2) == v0
+
+    def test_counting(self):
+        pat = counting_pattern(8)
+        assert pat.vectors(3) == [0, 1, 2]
+
+    def test_counting_wraps_via_mask(self):
+        pat = counting_pattern(4)
+        assert pat.vector(16) == 0
+
+    def test_stream_bits(self):
+        pat = counting_pattern(4)
+        np.testing.assert_array_equal(pat.stream_bits(0, 4),
+                                      [0, 1, 0, 1])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            counting_pattern(4).vector(-1)
+
+    def test_prbs_pattern_reproducible(self):
+        pat = prbs_pattern(8, order=15)
+        a = pat.vector(5)
+        b = pat.vector(5)
+        assert a == b
+
+    def test_prbs_pattern_varies(self):
+        pat = prbs_pattern(8, order=15)
+        vs = pat.vectors(32)
+        assert len(set(vs)) > 16
+
+    def test_width_validated(self):
+        with pytest.raises(ConfigurationError):
+            AlgorithmicPattern(0, lambda i: 0)

@@ -1,0 +1,87 @@
+"""Tests for PRBS generation: maximality, balance, runs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signal.prbs import (
+    PRBS_POLYNOMIALS,
+    prbs_bits,
+    prbs_period,
+    run_length_histogram,
+)
+
+
+class TestPeriodicity:
+    @pytest.mark.parametrize("order", [7, 9, 11])
+    def test_maximal_length(self, order):
+        n = prbs_period(order)
+        bits = prbs_bits(order, 2 * n)
+        assert np.array_equal(bits[:n], bits[n:2 * n])
+        # No shorter period: the sequence must differ from a half shift.
+        assert not np.array_equal(bits[:n // 2], bits[n // 2:n])
+
+    @pytest.mark.parametrize("order", [7, 9, 11, 15])
+    def test_balance(self, order):
+        """A maximal PRBS has 2^(n-1) ones per period."""
+        n = prbs_period(order)
+        bits = prbs_bits(order, n)
+        assert int(bits.sum()) == (n + 1) // 2
+
+    def test_period_values(self):
+        assert prbs_period(7) == 127
+        assert prbs_period(15) == 32767
+
+
+class TestRunLengths:
+    def test_prbs7_run_distribution(self):
+        """Maximal PRBS-7 run counts follow the 2^-k law."""
+        bits = prbs_bits(7, prbs_period(7))
+        # Rotate so the sequence does not start mid-run (period-wide
+        # stats are what matter).
+        hist = run_length_histogram(np.tile(bits, 2))
+        # Longest run in PRBS-7 is 7 (the run of seven ones).
+        assert max(hist) == 7
+
+    def test_histogram_counts_total(self):
+        bits = np.array([0, 0, 1, 1, 1, 0], dtype=np.uint8)
+        hist = run_length_histogram(bits)
+        assert hist == {2: 1, 3: 1, 1: 1}
+
+    def test_empty(self):
+        assert run_length_histogram(np.array([])) == {}
+
+
+class TestArguments:
+    def test_unsupported_order(self):
+        with pytest.raises(ConfigurationError):
+            prbs_bits(8, 10)
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            prbs_bits(7, 10, seed=0)
+
+    def test_seed_too_large_rejected(self):
+        with pytest.raises(ConfigurationError):
+            prbs_bits(7, 10, seed=1 << 7)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            prbs_bits(7, -1)
+
+    def test_zero_length(self):
+        assert len(prbs_bits(7, 0)) == 0
+
+    def test_different_seeds_shift_sequence(self):
+        a = prbs_bits(7, 127, seed=1)
+        b = prbs_bits(7, 127, seed=3)
+        assert not np.array_equal(a, b)
+        # Same cycle: b must be a rotation of a.
+        doubled = np.tile(a, 2)
+        assert any(
+            np.array_equal(doubled[k:k + 127], b) for k in range(127)
+        )
+
+    def test_all_polynomials_listed(self):
+        for order in PRBS_POLYNOMIALS:
+            assert PRBS_POLYNOMIALS[order][0] == order

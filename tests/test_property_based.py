@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dlc.lfsr import LFSR
+from repro.eye.diagram import EyeDiagram
+from repro.flash.memory import FlashMemory
+from repro.pecl.mux import Mux2to1
+from repro.pecl.serializer import ParallelToSerial, TwoStageSerializer
+from repro.signal.nrz import bits_to_waveform
+from repro.signal.prbs import PRBS_POLYNOMIALS, prbs_bits
+from repro.signal.sampling import decide_bits
+from repro.signal.waveform import Waveform
+from repro.usb.packets import DataPacket, PID, crc16
+from repro.vortex.topology import NodeAddress, VortexTopology
+from repro.wafer.bist import MISR
+
+
+bit_lists = st.lists(st.integers(0, 1), min_size=2, max_size=64)
+
+
+class TestSignalProperties:
+    @given(bits=bit_lists,
+           rate=st.sampled_from([1.0, 2.5, 4.0, 5.0]),
+           t2080=st.sampled_from([0.0, 30.0, 72.0]))
+    @settings(max_examples=40, deadline=None)
+    def test_nrz_roundtrip(self, bits, rate, t2080):
+        """Encoding then deciding recovers the bits whenever the
+        edges fit in the cell."""
+        ui = 1000.0 / rate
+        if t2080 > 0.55 * ui:
+            return  # edges too slow to settle; not a valid config
+        wf = bits_to_waveform(bits, rate, t20_80=t2080)
+        got = decide_bits(wf, rate, 0.5, n_bits=len(bits))
+        np.testing.assert_array_equal(got, np.asarray(bits,
+                                                      dtype=np.uint8))
+
+    @given(values=st.lists(st.floats(-10, 10), min_size=2,
+                           max_size=100),
+           gain=st.floats(0.1, 5.0), offset=st.floats(-2, 2))
+    @settings(max_examples=50)
+    def test_waveform_scaling_linear(self, values, gain, offset):
+        wf = Waveform(values)
+        out = wf.scaled(gain, offset)
+        np.testing.assert_allclose(
+            out.values, gain * np.asarray(values) + offset,
+            rtol=1e-12, atol=1e-12,
+        )
+
+    @given(values=st.lists(st.floats(-5, 5), min_size=2,
+                           max_size=50))
+    @settings(max_examples=50)
+    def test_interpolation_bounded(self, values):
+        """Linear interpolation never exceeds the sample range."""
+        wf = Waveform(values)
+        t = np.linspace(wf.t0 - 5, wf.t_end + 5, 101)
+        v = wf.values_at(t)
+        assert v.max() <= max(values) + 1e-12
+        assert v.min() >= min(values) - 1e-12
+
+
+class TestPRBSProperties:
+    @given(order=st.sampled_from(sorted(PRBS_POLYNOMIALS)),
+           seed=st.integers(1, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_lfsr_state_never_zero(self, order, seed):
+        seed = seed % ((1 << order) - 1) + 1
+        lfsr = LFSR(order, seed=seed)
+        for _ in range(200):
+            lfsr.step()
+            assert lfsr.state != 0
+
+    @given(seed=st.integers(1, 126))
+    @settings(max_examples=20, deadline=None)
+    def test_prbs7_balance_any_seed(self, seed):
+        bits = prbs_bits(7, 127, seed=seed)
+        assert int(bits.sum()) == 64
+
+
+class TestSerializerProperties:
+    @given(data=st.binary(min_size=16, max_size=128))
+    @settings(max_examples=40)
+    def test_serialize_roundtrip(self, data):
+        bits = np.frombuffer(data, dtype=np.uint8) & 1
+        usable = (len(bits) // 8) * 8
+        if usable == 0:
+            return
+        ser = ParallelToSerial()
+        lanes = ser.deserialize(bits[:usable])
+        np.testing.assert_array_equal(
+            ser.serialize(lanes, 2.5), bits[:usable]
+        )
+
+    @given(data=st.binary(min_size=32, max_size=160))
+    @settings(max_examples=40)
+    def test_two_stage_roundtrip(self, data):
+        bits = np.frombuffer(data, dtype=np.uint8) & 1
+        usable = (len(bits) // 16) * 16
+        if usable == 0:
+            return
+        two = TwoStageSerializer()
+        lanes = two.split_serial_stream(bits[:usable])
+        np.testing.assert_array_equal(
+            two.serialize(lanes, 5.0), bits[:usable]
+        )
+
+    @given(a=st.lists(st.integers(0, 1), min_size=1, max_size=64),
+           b=st.lists(st.integers(0, 1), min_size=1, max_size=64))
+    @settings(max_examples=40)
+    def test_mux_roundtrip(self, a, b):
+        n = min(len(a), len(b))
+        mux = Mux2to1()
+        out = mux.interleave(a[:n], b[:n], 5.0)
+        a2, b2 = mux.deinterleave(out)
+        np.testing.assert_array_equal(a2, a[:n])
+        np.testing.assert_array_equal(b2, b[:n])
+
+
+class TestVortexProperties:
+    @given(angles=st.integers(1, 4),
+           log_heights=st.integers(0, 4))
+    @settings(max_examples=30)
+    def test_crossing_always_permutation(self, angles, log_heights):
+        topo = VortexTopology(angles, 1 << log_heights)
+        for c in range(topo.n_cylinders):
+            heights = set(range(topo.n_heights))
+            images = {topo.crossing_height(c, h) for h in heights}
+            assert images == heights
+
+    @given(angles=st.integers(1, 3),
+           log_heights=st.integers(1, 3),
+           dest=st.integers(0, 7),
+           n_packets=st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_fabric_always_delivers(self, angles, log_heights, dest,
+                                    n_packets):
+        from repro.vortex.fabric import DataVortexFabric, FabricConfig
+
+        heights = 1 << log_heights
+        fab = DataVortexFabric(FabricConfig(n_angles=angles,
+                                            n_heights=heights))
+        d = dest % heights
+        for _ in range(n_packets):
+            fab.submit(d)
+        fab.drain(max_cycles=50_000)
+        assert len(fab.delivered(d)) == n_packets
+
+
+class TestFlashProperties:
+    @given(payload=st.binary(min_size=1, max_size=64),
+           address=st.integers(0, 3000))
+    @settings(max_examples=40)
+    def test_overwrite_then_read(self, payload, address):
+        flash = FlashMemory(size=8192, sector_size=1024)
+        if address + len(payload) > flash.size:
+            return
+        flash.overwrite(address, payload)
+        assert flash.read(address, len(payload)) == payload
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    @settings(max_examples=50)
+    def test_program_is_bitwise_and(self, a, b):
+        flash = FlashMemory(size=1024, sector_size=256)
+        flash.program(0, bytes([a]))
+        if b & ~a:
+            return  # would set bits: rejected path tested elsewhere
+        flash.program(0, bytes([b]))
+        assert flash.read(0, 1)[0] == (a & b)
+
+
+class TestUSBProperties:
+    @given(data=st.binary(max_size=64))
+    @settings(max_examples=50)
+    def test_crc16_detects_any_single_bit_flip(self, data):
+        if not data:
+            return
+        pkt = DataPacket(PID.DATA0, data)
+        for byte in range(0, len(data), max(1, len(data) // 4)):
+            assert not pkt.corrupted(byte).valid()
+
+    @given(data=st.binary(max_size=128))
+    @settings(max_examples=50)
+    def test_crc16_stable(self, data):
+        assert crc16(data) == crc16(data)
+
+
+class TestMISRProperties:
+    @given(words=st.lists(st.integers(0, 0xFFFF), min_size=1,
+                          max_size=64),
+           flip=st.integers(1, 0xFFFF))
+    @settings(max_examples=50)
+    def test_single_corruption_changes_signature(self, words, flip):
+        good = MISR(16).compact_stream(words)
+        corrupted = words.copy()
+        corrupted[len(words) // 2] ^= flip
+        assert MISR(16).compact_stream(corrupted) != good
+
+
+class TestEyeProperties:
+    @given(rate=st.sampled_from([1.0, 2.5, 5.0]),
+           seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_opening_identity_always_holds(self, rate, seed):
+        bits = prbs_bits(7, 600)
+        wf = bits_to_waveform(bits, rate, v_low=-0.4, v_high=0.4,
+                              t20_80=min(72.0, 300.0 / rate),
+                              rng=np.random.default_rng(seed))
+        eye = EyeDiagram.from_waveform(wf, rate)
+        from repro.eye.metrics import measure_eye
+
+        m = measure_eye(eye)
+        assert 0.0 <= m.eye_opening_ui <= 1.0
+        assert abs(m.eye_opening_ui
+                   - (1.0 - m.jitter_pp / m.unit_interval)) < 1e-9

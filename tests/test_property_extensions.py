@@ -1,0 +1,150 @@
+"""Property-based tests over the extension modules."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.eye.mask import EyeMask
+from repro.pecl.dac import VoltageTuningDAC
+from repro.pecl.delay import ProgrammableDelayLine
+from repro.core.packetformat import PacketSlot, PacketSlotFormat
+from repro.core.scaling import size_configuration
+from repro.wafer.bist import MISR
+
+
+class TestDelayLineProperties:
+    @given(seed=st.integers(0, 1000), code=st.integers(0, 1023))
+    @settings(max_examples=50)
+    def test_inl_bounded(self, seed, code):
+        line = ProgrammableDelayLine(inl_pp=20.0, seed=seed)
+        assert abs(line.inl(code)) <= 20.0 + 1e-9
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=25)
+    def test_actual_delay_monotone(self, seed):
+        """With INL well below the step, delay is monotone in code."""
+        line = ProgrammableDelayLine(inl_pp=8.0, seed=seed)
+        delays = [line.actual_delay(c) for c in range(0, 1024, 8)]
+        assert all(a < b for a, b in zip(delays, delays[1:]))
+
+
+class TestDACProperties:
+    @given(code=st.integers(0, 255))
+    @settings(max_examples=50)
+    def test_roundtrip_code(self, code):
+        dac = VoltageTuningDAC(1.0, 3.0, bits=8)
+        v = dac.set_code(code)
+        assert dac.code_for(v) == code
+
+    @given(v=st.floats(1.0, 3.0))
+    @settings(max_examples=50)
+    def test_quantization_error_bounded(self, v):
+        dac = VoltageTuningDAC(1.0, 3.0, bits=8)
+        out = dac.set_voltage(v)
+        assert abs(out - v) <= dac.lsb / 2.0 + 1e-12
+
+
+class TestMaskProperties:
+    @given(
+        x_inner=st.floats(0.05, 0.2),
+        extra=st.floats(0.01, 0.2),
+        y_height=st.floats(0.05, 0.45),
+    )
+    @settings(max_examples=40)
+    def test_vertices_on_boundary(self, x_inner, extra, y_height):
+        mask = EyeMask(x_inner=x_inner,
+                       x_outer=min(x_inner + extra, 0.5),
+                       y_height=y_height)
+        verts = mask.hexagon_vertices()
+        xs = np.array([v[0] for v in verts])
+        ys = np.array([v[1] for v in verts])
+        # Vertices are inside-or-on; nudging outward leaves the mask.
+        assert mask.inside_hexagon(xs * 0.99, ys * 0.99).all()
+        assert not mask.inside_hexagon(xs * 1.02, ys * 1.02).any()
+
+    @given(x=st.floats(-0.5, 0.5), y=st.floats(-0.5, 0.5))
+    @settings(max_examples=60)
+    def test_symmetry(self, x, y):
+        mask = EyeMask()
+        a = mask.inside_hexagon(np.array([x]), np.array([y]))[0]
+        b = mask.inside_hexagon(np.array([-x]), np.array([-y]))[0]
+        assert a == b
+
+
+class TestPacketFormatProperties:
+    @given(
+        payload=st.integers(8, 64),
+        guard=st.integers(0, 8),
+        dead=st.integers(0, 10),
+        pre=st.integers(0, 8),
+        post=st.integers(0, 8),
+    )
+    @settings(max_examples=50)
+    def test_structure_always_adds_up(self, payload, guard, dead,
+                                      pre, post):
+        fmt = PacketSlotFormat(
+            payload_bits=payload, guard_bits=guard, dead_bits=dead,
+            pre_clock_bits=pre, post_clock_bits=post,
+        )
+        assert fmt.slot_bits == dead + 2 * guard + pre + payload + post
+        assert fmt.slot_time == fmt.slot_bits * fmt.bit_period
+        assert 0 < fmt.payload_bandwidth_gbps() <= fmt.rate_gbps
+
+    @given(address=st.integers(0, 15), seed=st.integers(0, 100))
+    @settings(max_examples=40)
+    def test_slot_address_roundtrip(self, address, seed):
+        fmt = PacketSlotFormat()
+        slot = PacketSlot.random(fmt, address,
+                                 rng=np.random.default_rng(seed))
+        assert slot.address() == address
+
+
+class TestScalingProperties:
+    @given(width=st.integers(1, 256),
+           rate=st.floats(0.5, 12.0))
+    @settings(max_examples=50)
+    def test_sizing_consistent(self, width, rate):
+        r = size_configuration(word_width=width, rate_gbps=rate)
+        assert r.aggregate_gbps == width * rate
+        assert r.wavelengths == width + 1
+        assert r.lanes_total == (width + 1) * r.serialization_factor
+        assert r.boards >= 1
+        # Lanes per board never exceed the budget.
+        assert r.lanes_total <= r.boards * 328
+
+
+class TestMISRProperties:
+    @given(words=st.lists(st.integers(0, 0xFFFF), min_size=2,
+                          max_size=40),
+           i=st.integers(0, 39), j=st.integers(0, 39))
+    @settings(max_examples=50)
+    def test_swap_changes_signature(self, words, i, j):
+        """Swapping two *different* response words is detected
+        (MISRs are order-sensitive compactors)."""
+        i %= len(words)
+        j %= len(words)
+        if i == j or words[i] == words[j]:
+            return
+        swapped = words.copy()
+        swapped[i], swapped[j] = swapped[j], swapped[i]
+        assert MISR(16).compact_stream(words) != \
+            MISR(16).compact_stream(swapped)
+
+
+class TestVisualization:
+    def test_render_shapes(self):
+        from repro.vortex.fabric import DataVortexFabric, FabricConfig
+        from repro.vortex.visualize import (
+            occupancy_sparkline,
+            render_fabric_ascii,
+        )
+
+        fab = DataVortexFabric(FabricConfig(n_angles=2, n_heights=4))
+        for h in range(4):
+            fab.submit(h)
+        fab.step()
+        text = render_fabric_ascii(fab)
+        assert "cylinder 0 inject" in text
+        assert "*" in text
+        spark = occupancy_sparkline(fab)
+        assert spark.startswith("[") and spark.endswith("]")
+        assert len(spark) == fab.topology.n_cylinders + 2

@@ -1,0 +1,133 @@
+"""Second round of property-based tests: extensions and physics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.crosstalk import CouplingSpec, coupled_noise
+from repro.dlc.prbs_checker import SelfSyncChecker
+from repro.pecl.timing_generator import PinFormat, TimingGenerator
+from repro.pecl.delay import ProgrammableDelayLine
+from repro.signal.nrz import bits_to_waveform
+from repro.signal.prbs import prbs_bits
+from repro.signal.waveform import Waveform
+from repro.wafer.inkmap import render_bin_map, summarize
+from repro.wafer.map import DieState, WaferMap
+
+
+class TestCrosstalkProperties:
+    @given(coupling=st.floats(0.001, 0.2), seed=st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_noise_linear_in_coupling(self, coupling, seed):
+        bits = prbs_bits(7, 100, seed=1 + seed % 100)
+        aggressor = bits_to_waveform(bits, 2.5, t20_80=72.0)
+        base = coupled_noise(aggressor,
+                             CouplingSpec(coupling=0.01))
+        scaled = coupled_noise(aggressor,
+                               CouplingSpec(coupling=coupling))
+        ratio = coupling / 0.01
+        np.testing.assert_allclose(scaled.values,
+                                   ratio * base.values,
+                                   rtol=1e-9, atol=1e-12)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_noise_zero_mean_ish(self, seed):
+        """Coupled noise is differentiator output: zero average."""
+        bits = prbs_bits(7, 200, seed=1 + seed % 100)
+        aggressor = bits_to_waveform(bits, 2.5, t20_80=72.0)
+        noise = coupled_noise(aggressor)
+        assert abs(noise.mean()) < 0.01 * max(
+            noise.peak_to_peak(), 1e-12
+        )
+
+
+class TestTimingGeneratorProperties:
+    @given(
+        lead=st.floats(0.0, 150.0),
+        width=st.floats(20.0, 200.0),
+        bit=st.integers(0, 1),
+    )
+    @settings(max_examples=40)
+    def test_rz_pulse_inside_window(self, lead, width, bit):
+        trail = min(lead + width, 399.0)
+        if trail <= lead:
+            return
+        tg = TimingGenerator(
+            PinFormat.RZ,
+            leading_delay=ProgrammableDelayLine(inl_pp=0.0),
+            trailing_delay=ProgrammableDelayLine(inl_pp=0.0),
+        )
+        tg.set_edges(lead, trail, 400.0)
+        t = np.arange(0.0, 400.0, 10.0)
+        out = tg.format_cycle(bit, t)
+        if bit == 0:
+            assert not out.any()
+        else:
+            ones = t[out.astype(bool)]
+            if len(ones):
+                got_lead, got_trail = tg.edge_positions()
+                assert ones.min() >= got_lead - 10.0
+                assert ones.max() < got_trail + 10.0
+
+    @given(data=st.lists(st.integers(0, 1), min_size=1,
+                         max_size=30))
+    @settings(max_examples=30)
+    def test_sbc_window_carries_data(self, data):
+        tg = TimingGenerator(
+            PinFormat.SBC,
+            leading_delay=ProgrammableDelayLine(inl_pp=0.0),
+            trailing_delay=ProgrammableDelayLine(inl_pp=0.0),
+        )
+        tg.set_edges(100.0, 300.0, 400.0)
+        stream = tg.format_stream(data, 400.0, resolution_ps=50.0)
+        # Sample the middle of each cycle's window (offset 200 ps =
+        # index 4 of 8): must equal the data bit.
+        mids = stream[4::8]
+        np.testing.assert_array_equal(mids, np.asarray(data,
+                                                       dtype=np.uint8))
+
+
+class TestCheckerProperties:
+    @given(order=st.sampled_from([7, 9, 15]),
+           offset=st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_clean_stream_any_offset_no_errors(self, order, offset):
+        bits = prbs_bits(order, 1500 + offset)
+        state = SelfSyncChecker(order=order).run(bits[offset:])
+        assert state.errors == 0
+
+    @given(flip=st.integers(200, 900))
+    @settings(max_examples=25, deadline=None)
+    def test_single_error_bounded_multiplication(self, flip):
+        bits = prbs_bits(7, 1200).copy()
+        bits[flip] ^= 1
+        state = SelfSyncChecker(order=7).run(bits)
+        assert 1 <= state.errors <= 3
+
+
+class TestInkMapProperties:
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_summary_conserves_dies(self, seed):
+        wafer = WaferMap(diameter_mm=50.0, die_width_mm=8.0,
+                         die_height_mm=8.0)
+        rng = np.random.default_rng(seed)
+        states = list(DieState)
+        for die in wafer:
+            die.state = states[int(rng.integers(0, len(states)))]
+        summary = summarize(wafer)
+        assert (summary.passed + summary.failed + summary.skipped
+                + summary.untested) == summary.total
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_map_has_one_char_per_die(self, seed):
+        wafer = WaferMap(diameter_mm=50.0, die_width_mm=8.0,
+                         die_height_mm=8.0)
+        rng = np.random.default_rng(seed)
+        for die in wafer:
+            die.state = DieState.PASSED if rng.random() < 0.5 \
+                else DieState.FAILED
+        text = render_bin_map(wafer)
+        marked = sum(1 for ch in text if ch in "1X")
+        assert marked == len(wafer)

@@ -1,0 +1,118 @@
+"""Tests for the DLC register file."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.dlc.registers import Register, RegisterFile
+
+
+class TestRegister:
+    def test_reset_value(self):
+        reg = Register("r", 0, width=8, reset_value=0x5A)
+        assert reg.value == 0x5A
+
+    def test_host_write(self):
+        reg = Register("r", 0, width=8)
+        reg.host_write(0x42)
+        assert reg.value == 0x42
+
+    def test_read_only_rejects_write(self):
+        reg = Register("r", 0, read_only=True)
+        with pytest.raises(ProtocolError):
+            reg.host_write(1)
+
+    def test_hw_set_bypasses_read_only(self):
+        reg = Register("r", 0, read_only=True)
+        reg.hw_set(7)
+        assert reg.value == 7
+
+    def test_width_enforced(self):
+        reg = Register("r", 0, width=4)
+        with pytest.raises(ProtocolError):
+            reg.host_write(16)
+
+    def test_hw_set_masks(self):
+        reg = Register("r", 0, width=4)
+        reg.hw_set(0x1F)
+        assert reg.value == 0xF
+
+    def test_write_callback(self):
+        seen = []
+        reg = Register("r", 0, on_write=seen.append)
+        reg.host_write(9)
+        assert seen == [9]
+
+    def test_reset_no_callback(self):
+        seen = []
+        reg = Register("r", 0, reset_value=3, on_write=seen.append)
+        reg.host_write(9)
+        reg.reset()
+        assert reg.value == 3
+        assert seen == [9]
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            Register("r", 0, width=0)
+        with pytest.raises(ConfigurationError):
+            Register("r", 0, width=33)
+
+    def test_reset_value_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            Register("r", 0, width=4, reset_value=16)
+
+
+class TestRegisterFile:
+    def _file(self):
+        rf = RegisterFile()
+        rf.define("A", 0x00, width=16)
+        rf.define("B", 0x02, width=8, read_only=True, reset_value=7)
+        return rf
+
+    def test_lookup_by_name(self):
+        rf = self._file()
+        assert rf["A"].address == 0x00
+
+    def test_lookup_by_address(self):
+        rf = self._file()
+        assert rf.at_address(0x02).name == "B"
+
+    def test_read_write(self):
+        rf = self._file()
+        rf.write(0x00, 0x1234)
+        assert rf.read(0x00) == 0x1234
+
+    def test_unknown_address(self):
+        rf = self._file()
+        with pytest.raises(ProtocolError):
+            rf.read(0x80)
+
+    def test_unknown_name(self):
+        rf = self._file()
+        with pytest.raises(KeyError):
+            rf["Z"]
+
+    def test_duplicate_name_rejected(self):
+        rf = self._file()
+        with pytest.raises(ConfigurationError):
+            rf.define("A", 0x10)
+
+    def test_duplicate_address_rejected(self):
+        rf = self._file()
+        with pytest.raises(ConfigurationError):
+            rf.define("C", 0x00)
+
+    def test_iteration_by_address(self):
+        rf = self._file()
+        assert [r.name for r in rf] == ["A", "B"]
+
+    def test_contains(self):
+        rf = self._file()
+        assert "A" in rf
+        assert "Z" not in rf
+
+    def test_reset_all(self):
+        rf = self._file()
+        rf.write(0x00, 99)
+        rf.reset_all()
+        assert rf.read(0x00) == 0
+        assert rf.read(0x02) == 7

@@ -1,0 +1,76 @@
+"""Tests for sampling and bit decision."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.signal.nrz import bits_to_waveform
+from repro.signal.sampling import Sampler, decide_bits, sample_waveform
+from repro.signal.waveform import Waveform
+
+
+class TestSampleWaveform:
+    def test_samples_values(self):
+        wf = Waveform([0.0, 1.0, 2.0], dt=1.0)
+        np.testing.assert_allclose(
+            sample_waveform(wf, np.array([0.0, 1.5])), [0.0, 1.5]
+        )
+
+
+class TestDecideBits:
+    def test_recovers_pattern(self):
+        bits = np.array([1, 0, 0, 1, 1, 0], dtype=np.uint8)
+        wf = bits_to_waveform(bits, 2.5, t20_80=72.0)
+        np.testing.assert_array_equal(
+            decide_bits(wf, 2.5, 0.5, n_bits=6), bits
+        )
+
+    def test_auto_bit_count(self):
+        wf = bits_to_waveform([1, 0, 1, 0], 2.5)
+        got = decide_bits(wf, 2.5, 0.5)
+        assert len(got) >= 4
+
+    def test_offset_out_of_range(self):
+        wf = bits_to_waveform([1, 0], 2.5)
+        with pytest.raises(ConfigurationError):
+            decide_bits(wf, 2.5, 0.5, sample_offset_ui=1.5)
+
+    def test_too_short_record(self):
+        wf = Waveform([0.0, 1.0], dt=1.0)
+        with pytest.raises(MeasurementError):
+            decide_bits(wf, 2.5, 0.5, t_first_bit=1000.0)
+
+
+class TestSampler:
+    def test_clean_decisions(self):
+        wf = bits_to_waveform([0, 1, 0, 1], 2.5, v_high=1.0)
+        s = Sampler(threshold=0.5)
+        out = s.strobe(wf, np.array([200.0, 600.0, 1000.0, 1400.0]))
+        np.testing.assert_array_equal(out, [0, 1, 0, 1])
+
+    def test_aperture_jitter_near_edge_flips_bits(self):
+        """With the strobe on an edge, aperture jitter randomizes."""
+        bits = np.tile([0, 1], 200)
+        wf = bits_to_waveform(bits, 2.5, t20_80=10.0)
+        s = Sampler(threshold=0.5, aperture_rms=30.0)
+        # Strobe exactly on the rising edges.
+        times = 400.0 + 800.0 * np.arange(150)
+        out = s.strobe(wf, times, rng=np.random.default_rng(5))
+        frac = out.mean()
+        assert 0.2 < frac < 0.8
+
+    def test_hysteresis_holds_state(self):
+        s = Sampler(threshold=0.5, hysteresis=0.4)
+        wf = Waveform([0.0, 0.55, 0.45, 0.9, 0.55], dt=1.0)
+        out = s.strobe(wf, np.arange(5.0))
+        # 0.55 and 0.45 are inside the band: decision holds at 0
+        # until 0.9 crosses the upper threshold.
+        np.testing.assert_array_equal(out, [0, 0, 0, 1, 1])
+
+    def test_rejects_negative_aperture(self):
+        with pytest.raises(ConfigurationError):
+            Sampler(aperture_rms=-1.0)
+
+    def test_rejects_negative_hysteresis(self):
+        with pytest.raises(ConfigurationError):
+            Sampler(hysteresis=-0.1)

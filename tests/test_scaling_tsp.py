@@ -1,0 +1,129 @@
+"""Tests for the Terabit scaling study and the TSP mode."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, RateLimitError
+from repro.core.scaling import (
+    FIRST_STAGE_CEILING_GBPS,
+    scaling_path,
+    size_configuration,
+)
+from repro.core.tsp import HostATE, TestSupportProcessor
+
+
+class TestScaling:
+    def test_paper_target_configuration(self):
+        """64 bits x 10 Gbps = 640 Gbps, 'of the order of a
+        Terabit-per-second'."""
+        r = size_configuration(word_width=64, rate_gbps=10.0)
+        assert r.aggregate_gbps == pytest.approx(640.0)
+        assert r.terabit
+        assert r.wavelengths == 65  # + source-synchronous clock
+
+    def test_10g_needs_faster_parts(self):
+        r = size_configuration(word_width=64, rate_gbps=10.0)
+        assert not r.feasible_first_stage
+        assert any("faster" in n for n in r.notes)
+
+    def test_current_rate_is_feasible(self):
+        r = size_configuration(word_width=4, rate_gbps=2.5)
+        assert r.feasible_first_stage
+        assert r.boards == 1
+
+    def test_lane_arithmetic(self):
+        # 2.5 Gbps at 400 Mbps lanes: ceil(6.25) = 7 lanes... with
+        # the paper's 8:1 the factor is naturally 8 at 312.5 Mbps.
+        r = size_configuration(word_width=4, rate_gbps=2.5,
+                               lane_rate_mbps=312.5)
+        assert r.serialization_factor == 8
+        assert r.lanes_total == 5 * 8
+
+    def test_board_count_scales(self):
+        small = size_configuration(word_width=4, rate_gbps=2.5)
+        big = size_configuration(word_width=64, rate_gbps=2.5)
+        assert big.boards > small.boards
+
+    def test_scaling_path_tradeoff(self):
+        reports = scaling_path(target_aggregate_gbps=640.0)
+        by_rate = {r.rate_gbps: r for r in reports}
+        # Lower rate -> wider word -> more boards.
+        assert by_rate[2.5].word_width > by_rate[10.0].word_width
+        assert by_rate[2.5].boards > by_rate[10.0].boards
+        # Only the low-rate path is feasible with 2004 parts.
+        assert by_rate[2.5].feasible_first_stage
+        assert not by_rate[10.0].feasible_first_stage
+
+    def test_five_gbps_needs_two_stage(self):
+        r = size_configuration(word_width=8, rate_gbps=5.0)
+        assert r.feasible_first_stage
+        assert any("two-stage" in n for n in r.notes)
+        assert 5.0 > FIRST_STAGE_CEILING_GBPS
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            size_configuration(word_width=0)
+        with pytest.raises(ConfigurationError):
+            size_configuration(rate_gbps=0.0)
+        with pytest.raises(ConfigurationError):
+            scaling_path(target_aggregate_gbps=-1.0)
+
+
+class TestTSP:
+    def test_enhancement_factor(self):
+        tsp = TestSupportProcessor(
+            HostATE(channel_rate_mbps=100.0), serializer_factor=16
+        )
+        assert tsp.output_rate_gbps == pytest.approx(1.6)
+        assert tsp.enhancement_factor == 16.0
+
+    def test_drive_produces_serial_waveform(self):
+        tsp = TestSupportProcessor(
+            HostATE(channel_rate_mbps=200.0), serializer_factor=8
+        )
+        rng = np.random.default_rng(1)
+        vectors = rng.integers(0, 2, size=(8, 32))
+        wf = tsp.drive(vectors, rng=rng)
+        # 256 bits at 1.6 Gbps: 625 ps cells.
+        assert wf.duration > 256 * 600.0
+
+    def test_bits_survive_tsp_path(self):
+        from repro.signal.sampling import decide_bits
+
+        tsp = TestSupportProcessor(
+            HostATE(channel_rate_mbps=200.0), serializer_factor=8
+        )
+        rng = np.random.default_rng(2)
+        vectors = rng.integers(0, 2, size=(8, 16)).astype(np.uint8)
+        wf = tsp.drive(vectors, rng=rng)
+        serial = vectors.T.reshape(-1)
+        mid = 0.5 * (wf.min() + wf.max())
+        got = decide_bits(wf, tsp.output_rate_gbps, mid,
+                          n_bits=len(serial))
+        np.testing.assert_array_equal(got, serial)
+
+    def test_needs_enough_ate_channels(self):
+        with pytest.raises(ConfigurationError):
+            TestSupportProcessor(
+                HostATE(n_channels_available=8), serializer_factor=16
+            )
+
+    def test_wrong_vector_shape(self):
+        tsp = TestSupportProcessor(serializer_factor=8)
+        with pytest.raises(ConfigurationError):
+            tsp.drive(np.zeros((4, 8)))
+
+    def test_output_ceiling(self):
+        tsp = TestSupportProcessor(
+            HostATE(channel_rate_mbps=400.0, n_channels_available=32),
+            serializer_factor=16,
+        )
+        # 16 x 400 Mbps = 6.4 Gbps: beyond the serializer part.
+        with pytest.raises(RateLimitError):
+            tsp.drive(np.zeros((16, 8), dtype=np.uint8))
+
+    def test_upgrade_summary(self):
+        tsp = TestSupportProcessor(serializer_factor=16)
+        summary = tsp.upgrade_summary()
+        assert summary["enhancement_factor"] == 16.0
+        assert summary["ate_channels_consumed"] == 16

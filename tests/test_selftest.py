@@ -1,0 +1,114 @@
+"""Tests for the DLC power-on self-test and March C-."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dlc.clocking import ClockSignal
+from repro.dlc.core import DigitalLogicCore
+from repro.dlc.selftest import (
+    lfsr_signature_test,
+    march_c_minus,
+    register_readback_test,
+    run_self_test,
+)
+from repro.dlc.sram import SRAM
+
+
+@pytest.fixture
+def dlc():
+    core = DigitalLogicCore(rf_clock=ClockSignal(2.5, 1.0, "rf"),
+                            with_sram=True)
+    core.configure_direct()
+    return core
+
+
+class TestRegisterReadback:
+    def test_clean_core_passes(self, dlc):
+        assert register_readback_test(dlc)
+
+    def test_state_restored(self, dlc):
+        dlc.host_write(0x08, 12345)
+        register_readback_test(dlc)
+        assert dlc.host_read(0x08) == 12345
+
+
+class TestLFSRSignature:
+    def test_matches_golden(self):
+        assert lfsr_signature_test()
+
+    def test_different_seed_still_selfconsistent(self):
+        assert lfsr_signature_test(order=7, seed=19)
+
+
+class TestMarchCMinus:
+    def test_clean_sram_no_faults(self):
+        sram = SRAM(depth=64, width=8)
+        assert march_c_minus(sram) == []
+
+    def test_detects_stuck_at_zero(self):
+        sram = SRAM(depth=64, width=8)
+        sram.inject_stuck_at(17, 3, 0)
+        faults = march_c_minus(sram)
+        assert (17, 3) in faults
+        assert len(faults) == 1
+
+    def test_detects_stuck_at_one(self):
+        sram = SRAM(depth=64, width=8)
+        sram.inject_stuck_at(5, 0, 1)
+        assert (5, 0) in march_c_minus(sram)
+
+    def test_detects_multiple_faults(self):
+        sram = SRAM(depth=32, width=8)
+        sram.inject_stuck_at(1, 1, 0)
+        sram.inject_stuck_at(30, 7, 1)
+        faults = march_c_minus(sram)
+        assert (1, 1) in faults
+        assert (30, 7) in faults
+
+    def test_access_count_is_10n(self):
+        """March C- is a 10N algorithm: 5 reads + 5 writes per word
+        across its six elements."""
+        sram = SRAM(depth=16, width=8)
+        march_c_minus(sram)
+        assert sram.reads == 5 * 16
+        assert sram.writes == 5 * 16
+        assert sram.reads + sram.writes == 10 * 16
+
+    def test_word_count_validated(self):
+        sram = SRAM(depth=16, width=8)
+        with pytest.raises(ConfigurationError):
+            march_c_minus(sram, n_words=17)
+
+    def test_fault_injection_validated(self):
+        sram = SRAM(depth=16, width=8)
+        with pytest.raises(ConfigurationError):
+            sram.inject_stuck_at(0, 9, 1)
+        with pytest.raises(ConfigurationError):
+            sram.inject_stuck_at(0, 0, 2)
+
+    def test_clear_faults(self):
+        sram = SRAM(depth=16, width=8)
+        sram.inject_stuck_at(3, 3, 1)
+        sram.clear_faults()
+        assert march_c_minus(sram) == []
+
+
+class TestFullSelfTest:
+    def test_healthy_board(self, dlc):
+        report = run_self_test(dlc)
+        assert report.passed
+        assert report.sram_tested
+
+    def test_bad_sram_fails(self, dlc):
+        dlc.sram.inject_stuck_at(100, 2, 1)
+        report = run_self_test(dlc)
+        assert not report.passed
+        assert (100, 2) in report.sram_faults
+        assert report.register_ok  # only the SRAM is bad
+
+    def test_board_without_sram(self):
+        core = DigitalLogicCore(rf_clock=ClockSignal(2.5, 1.0, "rf"))
+        core.configure_direct()
+        report = run_self_test(core)
+        assert report.passed
+        assert not report.sram_tested

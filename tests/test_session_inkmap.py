@@ -1,0 +1,135 @@
+"""Tests for the production session flow and bin-map export."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.host.session import TestSession
+from repro.wafer.dut import WLPDevice
+from repro.wafer.inkmap import (
+    export_map_file,
+    render_bin_map,
+    summarize,
+)
+from repro.wafer.map import DieState, WaferMap
+from repro.wafer.probe import ProbeCard
+
+
+def _small_wafer():
+    return WaferMap(diameter_mm=50.0, die_width_mm=8.0,
+                    die_height_mm=8.0)
+
+
+class TestInkMap:
+    def test_summary_counts(self):
+        wafer = _small_wafer()
+        dies = list(wafer)
+        dies[0].state = DieState.PASSED
+        dies[1].state = DieState.FAILED
+        dies[2].state = DieState.SKIPPED
+        summary = summarize(wafer)
+        assert summary.passed == 1
+        assert summary.failed == 1
+        assert summary.skipped == 1
+        assert summary.total == len(wafer)
+
+    def test_yield_over_tested_only(self):
+        wafer = _small_wafer()
+        dies = list(wafer)
+        dies[0].state = DieState.PASSED
+        dies[1].state = DieState.FAILED
+        assert summarize(wafer).yield_percent == pytest.approx(50.0)
+
+    def test_render_codes(self):
+        wafer = _small_wafer()
+        list(wafer)[0].state = DieState.FAILED
+        text = render_bin_map(wafer)
+        assert "X" in text
+        assert "." in text  # untested
+
+    def test_map_file_structure(self):
+        wafer = _small_wafer()
+        for die in wafer:
+            die.state = DieState.PASSED
+        text = export_map_file(wafer, lot_id="L7", wafer_id="W3")
+        assert "LOT: L7" in text
+        assert "WAFER: W3" in text
+        assert "yield:    100.0%" in text
+
+    def test_ids_required(self):
+        with pytest.raises(ConfigurationError):
+            export_map_file(_small_wafer(), lot_id="")
+
+
+class TestSessionFlow:
+    def test_full_bring_up(self):
+        session = TestSession()
+        report = session.run_bring_up()
+        assert report.self_test.passed
+        assert report.calibration_error_ps < 25.0
+        assert report.qualification.passed
+        assert report.ready_for_production
+
+    def test_stage_ordering_enforced(self):
+        session = TestSession()
+        with pytest.raises(ConfigurationError):
+            session.calibrate()
+        with pytest.raises(ConfigurationError):
+            session.qualify()
+        with pytest.raises(ConfigurationError):
+            session.sort_wafer(_small_wafer())
+
+    def test_failed_self_test_blocks(self):
+        from repro.core.minitester import MiniTester
+        from repro.dlc.clocking import ClockSignal
+        from repro.dlc.core import DigitalLogicCore
+
+        mini = MiniTester()
+        # Attach a broken SRAM so self-test fails.
+        from repro.dlc.sram import SRAM
+
+        mini.dlc.sram = SRAM(depth=64, width=8)
+        mini.dlc.sram.inject_stuck_at(3, 1, 1)
+        session = TestSession(mini)
+        with pytest.raises(ReproError):
+            session.power_on()
+        assert not session.report.ready_for_production
+
+    def test_calibration_restores_delay_line(self):
+        """Regression: the calibration sweep must not leave the TX
+        delay line programmed off its operating point (that shifts
+        the output ~10 ns and breaks every later loopback)."""
+        session = TestSession()
+        code_before = session.tester.transmitter.delay_line.code
+        session.power_on()
+        session.calibrate()
+        assert session.tester.transmitter.delay_line.code \
+            == code_before
+        # The system still loops back clean after calibration.
+        result = session.tester.run_loopback(n_bits=300, seed=1)
+        assert result.passed
+
+    def test_sort_produces_map_files(self):
+        session = TestSession()
+        session.run_bring_up()
+        wafer = _small_wafer()
+        text = session.sort_wafer(
+            wafer, card=ProbeCard(n_sites=2, contact_yield=1.0),
+            lot_id="LOTX", test_time_s=1.0,
+        )
+        assert "LOTX" in text
+        assert session.report.wafers_sorted == 1
+        assert not wafer.untested()
+
+    def test_multiple_wafers_numbered(self):
+        session = TestSession()
+        session.run_bring_up()
+        for _ in range(2):
+            session.sort_wafer(
+                _small_wafer(),
+                card=ProbeCard(n_sites=2, contact_yield=1.0),
+                test_time_s=1.0,
+            )
+        assert session.report.wafers_sorted == 2
+        assert "W01" in session.report.map_files[0]
+        assert "W02" in session.report.map_files[1]

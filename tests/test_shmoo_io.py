@@ -1,0 +1,98 @@
+"""Tests for the shmoo runner and waveform I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.host.shmoo import ShmooRunner, minitester_strobe_rate_shmoo
+from repro.signal.io import (
+    load_waveform_csv,
+    roundtrip_equal,
+    save_waveform_csv,
+)
+from repro.signal.nrz import bits_to_waveform
+from repro.signal.waveform import Waveform
+
+
+class TestShmooRunner:
+    def test_simple_region(self):
+        # Pass inside a disk of radius 2 around (0, 0).
+        runner = ShmooRunner(lambda x, y: x * x + y * y <= 4.0)
+        result = runner.run([-3, -1, 0, 1, 3], [-3, 0, 3])
+        assert result.passes[1][2]      # (0, 0)
+        assert not result.passes[0][0]  # (-3, -3)
+        assert 0.0 < result.pass_fraction < 1.0
+
+    def test_contiguity_check(self):
+        runner = ShmooRunner(lambda x, y: abs(x) <= 1.0)
+        good = runner.run([-2, -1, 0, 1, 2], [0])
+        assert good.pass_region_contiguous_rows()
+        runner2 = ShmooRunner(lambda x, y: int(x) % 2 == 0)
+        bad = runner2.run([0, 1, 2, 3, 4], [0])
+        assert not bad.pass_region_contiguous_rows()
+
+    def test_render(self):
+        runner = ShmooRunner(lambda x, y: x >= y,
+                             x_name="rate", y_name="volts")
+        text = runner.run([0, 1, 2], [0, 1]).render()
+        assert "rate" in text
+        assert "P" in text and "." in text
+
+    def test_empty_axes_rejected(self):
+        runner = ShmooRunner(lambda x, y: True)
+        with pytest.raises(ConfigurationError):
+            runner.run([], [1])
+
+    def test_minitester_shmoo(self):
+        """The real thing: strobe x rate on the mini-tester. Center
+        strobes pass at every rate; boundary strobes fail."""
+        from repro.core.minitester import MiniTester
+
+        mini = MiniTester()
+        result = minitester_strobe_rate_shmoo(
+            mini, rates=(2.5, 5.0),
+            strobe_fracs=(0.02, 0.5, 0.98),
+            n_bits=200,
+        )
+        # Center row passes everywhere.
+        assert result.passes[1].all()
+        # The cell-boundary strobes fail somewhere.
+        assert not result.passes[0].all() or not result.passes[2].all()
+
+
+class TestWaveformIO:
+    def test_roundtrip_via_stream(self):
+        wf = bits_to_waveform([0, 1, 1, 0], 2.5, t20_80=72.0)
+        buf = io.StringIO()
+        n = save_waveform_csv(wf, buf)
+        assert n == len(wf)
+        buf.seek(0)
+        loaded = load_waveform_csv(buf)
+        assert roundtrip_equal(wf, loaded, atol=1e-4)
+
+    def test_roundtrip_via_file(self, tmp_path):
+        wf = Waveform([0.0, 0.5, 1.0], dt=2.0, t0=10.0)
+        path = str(tmp_path / "wf.csv")
+        save_waveform_csv(wf, path)
+        loaded = load_waveform_csv(path)
+        assert roundtrip_equal(wf, loaded)
+
+    def test_header_required(self):
+        with pytest.raises(ConfigurationError):
+            load_waveform_csv(io.StringIO("1,2\n3,4\n"))
+
+    def test_nonuniform_rejected(self):
+        text = "time_ps,volts\n0,0\n1,1\n5,2\n"
+        with pytest.raises(ConfigurationError):
+            load_waveform_csv(io.StringIO(text))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_waveform_csv(io.StringIO("time_ps,volts\n0,0\n"))
+
+    def test_column_count_checked(self):
+        text = "time_ps,volts\n0,0,9\n1,1,9\n"
+        with pytest.raises(ConfigurationError):
+            load_waveform_csv(io.StringIO(text))

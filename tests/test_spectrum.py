@@ -1,0 +1,95 @@
+"""Tests for spectral analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.signal.nrz import bits_to_waveform
+from repro.signal.prbs import prbs_bits
+from repro.signal.spectrum import (
+    analyze_clock,
+    occupied_bandwidth,
+    power_spectrum,
+    spectral_peak,
+)
+from repro.signal.waveform import Waveform
+
+
+class TestPowerSpectrum:
+    def test_sine_peak_at_right_frequency(self):
+        # 1.25 GHz sine sampled at 1 ps over 8 ns; 8000 samples make
+        # 1.25 GHz an exact FFT bin (df = 0.125 GHz).
+        t = np.arange(8000)
+        v = np.sin(2 * np.pi * 1.25e-3 * t)  # cycles per ps
+        wf = Waveform(v, dt=1.0)
+        f, p = spectral_peak(wf)
+        assert f == pytest.approx(1.25, rel=0.01)
+
+    def test_parseval_roughly(self):
+        rng = np.random.default_rng(0)
+        v = rng.normal(0, 1, 4096)
+        wf = Waveform(v, dt=1.0)
+        freqs, power = power_spectrum(wf, window="rect")
+        assert power.sum() == pytest.approx(np.var(v), rel=0.05)
+
+    def test_short_record_rejected(self):
+        with pytest.raises(MeasurementError):
+            power_spectrum(Waveform([1.0, 2.0]))
+
+    def test_unknown_window(self):
+        with pytest.raises(MeasurementError):
+            power_spectrum(Waveform(np.zeros(64)), window="flattop")
+
+
+class TestClockAnalysis:
+    def test_clean_clock_low_even_harmonics(self):
+        bits = np.tile([0, 1], 256)
+        wf = bits_to_waveform(bits, 2.5, t20_80=40.0)
+        # 0101 at 2.5 Gbps = 1.25 GHz clock.
+        result = analyze_clock(wf, expected_ghz=1.25)
+        assert result.fundamental_ghz == pytest.approx(1.25, rel=0.02)
+        assert result.even_odd_ratio_db < -25.0
+
+    def test_dcd_raises_even_harmonics(self):
+        from repro.signal.jitter import DutyCycleDistortion
+
+        bits = np.tile([0, 1], 256)
+        clean = bits_to_waveform(bits, 2.5, t20_80=40.0)
+        skewed = bits_to_waveform(bits, 2.5, t20_80=40.0,
+                                  jitter=DutyCycleDistortion(80.0))
+        r_clean = analyze_clock(clean, 1.25)
+        r_skewed = analyze_clock(skewed, 1.25)
+        assert r_skewed.even_odd_ratio_db > \
+            r_clean.even_odd_ratio_db + 10.0
+
+    def test_bad_expected_frequency(self):
+        wf = bits_to_waveform(np.tile([0, 1], 64), 2.5)
+        with pytest.raises(MeasurementError):
+            analyze_clock(wf, expected_ghz=0.0)
+
+
+class TestOccupiedBandwidth:
+    def test_higher_rate_occupies_more(self):
+        # Compare 90% bandwidths: the 99% point is edge-energy
+        # dominated (same 100 ps edges on both signals).
+        bits = prbs_bits(7, 1000)
+        slow = bits_to_waveform(bits, 1.0, t20_80=100.0)
+        fast = bits_to_waveform(bits, 5.0, t20_80=100.0)
+        assert occupied_bandwidth(fast, 0.9) > \
+            2.0 * occupied_bandwidth(slow, 0.9)
+
+    def test_data_bandwidth_scale(self):
+        """99% power of 2.5 Gbps NRZ sits within a few GHz."""
+        bits = prbs_bits(7, 2000)
+        wf = bits_to_waveform(bits, 2.5, t20_80=72.0)
+        bw = occupied_bandwidth(wf, 0.99)
+        assert 1.0 < bw < 8.0
+
+    def test_fraction_validated(self):
+        wf = bits_to_waveform(prbs_bits(7, 100), 2.5)
+        with pytest.raises(MeasurementError):
+            occupied_bandwidth(wf, 1.5)
+
+    def test_dc_only_rejected(self):
+        with pytest.raises(MeasurementError):
+            occupied_bandwidth(Waveform(np.ones(128)))

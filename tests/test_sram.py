@@ -1,0 +1,58 @@
+"""Tests for the SRAM pattern store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dlc.sram import SRAM
+
+
+class TestSRAM:
+    def test_read_write(self):
+        ram = SRAM(depth=16, width=8)
+        ram.write(3, 0x5A)
+        assert ram.read(3) == 0x5A
+
+    def test_unwritten_reads_zero(self):
+        assert SRAM(depth=4, width=8).read(2) == 0
+
+    def test_address_bounds(self):
+        ram = SRAM(depth=4, width=8)
+        with pytest.raises(ConfigurationError):
+            ram.read(4)
+        with pytest.raises(ConfigurationError):
+            ram.write(-1, 0)
+
+    def test_width_enforced(self):
+        ram = SRAM(depth=4, width=4)
+        with pytest.raises(ConfigurationError):
+            ram.write(0, 16)
+
+    def test_block_ops(self):
+        ram = SRAM(depth=16, width=8)
+        ram.write_block(4, [1, 2, 3])
+        np.testing.assert_array_equal(ram.read_block(4, 3), [1, 2, 3])
+
+    def test_access_counters(self):
+        ram = SRAM(depth=4, width=8)
+        ram.write(0, 1)
+        ram.read(0)
+        ram.read(1)
+        assert ram.writes == 1
+        assert ram.reads == 2
+
+    def test_capacity(self):
+        assert SRAM(depth=1024, width=32).capacity_bits == 32768
+
+    def test_streaming_rate(self):
+        # 32 bits per 5 ns = 6.4 Gbps.
+        assert SRAM(width=32, access_time_ns=5.0).streaming_rate_gbps() \
+            == pytest.approx(6.4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SRAM(depth=0)
+        with pytest.raises(ConfigurationError):
+            SRAM(width=0)
+        with pytest.raises(ConfigurationError):
+            SRAM(access_time_ns=0.0)

@@ -1,0 +1,127 @@
+"""Tests for the generic FSM and the test sequencer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dlc.statemachine import (
+    SequencerState,
+    StateMachine,
+    TestSequencer,
+)
+
+
+class TestStateMachine:
+    def _machine(self):
+        fsm = StateMachine("idle")
+        fsm.add_transition("idle", "go", "running")
+        fsm.add_transition("running", "stop", "idle")
+        return fsm
+
+    def test_transitions(self):
+        fsm = self._machine()
+        assert fsm.fire("go") == "running"
+        assert fsm.fire("stop") == "idle"
+
+    def test_unknown_event_holds_state(self):
+        fsm = self._machine()
+        assert fsm.fire("bogus") == "idle"
+
+    def test_strict_mode_raises(self):
+        fsm = StateMachine("idle", strict=True)
+        with pytest.raises(ConfigurationError):
+            fsm.fire("bogus")
+
+    def test_entry_actions(self):
+        fsm = self._machine()
+        seen = []
+        fsm.on_enter("running", lambda: seen.append("entered"))
+        fsm.fire("go")
+        assert seen == ["entered"]
+
+    def test_history(self):
+        fsm = self._machine()
+        fsm.fire("go")
+        fsm.fire("stop")
+        assert fsm.history == ["idle", "running", "idle"]
+
+    def test_duplicate_transition_rejected(self):
+        fsm = self._machine()
+        with pytest.raises(ConfigurationError):
+            fsm.add_transition("idle", "go", "elsewhere")
+
+    def test_reset(self):
+        fsm = self._machine()
+        fsm.fire("go")
+        fsm.reset()
+        assert fsm.state == "idle"
+        assert fsm.history == ["idle"]
+
+
+class TestTestSequencer:
+    def test_normal_flow(self):
+        seq = TestSequencer()
+        seq.arm(pattern_length=100)
+        assert seq.state is SequencerState.ARMED
+        seq.trigger()
+        assert seq.state is SequencerState.RUNNING
+        seq.clock(100)
+        assert seq.state is SequencerState.DONE
+
+    def test_progress(self):
+        seq = TestSequencer()
+        seq.arm(200)
+        seq.trigger()
+        seq.clock(50)
+        assert seq.progress == pytest.approx(0.25)
+        seq.clock(150)
+        assert seq.progress == 1.0
+
+    def test_abort_from_running(self):
+        seq = TestSequencer()
+        seq.arm(100)
+        seq.trigger()
+        seq.abort()
+        assert seq.state is SequencerState.IDLE
+
+    def test_rearm_after_done(self):
+        seq = TestSequencer()
+        seq.arm(10)
+        seq.trigger()
+        seq.clock(10)
+        seq.arm(20)
+        assert seq.state is SequencerState.ARMED
+        assert seq.pattern_length == 20
+
+    def test_fault_and_clear(self):
+        seq = TestSequencer()
+        seq.arm(10)
+        seq.fault()
+        assert seq.state is SequencerState.ERROR
+        seq.clear()
+        assert seq.state is SequencerState.IDLE
+
+    def test_trigger_without_arm_ignored(self):
+        seq = TestSequencer()
+        seq.trigger()
+        assert seq.state is SequencerState.IDLE
+
+    def test_clock_caps_at_pattern_length(self):
+        seq = TestSequencer()
+        seq.arm(10)
+        seq.trigger()
+        seq.clock(1000)
+        assert seq.cycles_run == 10
+
+    def test_counter_resets_on_start(self):
+        seq = TestSequencer()
+        seq.arm(10)
+        seq.trigger()
+        seq.clock(10)
+        seq.arm(10)
+        seq.trigger()
+        assert seq.cycles_run == 0
+
+    def test_negative_cycles_rejected(self):
+        seq = TestSequencer()
+        with pytest.raises(ConfigurationError):
+            seq.clock(-1)

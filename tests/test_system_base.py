@@ -1,0 +1,68 @@
+"""Tests for the TestSystem base class behaviors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.system import TestSystem
+from repro.core.testbed import OpticalTestBed
+
+
+class TestBaseClass:
+    def test_requires_serialization_factor(self):
+        system = TestSystem(rate_gbps=2.5)
+        with pytest.raises(NotImplementedError):
+            system.serialization_factor()
+
+    def test_requires_transmitter(self):
+        system = TestSystem(rate_gbps=2.5)
+        with pytest.raises(ConfigurationError):
+            system.transmitter
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            TestSystem(rate_gbps=0.0)
+
+    def test_rf_defaults_to_bit_rate(self):
+        system = TestSystem(rate_gbps=2.0)
+        assert system.rf_source.frequency_ghz == pytest.approx(2.0)
+
+    def test_rf_override(self):
+        system = TestSystem(rate_gbps=5.0, rf_frequency_ghz=2.5)
+        assert system.rf_source.frequency_ghz == pytest.approx(2.5)
+
+    def test_dlc_configured_at_construction(self):
+        system = TestSystem(rate_gbps=2.5)
+        assert system.dlc.fpga.configured
+
+
+class TestReproducibility:
+    def test_same_seed_same_waveform(self):
+        bed = OpticalTestBed()
+        a = bed.prbs_waveform(300, seed=9)
+        b = bed.prbs_waveform(300, seed=9)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_seed_different_waveform(self):
+        bed = OpticalTestBed()
+        a = bed.prbs_waveform(300, seed=9)
+        b = bed.prbs_waveform(300, seed=10)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_same_seed_same_metrics_across_instances(self):
+        m1 = OpticalTestBed().measure_eye(n_bits=1200, seed=4)
+        m2 = OpticalTestBed().measure_eye(n_bits=1200, seed=4)
+        assert m1.jitter_pp == pytest.approx(m2.jitter_pp)
+        assert m1.eye_opening_ui == pytest.approx(m2.eye_opening_ui)
+
+    def test_waveform_carries_true_prbs_order(self):
+        """The serial analog stream is the LFSR's own bit order —
+        the property the lane-layout plumbing guarantees."""
+        from repro.dlc.lfsr import LFSR
+        from repro.signal.sampling import decide_bits
+
+        bed = OpticalTestBed()
+        wf = bed.prbs_waveform(400, seed=6)
+        expected = LFSR(7, seed=6 & 0x7F or 1).bits(400)
+        got = decide_bits(wf, 2.5, threshold=2.0, n_bits=400)
+        np.testing.assert_array_equal(got, expected)

@@ -1,0 +1,86 @@
+"""Tests for the IEEE 1149.1 TAP controller."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.jtag.tap import TAPController, TAPState
+
+
+class TestTransitions:
+    def test_reset_state(self):
+        assert TAPController().state is TAPState.TEST_LOGIC_RESET
+
+    def test_to_run_test_idle(self):
+        tap = TAPController()
+        assert tap.clock(0) is TAPState.RUN_TEST_IDLE
+
+    def test_dr_scan_path(self):
+        tap = TAPController()
+        tap.clock(0)  # RTI
+        tap.clock(1)  # select-DR
+        tap.clock(0)  # capture-DR
+        assert tap.state is TAPState.CAPTURE_DR
+        tap.clock(0)  # shift-DR
+        assert tap.state is TAPState.SHIFT_DR
+        tap.clock(0)  # stays
+        assert tap.state is TAPState.SHIFT_DR
+        tap.clock(1)  # exit1
+        tap.clock(1)  # update
+        assert tap.state is TAPState.UPDATE_DR
+
+    def test_ir_scan_path(self):
+        tap = TAPController()
+        for tms in (0, 1, 1, 0, 0):
+            tap.clock(tms)
+        assert tap.state is TAPState.SHIFT_IR
+
+    def test_pause_loop(self):
+        tap = TAPController()
+        for tms in (0, 1, 0, 0, 1, 0):
+            tap.clock(tms)
+        assert tap.state is TAPState.PAUSE_DR
+        tap.clock(0)
+        assert tap.state is TAPState.PAUSE_DR
+        tap.clock(1)  # exit2
+        tap.clock(0)  # back to shift
+        assert tap.state is TAPState.SHIFT_DR
+
+    def test_bad_tms(self):
+        with pytest.raises(ProtocolError):
+            TAPController().clock(2)
+
+    def test_tck_counter(self):
+        tap = TAPController()
+        tap.clock(0)
+        tap.clock(1)
+        assert tap.tck_count == 2
+
+
+class TestFiveOnesReset:
+    @pytest.mark.parametrize("state", list(TAPState))
+    def test_reset_from_any_state(self, state):
+        """Five TMS=1 clocks must reach Test-Logic-Reset from every
+        one of the sixteen states."""
+        tap = TAPController()
+        tap._state = state  # force; walking there is tested elsewhere
+        tap.reset()
+        assert tap.state is TAPState.TEST_LOGIC_RESET
+
+
+class TestNavigate:
+    @pytest.mark.parametrize("target", list(TAPState))
+    def test_navigate_everywhere(self, target):
+        tap = TAPController()
+        tap.navigate(target)
+        assert tap.state is target
+
+    def test_navigate_noop(self):
+        tap = TAPController()
+        assert tap.navigate(TAPState.TEST_LOGIC_RESET) == 0
+
+    def test_navigate_is_shortest(self):
+        tap = TAPController()
+        # RTI is one clock away.
+        assert tap.navigate(TAPState.RUN_TEST_IDLE) == 1
+        # Shift-DR from RTI: select, capture, shift = 3.
+        assert tap.navigate(TAPState.SHIFT_DR) == 3

@@ -1,0 +1,134 @@
+"""Tests for the Optical Test Bed system composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.packetformat import PacketSlot, PacketSlotFormat
+from repro.core.testbed import OpticalTestBed
+
+
+@pytest.fixture(scope="module")
+def bed():
+    return OpticalTestBed(rate_gbps=2.5)
+
+
+class TestConstruction:
+    def test_five_high_speed_channels(self, bed):
+        """4 data + source-synchronous clock = the paper's 5."""
+        assert len(bed.channels) == 5
+        assert "clock" in bed.channels
+
+    def test_serialization_factor(self, bed):
+        assert bed.serialization_factor() == 8
+
+    def test_rf_source_enabled(self, bed):
+        assert bed.rf_source.enabled
+        assert bed.rf_clock.frequency_ghz == pytest.approx(2.5)
+
+
+class TestEyeMeasurements:
+    def test_figure7_numbers(self, bed):
+        """2.5 Gbps: jitter ~47 ps p-p, opening ~0.88 UI."""
+        m = bed.measure_eye(n_bits=4000, seed=1)
+        assert 35.0 < m.jitter_pp < 58.0
+        assert 0.85 < m.eye_opening_ui < 0.93
+
+    def test_figure8_numbers(self, bed):
+        """4.0 Gbps: similar jitter, opening ~0.81 UI."""
+        m = bed.measure_eye(n_bits=4000, seed=1, rate_gbps=4.0)
+        assert 0.76 < m.eye_opening_ui < 0.87
+
+    def test_figure9_edge_jitter(self, bed):
+        """Single edge: ~24 ps p-p / ~3.2 ps rms."""
+        r = bed.measure_edge_jitter(n_acquisitions=500, seed=2)
+        assert 2.2 < r.rms < 4.2
+        assert 14.0 < r.peak_to_peak < 32.0
+
+    def test_figure6_rise_fall(self, bed):
+        """SiGe transitions: 70-75 ps 20-80%."""
+        rise, fall = bed.measure_rise_fall()
+        assert 62.0 < rise < 85.0
+        assert 62.0 < fall < 85.0
+
+    def test_eye_diagram_object(self, bed):
+        eye = bed.eye_diagram(n_bits=1500, seed=3)
+        assert eye.n_crossings > 300
+
+
+class TestLevelControls:
+    def test_figure10_sweep(self):
+        bed = OpticalTestBed()
+        levels = bed.sweep_high_level("data0", n_steps=4, step=-0.1)
+        highs = [lv.v_high for lv in levels]
+        for a, b in zip(highs, highs[1:]):
+            assert a - b == pytest.approx(0.1, abs=0.015)
+
+    def test_figure11_sweep(self):
+        bed = OpticalTestBed()
+        levels = bed.sweep_swing("data0", n_steps=3, step=-0.2)
+        swings = [lv.swing for lv in levels]
+        for a, b in zip(swings, swings[1:]):
+            assert a - b == pytest.approx(0.2, abs=0.02)
+
+    def test_per_channel_independence(self):
+        bed = OpticalTestBed()
+        bed.set_channel_swing("data0", 0.4)
+        assert bed.channels["data0"].levels.swing == \
+            pytest.approx(0.4, abs=0.01)
+        assert bed.channels["data1"].levels.swing == \
+            pytest.approx(0.8, abs=0.01)
+
+    def test_unknown_channel(self, bed):
+        with pytest.raises(ConfigurationError):
+            bed.set_channel_swing("data9", 0.4)
+
+
+class TestPacketTransmission:
+    def test_transmit_slot_channels(self):
+        bed = OpticalTestBed()
+        slot = PacketSlot.random(bed.fmt, address=3,
+                                 rng=np.random.default_rng(1))
+        waveforms = bed.transmit_slot(slot)
+        assert set(waveforms) == set(slot.all_channels())
+
+    def test_slot_duration(self):
+        bed = OpticalTestBed()
+        slot = PacketSlot.random(bed.fmt, address=3,
+                                 rng=np.random.default_rng(1))
+        wf = bed.transmit_slot(slot)["data0"]
+        # 64 bit periods = 25.6 ns plus the encoder padding.
+        assert wf.duration >= bed.fmt.slot_time
+
+    def test_wrong_rate_slot_rejected(self):
+        bed = OpticalTestBed(rate_gbps=2.5)
+        fmt4g = PacketSlotFormat(rate_gbps=4.0)
+        slot = PacketSlot.random(fmt4g, address=1,
+                                 rng=np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            bed.transmit_slot(slot)
+
+    def test_packet_train(self):
+        bed = OpticalTestBed()
+        slots = [
+            PacketSlot.random(bed.fmt, address=k,
+                              rng=np.random.default_rng(k))
+            for k in range(3)
+        ]
+        waveforms = bed.transmit_packets(slots)
+        single = bed.transmit_slot(slots[0])["data0"]
+        assert len(waveforms["data0"]) == pytest.approx(
+            3 * len(single), rel=0.01
+        )
+
+    def test_empty_train_rejected(self):
+        bed = OpticalTestBed()
+        with pytest.raises(ConfigurationError):
+            bed.transmit_packets([])
+
+    def test_four_channel_waveforms(self):
+        bed = OpticalTestBed()
+        wfs = bed.four_channel_waveforms(word_bits=32)
+        assert len(wfs) == 4
+        for wf in wfs.values():
+            assert wf.peak_to_peak() > 0.5

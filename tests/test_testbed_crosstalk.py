@@ -1,0 +1,49 @@
+"""Tests for the test bed's optional crosstalk realism knob."""
+
+import numpy as np
+import pytest
+
+from repro.channel.crosstalk import CouplingSpec, CrosstalkMatrix
+from repro.core.packetformat import PacketSlot
+from repro.core.testbed import OpticalTestBed
+
+
+def _bed_with_coupling(coupling=0.05):
+    names = ["data0", "data1", "data2", "data3", "clock"]
+    matrix = CrosstalkMatrix(
+        names, adjacent=CouplingSpec(coupling=coupling)
+    )
+    return OpticalTestBed(crosstalk=matrix)
+
+
+class TestTestbedCrosstalk:
+    def test_disabled_by_default(self):
+        assert OpticalTestBed().crosstalk is None
+
+    def test_coupled_slot_differs(self):
+        clean_bed = OpticalTestBed()
+        coupled_bed = _bed_with_coupling(0.08)
+        slot = PacketSlot.random(clean_bed.fmt, 5,
+                                 rng=np.random.default_rng(1))
+        clean = clean_bed.transmit_slot(slot, seed=2)["data1"]
+        dirty = coupled_bed.transmit_slot(slot, seed=2)["data1"]
+        assert not np.array_equal(clean.values, dirty.values)
+
+    def test_slot_still_decodes_with_moderate_coupling(self):
+        """A few percent of coupling must not break the protocol:
+        the slot round-trips through the coupled board."""
+        bed = _bed_with_coupling(0.03)
+        slot = PacketSlot.random(bed.fmt, 9,
+                                 rng=np.random.default_rng(3))
+        assert bed.slot_roundtrip(slot, seed=4)
+
+    def test_frame_header_not_coupled(self):
+        """Only the high-speed channels are in the matrix; the slow
+        frame/header lines are untouched."""
+        clean_bed = OpticalTestBed()
+        coupled_bed = _bed_with_coupling(0.08)
+        slot = PacketSlot.random(clean_bed.fmt, 5,
+                                 rng=np.random.default_rng(5))
+        clean = clean_bed.transmit_slot(slot, seed=6)["frame"]
+        dirty = coupled_bed.transmit_slot(slot, seed=6)["frame"]
+        np.testing.assert_array_equal(clean.values, dirty.values)

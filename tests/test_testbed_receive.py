@@ -1,0 +1,99 @@
+"""Tests for the test bed's receive path and slot round trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.packetformat import PacketSlot
+from repro.core.testbed import OpticalTestBed
+from repro.wafer.map import DieState
+
+
+@pytest.fixture(scope="module")
+def bed():
+    return OpticalTestBed(rate_gbps=2.5)
+
+
+class TestReceiveSlot:
+    def test_roundtrip_random_slots(self, bed):
+        for k in range(5):
+            slot = PacketSlot.random(bed.fmt, address=k % 16,
+                                     rng=np.random.default_rng(k))
+            assert bed.slot_roundtrip(slot, seed=k), f"slot {k}"
+
+    def test_recovers_payload(self, bed):
+        slot = PacketSlot.random(bed.fmt, address=9,
+                                 rng=np.random.default_rng(11))
+        waveforms = bed.transmit_slot(slot, seed=1)
+        recovered = bed.receive_slot(waveforms, seed=2)
+        for i in range(bed.n_data_channels):
+            np.testing.assert_array_equal(recovered["payload"][i],
+                                          slot.payload[i])
+
+    def test_recovers_header_address(self, bed):
+        for address in (0, 5, 10, 15):
+            slot = PacketSlot.random(bed.fmt, address=address,
+                                     rng=np.random.default_rng(3))
+            waveforms = bed.transmit_slot(slot, seed=address)
+            recovered = bed.receive_slot(waveforms, seed=address + 1)
+            assert int(recovered["header_value"][0]) == address
+
+    def test_frame_detected(self, bed):
+        slot = PacketSlot.random(bed.fmt, address=2,
+                                 rng=np.random.default_rng(4))
+        waveforms = bed.transmit_slot(slot, seed=5)
+        recovered = bed.receive_slot(waveforms, seed=6)
+        assert recovered["frame_valid"][0] == 1
+
+    def test_empty_slot_frame_low(self, bed):
+        slot = PacketSlot(bed.fmt,
+                          [[0] * 32 for _ in range(4)],
+                          [0, 0, 1, 0], frame=False)
+        waveforms = bed.transmit_slot(slot, seed=7)
+        recovered = bed.receive_slot(waveforms, seed=8)
+        assert recovered["frame_valid"][0] == 0
+
+    def test_roundtrip_survives_degraded_swing(self, bed):
+        """Margining: even at a 400 mV swing (Figure 11 territory)
+        the slot still decodes."""
+        bed2 = OpticalTestBed()
+        for name in bed2.channels:
+            bed2.set_channel_swing(name, 0.4)
+        slot = PacketSlot.random(bed2.fmt, address=6,
+                                 rng=np.random.default_rng(9))
+        assert bed2.slot_roundtrip(slot, seed=10)
+
+
+class TestRetestFlow:
+    def test_retest_recovers_skipped_dies(self):
+        from repro.wafer.map import WaferMap
+        from repro.wafer.probe import ProbeCard
+        from repro.wafer.scheduler import MultiSiteScheduler
+
+        wafer = WaferMap(diameter_mm=60.0, die_width_mm=6.0,
+                         die_height_mm=6.0)
+        sched = MultiSiteScheduler(
+            ProbeCard(n_sites=2, contact_yield=0.7),
+            test_time_s=1.0,
+        )
+        sched.sort_wafer(wafer, seed=3)
+        skipped_before = len(wafer.dies_in_state(DieState.SKIPPED))
+        assert skipped_before > 0
+        retest = sched.retest_skipped(wafer, seed=4, max_passes=5)
+        skipped_after = len(wafer.dies_in_state(DieState.SKIPPED))
+        assert skipped_after < skipped_before
+        assert retest.touchdowns >= skipped_before
+
+    def test_retest_noop_when_clean(self):
+        from repro.wafer.map import WaferMap
+        from repro.wafer.probe import ProbeCard
+        from repro.wafer.scheduler import MultiSiteScheduler
+
+        wafer = WaferMap(diameter_mm=40.0, die_width_mm=8.0,
+                         die_height_mm=8.0)
+        sched = MultiSiteScheduler(
+            ProbeCard(n_sites=1, contact_yield=1.0)
+        )
+        sched.sort_wafer(wafer, seed=1)
+        retest = sched.retest_skipped(wafer)
+        assert retest.touchdowns == 0
+        assert retest.total_time_s == 0.0

@@ -1,0 +1,113 @@
+"""Tests for ATE pin formats and edge placement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pecl.delay import ProgrammableDelayLine
+from repro.pecl.timing_generator import PinFormat, TimingGenerator
+
+
+def _tg(fmt, lead=100.0, trail=300.0, period=400.0):
+    tg = TimingGenerator(
+        fmt,
+        leading_delay=ProgrammableDelayLine(inl_pp=0.0),
+        trailing_delay=ProgrammableDelayLine(inl_pp=0.0),
+    )
+    tg.set_edges(lead, trail, period)
+    return tg
+
+
+class TestEdgePlacement:
+    def test_positions_programmed(self):
+        tg = _tg(PinFormat.RZ)
+        lead, trail = tg.edge_positions()
+        assert lead == pytest.approx(100.0, abs=5.0)
+        assert trail == pytest.approx(300.0, abs=5.0)
+
+    def test_pulse_width(self):
+        tg = _tg(PinFormat.RZ)
+        assert tg.effective_pulse_width() == pytest.approx(200.0,
+                                                           abs=10.0)
+
+    def test_edge_ordering_enforced(self):
+        tg = _tg(PinFormat.RZ)
+        with pytest.raises(ConfigurationError):
+            tg.set_edges(300.0, 100.0, 400.0)
+
+    def test_edges_within_period(self):
+        tg = _tg(PinFormat.RZ)
+        with pytest.raises(ConfigurationError):
+            tg.set_edges(100.0, 500.0, 400.0)
+
+    def test_ten_ps_resolution(self):
+        """Edge placement granularity is the delay line's 10 ps."""
+        tg = _tg(PinFormat.RZ)
+        tg.set_edges(100.0, 300.0, 400.0)
+        a = tg.edge_positions()[0]
+        tg.set_edges(110.0, 300.0, 400.0)
+        b = tg.edge_positions()[0]
+        assert b - a == pytest.approx(10.0, abs=1.0)
+
+
+class TestFormats:
+    def _cycle(self, tg, bit):
+        return tg.format_cycle(bit, np.arange(0.0, 400.0, 50.0))
+
+    def test_nrz(self):
+        tg = _tg(PinFormat.NRZ)
+        np.testing.assert_array_equal(self._cycle(tg, 1), [1] * 8)
+        np.testing.assert_array_equal(self._cycle(tg, 0), [0] * 8)
+
+    def test_rz_one_pulses(self):
+        tg = _tg(PinFormat.RZ)
+        cycle = self._cycle(tg, 1)
+        # 50 ps steps: window [100, 300) = indices 2..5.
+        np.testing.assert_array_equal(cycle,
+                                      [0, 0, 1, 1, 1, 1, 0, 0])
+
+    def test_rz_zero_stays_low(self):
+        tg = _tg(PinFormat.RZ)
+        np.testing.assert_array_equal(self._cycle(tg, 0), [0] * 8)
+
+    def test_r1_zero_pulses_low(self):
+        tg = _tg(PinFormat.R1)
+        np.testing.assert_array_equal(self._cycle(tg, 0),
+                                      [1, 1, 0, 0, 0, 0, 1, 1])
+        np.testing.assert_array_equal(self._cycle(tg, 1), [1] * 8)
+
+    def test_sbc_surrounds_with_complement(self):
+        tg = _tg(PinFormat.SBC)
+        np.testing.assert_array_equal(self._cycle(tg, 1),
+                                      [0, 0, 1, 1, 1, 1, 0, 0])
+        np.testing.assert_array_equal(self._cycle(tg, 0),
+                                      [1, 1, 0, 0, 0, 0, 1, 1])
+
+
+class TestStreams:
+    def test_stream_length(self):
+        tg = _tg(PinFormat.NRZ)
+        out = tg.format_stream([1, 0, 1], 400.0, resolution_ps=50.0)
+        assert len(out) == 24
+
+    def test_rz_stream_pulse_count(self):
+        tg = _tg(PinFormat.RZ)
+        bits = [1, 0, 1, 1, 0]
+        out = tg.format_stream(bits, 400.0, resolution_ps=50.0)
+        # One pulse (4 high samples) per 1 bit.
+        assert int(out.sum()) == 4 * sum(bits)
+
+    def test_resolution_must_divide(self):
+        tg = _tg(PinFormat.NRZ)
+        with pytest.raises(ConfigurationError):
+            tg.format_stream([1], 400.0, resolution_ps=70.0)
+
+    def test_sbc_stream_has_more_transitions(self):
+        """SBC is the stressful format: more transitions than NRZ
+        for the same data."""
+        data = [1, 1, 1, 0, 0, 0]
+        nrz = _tg(PinFormat.NRZ).format_stream(data, 400.0, 50.0)
+        sbc = _tg(PinFormat.SBC).format_stream(data, 400.0, 50.0)
+        t_nrz = int(np.count_nonzero(np.diff(nrz.astype(int))))
+        t_sbc = int(np.count_nonzero(np.diff(sbc.astype(int))))
+        assert t_sbc > 2 * t_nrz

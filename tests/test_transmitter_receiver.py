@@ -1,0 +1,133 @@
+"""Tests for the composed PECL transmit and receive paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.dlc.clocking import ClockSignal
+from repro.eye.diagram import EyeDiagram
+from repro.eye.metrics import measure_eye
+from repro.pecl.buffer import MINI_IO_BUFFER, SIGE_BUFFER
+from repro.pecl.receiver import BERResult, PECLReceiver
+from repro.pecl.serializer import ParallelToSerial, TwoStageSerializer
+from repro.pecl.transmitter import PECLTransmitter
+from repro.signal.prbs import prbs_bits
+
+
+def _testbed_tx():
+    return PECLTransmitter(ParallelToSerial(),
+                           buffer_spec=SIGE_BUFFER,
+                           clock=ClockSignal(2.5, 2.5, "rf"),
+                           lane_limit_mbps=800.0)
+
+
+def _mini_tx():
+    return PECLTransmitter(TwoStageSerializer(),
+                           buffer_spec=MINI_IO_BUFFER,
+                           clock=ClockSignal(2.5, 2.5, "rf"),
+                           lane_limit_mbps=800.0)
+
+
+class TestTransmitter:
+    def test_transmit_lanes(self):
+        tx = _testbed_tx()
+        serial = prbs_bits(7, 512)
+        lanes = tx.serializer.deserialize(serial)
+        wf = tx.transmit(lanes, 2.5, rng=np.random.default_rng(0))
+        assert wf.duration > 500 * 400.0
+
+    def test_eye_quality_at_2g5(self):
+        tx = _testbed_tx()
+        wf = tx.transmit_serial(prbs_bits(7, 3000), 2.5,
+                                rng=np.random.default_rng(1))
+        m = measure_eye(EyeDiagram.from_waveform(wf, 2.5))
+        assert 0.84 < m.eye_opening_ui < 0.95
+
+    def test_level_controls_propagate(self):
+        tx = _testbed_tx()
+        tx.set_swing(0.4)
+        wf = tx.transmit_serial(np.tile([0, 1], 50), 2.5,
+                                rng=np.random.default_rng(2))
+        assert wf.peak_to_peak() == pytest.approx(0.4, abs=0.08)
+
+    def test_high_level_control(self):
+        tx = _testbed_tx()
+        lv = tx.set_high_level(2.2)
+        assert lv.v_high == pytest.approx(2.2, abs=0.01)
+        wf = tx.transmit_serial(np.tile([0, 1], 50), 2.5,
+                                rng=np.random.default_rng(3))
+        assert wf.max() == pytest.approx(2.2, abs=0.05)
+
+    def test_delay_code_shifts_output(self):
+        tx = _testbed_tx()
+        bits = np.tile([0, 1], 20)
+        t0_ref = tx.transmit_serial(bits, 2.5).t0
+        tx.set_delay_code(50)  # nominal +500 ps
+        t0_delayed = tx.transmit_serial(bits, 2.5).t0
+        assert t0_delayed - t0_ref == pytest.approx(500.0, abs=15.0)
+
+    def test_serializer_ceiling_enforced(self):
+        tx = _testbed_tx()
+        with pytest.raises(ConfigurationError):
+            tx.transmit_serial([0, 1], 4.5)  # past the 4 G part limit
+
+    def test_two_stage_reaches_5g(self):
+        tx = _mini_tx()
+        wf = tx.transmit_serial(prbs_bits(7, 1000), 5.0,
+                                rng=np.random.default_rng(4))
+        m = measure_eye(EyeDiagram.from_waveform(wf, 5.0))
+        assert m.eye_opening_ui > 0.6
+
+    def test_max_rate(self):
+        assert _testbed_tx().max_rate_gbps() == pytest.approx(4.0)
+        assert _mini_tx().max_rate_gbps() == pytest.approx(5.5)
+
+    def test_budget_composition(self):
+        tx = _testbed_tx()
+        total = tx.total_jitter_budget()
+        # RSS of clock 2.5, serializer 2.4, buffer 1.8.
+        assert total.rj_rms == pytest.approx(
+            np.sqrt(2.5**2 + 2.4**2 + 1.8**2), rel=0.01
+        )
+        assert total.dj_pp == pytest.approx(15.0 + 8.0)
+
+
+class TestReceiver:
+    def test_loopback_error_free(self):
+        tx = _mini_tx()
+        bits = prbs_bits(7, 2000)
+        wf = tx.transmit_serial(bits, 5.0, rng=np.random.default_rng(5))
+        rx = PECLReceiver(buffer_spec=MINI_IO_BUFFER)
+        got = rx.receive_bits(wf, 5.0, 2000,
+                              rng=np.random.default_rng(6))
+        result = rx.compare(got, bits)
+        assert result.n_errors == 0
+
+    def test_receive_lanes(self):
+        tx = _testbed_tx()
+        bits = prbs_bits(7, 512)
+        wf = tx.transmit_serial(bits, 2.5, rng=np.random.default_rng(7))
+        rx = PECLReceiver(deserializer=ParallelToSerial())
+        lanes = rx.receive_lanes(wf, 2.5, 512,
+                                 rng=np.random.default_rng(8))
+        assert lanes.shape == (8, 64)
+        np.testing.assert_array_equal(lanes.T.reshape(-1), bits)
+
+    def test_lanes_need_deserializer(self):
+        rx = PECLReceiver()
+        tx = _mini_tx()
+        wf = tx.transmit_serial([0, 1, 0, 1], 5.0)
+        with pytest.raises(ConfigurationError):
+            rx.receive_lanes(wf, 5.0, 4)
+
+    def test_compare_counts(self):
+        r = PECLReceiver.compare([1, 0, 1, 1], [1, 1, 1, 0])
+        assert r.n_errors == 2
+        assert r.ber == pytest.approx(0.5)
+
+    def test_compare_shape_mismatch(self):
+        with pytest.raises(MeasurementError):
+            PECLReceiver.compare([1, 0], [1])
+
+    def test_ber_result_str(self):
+        assert "BER" in str(BERResult(100, 1))

@@ -1,0 +1,63 @@
+"""Tests for repro._units conversions."""
+
+import pytest
+
+from repro import _units
+
+
+class TestPeriodConversions:
+    def test_period_of_2g5(self):
+        assert _units.period_ps(2.5) == 400.0
+
+    def test_period_of_1ghz(self):
+        assert _units.period_ps(1.0) == 1000.0
+
+    def test_frequency_roundtrip(self):
+        assert _units.frequency_ghz(_units.period_ps(3.3)) == \
+            pytest.approx(3.3)
+
+    def test_period_rejects_zero(self):
+        with pytest.raises(ValueError):
+            _units.period_ps(0.0)
+
+    def test_period_rejects_negative(self):
+        with pytest.raises(ValueError):
+            _units.period_ps(-1.0)
+
+    def test_frequency_rejects_zero(self):
+        with pytest.raises(ValueError):
+            _units.frequency_ghz(0.0)
+
+
+class TestUnitInterval:
+    def test_ui_at_5g(self):
+        assert _units.unit_interval_ps(5.0) == 200.0
+
+    def test_ui_at_2g5(self):
+        assert _units.unit_interval_ps(2.5) == 400.0
+
+    def test_rate_roundtrip(self):
+        assert _units.rate_gbps(_units.unit_interval_ps(4.0)) == \
+            pytest.approx(4.0)
+
+    def test_ui_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            _units.unit_interval_ps(0.0)
+
+    def test_rate_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            _units.rate_gbps(-5.0)
+
+
+class TestConstants:
+    def test_time_scale(self):
+        assert _units.NS == 1000.0 * _units.PS
+        assert _units.US == 1000.0 * _units.NS
+        assert _units.S == 1e12 * _units.PS
+
+    def test_voltage_scale(self):
+        assert _units.MV == pytest.approx(1e-3 * _units.V)
+
+    def test_frequency_scale(self):
+        assert _units.MHZ == pytest.approx(1e-3 * _units.GHZ)
+        assert _units.MBPS == pytest.approx(1e-3 * _units.GBPS)

@@ -1,0 +1,141 @@
+"""Tests for the USB device, host, and the DLC protocol."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.dlc.clocking import ClockSignal
+from repro.dlc.core import DigitalLogicCore
+from repro.usb.device import Endpoint, EndpointType, USBDevice
+from repro.usb.host import USBHost
+from repro.usb.packets import DataPacket, PID, TokenPacket
+from repro.usb.protocol import (
+    Command,
+    DLCFunction,
+    DLCProtocol,
+    decode_command,
+    encode_command,
+)
+
+
+@pytest.fixture
+def stack():
+    dlc = DigitalLogicCore(rf_clock=ClockSignal(2.5, 1.0, "rf"))
+    dlc.configure_direct()
+    device = USBDevice()
+    host = USBHost(device)
+    host.enumerate()
+    function = DLCFunction(device, dlc)
+    protocol = DLCProtocol(host)
+    return dlc, device, host, function, protocol
+
+
+class TestEndpoint:
+    def test_toggle_sequence(self):
+        ep = Endpoint(1, EndpointType.BULK)
+        assert ep.receive(DataPacket(PID.DATA0, b"a")).pid is PID.ACK
+        assert ep.receive(DataPacket(PID.DATA1, b"b")).pid is PID.ACK
+        assert list(ep.rx_fifo) == [b"a", b"b"]
+
+    def test_duplicate_toggle_dropped(self):
+        """A repeated DATA0 (host missed the ACK) is re-ACKed but its
+        payload is not duplicated."""
+        ep = Endpoint(1, EndpointType.BULK)
+        ep.receive(DataPacket(PID.DATA0, b"a"))
+        handshake = ep.receive(DataPacket(PID.DATA0, b"a"))
+        assert handshake.pid is PID.ACK
+        assert list(ep.rx_fifo) == [b"a"]
+
+    def test_corrupt_data_naked(self):
+        ep = Endpoint(1, EndpointType.BULK)
+        bad = DataPacket(PID.DATA0, b"abc").corrupted(0)
+        assert ep.receive(bad).pid is PID.NAK
+
+    def test_max_packet_enforced(self):
+        ep = Endpoint(1, EndpointType.BULK, max_packet=4)
+        with pytest.raises(ProtocolError):
+            ep.receive(DataPacket(PID.DATA0, b"12345"))
+
+    def test_transmit_toggles(self):
+        ep = Endpoint(2, EndpointType.BULK)
+        ep.queue_tx(b"x")
+        ep.queue_tx(b"y")
+        assert ep.transmit().pid is PID.DATA0
+        assert ep.transmit().pid is PID.DATA1
+
+    def test_empty_transmit_naks(self):
+        assert Endpoint(2, EndpointType.BULK).transmit() is None
+
+
+class TestEnumeration:
+    def test_enumerate_assigns_address(self):
+        device = USBDevice()
+        host = USBHost(device)
+        descriptor = host.enumerate(new_address=9)
+        assert device.address == 9
+        assert device.configured
+        assert descriptor[:2] == USBDevice.VENDOR_ID.to_bytes(2,
+                                                              "little")
+
+    def test_wrong_address_ignored(self):
+        device = USBDevice(address=3)
+        token = TokenPacket(PID.IN, address=7, endpoint=0)
+        assert device.handle_token(token) is None
+
+    def test_stall_on_unknown_request(self):
+        device = USBDevice()
+        host = USBHost(device)
+        with pytest.raises(ProtocolError):
+            host.control_transfer(bytes([0, 0x99, 0, 0, 0, 0, 0, 0]))
+            host.control_transfer(bytes([0, 0x99, 0, 0, 0, 0, 0, 0]))
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        frame = encode_command(Command.REG_WRITE, 0x1234, 0xDEADBEEF)
+        cmd, addr, value = decode_command(frame)
+        assert cmd is Command.REG_WRITE
+        assert addr == 0x1234
+        assert value == 0xDEADBEEF
+
+    def test_decode_length_checked(self):
+        with pytest.raises(ProtocolError):
+            decode_command(b"\x01\x02")
+
+    def test_decode_bad_opcode(self):
+        with pytest.raises(ProtocolError):
+            decode_command(b"\x7F" + b"\x00" * 6)
+
+    def test_register_roundtrip(self, stack):
+        dlc, _, _, _, protocol = stack
+        protocol.write_register(0x08, 777)
+        assert protocol.read_register(0x08) == 777
+        assert dlc.registers["PATTERN_LEN"].value == 777
+
+    def test_read_only_register_stalls_write(self, stack):
+        _, _, _, _, protocol = stack
+        with pytest.raises(ProtocolError):
+            protocol.write_register(0x00, 1)
+
+    def test_pattern_load(self, stack):
+        _, _, _, function, protocol = stack
+        protocol.load_pattern([10, 20, 30])
+        assert len(function.pattern_memory) == 3
+        assert function.pattern_memory.vector(2) == 30
+
+    def test_ping(self, stack):
+        _, _, _, _, protocol = stack
+        assert protocol.ping()
+
+    def test_control_register_drives_sequencer(self, stack):
+        dlc, _, _, _, protocol = stack
+        protocol.write_register(0x08, 100)
+        protocol.write_register(0x04, DigitalLogicCore.CTRL_ARM)
+        protocol.write_register(0x04, DigitalLogicCore.CTRL_TRIGGER)
+        dlc.sequencer.clock(100)
+        assert protocol.read_register(0x06) == 0x3  # DONE
+
+    def test_transaction_counting(self, stack):
+        _, _, host, _, protocol = stack
+        before = host.transactions
+        protocol.ping()
+        assert host.transactions > before

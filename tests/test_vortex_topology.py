@@ -1,0 +1,130 @@
+"""Tests for Data Vortex topology and routing logic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vortex.routing import (
+    at_destination,
+    resolved_height_bits,
+    wants_descent,
+)
+from repro.vortex.topology import NodeAddress, VortexTopology
+
+
+class TestTopology:
+    def test_cylinder_count(self):
+        assert VortexTopology(3, 8).n_cylinders == 4  # log2(8)+1
+        assert VortexTopology(3, 4).n_cylinders == 3
+        assert VortexTopology(3, 1).n_cylinders == 1
+
+    def test_node_count(self):
+        topo = VortexTopology(3, 8)
+        assert topo.n_nodes == 4 * 3 * 8
+        assert len(list(topo.nodes())) == topo.n_nodes
+
+    def test_heights_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            VortexTopology(3, 6)
+
+    def test_needs_angles(self):
+        with pytest.raises(ConfigurationError):
+            VortexTopology(0, 4)
+
+    def test_crossing_flips_routing_bit(self):
+        topo = VortexTopology(2, 8)
+        # Cylinder 0 resolves the MSB (bit value 4).
+        assert topo.crossing_height(0, 0) == 4
+        assert topo.crossing_height(0, 5) == 1
+        # Cylinder 1 resolves the middle bit (value 2).
+        assert topo.crossing_height(1, 0) == 2
+
+    def test_innermost_crossing_preserves_height(self):
+        topo = VortexTopology(2, 8)
+        for h in range(8):
+            assert topo.crossing_height(3, h) == h
+
+    def test_same_cylinder_advances_angle(self):
+        topo = VortexTopology(3, 4)
+        nxt = topo.same_cylinder_next(NodeAddress(0, 2, 1))
+        assert nxt.angle == 0  # wraps
+        assert nxt.cylinder == 0
+
+    def test_crossing_is_permutation(self):
+        """Same-cylinder links must be a bijection on heights — the
+        conflict-freedom the fabric relies on."""
+        topo = VortexTopology(3, 8)
+        for c in range(topo.n_cylinders):
+            images = {topo.crossing_height(c, h) for h in range(8)}
+            assert images == set(range(8))
+
+    def test_descend_preserves_height(self):
+        topo = VortexTopology(3, 8)
+        nxt = topo.descend_next(NodeAddress(1, 0, 5))
+        assert nxt == NodeAddress(2, 1, 5)
+
+    def test_innermost_cannot_descend(self):
+        topo = VortexTopology(3, 8)
+        with pytest.raises(ConfigurationError):
+            topo.descend_next(NodeAddress(3, 0, 0))
+
+    def test_height_bit_msb_first(self):
+        topo = VortexTopology(2, 8)
+        assert topo.height_bit(0b100, 0) == 1
+        assert topo.height_bit(0b100, 1) == 0
+        assert topo.height_bit(0b001, 2) == 1
+
+    def test_validate(self):
+        topo = VortexTopology(2, 4)
+        with pytest.raises(ConfigurationError):
+            topo.validate(NodeAddress(5, 0, 0))
+
+
+class TestRoutingLogic:
+    def test_wants_descent_on_bit_match(self):
+        topo = VortexTopology(2, 8)
+        # At cylinder 0, height 4 (bit0=1), destination 5 (bit0=1).
+        assert wants_descent(topo, NodeAddress(0, 0, 4), 5)
+        # Height 0 (bit0=0) does not match destination 5.
+        assert not wants_descent(topo, NodeAddress(0, 0, 0), 5)
+
+    def test_innermost_never_descends(self):
+        topo = VortexTopology(2, 8)
+        assert not wants_descent(topo, NodeAddress(3, 0, 5), 5)
+
+    def test_destination_check(self):
+        topo = VortexTopology(2, 8)
+        assert at_destination(topo, NodeAddress(3, 1, 5), 5)
+        assert not at_destination(topo, NodeAddress(3, 1, 4), 5)
+        assert not at_destination(topo, NodeAddress(2, 1, 5), 5)
+
+    def test_destination_range_checked(self):
+        topo = VortexTopology(2, 8)
+        with pytest.raises(ConfigurationError):
+            wants_descent(topo, NodeAddress(0, 0, 0), 8)
+
+    def test_resolved_bits_invariant(self):
+        topo = VortexTopology(2, 8)
+        # Height 0b101, destination 0b100: MSB matches.
+        assert resolved_height_bits(topo, 0b101, 0b100, 1)
+        # Two bits: 0b10 vs 0b10 of destination: matches.
+        assert resolved_height_bits(topo, 0b101, 0b100, 2)
+        # All three: 1 != 0 in the LSB.
+        assert not resolved_height_bits(topo, 0b101, 0b100, 3)
+
+    def test_route_by_hand(self):
+        """Walk one packet by hand through a (1, 4) fabric and check
+        each decision."""
+        topo = VortexTopology(1, 4)  # C=3
+        dest = 0b10
+        # Start at (0, 0, 0): bit0 of height (0) vs dest (1): no.
+        addr = NodeAddress(0, 0, 0b00)
+        assert not wants_descent(topo, addr, dest)
+        addr = topo.same_cylinder_next(addr)  # flips bit0 -> 0b10
+        assert addr.height == 0b10
+        assert wants_descent(topo, addr, dest)
+        addr = topo.descend_next(addr)
+        assert addr.cylinder == 1
+        # bit1 of height (0) vs dest bit1 (0): match, descend.
+        assert wants_descent(topo, addr, dest)
+        addr = topo.descend_next(addr)
+        assert at_destination(topo, addr, dest)

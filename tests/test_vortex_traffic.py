@@ -1,0 +1,103 @@
+"""Tests for vortex traffic generators and load sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vortex.fabric import FabricConfig
+from repro.vortex.traffic import (
+    BurstyTraffic,
+    HotspotTraffic,
+    PermutationTraffic,
+    UniformTraffic,
+    compare_patterns,
+    load_sweep,
+    run_load_point,
+)
+
+
+class TestPatterns:
+    def test_uniform_covers_outputs(self):
+        rng = np.random.default_rng(0)
+        pattern = UniformTraffic()
+        dests = {pattern.destination(rng, 8) for _ in range(500)}
+        assert dests == set(range(8))
+
+    def test_hotspot_concentrates(self):
+        rng = np.random.default_rng(1)
+        pattern = HotspotTraffic(hot_output=3, hot_fraction=0.7)
+        dests = [pattern.destination(rng, 8) for _ in range(2000)]
+        frac = dests.count(3) / len(dests)
+        assert 0.65 < frac < 0.85
+
+    def test_hotspot_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            HotspotTraffic(hot_fraction=1.5)
+
+    def test_permutation_is_fixed(self):
+        rng = np.random.default_rng(2)
+        pattern = PermutationTraffic(seed=5)
+        first_round = [pattern.destination(rng, 8) for _ in range(8)]
+        second_round = [pattern.destination(rng, 8) for _ in range(8)]
+        assert first_round == second_round
+        assert sorted(first_round) == list(range(8))
+
+    def test_bursty_runs(self):
+        rng = np.random.default_rng(3)
+        pattern = BurstyTraffic(burst_length=4)
+        dests = [pattern.destination(rng, 8) for _ in range(40)]
+        # Every block of 4 is constant.
+        for k in range(0, 40, 4):
+            assert len(set(dests[k:k + 4])) == 1
+
+    def test_bursty_length_validated(self):
+        with pytest.raises(ConfigurationError):
+            BurstyTraffic(burst_length=0)
+
+
+class TestLoadSweep:
+    def test_load_point_delivers_everything(self):
+        point = run_load_point(UniformTraffic(), 0.4, n_cycles=100,
+                               seed=4)
+        assert point.stats.delivered == point.stats.injected
+        assert point.mean_latency > 0.0
+
+    def test_latency_grows_with_load(self):
+        points = load_sweep(UniformTraffic(), loads=(0.1, 0.9),
+                            n_cycles=200, seed=5)
+        assert points[1].mean_latency >= points[0].mean_latency
+
+    def test_throughput_tracks_offered_load(self):
+        lo = run_load_point(UniformTraffic(), 0.1, n_cycles=300,
+                            seed=6)
+        hi = run_load_point(UniformTraffic(), 0.7, n_cycles=300,
+                            seed=6)
+        assert hi.throughput > 3.0 * lo.throughput
+
+    def test_hotspot_worse_than_uniform(self):
+        config = FabricConfig(n_angles=2, n_heights=4)
+        uniform = run_load_point(UniformTraffic(), 0.7,
+                                 n_cycles=250, config=config, seed=7)
+        hotspot = run_load_point(
+            HotspotTraffic(hot_fraction=0.8), 0.7,
+            n_cycles=250, config=config, seed=7,
+        )
+        assert hotspot.mean_latency > uniform.mean_latency
+        assert hotspot.deflection_rate >= uniform.deflection_rate
+
+    def test_compare_patterns_keys(self):
+        results = compare_patterns(
+            loads=(0.3,), config=FabricConfig(n_angles=2,
+                                              n_heights=4),
+        )
+        assert set(results) == {"uniform", "hotspot", "permutation",
+                                "bursty"}
+        for points in results.values():
+            assert len(points) == 1
+            assert points[0].stats.delivered > 0
+
+    def test_load_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_load_point(UniformTraffic(), 1.5)
+        with pytest.raises(ConfigurationError):
+            run_load_point(UniformTraffic(), 0.5, n_cycles=0)

@@ -1,0 +1,282 @@
+"""Tests for the wafer-probing environment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ProbeError
+from repro.channel.interposer import CompliantLead
+from repro.wafer.bist import BISTEngine, BISTResult, MISR
+from repro.wafer.dut import DUTSpec, WLPDevice
+from repro.wafer.map import Die, DieState, WaferMap
+from repro.wafer.probe import ProbeCard
+from repro.wafer.scheduler import MultiSiteScheduler
+from repro.wafer.throughput import ThroughputModel
+from repro.signal.nrz import bits_to_waveform
+
+
+class TestWaferMap:
+    def test_die_count_reasonable(self):
+        wm = WaferMap(diameter_mm=200.0, die_width_mm=5.0,
+                      die_height_mm=5.0)
+        area_ratio = (3.14159 * 97.0 ** 2) / 25.0
+        assert 0.7 * area_ratio < len(wm) < area_ratio
+
+    def test_center_die_exists(self):
+        wm = WaferMap()
+        assert wm.has_die(0, 0)
+
+    def test_corner_excluded(self):
+        wm = WaferMap(diameter_mm=100.0, die_width_mm=10.0,
+                      die_height_mm=10.0)
+        assert not wm.has_die(5, 5)
+
+    def test_die_at_missing(self):
+        with pytest.raises(ProbeError):
+            WaferMap().die_at(999, 999)
+
+    def test_states(self):
+        wm = WaferMap(diameter_mm=60.0, die_width_mm=10.0,
+                      die_height_mm=10.0)
+        die = wm.die_at(0, 0)
+        die.state = DieState.PASSED
+        assert die in wm.dies_in_state(DieState.PASSED)
+
+    def test_yield(self):
+        wm = WaferMap(diameter_mm=60.0, die_width_mm=10.0,
+                      die_height_mm=10.0)
+        dies = list(wm)
+        dies[0].state = DieState.PASSED
+        dies[1].state = DieState.FAILED
+        assert wm.yield_fraction() == pytest.approx(0.5)
+
+    def test_yield_without_tests(self):
+        with pytest.raises(ProbeError):
+            WaferMap().yield_fraction()
+
+    def test_neighbors(self):
+        wm = WaferMap()
+        die = wm.die_at(0, 0)
+        right = wm.neighbors(die, dx=1)
+        assert right.position == (1, 0)
+
+
+class TestMISR:
+    def test_deterministic(self):
+        a, b = MISR(16), MISR(16)
+        words = list(range(100))
+        assert a.compact_stream(words) == b.compact_stream(words)
+
+    def test_order_sensitive(self):
+        a, b = MISR(16), MISR(16)
+        assert a.compact_stream([1, 2, 3]) != \
+            b.compact_stream([3, 2, 1])
+
+    def test_detects_single_corruption(self):
+        words = list(range(64))
+        good = MISR(16).compact_stream(words)
+        corrupted = words.copy()
+        corrupted[30] ^= 0x4
+        assert MISR(16).compact_stream(corrupted) != good
+
+    def test_width_enforced(self):
+        misr = MISR(8)
+        with pytest.raises(ConfigurationError):
+            misr.compact(256)
+
+    def test_reset(self):
+        misr = MISR(16)
+        misr.compact_stream([5, 6])
+        misr.reset()
+        assert misr.signature == 0
+
+
+class TestBIST:
+    def test_good_die_passes(self):
+        result = BISTEngine().run(128)
+        assert result.passed
+
+    def test_faulty_die_fails(self):
+        result = BISTEngine(fault_mask=(10, 0x1)).run(128)
+        assert not result.passed
+
+    def test_fault_outside_window_passes(self):
+        result = BISTEngine(fault_mask=(10_000, 0x1)).run(128)
+        assert result.passed
+
+    def test_golden_depends_on_length(self):
+        engine = BISTEngine()
+        assert engine.golden_signature(64) != \
+            engine.golden_signature(128)
+
+    def test_result_fields(self):
+        r = BISTResult(signature=5, golden=5, n_vectors=10)
+        assert r.passed
+        assert not BISTResult(4, 5, 10).passed
+
+
+class TestWLPDevice:
+    def test_loopback_attenuates(self):
+        dut = WLPDevice(DUTSpec(loopback_loss_db=6.0))
+        wf = bits_to_waveform(np.tile([0, 1], 20), 2.5,
+                              v_low=1.6, v_high=2.4, t20_80=72.0)
+        out = dut.loopback(wf, 2.5)
+        assert out.peak_to_peak() == pytest.approx(
+            0.8 * 10 ** (-6.0 / 20.0), rel=0.1
+        )
+
+    def test_open_lead_blocks_signal(self):
+        dut = WLPDevice(open_leads={3})
+        wf = bits_to_waveform([0, 1], 2.5)
+        with pytest.raises(ProbeError):
+            dut.loopback(wf, 2.5, lead_index=3)
+
+    def test_lead_contact(self):
+        dut = WLPDevice(open_leads={0})
+        assert not dut.lead_contact(0)
+        assert dut.lead_contact(1)
+
+    def test_slow_die_corrupts_fast_data(self):
+        """A die driven past its rating low-passes the signal: the
+        5 Gbps pattern comes back with inter-symbol interference and
+        bit errors, while the same die passes at 2 Gbps."""
+        from repro.signal.prbs import prbs_bits
+        from repro.signal.sampling import decide_bits
+
+        slow = WLPDevice(speed_derate=0.4)  # max 2 Gbps effective
+        bits = prbs_bits(7, 300)
+
+        def errors_at(rate):
+            wf = bits_to_waveform(bits, rate, v_low=1.6, v_high=2.4,
+                                  t20_80=60.0)
+            out = slow.loopback(wf, rate)
+            got = decide_bits(out, rate, 2.0, n_bits=300)
+            return int(np.count_nonzero(got != bits))
+
+        assert errors_at(5.0) > 10
+        assert errors_at(2.0) == 0
+
+    def test_derate_range(self):
+        with pytest.raises(ConfigurationError):
+            WLPDevice(speed_derate=0.0)
+
+    def test_open_lead_index_validated(self):
+        with pytest.raises(ConfigurationError):
+            WLPDevice(open_leads={999})
+
+    def test_bist_integration(self):
+        assert WLPDevice().run_bist().passed
+        assert not WLPDevice(bist_fault=(5, 0x2)).run_bist().passed
+
+
+class TestProbeCard:
+    def test_touchdown_plan_covers_all(self):
+        wm = WaferMap(diameter_mm=80.0, die_width_mm=8.0,
+                      die_height_mm=8.0)
+        card = ProbeCard(n_sites=4)
+        plan = card.plan_touchdowns(wm)
+        covered = {pos for td in plan for pos in td.sites
+                   if pos is not None}
+        assert covered == {d.position for d in wm}
+
+    def test_fewer_touchdowns_with_more_sites(self):
+        wm = WaferMap(diameter_mm=100.0, die_width_mm=5.0,
+                      die_height_mm=5.0)
+        one = len(ProbeCard(n_sites=1).plan_touchdowns(wm))
+        four = len(ProbeCard(n_sites=4).plan_touchdowns(wm))
+        assert four < one
+        assert four >= one / 4.0 - 1
+
+    def test_contact_yield_distribution(self):
+        card = ProbeCard(contact_yield=0.9)
+        rng = np.random.default_rng(0)
+        hits = sum(card.contact_ok(rng) for _ in range(2000))
+        assert 1700 < hits < 1900
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProbeCard(n_sites=0)
+        with pytest.raises(ConfigurationError):
+            ProbeCard(contact_yield=1.5)
+
+
+class TestScheduler:
+    def _wafer(self):
+        return WaferMap(diameter_mm=60.0, die_width_mm=6.0,
+                        die_height_mm=6.0)
+
+    def test_all_dies_get_outcomes(self):
+        wm = self._wafer()
+        sched = MultiSiteScheduler(ProbeCard(n_sites=2,
+                                             contact_yield=1.0))
+        run = sched.sort_wafer(wm)
+        assert run.dies_tested == len(wm)
+        assert not wm.untested()
+
+    def test_defective_dies_fail(self):
+        wm = self._wafer()
+
+        def factory(pos):
+            if pos == (0, 0):
+                return WLPDevice(bist_fault=(3, 0x1))
+            return WLPDevice()
+
+        sched = MultiSiteScheduler(
+            ProbeCard(n_sites=1, contact_yield=1.0),
+            dut_factory=factory,
+        )
+        sched.sort_wafer(wm)
+        assert wm.die_at(0, 0).state is DieState.FAILED
+        assert wm.yield_fraction() < 1.0
+
+    def test_contact_failures_skip(self):
+        wm = self._wafer()
+        sched = MultiSiteScheduler(ProbeCard(n_sites=1,
+                                             contact_yield=0.5))
+        run = sched.sort_wafer(wm, seed=3)
+        assert run.retest_needed > 0
+        assert len(wm.dies_in_state(DieState.SKIPPED)) == \
+            run.retest_needed
+
+    def test_parallel_time_savings(self):
+        wm1 = self._wafer()
+        wm4 = self._wafer()
+        t1 = MultiSiteScheduler(
+            ProbeCard(n_sites=1, contact_yield=1.0), test_time_s=2.0
+        ).sort_wafer(wm1).total_time_s
+        t4 = MultiSiteScheduler(
+            ProbeCard(n_sites=4, contact_yield=1.0), test_time_s=2.0
+        ).sort_wafer(wm4).total_time_s
+        assert t4 < 0.5 * t1
+
+
+class TestThroughput:
+    def test_single_site_baseline(self):
+        model = ThroughputModel(n_dies=1000, test_time_s=2.0,
+                                index_time_s=0.8, load_time_s=60.0)
+        r = model.report(1)
+        assert r.wafer_time_s == pytest.approx(60.0 + 1000 * 2.8)
+        assert r.speedup_vs_single == 1.0
+
+    def test_order_of_magnitude_claim(self):
+        """The paper: array probing raises throughput 'by an order
+        of magnitude'. A realistic site count must achieve 10x."""
+        model = ThroughputModel()
+        sites = model.sites_for_speedup(10.0)
+        assert sites <= 16
+
+    def test_speedup_saturates(self):
+        model = ThroughputModel(load_time_s=300.0)
+        r64 = model.report(64)
+        r128 = model.report(128)
+        assert r128.speedup_vs_single < 2.0 * r64.speedup_vs_single
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputModel(n_dies=0)
+        with pytest.raises(ConfigurationError):
+            ThroughputModel().report(0)
+
+    def test_unreachable_speedup(self):
+        model = ThroughputModel(n_dies=10, load_time_s=10_000.0)
+        with pytest.raises(ConfigurationError):
+            model.sites_for_speedup(50.0, max_sites=64)

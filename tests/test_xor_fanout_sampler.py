@@ -1,0 +1,129 @@
+"""Tests for XOR, clock fanout, and the PECL sampler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.dlc.clocking import ClockSignal
+from repro.pecl.fanout import ClockFanout
+from repro.pecl.sampler import PECLSampler
+from repro.pecl.xor_gate import (
+    clock_doubler_bits,
+    phase_detect,
+    xor_bits,
+    xor_waveforms,
+)
+from repro.signal.nrz import bits_to_waveform
+from repro.signal.waveform import Waveform
+
+
+class TestXOR:
+    def test_xor_bits(self):
+        np.testing.assert_array_equal(
+            xor_bits([1, 0, 1], [1, 1, 0]), [0, 1, 1]
+        )
+
+    def test_xor_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            xor_bits([1, 0], [1])
+
+    def test_xor_waveforms(self):
+        a = Waveform([0.0, 1.0, 1.0, 0.0], dt=1.0)
+        b = Waveform([0.0, 0.0, 1.0, 1.0], dt=1.0)
+        out = xor_waveforms(a, b)
+        np.testing.assert_allclose(out.values, [0, 1, 0, 1])
+
+    def test_clock_doubler(self):
+        halves = np.array([1, 0, 1, 0], dtype=np.uint8)
+        doubled = clock_doubler_bits(halves)
+        # Twice the toggle rate: quarter-period samples alternate.
+        assert len(doubled) == 8
+        transitions = np.count_nonzero(np.diff(doubled))
+        assert transitions >= 6
+
+    def test_phase_detect_zero(self):
+        clk = bits_to_waveform(np.tile([1, 0], 40), 2.5, t20_80=10.0)
+        offset = phase_detect(clk, clk, period=800.0)
+        assert abs(offset) < 20.0
+
+    def test_phase_detect_shift(self):
+        clk = bits_to_waveform(np.tile([1, 0], 40), 2.5, t20_80=10.0)
+        shifted = clk.shifted(100.0)
+        offset = phase_detect(clk, shifted, period=800.0)
+        assert abs(abs(offset) - 100.0) < 25.0
+
+
+class TestClockFanout:
+    def test_skew_bounded(self):
+        fo = ClockFanout(n_outputs=8, skew_pp=10.0)
+        skews = [fo.skew(i) for i in range(8)]
+        assert max(skews) - min(skews) == pytest.approx(10.0, abs=1e-6)
+
+    def test_distribute_adds_jitter(self):
+        fo = ClockFanout(n_outputs=4, added_jitter_rms=0.5)
+        clk = ClockSignal(1.25, jitter_rms=1.2, name="rf")
+        outs = fo.distribute(clk)
+        assert len(outs) == 4
+        assert outs[0].jitter_rms == pytest.approx(np.hypot(1.2, 0.5))
+        assert outs[0].frequency_ghz == 1.25
+
+    def test_single_output_no_skew(self):
+        fo = ClockFanout(n_outputs=1)
+        assert fo.skew(0) == 0.0
+
+    def test_output_bounds(self):
+        fo = ClockFanout(n_outputs=2)
+        with pytest.raises(ConfigurationError):
+            fo.skew(2)
+
+
+class TestPECLSampler:
+    def test_resolution_is_10ps(self):
+        assert PECLSampler().resolution == 10.0
+
+    def test_capture_clean_bits(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        wf = bits_to_waveform(bits, 2.5, v_low=1.6, v_high=2.4,
+                              t20_80=72.0)
+        sampler = PECLSampler(threshold=2.0, aperture_rms=0.0)
+        # Strobe at cell center: 200 ps in, code 20.
+        got = sampler.capture_bits(wf, 2.5, 8, strobe_code=20)
+        np.testing.assert_array_equal(got, bits)
+
+    def test_equivalent_time_scan_finds_edge(self):
+        """The mini-tester's measurement mode: sweep the strobe to
+        locate a data edge with 10 ps resolution."""
+        bits = np.tile([0, 1], 40)
+        wf = bits_to_waveform(bits, 2.5, v_low=1.6, v_high=2.4,
+                              t20_80=40.0)
+        sampler = PECLSampler(threshold=2.0, aperture_rms=1.0)
+        # Frame the scan 100 ps after the pattern boundary so the
+        # cell interior holds one clean rising edge: the 0->1 at
+        # 400 ps lands 300 ps into the scanned window.
+        edge = sampler.find_edge(wf, 1.25, n_bits=38, t_first_bit=100.0,
+                                 rng=np.random.default_rng(0))
+        assert edge == pytest.approx(300.0, abs=20.0)
+
+    def test_find_edge_needs_transitions(self):
+        wf = bits_to_waveform(np.ones(40, dtype=np.uint8), 2.5,
+                              v_low=1.6, v_high=2.4)
+        sampler = PECLSampler(threshold=2.0)
+        with pytest.raises(MeasurementError):
+            sampler.find_edge(wf, 2.5, n_bits=30)
+
+    def test_aperture_jitter_blurs_scan(self):
+        bits = np.tile([0, 1], 60)
+        wf = bits_to_waveform(bits, 2.5, v_low=1.6, v_high=2.4,
+                              t20_80=10.0)
+        clean = PECLSampler(threshold=2.0, aperture_rms=0.0)
+        noisy = PECLSampler(threshold=2.0, aperture_rms=25.0)
+        _, dens_clean = clean.equivalent_time_scan(
+            wf, 1.25, 50, rng=np.random.default_rng(1))
+        _, dens_noisy = noisy.equivalent_time_scan(
+            wf, 1.25, 50, rng=np.random.default_rng(1))
+        # The noisy scan's transition spans more codes.
+        mid_clean = np.count_nonzero(
+            (dens_clean > 0.05) & (dens_clean < 0.95))
+        mid_noisy = np.count_nonzero(
+            (dens_noisy > 0.05) & (dens_noisy < 0.95))
+        assert mid_noisy > mid_clean
