@@ -11,6 +11,7 @@ Run:  python examples/characterize_system.py
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.budget import system_timing_budget
 from repro.core.calibration import DeskewCalibration
 from repro.core.minitester import MiniTester
@@ -110,12 +111,29 @@ def host_test_program() -> None:
           f"{'PASS' if datalog.passed else 'FAIL'}")
 
 
+def telemetry_profile() -> None:
+    print()
+    print("Telemetry profile of a characterization pass:")
+    with telemetry.use_registry() as reg:
+        mini = MiniTester(registry=reg)
+        mini.run_loopback(n_bits=500, seed=1)
+        mini.measure_eye(n_bits=1500, seed=1)
+    snap = reg.to_dict()
+    for name, value in snap["counters"].items():
+        print(f"  {name:<28} {value}")
+    for name, stats in snap["timers"].items():
+        print(f"  {name:<28} {stats['count']}x, "
+              f"{stats['total_s'] * 1e3:.1f} ms total")
+    print("  (export formats: reg.to_json(), reg.to_prometheus())")
+
+
 def main() -> None:
     eye_vs_rate()
     timing_accuracy()
     channel_deskew()
     reference_clock_sensitivity()
     host_test_program()
+    telemetry_profile()
 
 
 if __name__ == "__main__":

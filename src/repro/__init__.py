@@ -43,6 +43,7 @@ __all__ = [
     "MeasurementError",
     "Waveform", "EyeDiagram", "EyeMetrics", "measure_eye",
     "DigitalLogicCore", "OpticalTestBed", "MiniTester",
+    "telemetry",
 ]
 
 
@@ -67,4 +68,7 @@ def __getattr__(name):
     if name == "MiniTester":
         from repro.core.minitester import MiniTester
         return MiniTester
+    if name == "telemetry":
+        import repro.telemetry as _telemetry
+        return _telemetry
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

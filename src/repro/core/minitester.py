@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError
 from repro.channel.interposer import InterposerChannel
 from repro.dlc.io import SILICON_MAX_MBPS
@@ -69,12 +70,13 @@ class MiniTester(TestSystem):
     def __init__(self, rate_gbps: float = 5.0,
                  buffer_spec: BufferSpec = MINI_IO_BUFFER,
                  channel: Optional[LTIChannel] = None,
-                 io_rate_mbps: float = 400.0):
+                 io_rate_mbps: float = 400.0,
+                 registry=None):
         # The RF reference runs at half the bit rate: the 2:1 output
         # mux toggles on both clock edges (1.25 GHz input in Fig. 15
         # for 2.5 G halves / 5 G output).
         super().__init__(rate_gbps, rf_frequency_ghz=rate_gbps / 2.0,
-                         io_rate_mbps=io_rate_mbps)
+                         io_rate_mbps=io_rate_mbps, registry=registry)
         self._tx = PECLTransmitter(
             TwoStageSerializer(),
             buffer_spec=buffer_spec,
@@ -112,22 +114,31 @@ class MiniTester(TestSystem):
                      strobe_code: Optional[int] = None) -> LoopbackResult:
         """Full self-test: transmit PRBS, capture, count errors."""
         rate = self.rate_gbps if rate_gbps is None else rate_gbps
-        wf = self.loopback_waveform(n_bits, seed=seed, rate_gbps=rate)
-        # Strobe at cell center unless told otherwise.
-        if strobe_code is None:
-            ui = 1_000.0 / rate
-            step = self.receiver.sampler.resolution
-            strobe_code = int(round((ui / 2.0) / step))
-        # Account for the channel's bulk delay when strobing.
-        t_first = self._channel_delay()
-        bits = self.receiver.receive_bits(
-            wf, rate, n_bits, strobe_code=strobe_code,
-            t_first_bit=t_first, rng=np.random.default_rng(seed + 7),
-        )
-        expected = self._expected_serial(n_bits, seed=seed, rate_gbps=rate)
-        ber = self.receiver.compare(bits, expected[:len(bits)])
-        return LoopbackResult(ber=ber, rate_gbps=rate,
-                              strobe_code=strobe_code)
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("minitester.run_loopback"):
+            wf = self.loopback_waveform(n_bits, seed=seed,
+                                        rate_gbps=rate)
+            # Strobe at cell center unless told otherwise.
+            if strobe_code is None:
+                ui = 1_000.0 / rate
+                step = self.receiver.sampler.resolution
+                strobe_code = int(round((ui / 2.0) / step))
+            # Account for the channel's bulk delay when strobing.
+            t_first = self._channel_delay()
+            bits = self.receiver.receive_bits(
+                wf, rate, n_bits, strobe_code=strobe_code,
+                t_first_bit=t_first, rng=np.random.default_rng(seed + 7),
+            )
+            expected = self._expected_serial(n_bits, seed=seed,
+                                             rate_gbps=rate)
+            ber = self.receiver.compare(bits, expected[:len(bits)])
+            tel.counter("minitester.loopbacks").inc()
+            tel.counter("minitester.sampler_strobes").inc(len(bits))
+            tel.counter("minitester.bit_errors").inc(ber.n_errors)
+            if ber.n_errors:
+                tel.counter("minitester.loopback_failures").inc()
+            return LoopbackResult(ber=ber, rate_gbps=rate,
+                                  strobe_code=strobe_code)
 
     def _channel_delay(self) -> float:
         if isinstance(self.channel, InterposerChannel):

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError
 from repro.dlc.core import DigitalLogicCore
 from repro.dlc.clocking import ClockSignal
@@ -38,22 +39,28 @@ class TestSystem:
         reference clocks the final serializer stage).
     io_rate_mbps:
         DLC I/O derating.
+    registry:
+        Optional injected telemetry registry, shared with the DLC;
+        defaults to the module-level active one.
     """
 
     __test__ = False  # not a pytest collection target
 
     def __init__(self, rate_gbps: float,
                  rf_frequency_ghz: Optional[float] = None,
-                 io_rate_mbps: float = 400.0):
+                 io_rate_mbps: float = 400.0,
+                 registry=None):
         if rate_gbps <= 0.0:
             raise ConfigurationError("rate must be positive")
         self.rate_gbps = float(rate_gbps)
+        self.telemetry = registry
         self.rf_source = RFClockSource(
             rf_frequency_ghz if rf_frequency_ghz is not None else rate_gbps
         )
         self.rf_source.enable()
         self.dlc = DigitalLogicCore(io_rate_mbps=io_rate_mbps,
-                                    rf_clock=self.rf_clock)
+                                    rf_clock=self.rf_clock,
+                                    registry=registry)
         self.dlc.configure_direct()
         self.scope = SamplingScope()
         self._tx: Optional[PECLTransmitter] = None
@@ -89,16 +96,22 @@ class TestSystem:
         self-synchronizing checker locks onto it directly).
         """
         rate = self.rate_gbps if rate_gbps is None else rate_gbps
-        factor = self.serialization_factor()
-        self.dlc.host_write(0x0C, seed)  # LFSR_SEED
-        self.dlc.reset_lfsrs()
-        n_words = int(np.ceil(n_bits / factor))
-        serial = self.dlc.lfsr().bits(n_words * factor)
-        lanes = self.transmitter.serializer.lanes_for_stream(serial)
-        lane_rate = self.transmitter.serializer.required_lane_rate_mbps(rate)
-        lanes = self.dlc.drive_lanes(lanes, lane_rate_mbps=lane_rate)
-        rng = np.random.default_rng(seed)
-        return self.transmitter.transmit(lanes, rate, rng=rng, dt=dt)
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("system.prbs_waveform"):
+            factor = self.serialization_factor()
+            self.dlc.host_write(0x0C, seed)  # LFSR_SEED
+            self.dlc.reset_lfsrs()
+            n_words = int(np.ceil(n_bits / factor))
+            serial = self.dlc.lfsr().bits(n_words * factor)
+            lanes = self.transmitter.serializer.lanes_for_stream(serial)
+            lane_rate = \
+                self.transmitter.serializer.required_lane_rate_mbps(rate)
+            lanes = self.dlc.drive_lanes(lanes, lane_rate_mbps=lane_rate)
+            rng = np.random.default_rng(seed)
+            tel.counter("system.prbs_waveforms").inc()
+            tel.counter("system.serializer_words").inc(n_words)
+            tel.counter("system.serial_bits").inc(n_words * factor)
+            return self.transmitter.transmit(lanes, rate, rng=rng, dt=dt)
 
     # -- measurements ----------------------------------------------------
 
@@ -106,9 +119,13 @@ class TestSystem:
                     rate_gbps: Optional[float] = None) -> EyeMetrics:
         """PRBS eye measurement at the output connector."""
         rate = self.rate_gbps if rate_gbps is None else rate_gbps
-        wf = self.prbs_waveform(n_bits, seed=seed, rate_gbps=rate)
-        return self.scope.measure_eye(wf, rate,
-                                      rng=np.random.default_rng(seed + 1))
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("system.measure_eye"):
+            wf = self.prbs_waveform(n_bits, seed=seed, rate_gbps=rate)
+            tel.counter("system.eye_measurements").inc()
+            return self.scope.measure_eye(
+                wf, rate, rng=np.random.default_rng(seed + 1)
+            )
 
     def eye_diagram(self, n_bits: int = 4000, seed: int = 1,
                     rate_gbps: Optional[float] = None) -> EyeDiagram:

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError
 from repro.core.packetformat import PacketSlot, PacketSlotFormat
 from repro.core.system import TestSystem
@@ -41,8 +42,9 @@ class OpticalTestBed(TestSystem):
     def __init__(self, rate_gbps: float = 2.5, n_data_channels: int = 4,
                  buffer_spec: BufferSpec = SIGE_BUFFER,
                  io_rate_mbps: float = 400.0,
-                 crosstalk=None):
-        super().__init__(rate_gbps, io_rate_mbps=io_rate_mbps)
+                 crosstalk=None, registry=None):
+        super().__init__(rate_gbps, io_rate_mbps=io_rate_mbps,
+                         registry=registry)
         if n_data_channels < 1:
             raise ConfigurationError("need >= 1 data channel")
         self.n_data_channels = int(n_data_channels)
@@ -86,27 +88,33 @@ class OpticalTestBed(TestSystem):
                 f"slot format is {slot.fmt.rate_gbps} Gbps; test bed "
                 f"runs {self.rate_gbps} Gbps"
             )
-        rng = np.random.default_rng(seed)
-        out: Dict[str, Waveform] = {}
-        streams = slot.all_channels()
-        for name in ["clock"] + [f"data{i}"
-                                 for i in range(self.n_data_channels)]:
-            tx = self.channels[name]
-            out[name] = tx.transmit_serial(streams[name], self.rate_gbps,
-                                           rng=rng, dt=dt)
-        # Frame + header: lower-speed CMOS outputs (~8x slower edges).
-        slow = NRZEncoder(self.rate_gbps, v_low=0.0, v_high=2.5,
-                          t20_80=400.0, dt=dt)
-        for name, bits in streams.items():
-            if name.startswith("frame") or name.startswith("header"):
-                out[name] = slow.encode(bits, rng=rng)
-        if self.crosstalk is not None:
-            coupled = self.crosstalk.apply({
-                name: wf for name, wf in out.items()
-                if name in self.channels
-            })
-            out.update(coupled)
-        return out
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("testbed.transmit_slot"):
+            rng = np.random.default_rng(seed)
+            out: Dict[str, Waveform] = {}
+            streams = slot.all_channels()
+            for name in ["clock"] + [f"data{i}" for i in
+                                     range(self.n_data_channels)]:
+                tx = self.channels[name]
+                out[name] = tx.transmit_serial(
+                    streams[name], self.rate_gbps, rng=rng, dt=dt
+                )
+            # Frame + header: lower-speed CMOS outputs (~8x slower
+            # edges).
+            slow = NRZEncoder(self.rate_gbps, v_low=0.0, v_high=2.5,
+                              t20_80=400.0, dt=dt)
+            for name, bits in streams.items():
+                if name.startswith("frame") or name.startswith("header"):
+                    out[name] = slow.encode(bits, rng=rng)
+            if self.crosstalk is not None:
+                coupled = self.crosstalk.apply({
+                    name: wf for name, wf in out.items()
+                    if name in self.channels
+                })
+                out.update(coupled)
+            tel.counter("testbed.slots_transmitted").inc()
+            tel.counter("testbed.channel_waveforms").inc(len(out))
+            return out
 
     def transmit_packets(self, slots: List[PacketSlot],
                          seed: int = 0) -> Dict[str, Waveform]:
@@ -180,6 +188,8 @@ class OpticalTestBed(TestSystem):
         """
         from repro.signal.sampling import decide_bits
 
+        telemetry.resolve(self.telemetry) \
+            .counter("testbed.slots_received").inc()
         fmt = self.fmt
         rng = np.random.default_rng(seed)
         recovered: Dict[str, np.ndarray] = {}
@@ -223,7 +233,12 @@ class OpticalTestBed(TestSystem):
         )
         header_ok = int(recovered["header_value"][0]) == slot.address()
         frame_ok = bool(recovered["frame_valid"][0]) == slot.frame
-        return payload_ok and header_ok and frame_ok
+        ok = payload_ok and header_ok and frame_ok
+        tel = telemetry.resolve(self.telemetry)
+        tel.counter("testbed.roundtrips").inc()
+        if not ok:
+            tel.counter("testbed.roundtrip_failures").inc()
+        return ok
 
     # -- multi-channel measurements --------------------------------------
 

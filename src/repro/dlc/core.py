@@ -11,6 +11,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError, RateLimitError
 from repro.dlc.clocking import ClockManager, ClockSignal
 from repro.dlc.fpga import FPGA, FPGAResources, Bitstream
@@ -48,11 +49,16 @@ class DigitalLogicCore:
         External RF reference, if connected at construction.
     with_sram:
         Attach the optional SRAM pattern store.
+    registry:
+        Optional injected telemetry registry; defaults to the
+        module-level active one.
     """
 
     def __init__(self, io_rate_mbps: float = DEFAULT_DERATED_MBPS,
                  rf_clock: Optional[ClockSignal] = None,
-                 with_sram: bool = False):
+                 with_sram: bool = False,
+                 registry=None):
+        self.telemetry = registry
         self.fpga = FPGA()
         self.flash = FlashMemory()
         self.clocks = ClockManager()
@@ -244,18 +250,28 @@ class DigitalLogicCore:
 
     def host_read(self, address: int) -> int:
         """Register read as seen over USB."""
+        telemetry.resolve(self.telemetry) \
+            .counter("dlc.register_reads").inc()
         self._update_status()
         return self.registers.read(address)
 
     def host_write(self, address: int, value: int) -> None:
         """Register write as seen over USB."""
+        telemetry.resolve(self.telemetry) \
+            .counter("dlc.register_writes").inc()
         self.registers.write(address, value)
 
     def run_test(self, pattern_length: int) -> SequencerState:
         """Arm, trigger, and clock a test to completion."""
-        self.host_write(0x08, pattern_length)
-        self.host_write(0x04, self.CTRL_ARM)
-        self.host_write(0x04, self.CTRL_TRIGGER)
-        self.sequencer.clock(pattern_length)
-        self._update_status()
-        return self.sequencer.state
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("dlc.run_test"):
+            self.host_write(0x08, pattern_length)
+            self.host_write(0x04, self.CTRL_ARM)
+            self.host_write(0x04, self.CTRL_TRIGGER)
+            self.sequencer.clock(pattern_length)
+            self._update_status()
+            # cycles_run is clamped to the pattern, so this is the
+            # number of cycles actually consumed (not the request).
+            tel.counter("dlc.tests_run").inc()
+            tel.counter("dlc.cycles").inc(self.sequencer.cycles_run)
+            return self.sequencer.state

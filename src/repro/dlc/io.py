@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError, RateLimitError
 from repro._units import MBPS
 
@@ -77,6 +78,7 @@ class IOPin:
                 f"drive rate must be positive, got {rate_mbps}"
             )
         if rate_mbps > self.max_rate_mbps:
+            telemetry.active().counter("dlc.io.rate_limit_hits").inc()
             raise RateLimitError(
                 f"pin {self.name!r}: {rate_mbps} Mbps exceeds the "
                 f"configured limit of {self.max_rate_mbps} Mbps"
@@ -158,10 +160,14 @@ class IOBank:
                 f"bank {self.name!r} expects shape ({self.n_pins}, n); "
                 f"got {lanes.shape}"
             )
-        return np.vstack([
+        driven = np.vstack([
             pin.drive(lanes[i], rate_mbps)
             for i, pin in enumerate(self.pins)
         ])
+        tel = telemetry.active()
+        tel.counter("dlc.io.bank_drives").inc()
+        tel.counter("dlc.io.bits_driven").inc(int(driven.size))
+        return driven
 
     def aggregate_rate_gbps(self, rate_mbps: float) -> float:
         """Total bank throughput at a per-pin rate, in Gbps."""

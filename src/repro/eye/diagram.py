@@ -11,6 +11,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import MeasurementError
 from repro.signal.waveform import Waveform
 from repro.signal.analysis import threshold_crossings
@@ -51,7 +52,8 @@ class EyeDiagram:
     def from_waveform(cls, waveform: Waveform, rate_gbps: float,
                       threshold: Optional[float] = None,
                       t_first_bit: float = 0.0,
-                      discard_ui: int = 1) -> "EyeDiagram":
+                      discard_ui: int = 1,
+                      registry=None) -> "EyeDiagram":
         """Fold *waveform* into an eye at *rate_gbps*.
 
         Parameters
@@ -63,23 +65,31 @@ class EyeDiagram:
         discard_ui:
             Leading/trailing unit intervals to exclude (pattern
             start-up and shut-down edges).
+        registry:
+            Optional injected telemetry registry.
         """
-        ui = unit_interval_ps(rate_gbps)
-        if threshold is None:
-            threshold = 0.5 * (waveform.min() + waveform.max())
-        t_lo = t_first_bit + discard_ui * ui
-        t_hi = waveform.t_end - discard_ui * ui
-        if t_hi - t_lo < 2.0 * ui:
-            raise MeasurementError(
-                "record too short for an eye diagram at this rate"
-            )
-        window = waveform.slice_time(t_lo, t_hi)
-        t = window.times() - t_first_bit
-        phases = np.mod(t, ui)
-        crossings = threshold_crossings(window, threshold) - t_first_bit
-        crossing_phases = np.mod(crossings, ui)
-        return cls(phases, window.values.copy(), ui, crossing_phases,
-                   threshold)
+        tel = telemetry.resolve(registry)
+        with tel.span("eye.fold"):
+            ui = unit_interval_ps(rate_gbps)
+            if threshold is None:
+                threshold = 0.5 * (waveform.min() + waveform.max())
+            t_lo = t_first_bit + discard_ui * ui
+            t_hi = waveform.t_end - discard_ui * ui
+            if t_hi - t_lo < 2.0 * ui:
+                raise MeasurementError(
+                    "record too short for an eye diagram at this rate"
+                )
+            window = waveform.slice_time(t_lo, t_hi)
+            t = window.times() - t_first_bit
+            phases = np.mod(t, ui)
+            crossings = threshold_crossings(window, threshold) \
+                - t_first_bit
+            crossing_phases = np.mod(crossings, ui)
+            tel.counter("eye.folds").inc()
+            tel.counter("eye.samples_folded").inc(len(phases))
+            tel.counter("eye.crossings").inc(len(crossing_phases))
+            return cls(phases, window.values.copy(), ui, crossing_phases,
+                       threshold)
 
     @property
     def n_samples(self) -> int:

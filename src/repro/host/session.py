@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError, ReproError
 from repro.core.minitester import MiniTester
 from repro.dlc.selftest import SelfTestReport, run_self_test
@@ -67,12 +68,18 @@ class TestSession:
     tester:
         The system under session control; a fresh 5 Gbps
         mini-tester by default.
+    registry:
+        Optional injected telemetry registry; defaults to the
+        module-level active one.
     """
 
     __test__ = False  # not a pytest collection target
 
-    def __init__(self, tester: Optional[MiniTester] = None):
-        self.tester = tester if tester is not None else MiniTester()
+    def __init__(self, tester: Optional[MiniTester] = None,
+                 registry=None):
+        self.telemetry = registry
+        self.tester = tester if tester is not None \
+            else MiniTester(registry=registry)
         self.report = SessionReport()
         self._stage = "created"
 
@@ -85,9 +92,12 @@ class TestSession:
 
     def power_on(self) -> SelfTestReport:
         """Step 1: the board checks itself."""
-        self.report.self_test = run_self_test(self.tester.dlc)
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("session.power_on"):
+            self.report.self_test = run_self_test(self.tester.dlc)
         self._stage = "self-test"
         if not self.report.self_test.passed:
+            tel.counter("session.failures").inc()
             raise ReproError(
                 "power-on self-test failed; board needs repair"
             )
@@ -99,14 +109,17 @@ class TestSession:
         self._require_stage("self-test")
         if rng is None:
             rng = np.random.default_rng(31)
-        line = self.tester.transmitter.delay_line
-        saved_code = line.code
-        vernier = TimingVernier(line, measurement_noise_rms=1.0)
-        vernier.calibrate(rng=rng)
-        worst = vernier.worst_case_error(n_targets=100, margin=30.0)
-        # The sweep leaves the line at its last target; restore the
-        # operating point so calibration does not shift the output.
-        line.set_code(saved_code)
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("session.calibrate"):
+            line = self.tester.transmitter.delay_line
+            saved_code = line.code
+            vernier = TimingVernier(line, measurement_noise_rms=1.0)
+            vernier.calibrate(rng=rng)
+            worst = vernier.worst_case_error(n_targets=100, margin=30.0)
+            # The sweep leaves the line at its last target; restore
+            # the operating point so calibration does not shift the
+            # output.
+            line.set_code(saved_code)
         self.report.calibration_error_ps = worst
         self._stage = "calibrated"
         return worst
@@ -119,10 +132,13 @@ class TestSession:
                 self.tester.rate_gbps, min_opening_ui=0.65,
                 n_bits=2000,
             )
-        datalog = program.run(self.tester)
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("session.qualify"):
+            datalog = program.run(self.tester)
         self.report.qualification = datalog
         self._stage = "qualified"
         if not datalog.passed:
+            tel.counter("session.failures").inc()
             raise ReproError(
                 "signal-path qualification failed: "
                 + "; ".join(str(r) for r in datalog.failures())
@@ -139,8 +155,11 @@ class TestSession:
         self._require_stage("qualified")
         card = card if card is not None else ProbeCard(n_sites=4)
         scheduler = MultiSiteScheduler(card, **scheduler_kwargs)
-        scheduler.sort_wafer(wafer, seed=seed)
-        scheduler.retest_skipped(wafer, seed=seed + 1)
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("session.sort_wafer"):
+            scheduler.sort_wafer(wafer, seed=seed)
+            scheduler.retest_skipped(wafer, seed=seed + 1)
+        tel.counter("session.wafers_sorted").inc()
         self.report.wafers_sorted += 1
         wafer_id = f"W{self.report.wafers_sorted:02d}"
         map_file = export_map_file(wafer, lot_id=lot_id,
@@ -158,7 +177,10 @@ class TestSession:
 
     def run_bring_up(self) -> SessionReport:
         """Steps 1-3 in order; returns the session report."""
-        self.power_on()
-        self.calibrate()
-        self.qualify()
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("session.bring_up"):
+            self.power_on()
+            self.calibrate()
+            self.qualify()
+        tel.counter("session.bring_ups").inc()
         return self.report

@@ -13,6 +13,7 @@ from typing import Callable, List, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError
 
 
@@ -75,13 +76,18 @@ class ShmooRunner:
         Callable ``f(x, y) -> bool``.
     x_name, y_name:
         Axis labels for rendering.
+    registry:
+        Optional injected telemetry registry; defaults to the
+        module-level active one.
     """
 
     def __init__(self, test: Callable[[float, float], bool],
-                 x_name: str = "x", y_name: str = "y"):
+                 x_name: str = "x", y_name: str = "y",
+                 registry=None):
         self.test = test
         self.x_name = x_name
         self.y_name = y_name
+        self.telemetry = registry
 
     def run(self, x_values: Sequence[float],
             y_values: Sequence[float]) -> ShmooResult:
@@ -90,10 +96,18 @@ class ShmooRunner:
         y_values = list(y_values)
         if not x_values or not y_values:
             raise ConfigurationError("both axes need values")
+        tel = telemetry.resolve(self.telemetry)
         passes = np.zeros((len(y_values), len(x_values)), dtype=bool)
-        for yi, y in enumerate(y_values):
-            for xi, x in enumerate(x_values):
-                passes[yi, xi] = bool(self.test(x, y))
+        with tel.span("shmoo.run"):
+            for yi, y in enumerate(y_values):
+                for xi, x in enumerate(x_values):
+                    passes[yi, xi] = bool(self.test(x, y))
+        tel.counter("shmoo.runs").inc()
+        tel.counter("shmoo.cells").inc(int(passes.size))
+        tel.counter("shmoo.cells_passed").inc(int(passes.sum()))
+        tel.counter("shmoo.cells_failed").inc(
+            int(passes.size - passes.sum())
+        )
         return ShmooResult(
             x_values=tuple(x_values),
             y_values=tuple(y_values),
@@ -106,13 +120,16 @@ class ShmooRunner:
 def minitester_strobe_rate_shmoo(minitester, rates: Sequence[float],
                                  strobe_fracs: Sequence[float],
                                  n_bits: int = 300,
-                                 seed: int = 1) -> ShmooResult:
+                                 seed: int = 1,
+                                 registry=None) -> ShmooResult:
     """The mini-tester's natural shmoo: strobe position vs rate.
 
     Parameters
     ----------
     strobe_fracs:
         Strobe positions as fractions of the unit interval.
+    registry:
+        Optional injected telemetry registry for the runner.
     """
     def test(rate: float, frac: float) -> bool:
         ui = 1_000.0 / rate
@@ -127,5 +144,5 @@ def minitester_strobe_rate_shmoo(minitester, rates: Sequence[float],
         return result.passed
 
     runner = ShmooRunner(test, x_name="rate (Gbps)",
-                         y_name="strobe (UI)")
+                         y_name="strobe (UI)", registry=registry)
     return runner.run(rates, strobe_fracs)

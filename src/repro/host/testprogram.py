@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, List, Optional
 
+from repro import telemetry
 from repro.errors import ConfigurationError
 from repro.host.results import Datalog, TestRecord
 
@@ -75,17 +76,21 @@ class TestProgram:
     stop_on_fail:
         Abort the flow at the first failing step (production
         default); False datalogs everything.
+    registry:
+        Optional injected telemetry registry; defaults to the
+        module-level active one.
     """
 
     __test__ = False  # not a pytest collection target
 
     def __init__(self, name: str, steps: List[TestStep] = None,
-                 stop_on_fail: bool = True):
+                 stop_on_fail: bool = True, registry=None):
         if not name:
             raise ConfigurationError("program name must be non-empty")
         self.name = name
         self.steps: List[TestStep] = list(steps or [])
         self.stop_on_fail = bool(stop_on_fail)
+        self.telemetry = registry
 
     def add_step(self, name: str,
                  measure: Callable[[object], float],
@@ -96,21 +101,33 @@ class TestProgram:
         return self
 
     def run(self, system) -> Datalog:
-        """Execute against *system*; returns the filled datalog."""
+        """Execute against *system*; returns the filled datalog.
+
+        Each run is traced as a ``testprogram.<name>`` span with one
+        nested span per step, plus pass/fail step counters.
+        """
         if not self.steps:
             raise ConfigurationError(
                 f"program {self.name!r} has no steps"
             )
+        tel = telemetry.resolve(self.telemetry)
         datalog = Datalog()
-        for step in self.steps:
-            value = float(step.measure(system))
-            record = TestRecord.judged(
-                step.name, value, step.limit.lo, step.limit.hi,
-                step.limit.units,
-            )
-            datalog.add(record)
-            if self.stop_on_fail and record.verdict.value == "fail":
-                break
+        with tel.span(f"testprogram.{self.name}"):
+            tel.counter("testprogram.runs").inc()
+            for step in self.steps:
+                with tel.span(f"step.{step.name}"):
+                    value = float(step.measure(system))
+                record = TestRecord.judged(
+                    step.name, value, step.limit.lo, step.limit.hi,
+                    step.limit.units,
+                )
+                datalog.add(record)
+                tel.counter("testprogram.steps").inc()
+                tel.counter(
+                    f"testprogram.steps_{record.verdict.value}"
+                ).inc()
+                if self.stop_on_fail and record.verdict.value == "fail":
+                    break
         return datalog
 
 

@@ -11,6 +11,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError
 from repro.signal.edges import EdgeShape, edge_profile
 from repro.signal.jitter import JitterModel
@@ -33,11 +34,15 @@ class NRZEncoder:
         Analytic edge shape.
     dt:
         Output sample spacing in ps.
+    registry:
+        Optional injected telemetry registry; defaults to the
+        module-level active one.
     """
 
     def __init__(self, rate_gbps: float, v_low: float = 0.0,
                  v_high: float = 1.0, t20_80: float = 0.0,
-                 shape: EdgeShape = EdgeShape.ERF, dt: float = 1.0):
+                 shape: EdgeShape = EdgeShape.ERF, dt: float = 1.0,
+                 registry=None):
         if v_high <= v_low:
             raise ConfigurationError(
                 f"v_high ({v_high}) must exceed v_low ({v_low})"
@@ -49,6 +54,7 @@ class NRZEncoder:
         self.t20_80 = float(t20_80)
         self.shape = shape
         self.dt = float(dt)
+        self.telemetry = registry
 
     def edge_times_and_directions(
             self, bits: np.ndarray
@@ -101,34 +107,45 @@ class NRZEncoder:
         if rng is None:
             rng = np.random.default_rng(0)
 
-        ui = self.unit_interval
-        pad = pad_ui * ui
-        t_start = -pad
-        t_stop = len(bits) * ui + pad
-        n = int(round((t_stop - t_start) / self.dt)) + 1
-        t = t_start + self.dt * np.arange(n)
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("nrz.encode"):
+            ui = self.unit_interval
+            pad = pad_ui * ui
+            t_start = -pad
+            t_stop = len(bits) * ui + pad
+            n = int(round((t_stop - t_start) / self.dt)) + 1
+            t = t_start + self.dt * np.arange(n)
 
-        times, directions, history = self.edge_times_and_directions(bits)
-        if jitter is not None and len(times):
-            times = times + jitter.offsets(times, directions, history, rng)
+            times, directions, history = \
+                self.edge_times_and_directions(bits)
+            if jitter is not None and len(times):
+                times = times + jitter.offsets(times, directions,
+                                               history, rng)
 
-        swing = self.v_high - self.v_low
-        v = np.full(n, self.v_low + swing * float(bits[0]), dtype=np.float64)
-        if len(times):
-            # Each transition contributes +/-swing times a normalized
-            # 0->1 edge profile. Restrict evaluation to a window
-            # around the edge for speed; outside it the profile is
-            # saturated at 0 or 1.
-            window = max(4.0 * self.t20_80, 4.0 * self.dt)
-            for t_edge, direction in zip(times, directions):
-                i0 = max(0, int((t_edge - window - t_start) / self.dt))
-                i1 = min(n, int((t_edge + window - t_start) / self.dt) + 2)
-                local = edge_profile(t[i0:i1] - t_edge, self.t20_80,
-                                     self.shape)
-                v[i0:i1] += direction * swing * local
-                # After the window the edge has fully switched.
-                v[i1:] += direction * swing
-        return Waveform(v, dt=self.dt, t0=t_start)
+            swing = self.v_high - self.v_low
+            v = np.full(n, self.v_low + swing * float(bits[0]),
+                        dtype=np.float64)
+            if len(times):
+                # Each transition contributes +/-swing times a
+                # normalized 0->1 edge profile. Restrict evaluation
+                # to a window around the edge for speed; outside it
+                # the profile is saturated at 0 or 1.
+                window = max(4.0 * self.t20_80, 4.0 * self.dt)
+                for t_edge, direction in zip(times, directions):
+                    i0 = max(0, int((t_edge - window - t_start)
+                                    / self.dt))
+                    i1 = min(n, int((t_edge + window - t_start)
+                                    / self.dt) + 2)
+                    local = edge_profile(t[i0:i1] - t_edge, self.t20_80,
+                                         self.shape)
+                    v[i0:i1] += direction * swing * local
+                    # After the window the edge has fully switched.
+                    v[i1:] += direction * swing
+            tel.counter("nrz.encodes").inc()
+            tel.counter("nrz.bits").inc(len(bits))
+            tel.counter("nrz.edges").inc(len(times))
+            tel.counter("nrz.samples").inc(n)
+            return Waveform(v, dt=self.dt, t0=t_start)
 
 
 def bits_to_waveform(bits, rate_gbps: float, v_low: float = 0.0,

@@ -1,0 +1,130 @@
+"""repro.telemetry — counters, gauges, timers, and trace spans.
+
+The simulation stack's observability layer: hierarchical named
+counters/gauges/histogram-timers plus context-manager trace spans,
+with a snapshot/export API (:meth:`Registry.to_dict`, Prometheus
+text, JSON) and a module-level no-op fast path that makes the whole
+subsystem essentially free when disabled (the default).
+
+Usage
+-----
+Global collection (the singleton registry)::
+
+    from repro import telemetry
+
+    reg = telemetry.enable()          # activates the singleton
+    bed.measure_eye(n_bits=2000)      # instrumented internally
+    print(reg.to_prometheus())
+    telemetry.disable()               # back to the free no-op path
+
+Isolated collection (tests, per-worker registries)::
+
+    with telemetry.use_registry(telemetry.Registry()) as reg:
+        fabric.run(100)
+    assert reg.to_dict()["counters"]["vortex.steps"] == 100
+
+Instrumented components also accept an injectable ``registry=``
+argument that overrides the module-level state for that instance.
+
+Instrumentation sites call :func:`active` (or :func:`resolve` when
+they hold an injected registry) and never touch the singleton
+directly, so the disabled path is one module lookup plus shared
+no-op singletons — no allocation, no dict writes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Union
+
+from repro.telemetry.export import (
+    sanitize_metric_name, snapshot_to_json, snapshot_to_prometheus,
+)
+from repro.telemetry.instruments import (
+    NULL_COUNTER, NULL_GAUGE, NULL_SPAN, NULL_TIMER,
+    Counter, Gauge, NullCounter, NullGauge, NullSpan, NullTimer, Timer,
+)
+from repro.telemetry.registry import NullRegistry, Registry, Span
+
+__all__ = [
+    "Counter", "Gauge", "Timer", "Span", "Registry", "NullRegistry",
+    "NULL_REGISTRY", "get_registry", "active", "resolve", "enable",
+    "disable", "enabled", "use_registry",
+    "sanitize_metric_name", "snapshot_to_json", "snapshot_to_prometheus",
+]
+
+#: The shared disabled-path registry; `active()` returns it whenever
+#: telemetry is off.
+NULL_REGISTRY = NullRegistry()
+
+_singleton: Optional[Registry] = None
+_active: Union[Registry, NullRegistry] = NULL_REGISTRY
+
+
+def get_registry() -> Registry:
+    """The process-wide singleton registry (created on first use).
+
+    Returned whether or not collection is enabled; :func:`enable`
+    makes it the active sink for instrumented code.
+    """
+    global _singleton
+    if _singleton is None:
+        _singleton = Registry()
+    return _singleton
+
+
+def active() -> Union[Registry, NullRegistry]:
+    """The registry instrumented code should record into right now.
+
+    The singleton (or an injected override) when enabled; the shared
+    :data:`NULL_REGISTRY` when disabled.
+    """
+    return _active
+
+
+def resolve(registry: Optional[Registry]
+            ) -> Union[Registry, NullRegistry]:
+    """*registry* if injected, else whatever :func:`active` returns.
+
+    The one-line helper every instrumented component with an
+    injectable registry uses.
+    """
+    return registry if registry is not None else _active
+
+
+def enable(registry: Optional[Registry] = None) -> Registry:
+    """Start collecting into *registry* (default: the singleton).
+
+    Returns the now-active registry.
+    """
+    global _active
+    _active = registry if registry is not None else get_registry()
+    return _active
+
+
+def disable() -> None:
+    """Stop collecting; instrumented code reverts to the no-op path."""
+    global _active
+    _active = NULL_REGISTRY
+
+
+def enabled() -> bool:
+    """True while a real registry is actively collecting."""
+    return _active is not NULL_REGISTRY
+
+
+@contextmanager
+def use_registry(registry: Optional[Registry] = None):
+    """Temporarily collect into *registry* (a fresh one by default).
+
+    Restores the previous enabled/disabled state on exit — the
+    isolation primitive tests build on. Yields the registry.
+    """
+    global _active
+    reg = registry if registry is not None else Registry()
+    previous = _active
+    _active = reg
+    try:
+        yield reg
+    finally:
+        _active = previous

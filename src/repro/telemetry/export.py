@@ -1,0 +1,60 @@
+"""Snapshot export: JSON and flat Prometheus-style text.
+
+Both exporters take the plain-dict snapshot that
+:meth:`~repro.telemetry.registry.Registry.to_dict` produces, so they
+also work on merged or persisted snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted/slashed metric name to Prometheus charset.
+
+    Every character outside ``[a-zA-Z0-9_:]`` becomes an underscore.
+
+    >>> sanitize_metric_name("vortex.steps")
+    'vortex_steps'
+    >>> sanitize_metric_name("session.qualify/testprogram.run")
+    'session_qualify_testprogram_run'
+    """
+    return _NAME_RE.sub("_", name)
+
+
+def snapshot_to_json(snapshot: dict, indent=None) -> str:
+    """Serialize a snapshot dict as JSON (sorted keys, stable)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def snapshot_to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Serialize a snapshot as Prometheus exposition text.
+
+    Counters become ``<prefix>_<name>_total``, gauges
+    ``<prefix>_<name>``, and each timer expands to ``_seconds_count``
+    / ``_seconds_sum`` / ``_seconds_min`` / ``_seconds_max`` series.
+    Lines are emitted in sorted-name order, so the export is
+    deterministic for a given snapshot.
+    """
+    lines = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = f"{prefix}_{sanitize_metric_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {snapshot['gauges'][name]:g}")
+    for name in sorted(snapshot.get("timers", {})):
+        stats = snapshot["timers"][name]
+        metric = f"{prefix}_{sanitize_metric_name(name)}_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {stats['count']}")
+        lines.append(f"{metric}_sum {stats['total_s']:.9g}")
+        lines.append(f"{metric}_min {stats['min_s']:.9g}")
+        lines.append(f"{metric}_max {stats['max_s']:.9g}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,209 @@
+"""Telemetry instruments: counters, gauges, and histogram timers.
+
+The primitives a :class:`~repro.telemetry.registry.Registry` hands
+out. Each is a tiny mutable object with ``__slots__`` so the
+enabled-path cost is one attribute update; the ``Null*`` twins are
+shared do-nothing singletons that make the disabled path free.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+
+class Counter:
+    """A monotonically increasing named count.
+
+    Counters only go up (Prometheus semantics); decrements raise
+    :class:`~repro.errors.ConfigurationError`. Use a :class:`Gauge`
+    for values that move both ways.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (>= 0) to the count."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r}: increment must be >= 0, "
+                f"got {amount}"
+            )
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A named value that can move in either direction."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to *value*."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the gauge up by *amount*."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Move the gauge down by *amount*."""
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Timer:
+    """A duration histogram: count, total, min, max of observations.
+
+    Filled either directly via :meth:`observe` or by a
+    :class:`~repro.telemetry.registry.Span` on exit. All durations
+    are in seconds.
+    """
+
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = math.inf
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration (>= 0), in seconds."""
+        if seconds < 0.0:
+            raise ConfigurationError(
+                f"timer {self.name!r}: duration must be >= 0, "
+                f"got {seconds}"
+            )
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    @property
+    def mean_s(self) -> float:
+        """Mean observed duration in seconds (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total_s / self.count
+
+    def time(self) -> "_TimerContext":
+        """Context manager timing the enclosed block into this timer."""
+        return _TimerContext(self)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of this timer's statistics."""
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+            "mean_s": self.mean_s,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Timer({self.name!r}, n={self.count}, "
+                f"total={self.total_s:.6f}s)")
+
+
+class _TimerContext:
+    """Times one ``with`` block into a :class:`Timer`."""
+
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer):
+        self._timer = timer
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> Timer:
+        self._start = time.perf_counter()
+        return self._timer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._timer.observe(time.perf_counter() - self._start)
+
+
+class NullCounter:
+    """Shared do-nothing counter for the disabled fast path."""
+
+    __slots__ = ()
+
+    name = ""
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Discard the increment."""
+
+
+class NullGauge:
+    """Shared do-nothing gauge for the disabled fast path."""
+
+    __slots__ = ()
+
+    name = ""
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        """Discard the value."""
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard the increment."""
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Discard the decrement."""
+
+
+class NullSpan:
+    """Shared do-nothing, re-usable span context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class NullTimer:
+    """Shared do-nothing timer for the disabled fast path."""
+
+    __slots__ = ()
+
+    name = ""
+    count = 0
+    total_s = 0.0
+    mean_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Discard the observation."""
+
+    def time(self) -> NullSpan:
+        """A no-op context manager."""
+        return NULL_SPAN
+
+
+#: Module-level singletons: every disabled-path lookup returns these,
+#: so no allocation or dict insertion happens while disabled.
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_TIMER = NullTimer()
+NULL_SPAN = NullSpan()

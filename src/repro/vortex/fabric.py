@@ -13,6 +13,7 @@ import dataclasses
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import ConfigurationError, FabricError
 from repro.vortex.node import RoutingDecision, RoutingNode
 from repro.vortex.packet import VortexPacket
@@ -44,10 +45,21 @@ class FabricConfig:
 
 
 class DataVortexFabric:
-    """The running fabric: nodes, injection queues, output queues."""
+    """The running fabric: nodes, injection queues, output queues.
 
-    def __init__(self, config: FabricConfig = FabricConfig()):
+    Parameters
+    ----------
+    config:
+        Simulation parameters.
+    registry:
+        Optional injected telemetry registry; defaults to the
+        module-level active one.
+    """
+
+    def __init__(self, config: FabricConfig = FabricConfig(),
+                 registry=None):
         self.config = config
+        self.telemetry = registry
         self.topology = VortexTopology(config.n_angles, config.n_heights)
         self.nodes: Dict[NodeAddress, RoutingNode] = {
             addr: RoutingNode(addr) for addr in self.topology.nodes()
@@ -139,6 +151,7 @@ class DataVortexFabric:
                 new_occupancy[target] = packet
 
         # Injection into free outermost nodes, round-robin by angle.
+        injected_before = self.stats.injected
         self._inject(new_occupancy)
 
         # Commit.
@@ -151,6 +164,21 @@ class DataVortexFabric:
             self.nodes[addr].accept(packet)
         self.cycle += 1
         self.stats.cycles = self.cycle
+
+        tel = telemetry.resolve(self.telemetry)
+        if tel.enabled:
+            n_ejected = sum(1 for d in decisions.values()
+                            if d is RoutingDecision.EJECT)
+            n_deflected = sum(1 for d in decisions.values()
+                              if d is RoutingDecision.DEFLECT)
+            tel.counter("vortex.steps").inc()
+            tel.counter("vortex.hops").inc(len(decisions))
+            tel.counter("vortex.delivered").inc(n_ejected)
+            tel.counter("vortex.deflections").inc(n_deflected)
+            tel.counter("vortex.injected").inc(
+                self.stats.injected - injected_before
+            )
+            tel.gauge("vortex.in_flight").set(len(new_occupancy))
         return decisions
 
     def _inject(self, new_occupancy: Dict[NodeAddress, VortexPacket]
@@ -167,12 +195,17 @@ class DataVortexFabric:
                     break
                 addr = NodeAddress(0, angle, height)
                 if addr in new_occupancy or self.nodes[addr].occupied:
-                    self.stats.injection_blocks += 1
                     continue
                 packet = self.injection_queue.popleft()
                 packet.injected_cycle = self.cycle
                 new_occupancy[addr] = packet
                 self.stats.injected += 1
+        # Backpressure is measured in packet-cycles spent waiting:
+        # every packet still queued after the scan was blocked this
+        # cycle. (Counting per occupied *node* scanned both inflated
+        # the figure when a packet injected anyway and missed stalls
+        # entirely once the angle scan was exhausted.)
+        self.stats.injection_blocks += len(self.injection_queue)
         self._inject_angle = (a0 + 1) % self.topology.n_angles
 
     def run(self, n_cycles: int) -> FabricStats:

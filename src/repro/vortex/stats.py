@@ -104,7 +104,13 @@ class FabricStats:
         return self.deflections / self.delivered
 
     def acceptance_rate(self) -> float:
-        """Injections over injection attempts (1.0 = no backpressure)."""
+        """Injections over injection attempts (1.0 = no backpressure).
+
+        An attempt is one queued packet in one cycle, so
+        ``injection_blocks`` accumulates packet-cycles of waiting: a
+        packet injected the same cycle it was submitted never counts
+        as blocked.
+        """
         attempts = self.injected + self.injection_blocks
         if attempts == 0:
             raise MeasurementError("no injection attempts yet")

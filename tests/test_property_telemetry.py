@@ -1,0 +1,123 @@
+"""Property-based tests for telemetry invariants.
+
+Counter monotonicity, snapshot idempotence, and associativity of
+registry merging — the algebra the export/aggregation layer relies
+on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import Registry
+
+names = st.text(
+    alphabet="abcdefghij._", min_size=1, max_size=12
+).filter(lambda s: s.strip())
+
+counter_ops = st.lists(
+    st.tuples(names, st.integers(min_value=0, max_value=1_000)),
+    max_size=30,
+)
+gauge_ops = st.lists(
+    st.tuples(names, st.floats(-1e6, 1e6, allow_nan=False)),
+    max_size=15,
+)
+timer_ops = st.lists(
+    st.tuples(names, st.floats(0.0, 1e3, allow_nan=False)),
+    max_size=15,
+)
+
+
+def build_registry(counters, gauges, timers):
+    """Materialize one registry from drawn operation lists."""
+    reg = Registry()
+    for name, amount in counters:
+        reg.counter(name).inc(amount)
+    for name, value in gauges:
+        reg.gauge(name).set(value)
+    for name, seconds in timers:
+        reg.timer(name).observe(seconds)
+    return reg
+
+
+registries = st.builds(build_registry, counter_ops, gauge_ops,
+                       timer_ops)
+
+
+class TestCounterMonotonicity:
+    @given(amounts=st.lists(
+        st.integers(min_value=0, max_value=10_000), max_size=50))
+    def test_counter_never_decreases(self, amounts):
+        reg = Registry()
+        c = reg.counter("n")
+        seen = [c.value]
+        for amount in amounts:
+            c.inc(amount)
+            seen.append(c.value)
+        assert seen == sorted(seen)
+        assert c.value == sum(amounts)
+
+
+class TestSnapshotIdempotence:
+    @given(reg=registries)
+    @settings(max_examples=50)
+    def test_repeated_snapshots_identical(self, reg):
+        first = reg.to_dict()
+        assert reg.to_dict() == first
+        assert reg.to_dict() == first
+
+    @given(reg=registries)
+    @settings(max_examples=50)
+    def test_snapshot_detached_from_registry(self, reg):
+        snap = reg.to_dict()
+        snap["counters"]["mutated.after"] = 999
+        snap["gauges"]["mutated.after"] = 1.0
+        clean = reg.to_dict()
+        assert "mutated.after" not in clean["counters"]
+        assert "mutated.after" not in clean["gauges"]
+
+    @given(reg=registries)
+    @settings(max_examples=50)
+    def test_export_determinism(self, reg):
+        assert reg.to_json() == reg.to_json()
+        assert reg.to_prometheus() == reg.to_prometheus()
+
+
+class TestMergeAlgebra:
+    @given(a=registries, b=registries, c=registries)
+    @settings(max_examples=50)
+    def test_merge_associative(self, a, b, c):
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.to_dict() == right.to_dict()
+
+    @given(a=registries)
+    @settings(max_examples=50)
+    def test_empty_registry_is_left_and_right_identity(self, a):
+        empty = Registry()
+        assert empty.merge(a).to_dict() == a.to_dict()
+        assert a.merge(empty).to_dict() == a.to_dict()
+
+    @given(a=registries, b=registries)
+    @settings(max_examples=50)
+    def test_merged_counters_sum(self, a, b):
+        sa = a.to_dict()["counters"]
+        sb = b.to_dict()["counters"]
+        merged = a.merge(b).to_dict()["counters"]
+        for name in set(sa) | set(sb):
+            assert merged[name] == sa.get(name, 0) + sb.get(name, 0)
+
+    @given(a=registries, b=registries)
+    @settings(max_examples=50)
+    def test_merged_timer_totals_pool(self, a, b):
+        ta = a.to_dict()["timers"]
+        tb = b.to_dict()["timers"]
+        merged = a.merge(b).to_dict()["timers"]
+        for name in set(ta) | set(tb):
+            ca = ta.get(name, {"count": 0, "total_s": 0.0})
+            cb = tb.get(name, {"count": 0, "total_s": 0.0})
+            assert merged[name]["count"] == ca["count"] + cb["count"]
+            assert merged[name]["total_s"] == pytest.approx(
+                ca["total_s"] + cb["total_s"]
+            )
