@@ -70,6 +70,37 @@ class TestSystem:
         """The RF reference as a clock signal."""
         return self.rf_source.output()
 
+    # -- worker-side replication ------------------------------------------
+
+    def clone_spec(self) -> dict:
+        """A picklable recipe for rebuilding an equivalent system.
+
+        Parallel BER characterization ships this dict (class path
+        plus constructor kwargs) to executor workers, which rebuild
+        and cache their own tester — the software form of Figure
+        13's "replicated in array form". Captures the configuration
+        the base constructor owns; systems customized beyond that
+        (a swapped channel model, say) should override this.
+        """
+        return {
+            "class": f"{type(self).__module__}:{type(self).__qualname__}",
+            "kwargs": {
+                "rate_gbps": self.rate_gbps,
+                "io_rate_mbps": self.dlc.io_rate_mbps,
+            },
+        }
+
+    @staticmethod
+    def from_clone_spec(spec: dict) -> "TestSystem":
+        """Rebuild a system from a :meth:`clone_spec` recipe."""
+        import importlib
+
+        module_name, _, qualname = spec["class"].partition(":")
+        obj = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        return obj(**spec["kwargs"])
+
     @property
     def transmitter(self) -> PECLTransmitter:
         """The system's transmit channel (built by the subclass)."""

@@ -9,13 +9,17 @@ exactly that, leaving a datalog trail at every step.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+import functools
+import math
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro import telemetry
+from repro._rng import spawn_seeds
 from repro.errors import ConfigurationError, ReproError
 from repro.core.minitester import MiniTester
+from repro.parallel import Executor, ShardPlan, ber_shard_worker
 from repro.dlc.selftest import SelfTestReport, run_self_test
 from repro.host.results import Datalog
 from repro.host.testprogram import TestProgram, standard_eye_program
@@ -58,6 +62,57 @@ class SessionReport:
                 and self.calibration_error_ps <= 25.0
                 and self.qualification is not None
                 and self.qualification.passed)
+
+
+@dataclasses.dataclass(frozen=True)
+class BERCharacterization:
+    """An aggregated (possibly sharded) bit-error-rate measurement.
+
+    Attributes
+    ----------
+    total_bits, total_errors:
+        Pooled totals over every shard.
+    shard_errors:
+        Per-shard error counts in canonical shard order.
+    rate_gbps:
+        Data rate characterized.
+    """
+
+    total_bits: int
+    total_errors: int
+    shard_errors: Tuple[int, ...]
+    rate_gbps: float
+
+    @property
+    def n_shards(self) -> int:
+        """Shards the measurement was split into."""
+        return len(self.shard_errors)
+
+    @property
+    def ber(self) -> float:
+        """Pooled bit-error ratio."""
+        if self.total_bits == 0:
+            return 0.0
+        return self.total_errors / self.total_bits
+
+    @property
+    def ber_upper_95(self) -> float:
+        """95% upper confidence bound on the true BER.
+
+        The standard "rule of 3" for zero errors; a normal
+        approximation to the Poisson bound otherwise.
+        """
+        if self.total_bits == 0:
+            return 1.0
+        if self.total_errors == 0:
+            return 3.0 / self.total_bits
+        return (self.total_errors
+                + 1.645 * math.sqrt(self.total_errors)) / self.total_bits
+
+    def __str__(self) -> str:
+        return (f"{self.total_errors}/{self.total_bits} errors "
+                f"(BER {self.ber:.2e}, 95% <= {self.ber_upper_95:.2e}, "
+                f"{self.n_shards} shards)")
 
 
 class TestSession:
@@ -144,6 +199,57 @@ class TestSession:
                 + "; ".join(str(r) for r in datalog.failures())
             )
         return datalog
+
+    def characterize_ber(self, total_bits: int = 20_000,
+                         n_shards: int = 4,
+                         seed: int = 1,
+                         rate_gbps: Optional[float] = None,
+                         executor: Optional[Executor] = None
+                         ) -> BERCharacterization:
+        """Deep BER characterization, optionally sharded over workers.
+
+        The *total_bits* budget is partitioned by
+        :meth:`ShardPlan.for_range`; each shard loops back its bit
+        count with a seed spawned deterministically from *seed*, so
+        the serial path and every executor backend measure the same
+        shard set and pool to identical totals. Executor workers
+        rebuild the tester from :meth:`TestSystem.clone_spec` and
+        cache it for their lifetime (the replicated-array model);
+        testers customized beyond their clone spec characterize the
+        clone, not the customization.
+        """
+        self._require_stage("qualified")
+        if total_bits < 1:
+            raise ConfigurationError("need a positive bit budget")
+        rate = self.tester.rate_gbps if rate_gbps is None else rate_gbps
+        plan = ShardPlan.for_range(total_bits, n_shards)
+        ranges = [shard.items[0] for shard in plan.shards]
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("session.characterize_ber"):
+            if executor is None:
+                seeds = spawn_seeds(len(ranges), root=seed)
+                counts = [
+                    self.tester.run_loopback(n_bits=int(count),
+                                             seed=int(s),
+                                             rate_gbps=rate).ber
+                    for (_, count), s in zip(ranges, seeds)
+                ]
+                pairs = [(b.n_bits, b.n_errors) for b in counts]
+            else:
+                fn = functools.partial(ber_shard_worker,
+                                       self.tester.clone_spec(), rate)
+                outcome = executor.run(fn, ranges, seed_root=seed)
+                pairs = outcome.results
+        result = BERCharacterization(
+            total_bits=sum(b for b, _ in pairs),
+            total_errors=sum(e for _, e in pairs),
+            shard_errors=tuple(e for _, e in pairs),
+            rate_gbps=rate,
+        )
+        tel.counter("session.ber_characterizations").inc()
+        tel.counter("session.ber_bits").inc(result.total_bits)
+        tel.counter("session.ber_errors").inc(result.total_errors)
+        return result
 
     # -- production -------------------------------------------------------
 

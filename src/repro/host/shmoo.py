@@ -9,12 +9,24 @@ cuts of exactly this.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Sequence
+import functools
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro import telemetry
 from repro.errors import ConfigurationError
+from repro.parallel import Executor, ShardPlan
+
+
+def _evaluate_shard(test: Callable[[float, float], bool],
+                    shard, seed) -> List[bool]:
+    """One shard's cells through the pass/fail callable.
+
+    Module-level (not a method) so the process backend can pickle
+    it via :func:`functools.partial`.
+    """
+    return [bool(test(x, y)) for (_yi, _xi, x, y) in shard.items]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -30,6 +42,10 @@ class ShmooResult:
         is the first y value.
     x_name, y_name:
         Axis labels.
+    evaluated:
+        Boolean grid of cells actually tested; None means all (a
+        sweep that ran to completion). Unevaluated cells read as
+        fails in :attr:`passes`.
     """
 
     x_values: Sequence[float]
@@ -37,6 +53,20 @@ class ShmooResult:
     passes: np.ndarray
     x_name: str = "x"
     y_name: str = "y"
+    evaluated: Optional[np.ndarray] = None
+
+    @property
+    def aborted(self) -> bool:
+        """True when the sweep stopped before covering the grid."""
+        return self.evaluated is not None \
+            and not bool(self.evaluated.all())
+
+    @property
+    def evaluated_mask(self) -> np.ndarray:
+        """Boolean grid of evaluated cells (all True when complete)."""
+        if self.evaluated is None:
+            return np.ones_like(self.passes, dtype=bool)
+        return self.evaluated
 
     @property
     def pass_fraction(self) -> float:
@@ -90,31 +120,107 @@ class ShmooRunner:
         self.telemetry = registry
 
     def run(self, x_values: Sequence[float],
-            y_values: Sequence[float]) -> ShmooResult:
-        """Evaluate the full grid."""
+            y_values: Sequence[float], *,
+            progress: Optional[Callable[[int, int], None]] = None,
+            should_abort: Optional[Callable[[], bool]] = None,
+            executor: Optional[Executor] = None,
+            n_shards: Optional[int] = None) -> ShmooResult:
+        """Evaluate the grid, serially or sharded over an executor.
+
+        Parameters
+        ----------
+        progress:
+            ``progress(cells_done, cells_total)`` fired as cells
+            complete (per cell serially; per finished shard when an
+            executor runs the sweep).
+        should_abort:
+            Polled between cells (serial) or shards (parallel);
+            returning True stops the sweep early — unevaluated
+            cells are marked in :attr:`ShmooResult.evaluated`.
+        executor:
+            A :class:`repro.parallel.Executor`; when given, the grid
+            is partitioned by :class:`~repro.parallel.ShardPlan` and
+            the shards run on its backend. The process backend
+            needs a picklable ``test`` callable. Serial behavior,
+            grids, and telemetry totals are identical across
+            backends.
+        n_shards:
+            Shards for the parallel path (default: 4 per worker).
+        """
         x_values = list(x_values)
         y_values = list(y_values)
         if not x_values or not y_values:
             raise ConfigurationError("both axes need values")
         tel = telemetry.resolve(self.telemetry)
-        passes = np.zeros((len(y_values), len(x_values)), dtype=bool)
+        shape = (len(y_values), len(x_values))
+        passes = np.zeros(shape, dtype=bool)
+        evaluated = np.zeros(shape, dtype=bool)
         with tel.span("shmoo.run"):
-            for yi, y in enumerate(y_values):
-                for xi, x in enumerate(x_values):
-                    passes[yi, xi] = bool(self.test(x, y))
+            if executor is None:
+                aborted = self._run_serial(
+                    x_values, y_values, passes, evaluated,
+                    progress, should_abort,
+                )
+            else:
+                aborted = self._run_sharded(
+                    x_values, y_values, passes, evaluated,
+                    progress, should_abort, executor, n_shards,
+                )
+        n_eval = int(evaluated.sum())
+        n_pass = int(passes[evaluated].sum())
         tel.counter("shmoo.runs").inc()
-        tel.counter("shmoo.cells").inc(int(passes.size))
-        tel.counter("shmoo.cells_passed").inc(int(passes.sum()))
-        tel.counter("shmoo.cells_failed").inc(
-            int(passes.size - passes.sum())
-        )
+        tel.counter("shmoo.cells").inc(n_eval)
+        tel.counter("shmoo.cells_passed").inc(n_pass)
+        tel.counter("shmoo.cells_failed").inc(n_eval - n_pass)
         return ShmooResult(
             x_values=tuple(x_values),
             y_values=tuple(y_values),
             passes=passes,
             x_name=self.x_name,
             y_name=self.y_name,
+            evaluated=evaluated if aborted else None,
         )
+
+    def _run_serial(self, x_values, y_values, passes, evaluated,
+                    progress, should_abort) -> bool:
+        total = passes.size
+        done = 0
+        for yi, y in enumerate(y_values):
+            for xi, x in enumerate(x_values):
+                if should_abort is not None and should_abort():
+                    return True
+                passes[yi, xi] = bool(self.test(x, y))
+                evaluated[yi, xi] = True
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+        return False
+
+    def _run_sharded(self, x_values, y_values, passes, evaluated,
+                     progress, should_abort, executor,
+                     n_shards) -> bool:
+        if n_shards is None:
+            n_shards = executor.max_workers * 4
+        plan = ShardPlan.for_grid(x_values, y_values, n_shards)
+        fn = functools.partial(_evaluate_shard, self.test)
+
+        def on_chunk(done, total, indices) -> None:
+            if progress is not None:
+                cells = sum(len(plan.shards[i]) for i in indices)
+                on_chunk.cells_done += cells
+                progress(on_chunk.cells_done, plan.total)
+        on_chunk.cells_done = 0
+
+        outcome = executor.run(fn, plan.shards,
+                               progress=on_chunk,
+                               should_abort=should_abort)
+        for shard, results in zip(plan.shards, outcome.results):
+            if results is None:
+                continue
+            for (yi, xi, _x, _y), ok in zip(shard.items, results):
+                passes[yi, xi] = ok
+                evaluated[yi, xi] = True
+        return outcome.aborted
 
 
 def minitester_strobe_rate_shmoo(minitester, rates: Sequence[float],

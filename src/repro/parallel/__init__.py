@@ -1,0 +1,37 @@
+"""repro.parallel — sharded multi-process execution engine.
+
+The paper's throughput story is explicitly parallel: "the miniature
+tester may be replicated in array form ... functional testing can
+then be done in parallel, increasing production throughput by an
+order of magnitude" (Figure 13). This subsystem is that replication
+for the simulation stack: one :class:`Executor` (serial, thread, or
+process backend) runs :class:`ShardPlan`-partitioned workloads —
+shmoo grids, wafer touchdown plans, long BER runs — with
+deterministic per-shard seeding, bounded retry, timeouts, and
+telemetry that merges back into the parent registry so a 16-worker
+run reads identically to a serial one.
+
+Usage::
+
+    from repro.parallel import Executor
+    from repro.host.shmoo import ShmooRunner
+
+    runner = ShmooRunner(my_test)
+    result = runner.run(xs, ys,
+                        executor=Executor(backend="process",
+                                          max_workers=4))
+
+The serial backend is the default everywhere, so existing flows and
+bit-exactness are untouched unless a caller opts in.
+"""
+
+from repro.parallel.executor import (
+    BACKENDS, ExecutionResult, Executor, ShardError,
+)
+from repro.parallel.shards import Shard, ShardPlan
+from repro.parallel.workers import ber_shard_worker, run_chunk
+
+__all__ = [
+    "BACKENDS", "ExecutionResult", "Executor", "ShardError",
+    "Shard", "ShardPlan", "ber_shard_worker", "run_chunk",
+]

@@ -1,0 +1,406 @@
+"""The sharded execution engine: serial, thread, and process backends.
+
+One :class:`Executor` drives every parallel path in the stack
+(shmoo sweeps, wafer test floors, BER characterization). Work
+arrives as an ordered list of items, gets grouped into chunks to
+amortize dispatch overhead, and runs on the selected backend with:
+
+- deterministic per-item seeding (``SeedSequence.spawn`` via
+  :mod:`repro._rng` — shard k sees seed k on every backend),
+- bounded retry of failed or crashed chunks,
+- wall-clock timeout detection for wedged chunks,
+- cooperative cancellation (``should_abort``) with partial results,
+- telemetry aggregation: process workers record into private
+  registries whose snapshots merge back into the parent through the
+  registry's associative merge, so a 16-worker run's counters read
+  identically to a serial run's.
+
+The serial backend executes the identical chunk frame inline, which
+is what makes "backend equivalence" a testable property rather than
+a hope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED, Future, ProcessPoolExecutor, ThreadPoolExecutor, wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import telemetry
+from repro._rng import spawn_seeds
+from repro.errors import ConfigurationError, ReproError
+from repro.parallel.workers import run_chunk
+from repro.telemetry.registry import Registry
+
+#: Recognized backend names.
+BACKENDS = ("serial", "thread", "process")
+
+#: Poll interval (s) while watching for timeouts or abort requests.
+_POLL_S = 0.02
+
+
+class ShardError(ReproError):
+    """A shard failed, crashed, or timed out beyond its retry budget."""
+
+
+@dataclasses.dataclass
+class ExecutionResult:
+    """What one :meth:`Executor.run` produced.
+
+    Attributes
+    ----------
+    results:
+        Per-item results in canonical (submission) order; ``None``
+        for items skipped by an abort.
+    completed:
+        Per-item completion flags (all True unless aborted).
+    retries:
+        Chunk attempts beyond the first, run-wide.
+    aborted:
+        True when ``should_abort`` stopped the run early.
+    """
+
+    results: List[Any]
+    completed: List[bool]
+    retries: int
+    aborted: bool
+
+    @property
+    def ok(self) -> bool:
+        """True when every item completed."""
+        return all(self.completed)
+
+    @property
+    def n_completed(self) -> int:
+        """Items that finished."""
+        return sum(1 for c in self.completed if c)
+
+
+class _RunState:
+    """Mutable bookkeeping for one run."""
+
+    def __init__(self, total: int):
+        self.results: List[Any] = [None] * total
+        self.completed = [False] * total
+        self.done = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.aborted = False
+        self.snapshots: List[dict] = []
+
+
+class Executor:
+    """Sharded work execution over a chosen backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (inline, the default), ``"thread"``
+        (:class:`~concurrent.futures.ThreadPoolExecutor` — right for
+        workloads that sleep or release the GIL), or ``"process"``
+        (:class:`~concurrent.futures.ProcessPoolExecutor` — true
+        parallelism; work functions and their bound arguments must
+        be picklable).
+    max_workers:
+        Pool width for the thread/process backends.
+    chunk_size:
+        Items per dispatched chunk; default balances ~4 chunks per
+        worker to amortize IPC while keeping the queue responsive.
+    max_retries:
+        How many times a failed/crashed/timed-out chunk is retried
+        before :class:`ShardError` (0 disables retry).
+    timeout_s:
+        Wall-clock limit for one chunk's *execution* (measured from
+        when it starts running, not from submission). A timed-out
+        chunk counts as a failure and consumes a retry. On the
+        thread backend the stuck worker cannot be killed, so a
+        timed-out chunk may still run to completion in the
+        background — work functions should be idempotent.
+    registry:
+        Optional injected telemetry registry; defaults to the
+        module-level active one.
+    """
+
+    def __init__(self, backend: str = "serial",
+                 max_workers: int = 4,
+                 chunk_size: Optional[int] = None,
+                 max_retries: int = 1,
+                 timeout_s: Optional[float] = None,
+                 registry=None):
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"need >= 1 worker, got {max_workers}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk size must be >= 1, got {chunk_size}"
+            )
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"retries must be >= 0, got {max_retries}"
+            )
+        if timeout_s is not None and timeout_s <= 0.0:
+            raise ConfigurationError(
+                f"timeout must be positive, got {timeout_s}"
+            )
+        self.backend = backend
+        self.max_workers = int(max_workers)
+        self.chunk_size = chunk_size
+        self.max_retries = int(max_retries)
+        self.timeout_s = timeout_s
+        self.telemetry = registry
+
+    def __repr__(self) -> str:
+        return (f"Executor(backend={self.backend!r}, "
+                f"max_workers={self.max_workers}, "
+                f"max_retries={self.max_retries})")
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, fn: Callable[[Any, Optional[int]], Any],
+            items: Sequence[Any], *,
+            seed_root=None,
+            progress: Optional[Callable[[int, int, Tuple[int, ...]],
+                                        None]] = None,
+            should_abort: Optional[Callable[[], bool]] = None,
+            collect_telemetry: Optional[bool] = None) -> ExecutionResult:
+        """Run ``fn(item, seed)`` over every item; results in order.
+
+        Parameters
+        ----------
+        fn:
+            The work function. For the process backend it must be
+            picklable (a module-level function or a
+            :func:`functools.partial` over one).
+        items:
+            Ordered work items (often :class:`ShardPlan` shards).
+        seed_root:
+            When given, per-item integer seeds are spawned
+            deterministically from this root (int or sequence of
+            ints) and passed as ``fn``'s second argument; otherwise
+            the seed argument is ``None``.
+        progress:
+            ``progress(done, total, just_completed_indices)`` fired
+            after every completed chunk.
+        should_abort:
+            Polled between chunks; returning True stops dispatch,
+            cancels what it can, and yields partial results with
+            ``aborted=True``.
+        collect_telemetry:
+            Force worker-side telemetry collection on/off; default
+            collects exactly when the parent registry is enabled
+            and the backend is ``"process"`` (serial/thread workers
+            already share the parent's registry).
+        """
+        items = list(items)
+        if not items:
+            raise ConfigurationError("no work items to run")
+        tel = telemetry.resolve(self.telemetry)
+        if collect_telemetry is None:
+            collect_telemetry = bool(tel.enabled) \
+                and self.backend == "process"
+        seeds: List[Optional[int]]
+        if seed_root is not None:
+            seeds = list(spawn_seeds(len(items), root=seed_root))
+        else:
+            seeds = [None] * len(items)
+        entries = [(i, item, seed)
+                   for i, (item, seed) in enumerate(zip(items, seeds))]
+        size = self.chunk_size if self.chunk_size is not None else \
+            max(1, math.ceil(len(items) / (self.max_workers * 4)))
+        chunks = [entries[i:i + size]
+                  for i in range(0, len(entries), size)]
+        state = _RunState(len(items))
+        try:
+            with tel.span("parallel.run"):
+                if self.backend == "serial":
+                    self._run_serial(fn, chunks, state, progress,
+                                     should_abort)
+                else:
+                    self._run_pooled(fn, chunks, state, progress,
+                                     should_abort, collect_telemetry)
+        finally:
+            # Commit the run's accounting even when a shard error
+            # propagates — failed runs must stay observable.
+            tel.counter("parallel.runs").inc()
+            tel.counter("parallel.chunks").inc(len(chunks))
+            tel.counter("parallel.items").inc(state.done)
+            if state.retries:
+                tel.counter("parallel.retries").inc(state.retries)
+            if state.timeouts:
+                tel.counter("parallel.timeouts").inc(state.timeouts)
+            if state.aborted:
+                tel.counter("parallel.aborts").inc()
+            self._absorb_snapshots(tel, state)
+        return ExecutionResult(results=state.results,
+                               completed=state.completed,
+                               retries=state.retries,
+                               aborted=state.aborted)
+
+    # -- serial backend ----------------------------------------------------
+
+    def _run_serial(self, fn, chunks, state, progress, should_abort):
+        for cid, chunk in enumerate(chunks):
+            if should_abort is not None and should_abort():
+                state.aborted = True
+                return
+            attempts = 0
+            while True:
+                try:
+                    results, snap = run_chunk(fn, chunk, False)
+                    break
+                except Exception as exc:
+                    attempts += 1
+                    state.retries += 1
+                    if attempts > self.max_retries:
+                        raise ShardError(
+                            f"chunk {cid} failed after {attempts} "
+                            f"attempt(s): {exc}"
+                        ) from exc
+            self._record(state, chunk, results, snap, progress)
+
+    # -- pooled backends ---------------------------------------------------
+
+    def _make_pool(self):
+        if self.backend == "thread":
+            return ThreadPoolExecutor(max_workers=self.max_workers)
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def _run_pooled(self, fn, chunks, state, progress, should_abort,
+                    collect):
+        pool = self._make_pool()
+        attempts = [0] * len(chunks)
+        pending: Dict[Future, int] = {}
+        deadlines: Dict[Future, Optional[float]] = {}
+
+        def submit(cid: int) -> None:
+            fut = pool.submit(run_chunk, fn, chunks[cid], collect)
+            pending[fut] = cid
+            deadlines[fut] = None  # armed once the chunk starts
+
+        def resubmit_all(cids) -> None:
+            for cid in cids:
+                submit(cid)
+
+        def fail(message: str, cause: Optional[BaseException]):
+            for f in pending:
+                f.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise ShardError(message) from cause
+
+        try:
+            for cid in range(len(chunks)):
+                submit(cid)
+            while pending:
+                if should_abort is not None and should_abort():
+                    state.aborted = True
+                    for f in list(pending):
+                        f.cancel()
+                    break
+                block = _POLL_S if (self.timeout_s is not None
+                                    or should_abort is not None) else None
+                wait(set(pending), timeout=block,
+                     return_when=FIRST_COMPLETED)
+                # Completions first, so a finished chunk never gets
+                # charged a timeout it beat by a poll interval.
+                for fut in [f for f in pending if f.done()]:
+                    cid = pending.pop(fut)
+                    deadlines.pop(fut, None)
+                    try:
+                        results, snap = fut.result()
+                    except BrokenProcessPool as exc:
+                        # A worker died; every in-flight future on
+                        # this pool is lost. Charge the chunk we saw
+                        # it on, rebuild the pool, resubmit the rest.
+                        attempts[cid] += 1
+                        state.retries += 1
+                        if attempts[cid] > self.max_retries:
+                            fail(f"chunk {cid} crashed a worker "
+                                 f"after {attempts[cid]} attempt(s)",
+                                 exc)
+                        lost = [cid] + sorted(pending.values())
+                        pending.clear()
+                        deadlines.clear()
+                        pool.shutdown(wait=False)
+                        pool = self._make_pool()
+                        resubmit_all(lost)
+                        break  # future set changed; re-poll
+                    except Exception as exc:
+                        attempts[cid] += 1
+                        state.retries += 1
+                        if attempts[cid] > self.max_retries:
+                            fail(f"chunk {cid} failed after "
+                                 f"{attempts[cid]} attempt(s): {exc}",
+                                 exc)
+                        submit(cid)
+                    else:
+                        self._record(state, chunks[cid], results,
+                                     snap, progress)
+                if self.timeout_s is None:
+                    continue
+                now = time.monotonic()
+                for fut in list(pending):
+                    if deadlines.get(fut) is None:
+                        if fut.running():
+                            deadlines[fut] = now + self.timeout_s
+                        continue
+                    if now <= deadlines[fut]:
+                        continue
+                    cid = pending.pop(fut)
+                    deadlines.pop(fut, None)
+                    cancelled = fut.cancel()
+                    attempts[cid] += 1
+                    state.retries += 1
+                    state.timeouts += 1
+                    if attempts[cid] > self.max_retries:
+                        fail(f"chunk {cid} timed out after "
+                             f"{attempts[cid]} attempt(s) "
+                             f"({self.timeout_s:g}s each)", None)
+                    if not cancelled and self.backend == "process":
+                        # The worker is wedged; replace the pool so
+                        # the retry is not starved behind it.
+                        survivors = sorted(pending.values())
+                        pending.clear()
+                        deadlines.clear()
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = self._make_pool()
+                        resubmit_all([cid] + survivors)
+                        break
+                    # Thread backend: the stuck thread cannot be
+                    # killed; abandon its future and retry.
+                    submit(cid)
+        finally:
+            pool.shutdown(wait=False)
+
+    # -- shared plumbing ---------------------------------------------------
+
+    @staticmethod
+    def _record(state, chunk, results, snap, progress):
+        indices = []
+        for (gidx, _, _), res in zip(chunk, results):
+            state.results[gidx] = res
+            state.completed[gidx] = True
+            indices.append(gidx)
+        state.done += len(indices)
+        if snap is not None:
+            state.snapshots.append(snap)
+        if progress is not None:
+            progress(state.done, len(state.results), tuple(indices))
+
+    @staticmethod
+    def _absorb_snapshots(tel, state) -> None:
+        if not state.snapshots:
+            return
+        combined = Registry.from_snapshot(state.snapshots[0])
+        for snap in state.snapshots[1:]:
+            combined = combined.merge(Registry.from_snapshot(snap))
+        tel.absorb(combined)

@@ -9,10 +9,12 @@ and test equipment models (``repro.instruments.bert``).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro._rng import spawn_seeds  # noqa: F401  (re-exported: the
+# sharded-generation entry point lives beside the PRBS tools)
 from repro.errors import ConfigurationError
 
 #: Standard PRBS feedback tap pairs (x^n + x^m + 1), keyed by order.
@@ -67,6 +69,56 @@ def prbs_bits(order: int, length: int, seed: int = 1) -> np.ndarray:
         state = ((state << 1) | bit) & mask
         out[i] = bit
     return out
+
+
+def advance_state(order: int, seed: int, steps: int) -> int:
+    """The LFSR state after *steps* bits from *seed*.
+
+    ``prbs_bits(order, m, seed=advance_state(order, seed, k))``
+    yields exactly bits ``[k, k+m)`` of the serial stream — the
+    primitive that lets shards continue one PRBS stream mid-flight.
+    """
+    if order not in PRBS_POLYNOMIALS:
+        raise ConfigurationError(f"unsupported PRBS order {order}")
+    if steps < 0:
+        raise ConfigurationError(f"steps must be >= 0, got {steps}")
+    if seed <= 0 or seed >= (1 << order):
+        raise ConfigurationError(
+            f"seed must be in [1, 2^{order}-1], got {seed}"
+        )
+    tap_a, tap_b = PRBS_POLYNOMIALS[order]
+    shift_a, shift_b = tap_a - 1, tap_b - 1
+    mask = (1 << order) - 1
+    # The state sequence is periodic; only the residual walk matters.
+    steps %= (1 << order) - 1
+    state = seed
+    for _ in range(steps):
+        bit = ((state >> shift_a) ^ (state >> shift_b)) & 1
+        state = ((state << 1) | bit) & mask
+    return state
+
+
+def prbs_shard_states(order: int, seed: int,
+                      shard_lengths: Sequence[int]) -> List[int]:
+    """Per-shard start states that exactly tile the serial stream.
+
+    Shard k generating ``shard_lengths[k]`` bits from its returned
+    state produces the same bits a single serial generator would
+    have produced over that span — concatenating the shard outputs
+    reproduces ``prbs_bits(order, sum(shard_lengths), seed)``
+    bit-for-bit. This is how a sharded BER run replays the *same*
+    pattern the serial run checks, rather than n independent ones.
+    """
+    states: List[int] = []
+    state = seed
+    for length in shard_lengths:
+        if length < 0:
+            raise ConfigurationError(
+                f"shard lengths must be >= 0, got {length}"
+            )
+        states.append(state)
+        state = advance_state(order, state, length)
+    return states
 
 
 def prbs_period(order: int) -> int:

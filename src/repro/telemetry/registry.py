@@ -155,6 +155,28 @@ class Registry:
         from repro.telemetry.export import snapshot_to_prometheus
         return snapshot_to_prometheus(self.to_dict(), prefix=prefix)
 
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "Registry":
+        """Rebuild a registry from a :meth:`to_dict` snapshot.
+
+        The inverse of :meth:`to_dict` up to timer mean (recomputed)
+        — the bridge that lets worker processes ship their registries
+        home as plain dicts for the parent to merge.
+        """
+        reg = cls()
+        for n, v in snapshot.get("counters", {}).items():
+            reg.counter(n).inc(v)
+        for n, v in snapshot.get("gauges", {}).items():
+            reg.gauge(n).set(v)
+        for n, d in snapshot.get("timers", {}).items():
+            t = reg.timer(n)
+            t.count = int(d["count"])
+            t.total_s = float(d["total_s"])
+            if t.count:
+                t.min_s = float(d["min_s"])
+                t.max_s = float(d["max_s"])
+        return reg
+
     # -- lifecycle --------------------------------------------------------
 
     def names(self) -> List[str]:
@@ -175,18 +197,24 @@ class Registry:
         *other*'s value where both define one (last-writer-wins).
         All three rules are associative, so any merge tree over a
         set of registries yields the same totals.
+
+        Safe while producer threads keep recording into either
+        source (instrument tables are snapshotted before iteration)
+        and while either source has open spans — span stacks are
+        per-thread runtime state, not merged data, so an in-flight
+        span simply contributes nothing until it closes.
         """
         out = Registry()
-        for n, c in self._counters.items():
+        for n, c in list(self._counters.items()):
             out.counter(n).inc(c.value)
-        for n, c in other._counters.items():
+        for n, c in list(other._counters.items()):
             out.counter(n).inc(c.value)
-        for n, g in self._gauges.items():
+        for n, g in list(self._gauges.items()):
             out.gauge(n).set(g.value)
-        for n, g in other._gauges.items():
+        for n, g in list(other._gauges.items()):
             out.gauge(n).set(g.value)
         for src in (self._timers, other._timers):
-            for n, t in src.items():
+            for n, t in list(src.items()):
                 dst = out.timer(n)
                 dst.count += t.count
                 dst.total_s += t.total_s
@@ -194,6 +222,26 @@ class Registry:
                     dst.min_s = min(dst.min_s, t.min_s)
                     dst.max_s = max(dst.max_s, t.max_s)
         return out
+
+    def absorb(self, other: "Registry") -> "Registry":
+        """Merge *other* into this registry in place; returns self.
+
+        The mutating twin of :meth:`merge`, for sinking worker
+        registries into a long-lived parent (the active session
+        registry) without replacing it. Same associative rules.
+        """
+        for n, c in list(other._counters.items()):
+            self.counter(n).inc(c.value)
+        for n, g in list(other._gauges.items()):
+            self.gauge(n).set(g.value)
+        for n, t in list(other._timers.items()):
+            dst = self.timer(n)
+            dst.count += t.count
+            dst.total_s += t.total_s
+            if t.count:
+                dst.min_s = min(dst.min_s, t.min_s)
+                dst.max_s = max(dst.max_s, t.max_s)
+        return self
 
     def __repr__(self) -> str:
         return (f"Registry({len(self._counters)} counters, "
@@ -262,6 +310,10 @@ class NullRegistry:
     def merge(self, other) -> Registry:
         """Merging with nothing copies *other* (the identity)."""
         return Registry().merge(other)
+
+    def absorb(self, other) -> "NullRegistry":
+        """Absorbing into the null registry discards *other*."""
+        return self
 
     def __repr__(self) -> str:
         return "NullRegistry()"

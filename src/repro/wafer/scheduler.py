@@ -11,14 +11,38 @@ writes results into the wafer map.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError
+from repro.parallel import Executor
 from repro.wafer.dut import WLPDevice
 from repro.wafer.map import DieState, WaferMap
 from repro.wafer.probe import ProbeCard, Touchdown
+
+
+def _default_dut_factory(pos: Tuple[int, int]) -> WLPDevice:
+    """All-good dice (module-level so process workers can pickle it)."""
+    return WLPDevice()
+
+
+def _probe_site(dut_factory: Callable[[Tuple[int, int]], WLPDevice],
+                test_time_s: float, n_vectors: int,
+                pos: Tuple[int, int], seed) -> Tuple[bool, float]:
+    """One site's test, runnable on any executor backend.
+
+    Returns ``(passed, test_time_s)``; the time carries the same
+    +/-10% site-to-site variation the serial model applies, drawn
+    from the site's spawned seed so results are deterministic per
+    (wafer seed, touchdown, site) regardless of worker scheduling.
+    """
+    rng = np.random.default_rng(seed)
+    dut = dut_factory(pos)
+    result = dut.run_bist(n_vectors=n_vectors)
+    return bool(result.passed), test_time_s * float(rng.uniform(0.9, 1.1))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -88,17 +112,35 @@ class MultiSiteScheduler:
         Nominal per-die test time.
     dut_factory:
         Builds the DUT model for a die position (lets callers seed
-        defects); default: all-good dice.
+        defects); default: all-good dice. Must be picklable for the
+        process executor backend.
+    executor:
+        Optional :class:`repro.parallel.Executor`. When given, the
+        sites of each touchdown are tested *concurrently* on its
+        backend — the real Figure 13 array — instead of only
+        modeling concurrency as the max of site times. Per-site
+        randomness is spawned deterministically from the sort seed
+        and touchdown index, so outcomes are reproducible (though
+        the RNG stream differs from the serial model's single
+        interleaved stream). The serial path stays the default and
+        bit-exact.
+    registry:
+        Optional injected telemetry registry; defaults to the
+        module-level active one.
     """
 
     def __init__(self, card: ProbeCard, test_time_s: float = 2.0,
                  dut_factory: Optional[
-                     Callable[[Tuple[int, int]], WLPDevice]] = None):
+                     Callable[[Tuple[int, int]], WLPDevice]] = None,
+                 executor: Optional[Executor] = None,
+                 registry=None):
         if test_time_s <= 0.0:
             raise ConfigurationError("test time must be positive")
         self.card = card
         self.test_time_s = float(test_time_s)
-        self.dut_factory = dut_factory or (lambda pos: WLPDevice())
+        self.dut_factory = dut_factory or _default_dut_factory
+        self.executor = executor
+        self.telemetry = registry
 
     def _test_one(self, dut: WLPDevice,
                   rng: np.random.Generator) -> Tuple[bool, float]:
@@ -109,34 +151,93 @@ class MultiSiteScheduler:
         return result.passed, t
 
     def sort_wafer(self, wafer: WaferMap, seed: int = 0) -> SortRun:
-        """Probe the whole wafer; updates die states in place."""
+        """Probe the whole wafer; updates die states in place.
+
+        With an executor configured, every touchdown's landed sites
+        run concurrently on its backend; otherwise the serial model
+        walks sites in order (bit-exact with earlier releases).
+        """
         rng = np.random.default_rng(seed)
         plan = self.card.plan_touchdowns(wafer)
         assignments: List[SiteAssignment] = []
         total_time = 0.0
-        for touchdown in plan:
-            total_time += touchdown.index_time_s
-            slowest = 0.0
-            for site, pos in enumerate(touchdown.sites):
-                if pos is None:
-                    continue
-                die = wafer.die_at(*pos)
-                die.state = DieState.TESTING
-                if not self.card.contact_ok(rng):
-                    die.state = DieState.SKIPPED
-                    assignments.append(SiteAssignment(
-                        site, pos, None, 0.0
-                    ))
-                    continue
-                dut = self.dut_factory(pos)
-                passed, t = self._test_one(dut, rng)
-                slowest = max(slowest, t)
-                die.state = DieState.PASSED if passed else DieState.FAILED
-                assignments.append(SiteAssignment(site, pos, passed, t))
-            # Parallel sites: the touchdown takes the slowest site.
-            total_time += slowest
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("wafer.sort"):
+            for td_index, touchdown in enumerate(plan):
+                total_time += touchdown.index_time_s
+                if self.executor is None:
+                    slowest = self._touchdown_serial(
+                        wafer, touchdown, rng, assignments)
+                else:
+                    slowest = self._touchdown_concurrent(
+                        wafer, touchdown, rng, assignments,
+                        seed, td_index)
+                # Parallel sites: the touchdown costs its slowest site.
+                total_time += slowest
+        tel.counter("wafer.sorts").inc()
+        tel.counter("wafer.touchdowns").inc(len(plan))
+        tel.counter("wafer.dies_tested").inc(
+            sum(1 for a in assignments if a.passed is not None))
+        tel.counter("wafer.dies_passed").inc(
+            sum(1 for a in assignments if a.passed))
+        tel.counter("wafer.contact_failures").inc(
+            sum(1 for a in assignments if a.passed is None))
         return SortRun(assignments=assignments, total_time_s=total_time,
                        touchdowns=len(plan))
+
+    def _touchdown_serial(self, wafer, touchdown, rng,
+                          assignments) -> float:
+        """One touchdown, sites in order on one RNG stream."""
+        slowest = 0.0
+        for site, pos in enumerate(touchdown.sites):
+            if pos is None:
+                continue
+            die = wafer.die_at(*pos)
+            die.state = DieState.TESTING
+            if not self.card.contact_ok(rng):
+                die.state = DieState.SKIPPED
+                assignments.append(SiteAssignment(site, pos, None, 0.0))
+                continue
+            dut = self.dut_factory(pos)
+            passed, t = self._test_one(dut, rng)
+            slowest = max(slowest, t)
+            die.state = DieState.PASSED if passed else DieState.FAILED
+            assignments.append(SiteAssignment(site, pos, passed, t))
+        return slowest
+
+    def _touchdown_concurrent(self, wafer, touchdown, rng,
+                              assignments, seed, td_index) -> float:
+        """One touchdown with landed sites run on the executor.
+
+        Contact is still drawn in the parent (it is a prober
+        property, not a site computation); the site tests fan out.
+        """
+        landed = []
+        for site, pos in enumerate(touchdown.sites):
+            if pos is None:
+                continue
+            die = wafer.die_at(*pos)
+            die.state = DieState.TESTING
+            if not self.card.contact_ok(rng):
+                die.state = DieState.SKIPPED
+                assignments.append(SiteAssignment(site, pos, None, 0.0))
+                continue
+            landed.append((site, pos))
+        if not landed:
+            return 0.0
+        fn = functools.partial(_probe_site, self.dut_factory,
+                               self.test_time_s, 128)
+        outcome = self.executor.run(
+            fn, [pos for _, pos in landed],
+            seed_root=[int(seed), int(td_index)],
+        )
+        slowest = 0.0
+        for (site, pos), (passed, t) in zip(landed, outcome.results):
+            die = wafer.die_at(*pos)
+            die.state = DieState.PASSED if passed else DieState.FAILED
+            slowest = max(slowest, t)
+            assignments.append(SiteAssignment(site, pos, passed, t))
+        return slowest
 
     def retest_skipped(self, wafer: WaferMap, seed: int = 1,
                        max_passes: int = 3) -> SortRun:

@@ -1,0 +1,241 @@
+"""Tests for the sharded execution engine (all backends)."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+from repro.parallel import Executor, ShardError
+
+#: CI runs the smoke tests with REPRO_PARALLEL_WORKERS=2.
+N_WORKERS = int(os.environ.get("REPRO_PARALLEL_WORKERS", "2"))
+
+BACKENDS = ("serial", "thread", "process")
+
+
+# Module-level work functions so the process backend can pickle them.
+
+def square(item, seed):
+    return item * item
+
+
+def seed_echo(item, seed):
+    return seed
+
+
+def fail_on_three(item, seed):
+    if item == 3:
+        raise ValueError("item three always fails")
+    return item
+
+
+def slow_item(item, seed):
+    time.sleep(item)
+    return item
+
+
+def crash_worker(item, seed):
+    os._exit(13)
+
+
+class TestConfig:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Executor(backend="gpu")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_workers": 0}, {"chunk_size": 0},
+        {"max_retries": -1}, {"timeout_s": 0.0},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Executor(**kwargs)
+
+    def test_empty_work_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Executor().run(square, [])
+
+    def test_repr_names_backend(self):
+        assert "thread" in repr(Executor(backend="thread"))
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_results_in_canonical_order(self, backend):
+        ex = Executor(backend=backend, max_workers=N_WORKERS)
+        out = ex.run(square, list(range(23)))
+        assert out.ok
+        assert out.results == [i * i for i in range(23)]
+        assert out.n_completed == 23
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_seeds_deterministic_across_backends(self, backend):
+        ex = Executor(backend=backend, max_workers=N_WORKERS)
+        seeds = ex.run(seed_echo, list(range(8)), seed_root=42).results
+        serial = Executor().run(seed_echo, list(range(8)),
+                                seed_root=42).results
+        assert seeds == serial
+        assert len(set(seeds)) == 8  # independent streams
+
+    def test_no_seed_root_passes_none(self):
+        out = Executor().run(seed_echo, [1, 2, 3])
+        assert out.results == [None, None, None]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_parent_counters_backend_invariant(self, backend):
+        ex = Executor(backend=backend, max_workers=2, chunk_size=3)
+        with telemetry.use_registry() as reg:
+            ex.run(square, list(range(10)))
+        counters = reg.to_dict()["counters"]
+        assert counters["parallel.runs"] == 1
+        assert counters["parallel.chunks"] == 4
+        assert counters["parallel.items"] == 10
+
+
+class TestChunking:
+    def test_explicit_chunk_size(self):
+        with telemetry.use_registry() as reg:
+            Executor(chunk_size=4).run(square, list(range(10)))
+        assert reg.to_dict()["counters"]["parallel.chunks"] == 3
+
+    def test_default_chunking_scales_with_workers(self):
+        ex = Executor(backend="thread", max_workers=2)
+        with telemetry.use_registry() as reg:
+            ex.run(square, list(range(100)))
+        # ~4 chunks per worker.
+        assert reg.to_dict()["counters"]["parallel.chunks"] == 8
+
+
+class TestRetry:
+    @pytest.mark.parametrize("backend", ("serial", "thread"))
+    def test_exhausted_retries_raise(self, backend):
+        ex = Executor(backend=backend, max_workers=N_WORKERS,
+                      max_retries=1, chunk_size=1)
+        with pytest.raises(ShardError, match="failed after 2"):
+            ex.run(fail_on_three, list(range(5)))
+
+    def test_zero_retries_fail_fast(self):
+        ex = Executor(max_retries=0, chunk_size=1)
+        with pytest.raises(ShardError, match="after 1 attempt"):
+            ex.run(fail_on_three, [3])
+
+    def test_flaky_chunk_retried_to_success(self):
+        attempts = {"n": 0}
+        lock = threading.Lock()
+
+        def flaky(item, seed):
+            with lock:
+                attempts["n"] += 1
+                if attempts["n"] == 1:
+                    raise RuntimeError("transient")
+            return item
+
+        ex = Executor(backend="thread", max_workers=2,
+                      max_retries=2, chunk_size=2)
+        with telemetry.use_registry() as reg:
+            out = ex.run(flaky, [10, 20, 30, 40])
+        assert out.ok
+        assert out.results == [10, 20, 30, 40]
+        assert out.retries == 1
+        assert reg.to_dict()["counters"]["parallel.retries"] == 1
+
+    def test_process_worker_crash_exhausts_retries(self):
+        ex = Executor(backend="process", max_workers=1,
+                      max_retries=1, chunk_size=1)
+        with pytest.raises(ShardError, match="crashed"):
+            ex.run(crash_worker, [1])
+
+
+class TestTimeout:
+    def test_thread_timeout_raises_after_retries(self):
+        ex = Executor(backend="thread", max_workers=2,
+                      max_retries=0, timeout_s=0.1, chunk_size=1)
+        with pytest.raises(ShardError, match="timed out"):
+            ex.run(slow_item, [1.0])
+
+    def test_fast_work_beats_timeout(self):
+        ex = Executor(backend="thread", max_workers=2,
+                      timeout_s=10.0, chunk_size=2)
+        out = ex.run(square, list(range(6)))
+        assert out.ok
+
+    def test_timeout_counted_in_telemetry(self):
+        ex = Executor(backend="thread", max_workers=2,
+                      max_retries=0, timeout_s=0.1, chunk_size=1)
+        with telemetry.use_registry() as reg:
+            with pytest.raises(ShardError):
+                ex.run(slow_item, [1.0])
+        assert reg.to_dict()["counters"]["parallel.timeouts"] == 1
+
+
+class TestAbortAndProgress:
+    @pytest.mark.parametrize("backend", ("serial", "thread"))
+    def test_abort_before_start_yields_nothing(self, backend):
+        ex = Executor(backend=backend, max_workers=N_WORKERS)
+        out = ex.run(square, list(range(10)),
+                     should_abort=lambda: True)
+        assert out.aborted
+        assert not out.ok
+
+    def test_serial_abort_mid_run_keeps_partials(self):
+        done = []
+
+        def count(item, seed):
+            done.append(item)
+            return item
+
+        ex = Executor(chunk_size=2)
+        out = ex.run(count, list(range(10)),
+                     should_abort=lambda: len(done) >= 4)
+        assert out.aborted
+        assert 4 <= out.n_completed < 10
+        assert out.results[:4] == [0, 1, 2, 3]
+
+    def test_progress_reports_cumulative_items(self):
+        seen = []
+        ex = Executor(chunk_size=3)
+        ex.run(square, list(range(7)),
+               progress=lambda done, total, idx: seen.append(
+                   (done, total, idx)))
+        assert [s[0] for s in seen] == [3, 6, 7]
+        assert all(s[1] == 7 for s in seen)
+        assert [i for s in seen for i in s[2]] == list(range(7))
+
+    def test_abort_counter(self):
+        ex = Executor()
+        with telemetry.use_registry() as reg:
+            ex.run(square, [1], should_abort=lambda: True)
+        assert reg.to_dict()["counters"]["parallel.aborts"] == 1
+
+
+class TestWorkerTelemetryMerge:
+    def test_process_worker_counters_merge_to_parent(self):
+        ex = Executor(backend="process", max_workers=N_WORKERS,
+                      chunk_size=2)
+        with telemetry.use_registry() as reg:
+            ex.run(counting_work, list(range(9)), seed_root=1)
+        counters = reg.to_dict()["counters"]
+        assert counters["worker.calls"] == 9
+        # Worker span timers pool across processes too.
+        assert reg.to_dict()["timers"]["worker.step"]["count"] == 9
+
+    def test_serial_backend_records_directly(self):
+        with telemetry.use_registry() as reg:
+            Executor().run(counting_work, list(range(4)))
+        assert reg.to_dict()["counters"]["worker.calls"] == 4
+
+    def test_disabled_telemetry_stays_silent(self):
+        telemetry.disable()
+        out = Executor(backend="process", max_workers=N_WORKERS).run(
+            counting_work, list(range(4)))
+        assert out.ok
+
+
+def counting_work(item, seed):
+    tel = telemetry.active()
+    with tel.span("worker.step"):
+        tel.counter("worker.calls").inc()
+    return item

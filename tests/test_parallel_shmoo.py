@@ -1,0 +1,135 @@
+"""Parallel shmoo sweeps: backend equivalence, progress, abort.
+
+The load-bearing property: sharding a shmoo over any executor
+backend produces a bit-identical pass/fail grid and identical
+telemetry counter totals versus the serial walk.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.host.shmoo import ShmooRunner
+from repro.parallel import Executor
+
+N_WORKERS = int(os.environ.get("REPRO_PARALLEL_WORKERS", "2"))
+
+
+def circle_test(x, y):
+    """Deterministic, picklable pass/fail with telemetry."""
+    telemetry.active().counter("cell.tests").inc()
+    return x * x + y * y <= 4.0
+
+
+def parity_test(x, y):
+    return (int(x) + int(y)) % 2 == 0
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", ("serial", "thread", "process"))
+    def test_grid_identical_to_serial(self, backend):
+        xs = list(np.linspace(-2.5, 2.5, 11))
+        ys = list(np.linspace(-2.5, 2.5, 9))
+        serial = ShmooRunner(circle_test).run(xs, ys)
+        ex = Executor(backend=backend, max_workers=N_WORKERS)
+        sharded = ShmooRunner(circle_test).run(xs, ys, executor=ex)
+        assert np.array_equal(serial.passes, sharded.passes)
+        assert not sharded.aborted
+        assert sharded.evaluated_mask.all()
+
+    def test_counter_totals_identical_across_backends(self):
+        xs = list(np.linspace(0, 4, 6))
+        ys = list(np.linspace(0, 4, 5))
+        snapshots = {}
+        for backend in ("serial", "thread", "process"):
+            ex = Executor(backend=backend, max_workers=N_WORKERS)
+            with telemetry.use_registry() as reg:
+                ShmooRunner(circle_test).run(xs, ys, executor=ex,
+                                             n_shards=6)
+            snapshots[backend] = reg.to_dict()["counters"]
+        assert snapshots["serial"] == snapshots["thread"] \
+            == snapshots["process"]
+        assert snapshots["serial"]["cell.tests"] == 30
+        assert snapshots["serial"]["shmoo.cells"] == 30
+
+    @given(nx=st.integers(1, 12), ny=st.integers(1, 10),
+           n_shards=st.integers(1, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_sharded_grid_property(self, nx, ny, n_shards):
+        """Serial and sharded grids are identical for any shape."""
+        xs = list(np.linspace(0, 10, nx))
+        ys = list(np.linspace(0, 10, ny))
+        serial = ShmooRunner(parity_test).run(xs, ys)
+        sharded = ShmooRunner(parity_test).run(
+            xs, ys, executor=Executor(backend="thread", max_workers=3),
+            n_shards=n_shards,
+        )
+        assert np.array_equal(serial.passes, sharded.passes)
+
+
+class TestProgress:
+    def test_serial_progress_per_cell(self):
+        seen = []
+        ShmooRunner(parity_test).run(
+            [0, 1, 2], [0, 1],
+            progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(i, 6) for i in range(1, 7)]
+
+    def test_parallel_progress_reaches_total(self):
+        seen = []
+        ShmooRunner(parity_test).run(
+            [0, 1, 2, 3], [0, 1, 2],
+            executor=Executor(backend="thread", max_workers=2),
+            n_shards=4,
+            progress=lambda done, total: seen.append((done, total)))
+        assert seen[-1] == (12, 12)
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+
+
+class TestAbort:
+    def test_serial_abort_marks_unevaluated(self):
+        calls = {"n": 0}
+
+        def abort():
+            calls["n"] += 1
+            return calls["n"] > 5
+
+        result = ShmooRunner(parity_test).run(
+            [0, 1, 2, 3], [0, 1, 2], should_abort=abort)
+        assert result.aborted
+        assert int(result.evaluated.sum()) == 5
+        # Unevaluated cells read as fails but are distinguishable.
+        assert not result.passes[~result.evaluated].any()
+
+    def test_parallel_abort_yields_partial_grid(self):
+        result = ShmooRunner(parity_test).run(
+            [0, 1, 2, 3], [0, 1, 2],
+            executor=Executor(backend="thread", max_workers=2),
+            should_abort=lambda: True)
+        assert result.aborted
+        assert not result.evaluated_mask.all()
+
+    def test_completed_run_has_no_evaluated_grid(self):
+        result = ShmooRunner(parity_test).run([0, 1], [0, 1])
+        assert result.evaluated is None
+        assert not result.aborted
+        assert result.evaluated_mask.all()
+
+    def test_abort_counts_cells_not_grid_size(self):
+        calls = {"n": 0}
+
+        def abort():
+            calls["n"] += 1
+            return calls["n"] > 3
+
+        with telemetry.use_registry() as reg:
+            ShmooRunner(parity_test).run([0, 1, 2], [0, 1, 2],
+                                         should_abort=abort)
+        counters = reg.to_dict()["counters"]
+        assert counters["shmoo.cells"] == 3
+        assert counters["shmoo.cells_passed"] \
+            + counters["shmoo.cells_failed"] == 3

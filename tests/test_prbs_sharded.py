@@ -1,0 +1,114 @@
+"""Sharded PRBS generation and deterministic seed spawning.
+
+Shards continuing one LFSR stream must reproduce the serial
+bitstream exactly; spawned seeds must be stable in the root and
+independent of worker scheduling.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._rng import spawn_generators, spawn_seed_sequences, spawn_seeds
+from repro.errors import ConfigurationError
+from repro.signal.prbs import (
+    PRBS_POLYNOMIALS, advance_state, prbs_bits, prbs_period,
+    prbs_shard_states,
+)
+
+
+class TestAdvanceState:
+    def test_zero_steps_is_identity(self):
+        assert advance_state(7, 5, 0) == 5
+
+    def test_matches_stepwise_generation(self):
+        state = advance_state(7, 1, 40)
+        serial = prbs_bits(7, 80, seed=1)
+        assert np.array_equal(prbs_bits(7, 40, seed=state), serial[40:])
+
+    def test_full_period_returns_to_seed(self):
+        assert advance_state(7, 3, prbs_period(7)) == 3
+
+    def test_period_reduction_consistent(self):
+        period = prbs_period(7)
+        assert advance_state(7, 9, period + 13) \
+            == advance_state(7, 9, 13)
+
+    @pytest.mark.parametrize("bad", [(-1, 1), (5, 0), (5, 1 << 7)])
+    def test_invalid_arguments_rejected(self, bad):
+        steps, seed = bad
+        with pytest.raises(ConfigurationError):
+            advance_state(7, seed, steps)
+
+
+class TestShardStates:
+    @pytest.mark.parametrize("order", sorted(PRBS_POLYNOMIALS)[:3])
+    def test_shards_tile_serial_stream(self, order):
+        lengths = [37, 1, 64, 23]
+        states = prbs_shard_states(order, 1, lengths)
+        shards = [prbs_bits(order, n, seed=s)
+                  for s, n in zip(states, lengths)]
+        serial = prbs_bits(order, sum(lengths), seed=1)
+        assert np.array_equal(np.concatenate(shards), serial)
+
+    def test_first_state_is_seed(self):
+        assert prbs_shard_states(7, 11, [10, 10])[0] == 11
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            prbs_shard_states(7, 1, [10, -1])
+
+    @given(seed=st.integers(1, 126),
+           lengths=st.lists(st.integers(0, 50), min_size=1,
+                            max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_tiling_property(self, seed, lengths):
+        states = prbs_shard_states(7, seed, lengths)
+        shards = [prbs_bits(7, n, seed=s)
+                  for s, n in zip(states, lengths)]
+        serial = prbs_bits(7, sum(lengths), seed=seed)
+        assert np.array_equal(np.concatenate(shards)
+                              if shards else np.empty(0), serial)
+
+
+class TestSpawnSeeds:
+    def test_deterministic_in_root(self):
+        assert spawn_seeds(8, root=5) == spawn_seeds(8, root=5)
+
+    def test_roots_give_distinct_streams(self):
+        assert spawn_seeds(8, root=5) != spawn_seeds(8, root=6)
+
+    def test_prefix_stable(self):
+        """Seed k does not depend on how many shards follow it."""
+        assert spawn_seeds(8, root=9)[:3] == spawn_seeds(3, root=9)
+
+    def test_seeds_fit_32bit_registers_and_nonzero(self):
+        for s in spawn_seeds(64, root=0):
+            assert 1 <= s < (1 << 32)
+
+    def test_sequence_roots_supported(self):
+        a = spawn_seeds(4, root=[3, 0])
+        b = spawn_seeds(4, root=[3, 1])
+        assert a != b
+        assert a == spawn_seeds(4, root=[3, 0])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spawn_seeds(-1, root=0)
+
+    def test_generators_independent(self):
+        g1, g2 = spawn_generators(2, root=1)
+        a = g1.random(1000)
+        b = g2.random(1000)
+        assert abs(float(np.corrcoef(a, b)[0, 1])) < 0.2
+
+    def test_seed_sequences_spawn_children(self):
+        children = spawn_seed_sequences(3, root=4)
+        assert len(children) == 3
+        assert len({tuple(c.generate_state(2)) for c in children}) == 3
+
+    def test_reexported_from_prbs(self):
+        from repro.signal import prbs
+
+        assert prbs.spawn_seeds(2, root=1) == spawn_seeds(2, root=1)

@@ -1,0 +1,161 @@
+"""Registry merge under concurrent producers and open spans.
+
+The parallel engine leans on three merge properties: it stays safe
+while producer threads keep recording into a source registry, it
+ignores in-flight (open) spans rather than corrupting them, and the
+snapshot/rebuild round trip preserves totals across process
+boundaries.
+"""
+
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.registry import Registry
+
+
+class TestMergeUnderConcurrentProducers:
+    def test_merge_while_threads_hammer_source(self):
+        """Merging must never blow up while producers keep writing
+        (dict-size-changed during iteration is the classic crash)."""
+        source = Registry()
+        stop = threading.Event()
+        errors = []
+
+        def produce(tid):
+            i = 0
+            while not stop.is_set():
+                # New names force dict inserts mid-merge.
+                source.counter(f"prod.{tid}.{i % 503}").inc()
+                i += 1
+
+        def merge_loop():
+            try:
+                for _ in range(300):
+                    Registry().merge(source)
+                    source.merge(Registry())
+            except Exception as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        producers = [threading.Thread(target=produce, args=(t,))
+                     for t in range(4)]
+        merger = threading.Thread(target=merge_loop)
+        for t in producers:
+            t.start()
+        merger.start()
+        merger.join()
+        stop.set()
+        for t in producers:
+            t.join()
+        assert errors == []
+
+    def test_totals_exact_with_quiesced_producers(self):
+        """Per-thread registries merged after join sum exactly."""
+        registries = [Registry() for _ in range(8)]
+
+        def produce(reg, n):
+            for _ in range(n):
+                reg.counter("events").inc()
+                with reg.span("work"):
+                    pass
+
+        threads = [threading.Thread(target=produce,
+                                    args=(reg, 250))
+                   for reg in registries]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        merged = registries[0]
+        for reg in registries[1:]:
+            merged = merged.merge(reg)
+        snap = merged.to_dict()
+        assert snap["counters"]["events"] == 8 * 250
+        assert snap["timers"]["work"]["count"] == 8 * 250
+
+    def test_merge_tree_order_independent(self):
+        regs = []
+        for k in range(4):
+            r = Registry()
+            r.counter("n").inc(k + 1)
+            r.timer("t").observe(0.1 * (k + 1))
+            regs.append(r)
+        left = regs[0].merge(regs[1]).merge(regs[2]).merge(regs[3])
+        right = regs[3].merge(regs[2]).merge(regs[1]).merge(regs[0])
+        assert left.to_dict()["counters"] == right.to_dict()["counters"]
+        assert left.to_dict()["timers"]["t"]["count"] \
+            == right.to_dict()["timers"]["t"]["count"]
+        assert left.to_dict()["timers"]["t"]["total_s"] \
+            == pytest.approx(
+                right.to_dict()["timers"]["t"]["total_s"])
+
+
+class TestMergeWithOpenSpans:
+    def test_open_span_does_not_leak_into_merge(self):
+        a = Registry()
+        b = Registry()
+        b.counter("done").inc()
+        with a.span("outer"):
+            with a.span("inner"):
+                merged = a.merge(b)
+        snap = merged.to_dict()
+        # Neither open span recorded a timer yet at merge time.
+        assert "outer" not in snap["timers"]
+        assert snap["counters"]["done"] == 1
+
+    def test_open_span_survives_merge(self):
+        a = Registry()
+        with a.span("alive") as span:
+            a.merge(Registry())
+            assert a.current_span_path() == "alive"
+            assert span.path == "alive"
+        # Closing after the merge still records normally.
+        assert a.to_dict()["timers"]["alive"]["count"] == 1
+
+    def test_both_sides_mid_span(self):
+        a, b = Registry(), Registry()
+        with a.span("a_work"):
+            with b.span("b_work"):
+                merged = a.merge(b)
+        assert merged.to_dict()["timers"] == {}
+
+    def test_absorb_while_span_open(self):
+        parent = Registry()
+        child = Registry()
+        child.counter("c").inc(5)
+        with parent.span("session"):
+            parent.absorb(child)
+            assert parent.current_span_path() == "session"
+        assert parent.to_dict()["counters"]["c"] == 5
+
+
+class TestSnapshotRoundTrip:
+    def test_from_snapshot_preserves_totals(self):
+        reg = Registry()
+        reg.counter("c").inc(7)
+        reg.gauge("g").set(2.5)
+        with reg.span("s"):
+            pass
+        rebuilt = Registry.from_snapshot(reg.to_dict())
+        assert rebuilt.to_dict() == reg.to_dict()
+
+    def test_absorb_matches_merge(self):
+        a1, a2 = Registry(), Registry()
+        b = Registry()
+        for r in (a1, a2):
+            r.counter("x").inc(2)
+            r.timer("t").observe(0.5)
+        b.counter("x").inc(3)
+        b.timer("t").observe(0.1)
+        merged = a1.merge(b)
+        absorbed = a2.absorb(b)
+        assert absorbed is a2
+        assert merged.to_dict() == absorbed.to_dict()
+
+    def test_null_registry_absorb_discards(self):
+        src = Registry()
+        src.counter("x").inc()
+        out = telemetry.NULL_REGISTRY.absorb(src)
+        assert out is telemetry.NULL_REGISTRY
+        assert out.to_dict()["counters"] == {}
