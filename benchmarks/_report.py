@@ -3,11 +3,79 @@
 Each bench prints a small paper-vs-measured table so the bench run's
 stdout doubles as the reproduction record (collected into
 EXPERIMENTS.md).
+
+Also holds the persisted performance baselines: ``BENCH_<name>.json``
+files beside the benches record a *trajectory* of mean bench times,
+one labelled point per landed optimization, so regressions are judged
+against committed history instead of whatever the previous CI run
+happened to measure. ``tools/bench_compare.py`` reads these through
+:func:`load_trajectory` / :func:`latest_baseline` and appends new
+points with :func:`append_trajectory_point`.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: Trajectory file schema version (bump on incompatible change).
+TRAJECTORY_SCHEMA = 1
+
+
+def trajectory_path(bench: str, directory: Optional[Path] = None) -> Path:
+    """The committed baseline file for bench suite *bench*."""
+    base = directory if directory is not None \
+        else Path(__file__).resolve().parent
+    return base / f"BENCH_{bench}.json"
+
+
+def load_trajectory(path) -> dict:
+    """Load a ``BENCH_*.json`` trajectory document."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != TRAJECTORY_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported trajectory schema "
+            f"{doc.get('schema')!r} (expected {TRAJECTORY_SCHEMA})"
+        )
+    return doc
+
+
+def latest_baseline(path) -> Dict[str, float]:
+    """The most recent trajectory point's ``{bench: mean_seconds}``."""
+    doc = load_trajectory(path)
+    if not doc["trajectory"]:
+        raise ValueError(f"{path}: trajectory is empty")
+    return dict(doc["trajectory"][-1]["results"])
+
+
+def append_trajectory_point(path, label: str,
+                            results: Dict[str, float],
+                            note: str = "") -> dict:
+    """Append one labelled ``{bench: mean_seconds}`` point and save.
+
+    Creates the file if missing. Returns the updated document.
+    """
+    path = Path(path)
+    if path.exists():
+        doc = load_trajectory(path)
+    else:
+        doc = {
+            "schema": TRAJECTORY_SCHEMA,
+            "bench": path.stem.replace("BENCH_", ""),
+            "unit": "seconds (mean per round)",
+            "trajectory": [],
+        }
+    point = {"label": label,
+             "results": {k: float(v) for k, v in sorted(results.items())}}
+    if note:
+        point["note"] = note
+    doc["trajectory"].append(point)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return doc
 
 
 def report(title: str, header: Sequence[str],

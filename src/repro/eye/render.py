@@ -25,12 +25,15 @@ def render_eye_ascii(eye: EyeDiagram, width: int = 64,
     # top row = highest voltage.
     density = hist.T[::-1]
     peak = density.max()
+    ui_ps = eye.unit_interval
+    footer = f"|<-- 1 UI = {ui_ps:.0f} ps -->|".center(width)
     if peak <= 0:
-        return "\n".join(" " * width for _ in range(height))
+        # An empty eye still gets its time-axis footer so the output
+        # frame is the same shape as the populated case.
+        rows = [" " * width for _ in range(height)]
+        return "\n".join(rows) + "\n" + footer
     levels = np.clip(
         (density / peak) ** 0.5 * (len(_SHADES) - 1), 0, len(_SHADES) - 1
     ).astype(int)
     rows = ["".join(_SHADES[v] for v in row) for row in levels]
-    ui_ps = eye.unit_interval
-    footer = f"|<-- 1 UI = {ui_ps:.0f} ps -->|".center(width)
     return "\n".join(rows) + "\n" + footer

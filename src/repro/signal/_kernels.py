@@ -1,0 +1,302 @@
+"""Vectorized hot-path kernels for the signal layer.
+
+The behavioural models in :mod:`repro.signal` stand in for hardware
+paths that sustain multi-gigabit line rates, so their inner loops
+must be array kernels, not interpreted Python. This module holds
+those kernels:
+
+``render_nrz``
+    O(samples + edges * window) NRZ rendering. The per-edge
+    full-tail accumulation of the original implementation (each
+    transition did ``v[i1:] += direction * swing``, making the
+    render quadratic in the edge count) is replaced by a step-level
+    baseline built once from the edge step deltas via
+    ``bincount``/``cumsum``, plus a window-local contribution
+    evaluated through a cached, oversampled edge-profile template.
+
+``edge_template``
+    The template cache. Templates are keyed on
+    ``(shape, t20_80, dt)`` and hold the normalized transition
+    profile sampled on a sub-sample grid; per-edge sub-sample jitter
+    is applied by linear interpolation into the template instead of
+    re-evaluating the analytic profile per edge. Hits and misses are
+    reported through ``nrz.template_cache.{hits,misses}``.
+
+``prbs_bits_blockwise``
+    Blockwise GF(2) PRBS generation. The Fibonacci LFSR output
+    obeys ``out[i] = out[i-n] ^ out[i-m]``; expressing a whole block
+    of outputs as a binary matrix applied to the current state turns
+    bit-at-a-time Python iteration into a handful of small matrix
+    products per 8192 bits.
+
+Equivalence contracts (enforced by tests/test_kernels_equivalence.py):
+the PRBS kernel is bit-exact against the scalar LFSR; the NRZ kernel
+matches the reference loop within ``NRZ_EQUIVALENCE_ATOL`` of the
+swing (template interpolation error; exact for zero rise time).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.signal.edges import EdgeShape, edge_profile
+
+#: Documented absolute equivalence tolerance of the template-based
+#: NRZ render versus direct per-edge profile evaluation, as a
+#: fraction of the swing.
+NRZ_EQUIVALENCE_ATOL = 1e-5
+
+#: Template sub-sampling: at least this many template points per
+#: output sample, scaled up when the transition is fast relative to
+#: the sample spacing so interpolation error stays below the
+#: documented tolerance.
+_MIN_OVERSAMPLE = 64
+_MAX_OVERSAMPLE = 4096
+_TEMPLATE_POINTS_PER_T2080 = 256
+
+_TEMPLATE_CACHE_MAX = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeTemplate:
+    """One cached, oversampled normalized edge profile.
+
+    Attributes
+    ----------
+    shape, t20_80, dt:
+        The cache key: analytic edge shape, 20-80% transition time
+        (ps), and output sample spacing (ps).
+    window:
+        Half-width (ps) of the region around each edge where the
+        profile is evaluated; outside it the edge is saturated.
+    x0:
+        Time (ps, relative to the edge) of the first template point.
+    sub_dt:
+        Template point spacing in ps (``dt / oversample``).
+    values:
+        Profile samples over ``[x0, -x0]``.
+    """
+
+    shape: EdgeShape
+    t20_80: float
+    dt: float
+    window: float
+    x0: float
+    sub_dt: float
+    values: np.ndarray
+
+
+_template_cache: "OrderedDict[Tuple[EdgeShape, float, float], EdgeTemplate]" \
+    = OrderedDict()
+
+
+def edge_window(t20_80: float, dt: float) -> float:
+    """Half-width of the per-edge evaluation window in ps."""
+    return max(4.0 * t20_80, 4.0 * dt)
+
+
+def edge_template(shape: EdgeShape, t20_80: float, dt: float,
+                  tel=None) -> EdgeTemplate:
+    """The cached oversampled template for one edge configuration.
+
+    Templates are immutable and shared; the cache is LRU-bounded at
+    ``_TEMPLATE_CACHE_MAX`` entries. When *tel* (a telemetry
+    registry) is given, lookups tally ``nrz.template_cache.hits`` /
+    ``nrz.template_cache.misses``.
+    """
+    key = (shape, float(t20_80), float(dt))
+    tmpl = _template_cache.get(key)
+    if tmpl is not None:
+        _template_cache.move_to_end(key)
+        if tel is not None:
+            tel.counter("nrz.template_cache.hits").inc()
+        return tmpl
+    if tel is not None:
+        tel.counter("nrz.template_cache.misses").inc()
+
+    window = edge_window(t20_80, dt)
+    if t20_80 > 0.0:
+        oversample = int(min(
+            _MAX_OVERSAMPLE,
+            max(_MIN_OVERSAMPLE,
+                math.ceil(_TEMPLATE_POINTS_PER_T2080 * dt / t20_80)),
+        ))
+    else:
+        oversample = _MIN_OVERSAMPLE
+    sub_dt = dt / oversample
+    half_span = window + 2.0 * dt
+    n_pts = int(math.ceil(2.0 * half_span / sub_dt)) + 2
+    x0 = -half_span
+    xs = x0 + sub_dt * np.arange(n_pts)
+    values = edge_profile(xs, t20_80, shape)
+    tmpl = EdgeTemplate(shape=shape, t20_80=float(t20_80), dt=float(dt),
+                        window=window, x0=x0, sub_dt=sub_dt,
+                        values=values)
+    _template_cache[key] = tmpl
+    while len(_template_cache) > _TEMPLATE_CACHE_MAX:
+        _template_cache.popitem(last=False)
+    return tmpl
+
+
+def clear_template_cache() -> None:
+    """Drop every cached template (tests and memory control)."""
+    _template_cache.clear()
+
+
+def template_cache_size() -> int:
+    """Number of currently cached edge templates."""
+    return len(_template_cache)
+
+
+def render_nrz(n: int, t_start: float, dt: float, base: float,
+               swing: float, times: np.ndarray, directions: np.ndarray,
+               t20_80: float, shape: EdgeShape, tel=None) -> np.ndarray:
+    """Render an NRZ waveform's sample values.
+
+    Parameters
+    ----------
+    n, t_start, dt:
+        Output record: sample count, first-sample time, spacing (ps).
+    base:
+        Level before the first edge (``v_low + swing * bits[0]``).
+    swing:
+        ``v_high - v_low``.
+    times, directions:
+        Edge instants (ps, jitter already applied) and +1/-1 edge
+        directions.
+    t20_80, shape:
+        Transition time and analytic edge shape.
+    tel:
+        Optional telemetry registry for template-cache counters.
+
+    Cost is O(n + edges * window / dt): a step baseline built in one
+    ``bincount``/``cumsum`` pass plus one flat gather/scatter over
+    the concatenated edge windows.
+    """
+    v = np.full(n, base, dtype=np.float64)
+    times = np.asarray(times, dtype=np.float64)
+    if len(times) == 0:
+        return v
+    directions = np.asarray(directions, dtype=np.float64)
+    window = edge_window(t20_80, dt)
+
+    # Window bounds per edge, truncated exactly as the reference
+    # loop's int() casts did, then clipped to the record.
+    i0 = ((times - window - t_start) / dt).astype(np.int64)
+    i1 = ((times + window - t_start) / dt).astype(np.int64) + 2
+    np.clip(i0, 0, n, out=i0)
+    np.clip(i1, i0, n, out=i1)
+
+    # Saturated tails: every edge adds a +/-swing step from the end
+    # of its window onward. bincount + cumsum applies all of them in
+    # one O(n + edges) pass.
+    steps = np.bincount(i1, weights=directions * swing,
+                        minlength=n + 1)[:n]
+    v += np.cumsum(steps)
+
+    # In-window contribution, flattened across edges.
+    lengths = i1 - i0
+    total = int(lengths.sum())
+    if total == 0:
+        return v
+    starts = np.cumsum(lengths) - lengths
+    flat = np.repeat(i0 - starts, lengths) + np.arange(total)
+    tau = (t_start + dt * flat) - np.repeat(times, lengths)
+    if t20_80 == 0.0:
+        profile = (tau >= 0.0).astype(np.float64)
+    elif shape is EdgeShape.LINEAR:
+        # A ramp's slope kinks defeat interpolation accuracy, and the
+        # exact profile is cheaper than a template lookup anyway.
+        profile = np.clip(tau / (t20_80 / 0.6) + 0.5, 0.0, 1.0)
+    else:
+        tmpl = edge_template(shape, t20_80, dt, tel=tel)
+        pos = (tau - tmpl.x0) / tmpl.sub_dt
+        k = pos.astype(np.int64)
+        np.clip(k, 0, len(tmpl.values) - 2, out=k)
+        frac = pos - k
+        lo = tmpl.values[k]
+        profile = lo + frac * (tmpl.values[k + 1] - lo)
+        # The window edges sit in the saturated skirt; the step
+        # baseline already carries the saturated value, so the
+        # in-window term must decay to exactly 0/1 there. Template
+        # interpolation does (the profile is flat), no correction
+        # needed.
+    contrib = np.repeat(directions * swing, lengths) * profile
+    v += np.bincount(flat, weights=contrib, minlength=n)
+    return v
+
+
+# -- blockwise PRBS ---------------------------------------------------------
+
+#: Bits produced per matrix application. Must be >= the LFSR order;
+#: large enough to amortize per-block overhead, small enough that
+#: building the cached matrices (one symbolic pass of this length)
+#: stays cheap.
+PRBS_BLOCK = 8192
+
+_prbs_matrix_cache: Dict[Tuple[int, int, int, int],
+                         Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _prbs_block_matrices(order: int, tap_a: int, tap_b: int,
+                         block: int) -> Tuple[np.ndarray, np.ndarray]:
+    """GF(2) output-projection and state-advance matrices.
+
+    Row ``i`` of the output matrix expresses output bit ``i`` of a
+    block as a parity over the current state bits (LSB-first); the
+    advance matrix maps the state across one whole block. Built once
+    per ``(order, block)`` by running the recurrence
+    ``out[i] = out[i-n] ^ out[i-m]`` symbolically over bitmasks.
+    """
+    n, m = tap_a, tap_b
+    # Ring buffer of the last n symbolic outputs; out[-k] is state
+    # bit k-1, i.e. basis mask 1 << (k - 1).
+    ring = [1 << (n - 1 - j) for j in range(n)]  # ring[j] = out[j - n]
+    masks = []
+    for i in range(block):
+        mask = ring[i % n] ^ ring[(i + (n - m)) % n]
+        masks.append(mask)
+        ring[i % n] = mask
+    mask_arr = np.array(masks, dtype=np.int64)
+    bit_cols = np.arange(n, dtype=np.int64)
+    out_mat = ((mask_arr[:, None] >> bit_cols) & 1).astype(np.float32)
+    state_masks = mask_arr[block - 1 - np.arange(n)]
+    adv_mat = ((state_masks[:, None] >> bit_cols) & 1).astype(np.float32)
+    return out_mat, adv_mat
+
+
+def prbs_bits_blockwise(order: int, length: int, seed: int,
+                        tap_a: int, tap_b: int,
+                        block: int = PRBS_BLOCK) -> np.ndarray:
+    """*length* LFSR output bits, generated a block at a time.
+
+    Bit-exact against the scalar Fibonacci LFSR for every supported
+    polynomial, seed, and length (property-tested). State advances
+    through the same GF(2) algebra, so the result also composes with
+    :func:`repro.signal.prbs.advance_state` shard tiling.
+    """
+    if length == 0:
+        return np.empty(0, dtype=np.uint8)
+    block = max(block, order)
+    key = (order, tap_a, tap_b, block)
+    mats = _prbs_matrix_cache.get(key)
+    if mats is None:
+        mats = _prbs_matrix_cache[key] = _prbs_block_matrices(
+            order, tap_a, tap_b, block)
+    out_mat, adv_mat = mats
+    state = np.array([(seed >> j) & 1 for j in range(order)],
+                     dtype=np.float32)
+    n_blocks = -(-length // block)
+    out = np.empty(n_blocks * block, dtype=np.uint8)
+    for b in range(n_blocks):
+        # float32 matmul is exact here: parities sum at most `order`
+        # ones (< 2**24) before the mod-2 reduction.
+        out[b * block:(b + 1) * block] = \
+            (out_mat @ state).astype(np.int64) & 1
+        state = np.asarray((adv_mat @ state), dtype=np.float32) % 2.0
+    return out[:length]

@@ -13,7 +13,8 @@ import numpy as np
 
 from repro import telemetry
 from repro.errors import ConfigurationError
-from repro.signal.edges import EdgeShape, edge_profile
+from repro.signal import _kernels
+from repro.signal.edges import EdgeShape
 from repro.signal.jitter import JitterModel
 from repro.signal.waveform import Waveform
 from repro._units import unit_interval_ps
@@ -68,7 +69,11 @@ class NRZEncoder:
         """
         bits = np.asarray(bits).astype(np.int8)
         if len(bits) < 2:
-            return (np.empty(0), np.empty(0), np.empty(0, dtype=np.int64))
+            # dtype pinned: downstream jitter models do float math on
+            # these and must never see a default/object dtype.
+            return (np.empty(0, dtype=np.float64),
+                    np.empty(0, dtype=np.float64),
+                    np.empty(0, dtype=np.int64))
         change = np.flatnonzero(np.diff(bits) != 0)
         times = (change + 1).astype(np.float64) * self.unit_interval
         directions = np.where(bits[change + 1] > bits[change], 1.0, -1.0)
@@ -114,7 +119,6 @@ class NRZEncoder:
             t_start = -pad
             t_stop = len(bits) * ui + pad
             n = int(round((t_stop - t_start) / self.dt)) + 1
-            t = t_start + self.dt * np.arange(n)
 
             times, directions, history = \
                 self.edge_times_and_directions(bits)
@@ -123,24 +127,12 @@ class NRZEncoder:
                                                history, rng)
 
             swing = self.v_high - self.v_low
-            v = np.full(n, self.v_low + swing * float(bits[0]),
-                        dtype=np.float64)
-            if len(times):
-                # Each transition contributes +/-swing times a
-                # normalized 0->1 edge profile. Restrict evaluation
-                # to a window around the edge for speed; outside it
-                # the profile is saturated at 0 or 1.
-                window = max(4.0 * self.t20_80, 4.0 * self.dt)
-                for t_edge, direction in zip(times, directions):
-                    i0 = max(0, int((t_edge - window - t_start)
-                                    / self.dt))
-                    i1 = min(n, int((t_edge + window - t_start)
-                                    / self.dt) + 2)
-                    local = edge_profile(t[i0:i1] - t_edge, self.t20_80,
-                                         self.shape)
-                    v[i0:i1] += direction * swing * local
-                    # After the window the edge has fully switched.
-                    v[i1:] += direction * swing
+            v = _kernels.render_nrz(
+                n, t_start, self.dt,
+                base=self.v_low + swing * float(bits[0]),
+                swing=swing, times=times, directions=directions,
+                t20_80=self.t20_80, shape=self.shape, tel=tel,
+            )
             tel.counter("nrz.encodes").inc()
             tel.counter("nrz.bits").inc(len(bits))
             tel.counter("nrz.edges").inc(len(times))

@@ -28,8 +28,28 @@ PRBS_POLYNOMIALS: Dict[int, Tuple[int, int]] = {
 }
 
 
+def _check_prbs_args(order: int, length: int, seed: int) -> None:
+    if order not in PRBS_POLYNOMIALS:
+        raise ConfigurationError(
+            f"unsupported PRBS order {order}; choose from "
+            f"{sorted(PRBS_POLYNOMIALS)}"
+        )
+    if length < 0:
+        raise ConfigurationError(f"length must be >= 0, got {length}")
+    if seed <= 0 or seed >= (1 << order):
+        raise ConfigurationError(
+            f"seed must be in [1, 2^{order}-1], got {seed}"
+        )
+
+
 def prbs_bits(order: int, length: int, seed: int = 1) -> np.ndarray:
     """Generate *length* bits of a PRBS-*order* sequence.
+
+    Generation is blockwise over GF(2) (see
+    :func:`repro.signal._kernels.prbs_bits_blockwise`) and bit-exact
+    against the scalar LFSR (:func:`prbs_bits_scalar`), including
+    the :func:`advance_state` / :func:`prbs_shard_states` tiling
+    contract used by sharded runs.
 
     Parameters
     ----------
@@ -45,17 +65,21 @@ def prbs_bits(order: int, length: int, seed: int = 1) -> np.ndarray:
     numpy.ndarray
         Array of 0/1 ``uint8`` values.
     """
-    if order not in PRBS_POLYNOMIALS:
-        raise ConfigurationError(
-            f"unsupported PRBS order {order}; choose from "
-            f"{sorted(PRBS_POLYNOMIALS)}"
-        )
-    if length < 0:
-        raise ConfigurationError(f"length must be >= 0, got {length}")
-    if seed <= 0 or seed >= (1 << order):
-        raise ConfigurationError(
-            f"seed must be in [1, 2^{order}-1], got {seed}"
-        )
+    _check_prbs_args(order, length, seed)
+    from repro.signal import _kernels
+
+    tap_a, tap_b = PRBS_POLYNOMIALS[order]
+    return _kernels.prbs_bits_blockwise(order, length, seed,
+                                        tap_a, tap_b)
+
+
+def prbs_bits_scalar(order: int, length: int, seed: int = 1) -> np.ndarray:
+    """Bit-at-a-time reference LFSR (the pre-vectorization kernel).
+
+    Kept as the golden reference the blockwise generator is
+    validated against; prefer :func:`prbs_bits` everywhere else.
+    """
+    _check_prbs_args(order, length, seed)
     tap_a, tap_b = PRBS_POLYNOMIALS[order]
     state = seed
     out = np.empty(length, dtype=np.uint8)

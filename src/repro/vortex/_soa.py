@@ -1,0 +1,122 @@
+"""Struct-of-arrays link tables for the Data Vortex fabric.
+
+The cycle-accurate fabric used to route by scanning a dict of
+``RoutingNode`` objects and re-deriving every link target through
+:class:`NodeAddress` construction and hashing — per node, per
+cylinder, per cycle. This module flattens the topology once into
+dense arrays indexed by flat node id::
+
+    idx = (cylinder * n_angles + angle) * n_heights + height
+
+so a step can discover occupancy with one ``flatnonzero`` and make
+routing decisions with integer array math. Tables are immutable and
+cached per ``(n_angles, n_heights)``; every fabric instance of the
+same geometry shares them.
+
+Both stepping paths of :class:`repro.vortex.fabric.DataVortexFabric`
+read these tables: the vectorized path through the numpy arrays, the
+low-occupancy scalar path through plain-list mirrors (Python-int
+indexing without numpy scalar boxing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.vortex.topology import NodeAddress, VortexTopology
+
+
+class TopologyArrays:
+    """Flattened link structure of one fabric geometry.
+
+    Attributes
+    ----------
+    heights:
+        Height of each flat node id.
+    cross_next:
+        Flat id of the same-cylinder (crossing) link target.
+    desc_next:
+        Flat id of the ingression link target; -1 on the innermost
+        cylinder.
+    bitmask:
+        The routing bit resolved by the node's cylinder as a height
+        mask (0 once all bits are resolved) — a packet at the node
+        wants descent iff ``(height ^ destination) & bitmask == 0``.
+    cyl_starts:
+        Flat id of each cylinder's first node, plus the total node
+        count as a sentinel (length ``n_cylinders + 1``).
+    """
+
+    def __init__(self, topology: VortexTopology):
+        self.n_angles = topology.n_angles
+        self.n_heights = topology.n_heights
+        self.n_cylinders = topology.n_cylinders
+        self.height_bits = topology.height_bits
+        self.n_nodes = topology.n_nodes
+
+        A, H, C = self.n_angles, self.n_heights, self.n_cylinders
+        idx = np.arange(self.n_nodes, dtype=np.int64)
+        cyl = idx // (A * H)
+        angle = (idx // H) % A
+        height = idx % H
+
+        # Routing bit mask per cylinder (MSB first); 0 for cylinders
+        # past the height bits (including the innermost).
+        cyl_mask = np.where(
+            cyl < self.height_bits,
+            np.left_shift(1, np.maximum(self.height_bits - 1 - cyl, 0)),
+            0,
+        ).astype(np.int64)
+
+        next_angle = (angle + 1) % A
+        cross_height = height ^ cyl_mask  # innermost mask 0: unchanged
+        self.cross_next = ((cyl * A + next_angle) * H
+                           + cross_height).astype(np.int64)
+        self.desc_next = np.where(
+            cyl < C - 1,
+            ((cyl + 1) * A + next_angle) * H + height,
+            -1,
+        ).astype(np.int64)
+        self.heights = height.astype(np.int64)
+        self.bitmask = cyl_mask
+        self.cyl_starts = (np.arange(C + 1, dtype=np.int64) * A * H)
+
+        # Plain-int mirrors for the scalar fast path.
+        self.heights_list: List[int] = self.heights.tolist()
+        self.cross_list: List[int] = self.cross_next.tolist()
+        self.desc_list: List[int] = self.desc_next.tolist()
+        self.bitmask_list: List[int] = self.bitmask.tolist()
+        self.cyl_starts_list: List[int] = self.cyl_starts.tolist()
+        self.inner_start: int = int(self.cyl_starts[C - 1])
+
+        self._addresses: List[NodeAddress] = []
+
+    def index(self, addr: NodeAddress) -> int:
+        """Flat node id of *addr*."""
+        return ((addr.cylinder * self.n_angles + addr.angle)
+                * self.n_heights + addr.height)
+
+    def addresses(self) -> List[NodeAddress]:
+        """Flat-id-ordered node addresses (built lazily, cached)."""
+        if not self._addresses:
+            self._addresses = [
+                NodeAddress(c, a, h)
+                for c in range(self.n_cylinders)
+                for a in range(self.n_angles)
+                for h in range(self.n_heights)
+            ]
+        return self._addresses
+
+
+_CACHE: Dict[Tuple[int, int], TopologyArrays] = {}
+
+
+def topology_arrays(topology: VortexTopology) -> TopologyArrays:
+    """The shared :class:`TopologyArrays` for *topology*'s geometry."""
+    key = (topology.n_angles, topology.n_heights)
+    arrays = _CACHE.get(key)
+    if arrays is None:
+        arrays = _CACHE[key] = TopologyArrays(topology)
+    return arrays

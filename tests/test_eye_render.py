@@ -43,3 +43,16 @@ class TestRender:
                          np.array([0.0]), 0.5)
         text = render_eye_ascii(eye, width=8, height=4)
         assert text is not None
+
+    def test_zero_density_keeps_footer(self):
+        """A zero-density eye renders the same frame shape as a
+        populated one: blank rows plus the 1 UI footer."""
+        # A phase outside [0, UI) lands in no histogram bin, so the
+        # density grid is all zeros.
+        eye = EyeDiagram(np.array([500.0]), np.array([0.0]), 400.0,
+                         np.array([0.0]), 0.5)
+        text = render_eye_ascii(eye, width=24, height=4)
+        lines = text.splitlines()
+        assert len(lines) == 5  # rows + footer
+        assert all(line == " " * 24 for line in lines[:4])
+        assert "1 UI = 400 ps" in lines[4]

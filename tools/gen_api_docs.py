@@ -73,6 +73,63 @@ paths (`session.bring_up/session.qualify`). Registries merge
 associatively (`a.merge(b)`) for aggregating parallel runs.
 """
 
+PERFORMANCE = """\
+## Performance & Kernel Contracts
+
+The hot simulation kernels are vectorized array code behind
+`repro.signal._kernels` and `repro.vortex._soa`; the public models
+(`NRZEncoder`, `prbs_bits`, `DataVortexFabric`, the bathtub curves)
+keep their APIs and delegate. Each kernel carries an explicit
+equivalence contract against its scalar reference, enforced by
+`tests/test_kernels_equivalence.py`:
+
+- **NRZ rendering** (`_kernels.render_nrz`): O(samples +
+  edges x window) — a step baseline built via `bincount`/`cumsum`
+  plus window-local edge contributions. Edge profiles come from an
+  LRU template cache keyed `(shape, t20_80, dt)`, oversampled so
+  linear interpolation of per-edge sub-sample jitter stays within
+  `_kernels.NRZ_EQUIVALENCE_ATOL` (1e-5 of the swing) of direct
+  per-edge profile evaluation; zero rise time is bit-exact, and
+  `EdgeShape.LINEAR` bypasses the template for the exact ramp.
+  Cache traffic is observable as `nrz.template_cache.{hits,misses}`.
+- **PRBS generation** (`_kernels.prbs_bits_blockwise`): blockwise
+  GF(2) matrix products (8192 bits per application), *bit-exact*
+  against the scalar Fibonacci LFSR (kept public as
+  `prbs_bits_scalar`) and composable with `advance_state` /
+  `prbs_shard_states` stream tiling.
+- **Vortex fabric stepping**: struct-of-arrays node state with an
+  adaptive step — a scalar pass over occupied slots below
+  `DataVortexFabric.vector_threshold` resident packets, vectorized
+  per-cylinder array routing above it (counted by
+  `vortex.vectorized_steps`). Both paths produce identical
+  decisions, packet journeys, delivery order, and statistics as the
+  original dict-of-nodes scan; `fabric.nodes` remains a live
+  per-node view over the arrays.
+- **Bathtub curves**: vectorized erfc within
+  `BATHTUB_EQUIVALENCE_RTOL` (1e-12, absolute floor 1e-30 for the
+  denormal deep tail); `empirical_bathtub` is bit-exact via sorted
+  `searchsorted` counting.
+
+Bench history lives in committed `benchmarks/BENCH_<suite>.json`
+trajectory files (schema in `benchmarks/_report.py`): each point is
+a labelled `{bench: mean_seconds}` snapshot appended when an
+intentional performance change lands. CI's `perf-smoke` job runs
+`benchmarks/test_bench_simulation_speed.py` with
+`--benchmark-json` and gates the result with
+`tools/bench_compare.py`, which fails on any mean more than 30%
+above the latest committed point. To read a trajectory: each
+entry's `label`/`note` say what landed; successive `results` ratios
+are the speedups. To extend it after an optimization:
+
+```
+python -m pytest benchmarks/test_bench_simulation_speed.py \\
+    --benchmark-json=bench.json
+python tools/bench_compare.py bench.json \\
+    --baseline benchmarks/BENCH_simulation_speed.json \\
+    --record --label "what changed"
+```
+"""
+
 PARALLEL = """\
 ## Scaling & Parallel Execution
 
@@ -122,6 +179,7 @@ def main() -> int:
         "public class/function, from the first docstring line.",
         "",
         OBSERVABILITY,
+        PERFORMANCE,
         PARALLEL,
     ]
     modules = [repro]
