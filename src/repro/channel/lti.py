@@ -55,13 +55,47 @@ class LTIChannel:
         """Linear amplitude gain (< 1 for loss)."""
         return 10.0 ** (-self.attenuation_db / 20.0)
 
-    def apply(self, waveform: Waveform) -> Waveform:
+    def cache_key(self) -> str:
+        """Canonical digest of this channel's response-determining
+        config (class, bandwidth, loss, delay, order) for
+        ``repro.cache`` keys."""
+        from repro.cache.keys import canonical_digest
+
+        return canonical_digest(
+            type(self).__name__, self.bandwidth_ghz,
+            self.attenuation_db, self.delay_ps, self.order,
+        )
+
+    def apply(self, waveform: Waveform, cache=None) -> Waveform:
         """Propagate *waveform* through the channel.
 
         The DC component passes at the channel gain; the filter acts
         on the AC content (a data channel is AC-coupled around its
         running midpoint).
+
+        Parameters
+        ----------
+        cache:
+            Optional injected :class:`repro.cache.ArtifactCache`;
+            defaults to the module-level active one. Convolutions
+            are memoized keyed ``(channel config, input waveform
+            token)`` — the input token is its producing stage's
+            provenance when attached, else a content digest.
         """
+        from repro import cache as _cache
+
+        store = _cache.resolve(cache)
+        if store.enabled:
+            key = _cache.canonical_digest(
+                "lti.apply", self.cache_key(), waveform.cache_token(),
+            )
+            out = store.get_or_compute(
+                key, lambda: self._apply_impl(waveform)
+            )
+            return out.set_cache_token(key)
+        return self._apply_impl(waveform)
+
+    def _apply_impl(self, waveform: Waveform) -> Waveform:
         dt_s = waveform.dt * 1e-12
         f_nyquist = 0.5 / dt_s
         f_cut = self.bandwidth_ghz * 1e9

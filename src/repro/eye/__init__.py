@@ -5,6 +5,7 @@ evaluation: eye diagrams (Figures 7, 8, 16, 17, 19), peak-to-peak
 crossover jitter, and eye opening in unit intervals.
 """
 
+from repro.eye.accumulator import EyeAccumulator
 from repro.eye.diagram import EyeDiagram
 from repro.eye.metrics import EyeMetrics, measure_eye
 from repro.eye.bathtub import bathtub_curve, empirical_bathtub
@@ -13,6 +14,7 @@ from repro.eye.decompose import JitterDecomposition, decompose_jitter
 from repro.eye.mask import EyeMask, MaskResult, margin_to_mask, mask_test
 
 __all__ = [
+    "EyeAccumulator",
     "EyeDiagram",
     "EyeMetrics",
     "measure_eye",

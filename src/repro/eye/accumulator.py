@@ -1,0 +1,256 @@
+"""Streaming eye accumulation with O(grid) memory.
+
+:class:`~repro.eye.diagram.EyeDiagram` keeps every folded sample —
+fine for bench records, hopeless for BER-length streams (1e12 bits
+of samples do not fit anywhere). :class:`EyeAccumulator` folds a
+record chunk-by-chunk into a fixed time x voltage density grid plus
+streamed crossing statistics, so memory is bounded by the grid no
+matter how long the stream runs — exactly how a sampling scope's
+color-graded persistence display works.
+
+Equivalence contract
+--------------------
+For the same record, ``EyeAccumulator`` fed any chunking produces a
+density grid **identical** to ``EyeDiagram.histogram2d`` over the
+same voltage range (binning is additive over chunks and both sides
+share :mod:`repro.eye._binning`). Metrics are the binned versions of
+:func:`repro.eye.metrics.measure_eye`: the crossover circular mean
+is exact (streamed sine/cosine sums), while jitter and vertical
+statistics are computed from histograms and therefore quantized —
+jitter to ``ui / n_phase_bins`` and voltages to
+``(v_range span) / n_volt_bins``. Widen the grids to tighten the
+bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import ConfigurationError, MeasurementError
+from repro.eye.metrics import EyeMetrics
+from repro.signal.analysis import threshold_crossings
+from repro.signal.waveform import Waveform
+from repro._units import unit_interval_ps
+
+
+class EyeAccumulator:
+    """Fold waveform chunks into a fixed-size eye density grid.
+
+    Parameters
+    ----------
+    rate_gbps:
+        Data rate; the fold period is ``1000/rate`` ps.
+    v_range:
+        Fixed ``(low, high)`` voltage axis of the density grid.
+        Samples outside it are dropped from the grid (never from
+        crossing statistics).
+    threshold:
+        Crossing threshold voltage. Must be fixed up front — a
+        streaming fold cannot wait for the record midpoint.
+    n_time_bins, n_volt_bins:
+        Density grid resolution.
+    n_phase_bins:
+        Crossing-phase histogram resolution (sets the jitter
+        quantization, ``ui / n_phase_bins``).
+    t_first_bit:
+        Time at which bit cell 0 starts.
+    registry:
+        Optional injected telemetry registry.
+    """
+
+    def __init__(self, rate_gbps: float, v_range: Tuple[float, float],
+                 threshold: float, n_time_bins: int = 64,
+                 n_volt_bins: int = 64, n_phase_bins: int = 256,
+                 t_first_bit: float = 0.0, registry=None):
+        if v_range[1] <= v_range[0]:
+            raise ConfigurationError(
+                f"v_range must be increasing, got {v_range}"
+            )
+        if min(n_time_bins, n_volt_bins, n_phase_bins) < 2:
+            raise ConfigurationError("all bin counts must be >= 2")
+        self.unit_interval = unit_interval_ps(rate_gbps)
+        self.v_range = (float(v_range[0]), float(v_range[1]))
+        self.threshold = float(threshold)
+        self.t_first_bit = float(t_first_bit)
+        self.telemetry = registry
+        ui = self.unit_interval
+        self.t_edges = np.linspace(0.0, ui, n_time_bins + 1,
+                                   dtype=np.float64)
+        self.v_edges = np.linspace(self.v_range[0], self.v_range[1],
+                                   n_volt_bins + 1, dtype=np.float64)
+        #: int64 density grid, shape (n_time_bins, n_volt_bins).
+        self.grid = np.zeros((n_time_bins, n_volt_bins),
+                             dtype=np.int64)
+        self.n_phase_bins = int(n_phase_bins)
+        self.phase_hist = np.zeros(self.n_phase_bins, dtype=np.int64)
+        self.n_samples = 0
+        self.n_crossings = 0
+        self._sum_sin = 0.0
+        self._sum_cos = 0.0
+        # Boundary carry: last sample of the previous chunk, so a
+        # crossing straddling two chunks is still detected.
+        self._carry_v: Optional[float] = None
+        self._carry_t = 0.0
+        self._t_next: Optional[float] = None
+        self._dt: Optional[float] = None
+
+    def update(self, chunk: Waveform) -> "EyeAccumulator":
+        """Fold one contiguous *chunk* of the record; returns self.
+
+        Chunks must arrive in order and butt together on one sample
+        grid (each chunk's ``t0`` one sample after the previous
+        chunk's last), mirroring a scope streaming one long
+        acquisition.
+        """
+        from repro.eye._binning import fold_phases
+
+        if len(chunk) == 0:
+            return self
+        if self._dt is None:
+            self._dt = chunk.dt
+        elif abs(chunk.dt - self._dt) > 1e-12:
+            raise MeasurementError(
+                f"chunk dt {chunk.dt} differs from stream dt {self._dt}"
+            )
+        if self._t_next is not None \
+                and abs(chunk.t0 - self._t_next) > 1e-9 * self._dt:
+            raise MeasurementError(
+                f"chunk t0 {chunk.t0} does not continue the stream "
+                f"(expected {self._t_next})"
+            )
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("eye.accumulate"):
+            ui = self.unit_interval
+            values = chunk.values
+            n = len(values)
+            phases = fold_phases(chunk.t0 - self.t_first_bit,
+                                 self._dt, n, ui)
+            hist, _, _ = np.histogram2d(
+                phases, values, bins=(self.t_edges, self.v_edges),
+            )
+            self.grid += hist.astype(np.int64)
+            self.n_samples += n
+
+            # Crossings, including one straddling the chunk seam.
+            if self._carry_v is not None:
+                seam = Waveform(
+                    np.concatenate(([self._carry_v], values)),
+                    dt=self._dt, t0=self._carry_t,
+                )
+            else:
+                seam = Waveform(values, dt=self._dt, t0=chunk.t0)
+            times = threshold_crossings(seam, self.threshold) \
+                - self.t_first_bit
+            if len(times):
+                cp = np.mod(times, ui)
+                angles = 2.0 * np.pi * cp / ui
+                self._sum_sin += float(np.sin(angles).sum())
+                self._sum_cos += float(np.cos(angles).sum())
+                bins = np.minimum(
+                    (cp / ui * self.n_phase_bins).astype(np.int64),
+                    self.n_phase_bins - 1,
+                )
+                self.phase_hist += np.bincount(
+                    bins, minlength=self.n_phase_bins
+                ).astype(np.int64)
+                self.n_crossings += len(times)
+            self._carry_v = float(values[-1])
+            self._carry_t = chunk.t0 + (n - 1) * self._dt
+            self._t_next = chunk.t0 + n * self._dt
+            tel.counter("eye.samples_folded").inc(n)
+            tel.counter("eye.crossings").inc(len(times))
+        return self
+
+    # -- readouts -----------------------------------------------------------
+
+    def density(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(hist, t_edges, v_edges)``, the ``histogram2d`` shape.
+
+        The grid is returned as ``float64`` so it is interchangeable
+        with :meth:`EyeDiagram.histogram2d` output.
+        """
+        return (self.grid.astype(np.float64), self.t_edges.copy(),
+                self.v_edges.copy())
+
+    def crossover_phase(self) -> float:
+        """Mean crossover position in ps within [0, UI) — exact.
+
+        The circular mean comes from streamed sine/cosine sums, so
+        it matches :meth:`EyeDiagram.crossover_phase` to float
+        round-off, not to a bin.
+        """
+        if self.n_crossings == 0:
+            raise MeasurementError("eye has no threshold crossings")
+        mean_angle = np.arctan2(self._sum_sin / self.n_crossings,
+                                self._sum_cos / self.n_crossings)
+        ui = self.unit_interval
+        return float(np.mod((mean_angle / (2.0 * np.pi)) * ui, ui))
+
+    def metrics(self, center_window_frac: float = 0.1) -> EyeMetrics:
+        """Binned :class:`EyeMetrics` for the stream so far.
+
+        Jitter statistics come from the crossing-phase histogram
+        (quantized to ``ui / n_phase_bins``); vertical statistics
+        from the density grid columns nearest the eye center
+        (quantized to one voltage bin). See the module docstring for
+        the equivalence bounds.
+        """
+        if self.n_crossings < 2:
+            raise MeasurementError(
+                "eye diagram needs at least two crossings to measure "
+                "jitter"
+            )
+        ui = self.unit_interval
+        mean_phase = self.crossover_phase()
+        occupied = np.flatnonzero(self.phase_hist)
+        centers = (occupied + 0.5) * (ui / self.n_phase_bins)
+        dev = np.mod(centers - mean_phase + ui / 2.0, ui) - ui / 2.0
+        weights = self.phase_hist[occupied]
+        jitter_pp = float(dev.max() - dev.min())
+        mean_dev = float(np.average(dev, weights=weights))
+        jitter_rms = float(np.sqrt(
+            np.average((dev - mean_dev) ** 2, weights=weights)
+        ))
+        eye_width = max(0.0, ui - jitter_pp)
+
+        # Vertical statistics from grid columns near eye center.
+        center = np.mod(mean_phase + ui / 2.0, ui)
+        half_window = 0.5 * center_window_frac * ui
+        t_centers = 0.5 * (self.t_edges[:-1] + self.t_edges[1:])
+        d = np.mod(t_centers - center + ui / 2.0, ui) - ui / 2.0
+        counts = self.grid[np.abs(d) <= half_window].sum(axis=0)
+        if counts.sum() < 4:
+            raise MeasurementError("too few samples at eye center")
+        v_centers = 0.5 * (self.v_edges[:-1] + self.v_edges[1:])
+        hi_mask = (v_centers > self.threshold) & (counts > 0)
+        lo_mask = (v_centers <= self.threshold) & (counts > 0)
+        if not hi_mask.any() or not lo_mask.any():
+            raise MeasurementError(
+                "eye is closed at center (one level only)"
+            )
+        v_high = float(np.average(v_centers[hi_mask],
+                                  weights=counts[hi_mask]))
+        v_low = float(np.average(v_centers[lo_mask],
+                                 weights=counts[lo_mask]))
+        eye_height = max(0.0, float(v_centers[hi_mask].min()
+                                    - v_centers[lo_mask].max()))
+        return EyeMetrics(
+            unit_interval=ui,
+            jitter_pp=jitter_pp,
+            jitter_rms=jitter_rms,
+            eye_opening_ui=eye_width / ui,
+            eye_width=eye_width,
+            eye_height=eye_height,
+            v_high=v_high,
+            v_low=v_low,
+            amplitude=v_high - v_low,
+            n_crossings=self.n_crossings,
+        )
+
+    def __repr__(self) -> str:
+        return (f"EyeAccumulator(ui={self.unit_interval} ps, "
+                f"grid={self.grid.shape}, samples={self.n_samples}, "
+                f"crossings={self.n_crossings})")

@@ -53,8 +53,14 @@ class EyeDiagram:
                       threshold: Optional[float] = None,
                       t_first_bit: float = 0.0,
                       discard_ui: int = 1,
-                      registry=None) -> "EyeDiagram":
+                      registry=None, cache=None) -> "EyeDiagram":
         """Fold *waveform* into an eye at *rate_gbps*.
+
+        The fold is allocation-lean: the analysis window is a no-copy
+        view of the record and sample phases come from
+        :func:`repro.eye._binning.fold_phases` (tiled, not an O(n)
+        ``mod``, whenever the UI is commensurate with the sample
+        grid).
 
         Parameters
         ----------
@@ -67,7 +73,37 @@ class EyeDiagram:
             start-up and shut-down edges).
         registry:
             Optional injected telemetry registry.
+        cache:
+            Optional injected :class:`repro.cache.ArtifactCache`;
+            defaults to the module-level active one. Folds are
+            memoized keyed ``(waveform token, rate, threshold,
+            origin, discard)``; hits return the stored diagram
+            itself, which — like every :class:`EyeDiagram` — must be
+            treated as immutable.
         """
+        from repro import cache as _cache
+
+        store = _cache.resolve(cache)
+        if store.enabled:
+            key = _cache.canonical_digest(
+                "eye.fold", waveform.cache_token(), float(rate_gbps),
+                threshold, float(t_first_bit), int(discard_ui),
+            )
+            return store.get_or_compute(
+                key,
+                lambda: cls._fold_impl(waveform, rate_gbps, threshold,
+                                       t_first_bit, discard_ui,
+                                       registry),
+            )
+        return cls._fold_impl(waveform, rate_gbps, threshold,
+                              t_first_bit, discard_ui, registry)
+
+    @classmethod
+    def _fold_impl(cls, waveform: Waveform, rate_gbps: float,
+                   threshold: Optional[float], t_first_bit: float,
+                   discard_ui: int, registry) -> "EyeDiagram":
+        from repro.eye._binning import fold_phases
+
         tel = telemetry.resolve(registry)
         with tel.span("eye.fold"):
             ui = unit_interval_ps(rate_gbps)
@@ -79,17 +115,27 @@ class EyeDiagram:
                 raise MeasurementError(
                     "record too short for an eye diagram at this rate"
                 )
-            window = waveform.slice_time(t_lo, t_hi)
-            t = window.times() - t_first_bit
-            phases = np.mod(t, ui)
+            # Same index arithmetic as Waveform.slice_time, but on a
+            # read-only view — no megasample copy.
+            dt = waveform.dt
+            i0 = max(0, int(np.ceil((t_lo - waveform.t0) / dt)))
+            i1 = min(len(waveform) - 1,
+                     int(np.floor((t_hi - waveform.t0) / dt)))
+            if i1 < i0:
+                raise MeasurementError(
+                    "record too short for an eye diagram at this rate"
+                )
+            values = waveform.values[i0:i1 + 1]
+            t0w = waveform.t0 + i0 * dt
+            phases = fold_phases(t0w - t_first_bit, dt, len(values), ui)
+            window = Waveform(values, dt=dt, t0=t0w)  # view, no copy
             crossings = threshold_crossings(window, threshold) \
                 - t_first_bit
             crossing_phases = np.mod(crossings, ui)
             tel.counter("eye.folds").inc()
             tel.counter("eye.samples_folded").inc(len(phases))
             tel.counter("eye.crossings").inc(len(crossing_phases))
-            return cls(phases, window.values.copy(), ui, crossing_phases,
-                       threshold)
+            return cls(phases, values, ui, crossing_phases, threshold)
 
     @property
     def n_samples(self) -> int:
@@ -142,11 +188,15 @@ class EyeDiagram:
     def histogram2d(self, n_time_bins: int = 64,
                     n_volt_bins: int = 64) -> Tuple[np.ndarray, np.ndarray,
                                                     np.ndarray]:
-        """2-D density (time x voltage), like a scope's color-graded eye."""
-        h, tx, vx = np.histogram2d(
-            self.phases, self.voltages,
-            bins=(n_time_bins, n_volt_bins),
-            range=((0.0, self.unit_interval),
-                   (float(self.voltages.min()), float(self.voltages.max()))),
-        )
-        return h, tx, vx
+        """2-D density (time x voltage), like a scope's color-graded eye.
+
+        Delegates to :func:`repro.eye._binning.density_grid` — the
+        binning convention shared with ``render_eye_ascii`` and the
+        streaming accumulator, including pinned ``float64`` outputs
+        for an empty eye.
+        """
+        from repro.eye._binning import density_grid
+
+        return density_grid(self.phases, self.voltages,
+                            self.unit_interval, n_time_bins,
+                            n_volt_bins)

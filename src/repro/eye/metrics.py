@@ -65,8 +65,13 @@ class EyeMetrics:
         )
 
 
-def measure_eye(eye: EyeDiagram, center_window_frac: float = 0.1) -> EyeMetrics:
-    """Measure an :class:`EyeDiagram`.
+def measure_eye(eye, center_window_frac: float = 0.1) -> EyeMetrics:
+    """Measure an :class:`EyeDiagram` (or a streaming accumulator).
+
+    An :class:`~repro.eye.accumulator.EyeAccumulator` is dispatched
+    to its own :meth:`~repro.eye.accumulator.EyeAccumulator.metrics`
+    (binned statistics, documented bounds); an :class:`EyeDiagram`
+    takes the exact per-sample path below.
 
     Parameters
     ----------
@@ -74,6 +79,8 @@ def measure_eye(eye: EyeDiagram, center_window_frac: float = 0.1) -> EyeMetrics:
         Width (fraction of UI) of the window at eye center used for
         vertical measurements.
     """
+    if not isinstance(eye, EyeDiagram) and hasattr(eye, "metrics"):
+        return eye.metrics(center_window_frac=center_window_frac)
     if eye.n_crossings < 2:
         raise MeasurementError(
             "eye diagram needs at least two crossings to measure jitter"

@@ -8,9 +8,10 @@ cuts of exactly this.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import functools
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,13 +21,35 @@ from repro.parallel import Executor, ShardPlan
 
 
 def _evaluate_shard(test: Callable[[float, float], bool],
-                    shard, seed) -> List[bool]:
+                    shard, seed, cache=None) -> List[bool]:
     """One shard's cells through the pass/fail callable.
 
     Module-level (not a method) so the process backend can pickle
-    it via :func:`functools.partial`.
+    it via :func:`functools.partial`. A *cache* rides along the same
+    way: process workers receive the pickled clone (pointing at the
+    shared ``disk_path`` when one is set) and activate it for the
+    shard's cells.
     """
+    if cache is not None:
+        from repro import cache as artifact_cache
+
+        with artifact_cache.use_cache(cache):
+            return [bool(test(x, y))
+                    for (_yi, _xi, x, y) in shard.items]
     return [bool(test(x, y)) for (_yi, _xi, x, y) in shard.items]
+
+
+def _evaluate_cell(test: Callable[[float, float], bool],
+                   item: Tuple[int, int, float, float],
+                   seed, cache=None) -> bool:
+    """One adaptive-refinement cell; module-level for pickling."""
+    _yi, _xi, x, y = item
+    if cache is not None:
+        from repro import cache as artifact_cache
+
+        with artifact_cache.use_cache(cache):
+            return bool(test(x, y))
+    return bool(test(x, y))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,9 +66,15 @@ class ShmooResult:
     x_name, y_name:
         Axis labels.
     evaluated:
-        Boolean grid of cells actually tested; None means all (a
-        sweep that ran to completion). Unevaluated cells read as
-        fails in :attr:`passes`.
+        Boolean grid of cells actually tested — always a mask, never
+        None (constructing with None normalizes to all-True for
+        callers that predate adaptive sweeps). An exhaustive sweep
+        evaluates everything; an adaptive one leaves inferred cells
+        False here while still filling :attr:`passes`.
+    complete:
+        True when the sweep covered the whole grid (every cell
+        evaluated or inferred); False only for aborted runs, where
+        uncovered cells read as fails in :attr:`passes`.
     """
 
     x_values: Sequence[float]
@@ -54,18 +83,24 @@ class ShmooResult:
     x_name: str = "x"
     y_name: str = "y"
     evaluated: Optional[np.ndarray] = None
+    complete: bool = True
+
+    def __post_init__(self):
+        if self.evaluated is None:
+            object.__setattr__(
+                self, "evaluated",
+                np.ones(np.shape(self.passes), dtype=bool),
+            )
 
     @property
     def aborted(self) -> bool:
         """True when the sweep stopped before covering the grid."""
-        return self.evaluated is not None \
-            and not bool(self.evaluated.all())
+        return not self.complete
 
     @property
     def evaluated_mask(self) -> np.ndarray:
-        """Boolean grid of evaluated cells (all True when complete)."""
-        if self.evaluated is None:
-            return np.ones_like(self.passes, dtype=bool)
+        """Boolean grid of evaluated cells (synonym for
+        :attr:`evaluated`, kept for existing consumers)."""
         return self.evaluated
 
     @property
@@ -109,15 +144,31 @@ class ShmooRunner:
     registry:
         Optional injected telemetry registry; defaults to the
         module-level active one.
+    cache:
+        Optional :class:`repro.cache.ArtifactCache` active for the
+        duration of each sweep, so cells sharing stimulus stages
+        (same PRBS stream, same rendered pattern at a given rate)
+        reuse them. Serial and thread backends share the object;
+        process shards receive its pickled clone — give the cache a
+        ``disk_path`` so they also share entries.
     """
 
     def __init__(self, test: Callable[[float, float], bool],
                  x_name: str = "x", y_name: str = "y",
-                 registry=None):
+                 registry=None, cache=None):
         self.test = test
         self.x_name = x_name
         self.y_name = y_name
         self.telemetry = registry
+        self.cache = cache
+
+    def _cache_scope(self):
+        """Context activating this runner's cache (no-op when unset)."""
+        if self.cache is None:
+            return contextlib.nullcontext()
+        from repro import cache as artifact_cache
+
+        return artifact_cache.use_cache(self.cache)
 
     def run(self, x_values: Sequence[float],
             y_values: Sequence[float], *,
@@ -155,7 +206,7 @@ class ShmooRunner:
         shape = (len(y_values), len(x_values))
         passes = np.zeros(shape, dtype=bool)
         evaluated = np.zeros(shape, dtype=bool)
-        with tel.span("shmoo.run"):
+        with self._cache_scope(), tel.span("shmoo.run"):
             if executor is None:
                 aborted = self._run_serial(
                     x_values, y_values, passes, evaluated,
@@ -178,7 +229,8 @@ class ShmooRunner:
             passes=passes,
             x_name=self.x_name,
             y_name=self.y_name,
-            evaluated=evaluated if aborted else None,
+            evaluated=evaluated,
+            complete=not aborted,
         )
 
     def _run_serial(self, x_values, y_values, passes, evaluated,
@@ -202,7 +254,8 @@ class ShmooRunner:
         if n_shards is None:
             n_shards = executor.max_workers * 4
         plan = ShardPlan.for_grid(x_values, y_values, n_shards)
-        fn = functools.partial(_evaluate_shard, self.test)
+        fn = functools.partial(_evaluate_shard, self.test,
+                               cache=self.cache)
 
         def on_chunk(done, total, indices) -> None:
             if progress is not None:
@@ -220,6 +273,180 @@ class ShmooRunner:
             for (yi, xi, _x, _y), ok in zip(shard.items, results):
                 passes[yi, xi] = ok
                 evaluated[yi, xi] = True
+        return outcome.aborted
+
+    # -- adaptive boundary refinement ---------------------------------------
+
+    def run_adaptive(self, x_values: Sequence[float],
+                     y_values: Sequence[float], *,
+                     coarse_step: int = 8,
+                     progress: Optional[Callable[[int, int], None]] = None,
+                     should_abort: Optional[Callable[[], bool]] = None,
+                     executor: Optional[Executor] = None) -> ShmooResult:
+        """Shmoo the grid evaluating only near the pass/fail boundary.
+
+        A coarse lattice (every *coarse_step*-th row/column, plus the
+        last of each) is evaluated first. Each coarse block whose
+        four corners agree is filled with the corners' verdict
+        without evaluating its interior; blocks whose corners
+        disagree straddle the boundary and are subdivided at their
+        midpoints, recursively, down to single cells. Refinement
+        proceeds in waves — every wave's new lattice points are
+        evaluated as one batch, serially or through *executor* — so
+        the parallel backends stay saturated.
+
+        The returned :attr:`ShmooResult.passes` equals the
+        exhaustive sweep's exactly whenever every agreeing coarse
+        block is uniform — guaranteed for pass regions that are
+        monotone (or per-row/column contiguous) at the coarse scale,
+        the shape of every margin boundary in the paper's Figures
+        10/11. Pass features smaller than the coarse lattice can be
+        missed; shrink *coarse_step* to bound the feature size.
+        :attr:`ShmooResult.evaluated` marks the cells actually
+        tested — typically 10-25% of the grid — and inferred cells
+        show ``evaluated=False`` with ``complete=True``.
+
+        Parameters
+        ----------
+        coarse_step:
+            Initial lattice stride; a power of two >= 2.
+        progress:
+            ``progress(cells_evaluated, cells_total)`` fired after
+            every refinement wave (total is the full grid size).
+        should_abort:
+            Polled between cells (serial) or batch items (executor);
+            aborting returns ``complete=False`` with the cells
+            covered so far.
+        executor:
+            Optional :class:`repro.parallel.Executor` used to
+            evaluate each wave's batch.
+        """
+        x_values = list(x_values)
+        y_values = list(y_values)
+        if not x_values or not y_values:
+            raise ConfigurationError("both axes need values")
+        if coarse_step < 2 or (coarse_step & (coarse_step - 1)) != 0:
+            raise ConfigurationError(
+                f"coarse_step must be a power of two >= 2, "
+                f"got {coarse_step}"
+            )
+        nx, ny = len(x_values), len(y_values)
+        if nx < 2 or ny < 2:
+            # Nothing to infer on a degenerate grid.
+            return self.run(x_values, y_values, progress=progress,
+                            should_abort=should_abort,
+                            executor=executor)
+        tel = telemetry.resolve(self.telemetry)
+        shape = (ny, nx)
+        passes = np.zeros(shape, dtype=bool)
+        evaluated = np.zeros(shape, dtype=bool)
+        known = np.zeros(shape, dtype=bool)
+        total = nx * ny
+
+        with self._cache_scope(), tel.span("shmoo.run_adaptive"):
+            xs = sorted(set(range(0, nx, coarse_step)) | {nx - 1})
+            ys = sorted(set(range(0, ny, coarse_step)) | {ny - 1})
+            seed_cells = [(yi, xi) for yi in ys for xi in xs]
+            aborted = self._evaluate_cells(
+                seed_cells, x_values, y_values, passes, evaluated,
+                should_abort, executor,
+            )
+            known |= evaluated
+            if progress is not None:
+                progress(int(evaluated.sum()), total)
+            blocks = [(xa, xb, ya, yb)
+                      for ya, yb in zip(ys, ys[1:])
+                      for xa, xb in zip(xs, xs[1:])]
+            while blocks and not aborted:
+                next_blocks = []
+                batch = set()
+                for x0, x1, y0, y1 in blocks:
+                    corner = passes[y0, x0]
+                    if (passes[y0, x1] == corner
+                            and passes[y1, x0] == corner
+                            and passes[y1, x1] == corner):
+                        region = (slice(y0, y1 + 1), slice(x0, x1 + 1))
+                        fill = ~known[region]
+                        passes[region][fill] = corner
+                        known[region] = True
+                        continue
+                    if x1 - x0 <= 1 and y1 - y0 <= 1:
+                        # A 2x2 block is all corners: fully evaluated.
+                        known[y0:y1 + 1, x0:x1 + 1] = True
+                        continue
+                    xs_sub = sorted({x0, (x0 + x1) // 2, x1})
+                    ys_sub = sorted({y0, (y0 + y1) // 2, y1})
+                    for yi in ys_sub:
+                        for xi in xs_sub:
+                            if not evaluated[yi, xi]:
+                                batch.add((yi, xi))
+                    next_blocks.extend(
+                        (xa, xb, ya, yb)
+                        for ya, yb in zip(ys_sub, ys_sub[1:])
+                        for xa, xb in zip(xs_sub, xs_sub[1:])
+                    )
+                if batch and not aborted:
+                    aborted = self._evaluate_cells(
+                        sorted(batch), x_values, y_values, passes,
+                        evaluated, should_abort, executor,
+                    )
+                    known |= evaluated
+                    if progress is not None:
+                        progress(int(evaluated.sum()), total)
+                blocks = next_blocks
+            if not aborted and not known.all():
+                # Safety net; the recursion covers every cell, but an
+                # explicit sweep of stragglers keeps the completeness
+                # invariant independent of the block bookkeeping.
+                leftovers = [(int(yi), int(xi))
+                             for yi, xi in np.argwhere(~known)]
+                aborted = self._evaluate_cells(
+                    leftovers, x_values, y_values, passes, evaluated,
+                    should_abort, executor,
+                )
+                known |= evaluated
+
+        n_eval = int(evaluated.sum())
+        n_pass = int(passes[evaluated].sum())
+        # A filled cell may later be evaluated as a finer lattice
+        # point (evaluation is ground truth and wins), so the filled
+        # count is the covered-but-never-evaluated residue.
+        n_filled = int(known.sum()) - n_eval
+        tel.counter("shmoo.runs").inc()
+        tel.counter("shmoo.cells").inc(n_eval)
+        tel.counter("shmoo.cells_passed").inc(n_pass)
+        tel.counter("shmoo.cells_failed").inc(n_eval - n_pass)
+        tel.counter("shmoo.cells_filled").inc(n_filled)
+        return ShmooResult(
+            x_values=tuple(x_values),
+            y_values=tuple(y_values),
+            passes=passes,
+            x_name=self.x_name,
+            y_name=self.y_name,
+            evaluated=evaluated,
+            complete=not aborted,
+        )
+
+    def _evaluate_cells(self, cells, x_values, y_values, passes,
+                        evaluated, should_abort, executor) -> bool:
+        """Evaluate index pairs into the grids; True when aborted."""
+        items = [(yi, xi, x_values[xi], y_values[yi])
+                 for yi, xi in cells]
+        if executor is None:
+            for yi, xi, x, y in items:
+                if should_abort is not None and should_abort():
+                    return True
+                passes[yi, xi] = bool(self.test(x, y))
+                evaluated[yi, xi] = True
+            return False
+        fn = functools.partial(_evaluate_cell, self.test,
+                               cache=self.cache)
+        outcome = executor.run(fn, items, should_abort=should_abort)
+        for (yi, xi, _x, _y), ok in zip(items, outcome.results):
+            if ok is None:
+                continue
+            passes[yi, xi] = bool(ok)
+            evaluated[yi, xi] = True
         return outcome.aborted
 
 

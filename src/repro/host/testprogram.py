@@ -79,18 +79,25 @@ class TestProgram:
     registry:
         Optional injected telemetry registry; defaults to the
         module-level active one.
+    cache:
+        Optional :class:`repro.cache.ArtifactCache` activated for
+        the duration of each :meth:`run` — steps that measure the
+        same stimulus (e.g. eye opening and jitter from one
+        pattern) then share rendered waveforms instead of
+        re-synthesizing them per step.
     """
 
     __test__ = False  # not a pytest collection target
 
     def __init__(self, name: str, steps: List[TestStep] = None,
-                 stop_on_fail: bool = True, registry=None):
+                 stop_on_fail: bool = True, registry=None, cache=None):
         if not name:
             raise ConfigurationError("program name must be non-empty")
         self.name = name
         self.steps: List[TestStep] = list(steps or [])
         self.stop_on_fail = bool(stop_on_fail)
         self.telemetry = registry
+        self.cache = cache
 
     def add_step(self, name: str,
                  measure: Callable[[object], float],
@@ -104,12 +111,22 @@ class TestProgram:
         """Execute against *system*; returns the filled datalog.
 
         Each run is traced as a ``testprogram.<name>`` span with one
-        nested span per step, plus pass/fail step counters.
+        nested span per step, plus pass/fail step counters. When the
+        program holds a cache it is active across the whole flow, so
+        steps sharing a stimulus reuse each other's artifacts.
         """
         if not self.steps:
             raise ConfigurationError(
                 f"program {self.name!r} has no steps"
             )
+        if self.cache is not None:
+            from repro import cache as artifact_cache
+
+            with artifact_cache.use_cache(self.cache):
+                return self._run_impl(system)
+        return self._run_impl(system)
+
+    def _run_impl(self, system) -> Datalog:
         tel = telemetry.resolve(self.telemetry)
         datalog = Datalog()
         with tel.span(f"testprogram.{self.name}"):

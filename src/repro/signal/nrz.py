@@ -57,6 +57,21 @@ class NRZEncoder:
         self.dt = float(dt)
         self.telemetry = registry
 
+    def cache_key(self) -> str:
+        """Canonical digest of this encoder's output-determining config.
+
+        Part of the ``repro.cache`` protocol: any change to any
+        field (rate, levels, edge time/shape, sample grid) yields a
+        different key, so cached renders can never alias across
+        configurations.
+        """
+        from repro.cache.keys import canonical_digest
+
+        return canonical_digest(
+            "NRZEncoder", self.rate_gbps, self.v_low, self.v_high,
+            self.t20_80, self.shape, self.dt,
+        )
+
     def edge_times_and_directions(
             self, bits: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -88,7 +103,7 @@ class NRZEncoder:
 
     def encode(self, bits, jitter: Optional[JitterModel] = None,
                rng: Optional[np.random.Generator] = None,
-               pad_ui: float = 1.0) -> Waveform:
+               pad_ui: float = 1.0, cache=None) -> Waveform:
         """Render *bits* as an analog waveform.
 
         Parameters
@@ -103,6 +118,14 @@ class NRZEncoder:
         pad_ui:
             Flat padding, in unit intervals, before and after the
             pattern so boundary edges are fully rendered.
+        cache:
+            Optional injected :class:`repro.cache.ArtifactCache`;
+            defaults to the module-level active one. Renders are
+            memoized keyed ``(encoder config, bits, pad_ui)`` only
+            when *jitter* is None — a jitter model draws from the
+            caller's RNG, whose state the key cannot capture — and
+            hits are the identical (immutable) waveform, which
+            carries a provenance token for cheap downstream keys.
         """
         bits = np.asarray(bits).astype(np.int8)
         if len(bits) == 0:
@@ -112,6 +135,23 @@ class NRZEncoder:
         if rng is None:
             rng = np.random.default_rng(0)
 
+        from repro import cache as _cache
+
+        store = _cache.resolve(cache)
+        if store.enabled and jitter is None:
+            key = _cache.canonical_digest(
+                "nrz.encode", self.cache_key(), bits, float(pad_ui),
+            )
+            wf = store.get_or_compute(
+                key, lambda: self._encode_impl(bits, None, rng, pad_ui)
+            )
+            return wf.set_cache_token(key)
+        return self._encode_impl(bits, jitter, rng, pad_ui)
+
+    def _encode_impl(self, bits: np.ndarray,
+                     jitter: Optional[JitterModel],
+                     rng: np.random.Generator,
+                     pad_ui: float) -> Waveform:
         tel = telemetry.resolve(self.telemetry)
         with tel.span("nrz.encode"):
             ui = self.unit_interval

@@ -42,7 +42,8 @@ def _check_prbs_args(order: int, length: int, seed: int) -> None:
         )
 
 
-def prbs_bits(order: int, length: int, seed: int = 1) -> np.ndarray:
+def prbs_bits(order: int, length: int, seed: int = 1,
+              cache=None) -> np.ndarray:
     """Generate *length* bits of a PRBS-*order* sequence.
 
     Generation is blockwise over GF(2) (see
@@ -59,6 +60,11 @@ def prbs_bits(order: int, length: int, seed: int = 1) -> np.ndarray:
         Number of bits to produce.
     seed:
         Nonzero initial LFSR state.
+    cache:
+        Optional injected :class:`repro.cache.ArtifactCache`;
+        defaults to the module-level active one. The stream is
+        keyed ``(order, length, seed)`` and hits are bit-identical
+        to fresh generation.
 
     Returns
     -------
@@ -66,9 +72,18 @@ def prbs_bits(order: int, length: int, seed: int = 1) -> np.ndarray:
         Array of 0/1 ``uint8`` values.
     """
     _check_prbs_args(order, length, seed)
+    from repro import cache as _cache
     from repro.signal import _kernels
 
     tap_a, tap_b = PRBS_POLYNOMIALS[order]
+    store = _cache.resolve(cache)
+    if store.enabled:
+        key = _cache.canonical_digest("prbs_bits", order, length, seed)
+        return store.get_or_compute(
+            key,
+            lambda: _kernels.prbs_bits_blockwise(order, length, seed,
+                                                 tap_a, tap_b),
+        )
     return _kernels.prbs_bits_blockwise(order, length, seed,
                                         tap_a, tap_b)
 

@@ -28,7 +28,7 @@ class Waveform:
         Time of the first sample in picoseconds (default 0.0).
     """
 
-    __slots__ = ("_values", "_dt", "_t0")
+    __slots__ = ("_values", "_dt", "_t0", "_cache_token")
 
     def __init__(self, values: Iterable[float], dt: float = 1.0, t0: float = 0.0):
         if dt <= 0.0:
@@ -40,6 +40,7 @@ class Waveform:
             )
         self._dt = float(dt)
         self._t0 = float(t0)
+        self._cache_token = None
 
     # -- basic properties ----------------------------------------------
 
@@ -73,6 +74,34 @@ class Waveform:
     def times(self) -> np.ndarray:
         """Return the time axis in picoseconds."""
         return self._t0 + self._dt * np.arange(len(self._values))
+
+    # -- content addressing ------------------------------------------------
+
+    def cache_token(self) -> str:
+        """A digest identifying this record for ``repro.cache`` keys.
+
+        The provenance key of the producing stage when one attached
+        it (cheap — no rehash of the samples), else a lazily
+        computed, memoized content digest of ``(values, dt, t0)``.
+        Sound because a ``Waveform`` is externally immutable.
+        """
+        if self._cache_token is None:
+            from repro.cache.keys import canonical_digest
+
+            self._cache_token = canonical_digest(
+                "waveform", self._values, self._dt, self._t0,
+            )
+        return self._cache_token
+
+    def set_cache_token(self, token: str) -> "Waveform":
+        """Attach a producing-stage provenance *token*; returns self.
+
+        Called by cache-aware stages (``NRZEncoder.encode``,
+        ``LTIChannel.apply``) so downstream keys compose from config
+        digests instead of rehashing megasample records.
+        """
+        self._cache_token = str(token)
+        return self
 
     def __len__(self) -> int:
         return len(self._values)

@@ -1,0 +1,319 @@
+"""Tests for repro.cache: keys, the artifact store, and stage wiring.
+
+The load-bearing property: a cached pipeline is bit-identical to the
+uncached one, across every executor backend a sweep can run on.
+"""
+
+import dataclasses
+import enum
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cache as artifact_cache
+from repro import telemetry
+from repro.cache import ArtifactCache, NullCache, canonical_digest
+from repro.channel.lti import LTIChannel
+from repro.errors import ConfigurationError
+from repro.eye.diagram import EyeDiagram
+from repro.host.shmoo import ShmooRunner
+from repro.parallel import Executor
+from repro.signal.nrz import NRZEncoder
+from repro.signal.prbs import prbs_bits
+
+
+class TestCanonicalDigest:
+    def test_deterministic(self):
+        assert canonical_digest(7, "x", 1.5) == canonical_digest(7, "x", 1.5)
+
+    def test_order_sensitive(self):
+        assert canonical_digest(1, 2) != canonical_digest(2, 1)
+
+    def test_type_tagged(self):
+        """1, 1.0, True and "1" must all digest differently."""
+        keys = {canonical_digest(v) for v in (1, 1.0, True, "1", b"1")}
+        assert len(keys) == 5
+
+    def test_array_dtype_and_shape_matter(self):
+        a = np.zeros(4, dtype=np.float64)
+        b = np.zeros(4, dtype=np.float32)
+        c = np.zeros(8, dtype=np.float64)
+        assert len({canonical_digest(x) for x in (a, b, c)}) == 3
+
+    def test_none_and_containers(self):
+        assert canonical_digest(None) != canonical_digest(0)
+        assert canonical_digest([1, 2]) != canonical_digest((1, 2))
+        assert canonical_digest({"a": 1, "b": 2}) \
+            == canonical_digest({"b": 2, "a": 1})
+
+    def test_enum_and_dataclass(self):
+        class Shape(enum.Enum):
+            ERF = "erf"
+            LINEAR = "linear"
+
+        @dataclasses.dataclass
+        class Cfg:
+            rate: float
+            order: int
+
+        assert canonical_digest(Shape.ERF) != canonical_digest(Shape.LINEAR)
+        assert canonical_digest(Cfg(2.5, 7)) == canonical_digest(Cfg(2.5, 7))
+        assert canonical_digest(Cfg(2.5, 7)) != canonical_digest(Cfg(5.0, 7))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_digest(object())
+
+
+class TestArtifactCache:
+    def test_put_get_roundtrip(self):
+        cache = ArtifactCache()
+        cache.put("k", np.arange(5))
+        hit, value = cache.get("k")
+        assert hit
+        assert np.array_equal(value, np.arange(5))
+
+    def test_copy_in_copy_out(self):
+        """A hit can never alias state the caller mutates."""
+        cache = ArtifactCache()
+        stored = np.arange(5)
+        cache.put("k", stored)
+        stored[0] = 99  # caller mutates after put
+        _, out = cache.get("k")
+        assert out[0] == 0
+        out[1] = 77  # caller mutates the hit
+        _, again = cache.get("k")
+        assert again[1] == 1
+
+    def test_get_or_compute_runs_once(self):
+        cache = ArtifactCache()
+        calls = {"n": 0}
+
+        def compute():
+            calls["n"] += 1
+            return np.ones(3)
+
+        a = cache.get_or_compute("k", compute)
+        b = cache.get_or_compute("k", compute)
+        assert calls["n"] == 1
+        assert np.array_equal(a, b)
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_by_entries(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache
+        cache.get("a")          # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_eviction_under_byte_pressure(self):
+        """Filling past max_bytes evicts oldest entries first and
+        keeps the byte gauge consistent."""
+        one_kb = np.zeros(128, dtype=np.float64)  # 1024 bytes
+        cache = ArtifactCache(max_bytes=3 * 1024 + 512)
+        for i in range(6):
+            cache.put(f"k{i}", one_kb.copy())
+        assert cache.nbytes <= 3 * 1024 + 512
+        assert len(cache) == 3
+        assert cache.evictions == 3
+        # The newest survive, the oldest went first.
+        assert "k5" in cache and "k4" in cache and "k3" in cache
+        assert "k0" not in cache
+
+    def test_oversized_single_entry_does_not_stick(self):
+        cache = ArtifactCache(max_bytes=100)
+        cache.put("big", np.zeros(1000))
+        assert len(cache) == 0
+        assert cache.nbytes == 0
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArtifactCache(max_entries=0)
+        with pytest.raises(ConfigurationError):
+            ArtifactCache(max_bytes=0)
+
+    def test_clear(self):
+        cache = ArtifactCache()
+        cache.put("k", np.arange(10))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.nbytes == 0
+
+    def test_telemetry_counters(self):
+        with telemetry.use_registry() as reg:
+            cache = ArtifactCache()
+            cache.get_or_compute("k", lambda: 1)
+            cache.get_or_compute("k", lambda: 1)
+        counters = reg.to_dict()["counters"]
+        assert counters["cache.hits"] == 1
+        assert counters["cache.misses"] == 1
+        assert counters["cache.stores"] == 1
+
+
+class TestDiskBacking:
+    def test_cross_instance_hit(self, tmp_path):
+        a = ArtifactCache(disk_path=tmp_path)
+        a.put("k", np.arange(7))
+        b = ArtifactCache(disk_path=tmp_path)  # cold memory, warm disk
+        hit, value = b.get("k")
+        assert hit
+        assert np.array_equal(value, np.arange(7))
+
+    def test_corrupt_file_degrades_to_miss(self, tmp_path):
+        cache = ArtifactCache(disk_path=tmp_path)
+        (tmp_path / "bad.pkl").write_bytes(b"not a pickle")
+        hit, _ = cache.get("bad")
+        assert not hit
+
+    def test_pickled_clone_is_empty_but_shares_disk(self, tmp_path):
+        cache = ArtifactCache(max_entries=9, disk_path=tmp_path)
+        cache.put("k", np.arange(3))
+        clone = pickle.loads(pickle.dumps(cache))
+        assert len(clone) == 0
+        assert clone.max_entries == 9
+        hit, value = clone.get("k")  # via the shared directory
+        assert hit
+        assert np.array_equal(value, np.arange(3))
+
+
+class TestActivation:
+    def test_resolve_prefers_injected(self):
+        mine = ArtifactCache()
+        assert artifact_cache.resolve(mine) is mine
+        assert isinstance(artifact_cache.resolve(None), NullCache)
+
+    def test_use_cache_scopes_and_restores(self):
+        assert not artifact_cache.enabled()
+        with artifact_cache.use_cache() as cache:
+            assert artifact_cache.enabled()
+            assert artifact_cache.active() is cache
+        assert not artifact_cache.enabled()
+
+    def test_enable_disable(self):
+        cache = artifact_cache.enable()
+        try:
+            assert artifact_cache.active() is cache
+        finally:
+            artifact_cache.disable()
+        assert not artifact_cache.enabled()
+
+    def test_null_cache_computes_every_time(self):
+        null = NullCache()
+        calls = {"n": 0}
+
+        def compute():
+            calls["n"] += 1
+            return calls["n"]
+
+        assert null.get_or_compute("k", compute) == 1
+        assert null.get_or_compute("k", compute) == 2
+        assert len(null) == 0
+
+
+class TestStageBitIdentity:
+    """Cached pipelines must reproduce uncached outputs exactly."""
+
+    @given(order=st.sampled_from([7, 9, 11]),
+           length=st.integers(1, 400),
+           seed=st.integers(1, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_prbs_cached_equals_uncached(self, order, length, seed):
+        plain = prbs_bits(order, length, seed)
+        cache = ArtifactCache()
+        first = prbs_bits(order, length, seed, cache=cache)
+        warm = prbs_bits(order, length, seed, cache=cache)
+        assert np.array_equal(plain, first)
+        assert np.array_equal(plain, warm)
+        assert cache.hits == 1
+
+    @given(rate=st.sampled_from([1.25, 2.5, 5.0]),
+           n_bits=st.integers(8, 64),
+           seed=st.integers(1, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_pipeline_cached_equals_uncached(self, rate, n_bits, seed):
+        bits = prbs_bits(7, n_bits, seed)
+        enc = NRZEncoder(rate, v_low=-0.4, v_high=0.4, t20_80=72.0)
+        ch = LTIChannel(bandwidth_ghz=3.0, attenuation_db=1.0)
+        plain = ch.apply(enc.encode(bits))
+        with artifact_cache.use_cache():
+            cold = ch.apply(enc.encode(bits))
+            warm = ch.apply(enc.encode(bits))
+        assert np.array_equal(plain.values, cold.values)
+        assert np.array_equal(plain.values, warm.values)
+        assert plain.t0 == warm.t0
+
+    def test_key_sensitivity_across_stages(self):
+        """Any config change must produce a distinct artifact."""
+        cache = ArtifactCache()
+        a = prbs_bits(7, 64, seed=1, cache=cache)
+        b = prbs_bits(7, 64, seed=2, cache=cache)
+        c = prbs_bits(9, 64, seed=1, cache=cache)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert cache.stats()["entries"] == 3
+        enc25 = NRZEncoder(2.5, t20_80=72.0)
+        enc50 = NRZEncoder(5.0, t20_80=72.0)
+        w1 = enc25.encode(a, cache=cache)
+        w2 = enc50.encode(a, cache=cache)
+        assert len(w1) != len(w2)
+
+    def test_jittered_encode_bypasses_cache(self):
+        from repro.signal.jitter import JitterBudget
+
+        cache = ArtifactCache()
+        bits = prbs_bits(7, 32)
+        enc = NRZEncoder(2.5, t20_80=72.0)
+        jitter = JitterBudget(rj_rms=2.0).build()
+        before = cache.stats()["stores"]
+        enc.encode(bits, jitter=jitter,
+                   rng=np.random.default_rng(1), cache=cache)
+        assert cache.stats()["stores"] == before
+
+    def test_eye_fold_cached(self):
+        bits = prbs_bits(7, 300)
+        wf = NRZEncoder(2.5, v_low=-0.4, v_high=0.4,
+                        t20_80=72.0).encode(bits)
+        plain = EyeDiagram.from_waveform(wf, 2.5)
+        cache = ArtifactCache()
+        cold = EyeDiagram.from_waveform(wf, 2.5, cache=cache)
+        warm = EyeDiagram.from_waveform(wf, 2.5, cache=cache)
+        assert warm is cold  # zero-copy hit
+        assert np.array_equal(plain.voltages, warm.voltages)
+        assert np.array_equal(plain.crossing_phases,
+                              warm.crossing_phases)
+
+
+def _margin_cell(x, y):
+    """Deterministic, picklable shmoo cell reusing cached stages."""
+    bits = prbs_bits(7, 200)
+    enc = NRZEncoder(x, v_low=-y, v_high=y, t20_80=60.0)
+    wf = LTIChannel(bandwidth_ghz=4.0).apply(enc.encode(bits))
+    eye = EyeDiagram.from_waveform(wf, x)
+    return eye.n_crossings > 50
+
+
+class TestShmooCacheEquivalence:
+    @pytest.mark.parametrize("backend", ("serial", "thread", "process"))
+    def test_grids_identical_cache_on_off(self, backend, tmp_path):
+        xs = [1.25, 2.5]
+        ys = [0.2, 0.4]
+        ex = Executor(backend=backend, max_workers=2)
+        off = ShmooRunner(_margin_cell).run(xs, ys, executor=ex)
+        cache = ArtifactCache(disk_path=tmp_path)
+        on = ShmooRunner(_margin_cell, cache=cache).run(
+            xs, ys, executor=ex)
+        assert np.array_equal(off.passes, on.passes)
+
+    def test_warm_serial_sweep_hits(self):
+        cache = ArtifactCache()
+        runner = ShmooRunner(_margin_cell, cache=cache)
+        runner.run([1.25, 2.5], [0.2, 0.4])
+        assert cache.hits > 0  # cells shared stage artifacts

@@ -1,0 +1,195 @@
+"""Tests for the streaming eye accumulator and shared binning.
+
+The equivalence contract under test: any chunking of a record folds
+to a density grid identical to ``EyeDiagram.histogram2d`` over the
+same axes, and binned metrics land within the documented
+quantization of the exact per-sample measurement.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.eye import EyeAccumulator, EyeDiagram, measure_eye
+from repro.eye._binning import density_grid, fold_phases
+from repro.signal.nrz import bits_to_waveform
+from repro.signal.prbs import prbs_bits
+from repro.signal.waveform import Waveform
+
+
+def _record(rate=2.5, n=600, rj=0.0, seed=2):
+    from repro.signal.jitter import JitterBudget
+
+    bits = prbs_bits(7, n)
+    jitter = JitterBudget(rj_rms=rj).build() if rj else None
+    return bits_to_waveform(bits, rate, v_low=-0.4, v_high=0.4,
+                            t20_80=72.0, jitter=jitter,
+                            rng=np.random.default_rng(seed))
+
+
+def _window(wf, rate, discard_ui=1):
+    ui = 1000.0 / rate
+    return wf.slice_time(discard_ui * ui, wf.t_end - discard_ui * ui)
+
+
+def _feed(acc, win, chunk):
+    for i in range(0, len(win), chunk):
+        acc.update(Waveform(win.values[i:i + chunk].copy(),
+                            dt=win.dt, t0=win.t0 + i * win.dt))
+    return acc
+
+
+class TestFoldPhases:
+    def test_matches_direct_mod(self):
+        direct = np.mod(37.0 + 1.0 * np.arange(5000), 400.0)
+        tiled = fold_phases(37.0, 1.0, 5000, 400.0)
+        assert np.allclose(tiled, direct, atol=1e-9)
+        assert np.all(tiled >= 0.0) and np.all(tiled < 400.0)
+
+    def test_non_commensurate_grid(self):
+        phases = fold_phases(0.0, 0.7, 1000, 400.0)
+        direct = np.mod(0.7 * np.arange(1000), 400.0)
+        assert np.allclose(phases, direct)
+
+    def test_empty_dtype_pinned(self):
+        out = fold_phases(0.0, 1.0, 0, 400.0)
+        assert out.dtype == np.float64
+        assert len(out) == 0
+
+
+class TestDensityGrid:
+    def test_empty_input_dtypes_pinned(self):
+        h, tx, vx = density_grid(np.empty(0), np.empty(0), 400.0, 8, 4)
+        assert h.shape == (8, 4)
+        assert h.dtype == np.float64
+        assert tx.dtype == np.float64 and vx.dtype == np.float64
+        assert h.sum() == 0.0
+
+    def test_histogram2d_and_render_share_binning(self):
+        """An empty eye renders without raising and histograms to
+        all-zero — both through the shared helper."""
+        from repro.eye.render import render_eye_ascii
+
+        eye = EyeDiagram(np.empty(0), np.empty(0), 400.0,
+                         np.empty(0), 0.0)
+        h, _, _ = eye.histogram2d(8, 4)
+        assert h.sum() == 0.0
+        text = render_eye_ascii(eye, width=8, height=4)
+        assert "1 UI" in text
+
+
+class TestAccumulatorEquivalence:
+    @given(chunk=st.integers(37, 4001))
+    @settings(max_examples=12, deadline=None)
+    def test_any_chunking_matches_one_shot_grid(self, chunk):
+        wf = _record()
+        eye = EyeDiagram.from_waveform(wf, 2.5)
+        v_range = (float(eye.voltages.min()), float(eye.voltages.max()))
+        acc = EyeAccumulator(2.5, v_range=v_range,
+                             threshold=eye.threshold)
+        _feed(acc, _window(wf, 2.5), chunk)
+        grid_acc, te, ve = acc.density()
+        grid_eye, te2, ve2 = eye.histogram2d(64, 64)
+        assert np.array_equal(grid_acc, grid_eye)
+        assert np.array_equal(te, te2) and np.array_equal(ve, ve2)
+        assert acc.n_samples == eye.n_samples
+        assert acc.n_crossings == eye.n_crossings
+
+    def test_crossover_phase_exact(self):
+        wf = _record(rj=3.0, seed=5)
+        eye = EyeDiagram.from_waveform(wf, 2.5)
+        acc = EyeAccumulator(
+            2.5, v_range=(float(eye.voltages.min()),
+                          float(eye.voltages.max())),
+            threshold=eye.threshold)
+        _feed(acc, _window(wf, 2.5), 1000)
+        assert acc.crossover_phase() == pytest.approx(
+            eye.crossover_phase(), abs=1e-9)
+
+    def test_metrics_within_quantization(self):
+        wf = _record(rj=3.0, seed=7, n=1200)
+        eye = EyeDiagram.from_waveform(wf, 2.5)
+        exact = measure_eye(eye)
+        acc = EyeAccumulator(
+            2.5, v_range=(float(eye.voltages.min()),
+                          float(eye.voltages.max())),
+            threshold=eye.threshold, n_phase_bins=512)
+        _feed(acc, _window(wf, 2.5), 4096)
+        binned = acc.metrics()
+        ui = eye.unit_interval
+        phase_q = ui / 512
+        volt_q = (eye.voltages.max() - eye.voltages.min()) / 64
+        assert binned.jitter_pp == pytest.approx(exact.jitter_pp,
+                                                 abs=2 * phase_q)
+        assert binned.jitter_rms == pytest.approx(exact.jitter_rms,
+                                                  abs=2 * phase_q)
+        assert binned.v_high == pytest.approx(exact.v_high,
+                                              abs=2 * volt_q)
+        assert binned.v_low == pytest.approx(exact.v_low,
+                                             abs=2 * volt_q)
+        assert binned.eye_height == pytest.approx(exact.eye_height,
+                                                  abs=3 * volt_q)
+        assert binned.n_crossings == exact.n_crossings
+
+    def test_measure_eye_dispatches_accumulator(self):
+        wf = _record()
+        eye = EyeDiagram.from_waveform(wf, 2.5)
+        acc = EyeAccumulator(
+            2.5, v_range=(float(eye.voltages.min()),
+                          float(eye.voltages.max())),
+            threshold=eye.threshold)
+        _feed(acc, _window(wf, 2.5), 2000)
+        m = measure_eye(acc)
+        assert m.unit_interval == pytest.approx(400.0)
+        assert m.n_crossings == acc.n_crossings
+
+
+class TestAccumulatorContracts:
+    def test_chunks_must_be_contiguous(self):
+        acc = EyeAccumulator(2.5, v_range=(-0.5, 0.5), threshold=0.0)
+        acc.update(Waveform(np.zeros(10), dt=1.0, t0=0.0))
+        with pytest.raises(MeasurementError):
+            acc.update(Waveform(np.zeros(10), dt=1.0, t0=99.0))
+
+    def test_dt_must_match(self):
+        acc = EyeAccumulator(2.5, v_range=(-0.5, 0.5), threshold=0.0)
+        acc.update(Waveform(np.zeros(10), dt=1.0, t0=0.0))
+        with pytest.raises(MeasurementError):
+            acc.update(Waveform(np.zeros(10), dt=2.0, t0=10.0))
+
+    def test_seam_crossing_detected(self):
+        """A crossing exactly between two chunks must be counted."""
+        acc = EyeAccumulator(2.5, v_range=(-1.0, 1.0), threshold=0.0)
+        acc.update(Waveform(np.full(100, -0.5), dt=1.0, t0=0.0))
+        acc.update(Waveform(np.full(100, 0.5), dt=1.0, t0=100.0))
+        assert acc.n_crossings == 1
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EyeAccumulator(2.5, v_range=(0.5, -0.5), threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            EyeAccumulator(2.5, v_range=(-0.5, 0.5), threshold=0.0,
+                           n_volt_bins=1)
+
+    def test_too_few_crossings_raises(self):
+        acc = EyeAccumulator(2.5, v_range=(-0.5, 0.5), threshold=0.0)
+        acc.update(Waveform(np.zeros(100), dt=1.0, t0=0.0))
+        with pytest.raises(MeasurementError):
+            acc.metrics()
+
+    def test_memory_stays_grid_sized(self):
+        """State is the grid — feeding 10x more data grows nothing."""
+        acc = EyeAccumulator(2.5, v_range=(-0.5, 0.5), threshold=0.0)
+        wf = _record(n=300)
+        win = _window(wf, 2.5)
+        _feed(acc, win, 700)
+        shape_before = acc.grid.shape
+        nbytes = acc.grid.nbytes + acc.phase_hist.nbytes
+        acc2 = EyeAccumulator(2.5, v_range=(-0.5, 0.5), threshold=0.0)
+        wf2 = _record(n=3000)
+        _feed(acc2, _window(wf2, 2.5), 700)
+        assert acc2.grid.shape == shape_before
+        assert acc2.grid.nbytes + acc2.phase_hist.nbytes == nbytes
+        assert acc2.n_samples > 9 * acc.n_samples

@@ -113,9 +113,12 @@ class TestAbort:
         assert result.aborted
         assert not result.evaluated_mask.all()
 
-    def test_completed_run_has_no_evaluated_grid(self):
+    def test_completed_run_evaluated_is_full_mask(self):
         result = ShmooRunner(parity_test).run([0, 1], [0, 1])
-        assert result.evaluated is None
+        # Always a mask, never None — consumers stop special-casing.
+        assert isinstance(result.evaluated, np.ndarray)
+        assert result.evaluated.all()
+        assert result.complete
         assert not result.aborted
         assert result.evaluated_mask.all()
 

@@ -130,6 +130,66 @@ python tools/bench_compare.py bench.json \\
 ```
 """
 
+CACHING = """\
+## Caching & Adaptive Sweeps
+
+Sweeps re-run nearly identical pipelines cell after cell.
+`repro.cache` memoizes expensive stage outputs — PRBS bitstreams,
+rendered NRZ waveforms, channel convolutions, folded eyes — in a
+bounded content-addressed store (`ArtifactCache`: in-memory LRU
+with entry and byte caps, plus an optional atomic on-disk backing
+shared across `repro.parallel` process shards via `disk_path`).
+
+**The `cache_key()` contract.** Every cached stage composes its key
+with `repro.cache.canonical_digest(...)` over a type-tagged
+canonical serialization (so `1`, `1.0`, `True` and `"1"` never
+collide) of *everything that determines its output*: stage name,
+configuration (components expose it via a `cache_key()` method —
+`NRZEncoder`, `LTIChannel`), and inputs. Waveforms carry a
+provenance token attached by their producing stage, so downstream
+keys compose from config digests instead of rehashing megasample
+records. Stages whose output is not a pure function of the key
+bypass the cache (`NRZEncoder.encode` with a jitter model drawing
+from a caller RNG; a noisy `SamplingScope` acquisition). The
+correctness contract — cached pipelines are *bit-identical* to
+uncached ones — is property-tested in `tests/test_cache.py`.
+
+Opt in per call (`cache=`), per component (`ShmooRunner(...,
+cache=...)`, `TestProgram(..., cache=...)`), or by scope:
+
+```python
+from repro import cache as artifact_cache
+
+with artifact_cache.use_cache() as cache:
+    runner.run(rates, margins)       # warm across cells
+print(cache.stats())                 # hits/misses/evictions/bytes
+```
+
+Traffic is observable as `cache.{hits,misses,evictions,stores}`
+counters and the `cache.bytes` gauge.
+
+**Streaming eye accumulation.** `EyeDiagram` keeps every folded
+sample; `repro.eye.EyeAccumulator` instead folds chunk-by-chunk
+into a fixed time x voltage density grid with O(grid) memory, for
+BER-length streams. Equivalence bounds: its density grid is
+*identical* to `EyeDiagram.histogram2d` over the same axes for any
+chunking; its crossover phase is exact (streamed circular mean);
+jitter and vertical metrics are histogram-quantized — jitter to
+`UI / n_phase_bins`, voltages to one grid bin. `measure_eye`
+accepts either object.
+
+**Adaptive shmoo.** `ShmooRunner.run_adaptive` evaluates a coarse
+lattice, fills blocks whose four corners agree, and recursively
+subdivides only boundary-straddling blocks — typically evaluating
+10-25% of the grid. Exact-vs-approximate: the result equals the
+exhaustive grid whenever every agreeing coarse block is uniform
+(guaranteed for monotone or per-row/column contiguous pass regions
+at the coarse scale — the paper's Figure 10/11 margin shapes);
+pass features smaller than `coarse_step` cells can be missed.
+`ShmooResult.evaluated` is always a boolean mask (inferred cells
+read False with `complete=True`).
+"""
+
 PARALLEL = """\
 ## Scaling & Parallel Execution
 
@@ -180,6 +240,7 @@ def main() -> int:
         "",
         OBSERVABILITY,
         PERFORMANCE,
+        CACHING,
         PARALLEL,
     ]
     modules = [repro]
