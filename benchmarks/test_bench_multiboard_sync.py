@@ -36,6 +36,48 @@ def test_array_meets_timing_claim(benchmark):
     assert summary.n_channels == 65
 
 
+def test_batched_slot_render_throughput(benchmark):
+    """Render one packet slot across every test-bed channel, batched.
+
+    A multi-board array renders hundreds of channel waveforms per
+    slot; the batched path groups same-configuration channels into
+    (channels x samples) blocks. This bench tracks the batched slot
+    render against the scalar per-channel one on the five-channel
+    bed (plus frame/header), asserting the batch is no slower and
+    produces the same channel set.
+    """
+    import time
+
+    from repro.core.packetformat import PacketSlot
+    from repro.core.testbed import OpticalTestBed
+
+    bed = OpticalTestBed(rate_gbps=2.5)
+    slot = PacketSlot.random(bed.fmt, address=3,
+                             rng=np.random.default_rng(1))
+
+    scalar = bed.transmit_slot(slot, seed=5)  # warm
+    t_scalar = min(
+        (lambda t0: (bed.transmit_slot(slot, seed=5),
+                     time.perf_counter() - t0)[1])
+        (time.perf_counter()) for _ in range(3)
+    )
+    batched = one_shot(benchmark, bed.transmit_slot_batch, slot,
+                       seed=5)
+    t_batch = benchmark.stats.stats.mean
+    report(
+        "Multi-board building block — batched slot render",
+        ("quantity", "value"),
+        [
+            ("channels rendered", str(len(batched))),
+            ("scalar render", f"{t_scalar * 1e3:.1f} ms"),
+            ("batched render", f"{t_batch * 1e3:.1f} ms"),
+            ("speedup", f"{t_scalar / t_batch:.2f}x"),
+        ],
+    )
+    assert set(batched) == set(scalar)
+    assert t_batch <= t_scalar * 1.10  # never slower than the loop
+
+
 def test_terabit_array_sizing(benchmark):
     """The full feasible roadmap point: 256 channels at 2.5 Gbps."""
     scaling = size_configuration(word_width=256, rate_gbps=2.5)

@@ -113,6 +113,39 @@ def test_shmoo_sweep_throughput(benchmark):
     assert frac <= 0.25, f"adaptive evaluated {frac:.0%} of cells"
 
 
+def test_batched_pipeline_throughput(benchmark):
+    """Render + filter + couple + fold a 64-channel block end to end.
+
+    The batched signal path's headline number: one
+    (channels x samples) block through NRZ synthesis, the LTI
+    channel, the crosstalk coupling matrix, and the eye fold with no
+    per-channel Python loop. Tracked in BENCH_simulation_speed.json
+    alongside the scalar-kernel benches; the companion >= 5x
+    comparison against the per-channel loop lives in
+    test_bench_scaling_terabit.py.
+    """
+    from repro.channel.crosstalk import CrosstalkMatrix
+    from repro.eye.diagram import EyeDiagram as Eye
+
+    n_channels, n_bits, rate, dt = 64, 256, 10.0, 25.0
+    bits = np.stack([prbs_bits(7, n_bits, seed=s + 1)
+                     for s in range(n_channels)])
+    enc = NRZEncoder(rate, v_low=-0.4, v_high=0.4, t20_80=72.0,
+                     dt=dt)
+    channel = LTIChannel(7.0, attenuation_db=1.0, delay_ps=50.0)
+    matrix = CrosstalkMatrix([f"ch{i}" for i in range(n_channels)])
+
+    def pipeline():
+        block = enc.encode_batch(bits)
+        block = channel.apply_batch(block)
+        block = matrix.apply_batch(block)
+        return Eye.from_batch(block, rate)
+
+    eyes = benchmark(pipeline)
+    assert len(eyes) == n_channels
+    assert all(eye.n_crossings > 20 for eye in eyes)
+
+
 def test_fabric_step_throughput(benchmark):
     """Step a loaded 240-node fabric 100 cycles."""
     def run():

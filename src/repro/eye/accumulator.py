@@ -32,7 +32,7 @@ from repro import telemetry
 from repro.errors import ConfigurationError, MeasurementError
 from repro.eye.metrics import EyeMetrics
 from repro.signal.analysis import threshold_crossings
-from repro.signal.waveform import Waveform
+from repro.signal.waveform import Waveform, WaveformBatch
 from repro._units import unit_interval_ps
 
 
@@ -57,6 +57,14 @@ class EyeAccumulator:
         quantization, ``ui / n_phase_bins``).
     t_first_bit:
         Time at which bit cell 0 starts.
+    n_channels:
+        None (default) accumulates everything — scalar chunks or
+        batched chunks alike — into one *merged* density grid.
+        An integer switches to per-channel mode: updates must be
+        :class:`~repro.signal.waveform.WaveformBatch` chunks with
+        exactly this many rows, ``grid``/``phase_hist`` gain a
+        leading channel axis, and every readout takes an optional
+        ``channel=`` selector (None reads the merged view).
     registry:
         Optional injected telemetry registry.
     """
@@ -64,13 +72,18 @@ class EyeAccumulator:
     def __init__(self, rate_gbps: float, v_range: Tuple[float, float],
                  threshold: float, n_time_bins: int = 64,
                  n_volt_bins: int = 64, n_phase_bins: int = 256,
-                 t_first_bit: float = 0.0, registry=None):
+                 t_first_bit: float = 0.0,
+                 n_channels: Optional[int] = None, registry=None):
         if v_range[1] <= v_range[0]:
             raise ConfigurationError(
                 f"v_range must be increasing, got {v_range}"
             )
         if min(n_time_bins, n_volt_bins, n_phase_bins) < 2:
             raise ConfigurationError("all bin counts must be >= 2")
+        if n_channels is not None and n_channels < 1:
+            raise ConfigurationError(
+                f"n_channels must be >= 1, got {n_channels}"
+            )
         self.unit_interval = unit_interval_ps(rate_gbps)
         self.v_range = (float(v_range[0]), float(v_range[1]))
         self.threshold = float(threshold)
@@ -81,32 +94,71 @@ class EyeAccumulator:
                                    dtype=np.float64)
         self.v_edges = np.linspace(self.v_range[0], self.v_range[1],
                                    n_volt_bins + 1, dtype=np.float64)
-        #: int64 density grid, shape (n_time_bins, n_volt_bins).
-        self.grid = np.zeros((n_time_bins, n_volt_bins),
-                             dtype=np.int64)
+        self.n_channels = None if n_channels is None else int(n_channels)
+        if self.n_channels is None:
+            #: int64 density grid, (n_time_bins, n_volt_bins) merged
+            #: or (n_channels, n_time_bins, n_volt_bins) per-channel.
+            self.grid = np.zeros((n_time_bins, n_volt_bins),
+                                 dtype=np.int64)
+        else:
+            self.grid = np.zeros(
+                (self.n_channels, n_time_bins, n_volt_bins),
+                dtype=np.int64)
         self.n_phase_bins = int(n_phase_bins)
-        self.phase_hist = np.zeros(self.n_phase_bins, dtype=np.int64)
+        if self.n_channels is None:
+            self.phase_hist = np.zeros(self.n_phase_bins,
+                                       dtype=np.int64)
+            self._sum_sin = 0.0
+            self._sum_cos = 0.0
+        else:
+            self.phase_hist = np.zeros(
+                (self.n_channels, self.n_phase_bins), dtype=np.int64)
+            self._sum_sin = np.zeros(self.n_channels)
+            self._sum_cos = np.zeros(self.n_channels)
+            #: Per-channel tallies (per-channel mode only).
+            self.n_samples_per_channel = np.zeros(self.n_channels,
+                                                  dtype=np.int64)
+            self.n_crossings_per_channel = np.zeros(self.n_channels,
+                                                    dtype=np.int64)
         self.n_samples = 0
         self.n_crossings = 0
-        self._sum_sin = 0.0
-        self._sum_cos = 0.0
-        # Boundary carry: last sample of the previous chunk, so a
-        # crossing straddling two chunks is still detected.
-        self._carry_v: Optional[float] = None
+        # Boundary carry: last sample of the previous chunk (one per
+        # row for a batched stream), so a crossing straddling two
+        # chunks is still detected.
+        self._carry_v = None
         self._carry_t = 0.0
         self._t_next: Optional[float] = None
         self._dt: Optional[float] = None
+        # Channel count of the stream's batches (None until the
+        # first batched chunk; scalar streams never set it).
+        self._batch_channels: Optional[int] = None
 
-    def update(self, chunk: Waveform) -> "EyeAccumulator":
+    def update(self, chunk) -> "EyeAccumulator":
         """Fold one contiguous *chunk* of the record; returns self.
 
         Chunks must arrive in order and butt together on one sample
         grid (each chunk's ``t0`` one sample after the previous
         chunk's last), mirroring a scope streaming one long
-        acquisition.
+        acquisition. *chunk* is a
+        :class:`~repro.signal.waveform.Waveform` or a
+        :class:`~repro.signal.waveform.WaveformBatch`: a batched
+        stream folds every row per chunk with a per-row seam carry,
+        and must keep one channel count throughout (a stream is
+        either scalar or batched, never mixed — the seam state is
+        per row).
         """
         from repro.eye._binning import fold_phases
 
+        if isinstance(chunk, WaveformBatch):
+            return self._update_batch(chunk)
+        if self.n_channels is not None:
+            raise ConfigurationError(
+                "per-channel accumulator takes WaveformBatch chunks"
+            )
+        if self._batch_channels is not None:
+            raise MeasurementError(
+                "stream is batched; feed WaveformBatch chunks"
+            )
         if len(chunk) == 0:
             return self
         if self._dt is None:
@@ -164,51 +216,189 @@ class EyeAccumulator:
             tel.counter("eye.crossings").inc(len(times))
         return self
 
+    def _update_batch(self, batch: WaveformBatch) -> "EyeAccumulator":
+        """Fold one batched chunk: every row at once, per-row carry.
+
+        Per-row equivalence contract (property-tested in
+        ``tests/test_batch_equivalence.py``): for any chunking and
+        any batching, each row's density grid, phase histogram, and
+        crossing counts are *identical* to feeding that row's chunks
+        through a scalar accumulator; the streamed circular-mean
+        sums match to float round-off (summation order).
+        """
+        from repro.eye._binning import density_grid_stack, fold_phases
+
+        c = batch.n_channels
+        if self.n_channels is not None and c != self.n_channels:
+            raise MeasurementError(
+                f"batch has {c} channels; accumulator is configured "
+                f"for {self.n_channels}"
+            )
+        if isinstance(self._carry_v, float):
+            raise MeasurementError(
+                "stream is scalar; feed Waveform chunks"
+            )
+        if self._batch_channels is not None \
+                and c != self._batch_channels:
+            raise MeasurementError(
+                f"batch channel count changed mid-stream "
+                f"({self._batch_channels} -> {c})"
+            )
+        if c == 0 or batch.n_samples == 0:
+            return self
+        if self._dt is None:
+            self._dt = batch.dt
+        elif abs(batch.dt - self._dt) > 1e-12:
+            raise MeasurementError(
+                f"chunk dt {batch.dt} differs from stream dt {self._dt}"
+            )
+        if self._t_next is not None \
+                and abs(batch.t0 - self._t_next) > 1e-9 * self._dt:
+            raise MeasurementError(
+                f"chunk t0 {batch.t0} does not continue the stream "
+                f"(expected {self._t_next})"
+            )
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("eye.accumulate"):
+            ui = self.unit_interval
+            values = batch.values
+            n = batch.n_samples
+            phases = fold_phases(batch.t0 - self.t_first_bit,
+                                 self._dt, n, ui)
+            hist = density_grid_stack(phases, values, self.t_edges,
+                                      self.v_edges)
+            if self.n_channels is None:
+                self.grid += hist.sum(axis=0).astype(np.int64)
+            else:
+                self.grid += hist.astype(np.int64)
+                self.n_samples_per_channel += n
+            self.n_samples += values.size
+
+            # Crossings, including per-row seams between chunks.
+            if self._carry_v is not None:
+                seam = np.concatenate(
+                    (self._carry_v[:, None], values), axis=1)
+                seam_t0 = self._carry_t
+            else:
+                seam = values
+                seam_t0 = batch.t0
+            above = seam > self.threshold
+            d = np.diff(above.astype(np.int8), axis=1)
+            rows, cols = np.nonzero(d != 0)
+            if len(rows):
+                v0 = seam[rows, cols]
+                v1 = seam[rows, cols + 1]
+                frac = (self.threshold - v0) / (v1 - v0)
+                times = (seam_t0 + self._dt * (cols + frac)) \
+                    - self.t_first_bit
+                cp = np.mod(times, ui)
+                angles = 2.0 * np.pi * cp / ui
+                bins = np.minimum(
+                    (cp / ui * self.n_phase_bins).astype(np.int64),
+                    self.n_phase_bins - 1,
+                )
+                if self.n_channels is None:
+                    self._sum_sin += float(np.sin(angles).sum())
+                    self._sum_cos += float(np.cos(angles).sum())
+                    self.phase_hist += np.bincount(
+                        bins, minlength=self.n_phase_bins
+                    ).astype(np.int64)
+                else:
+                    self._sum_sin += np.bincount(
+                        rows, weights=np.sin(angles), minlength=c)
+                    self._sum_cos += np.bincount(
+                        rows, weights=np.cos(angles), minlength=c)
+                    self.phase_hist += np.bincount(
+                        rows * self.n_phase_bins + bins,
+                        minlength=c * self.n_phase_bins,
+                    ).reshape(c, self.n_phase_bins).astype(np.int64)
+                    self.n_crossings_per_channel += np.bincount(
+                        rows, minlength=c)
+                self.n_crossings += len(rows)
+            self._carry_v = values[:, -1].copy()
+            self._carry_t = batch.t0 + (n - 1) * self._dt
+            self._t_next = batch.t0 + n * self._dt
+            self._batch_channels = c
+            tel.counter("eye.samples_folded").inc(values.size)
+            tel.counter("eye.crossings").inc(len(rows))
+        return self
+
     # -- readouts -----------------------------------------------------------
 
-    def density(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _select(self, channel: Optional[int]):
+        """``(phase_hist, grid, n_crossings, sum_sin, sum_cos)``
+        for one channel (or the merged view when *channel* is None)."""
+        if self.n_channels is None:
+            if channel is not None:
+                raise ConfigurationError(
+                    "merged accumulator has no channel axis; "
+                    "construct with n_channels= for per-channel reads"
+                )
+            return (self.phase_hist, self.grid, self.n_crossings,
+                    self._sum_sin, self._sum_cos)
+        if channel is None:
+            return (self.phase_hist.sum(axis=0),
+                    self.grid.sum(axis=0), self.n_crossings,
+                    float(self._sum_sin.sum()),
+                    float(self._sum_cos.sum()))
+        return (self.phase_hist[channel], self.grid[channel],
+                int(self.n_crossings_per_channel[channel]),
+                float(self._sum_sin[channel]),
+                float(self._sum_cos[channel]))
+
+    def density(self, channel: Optional[int] = None
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(hist, t_edges, v_edges)``, the ``histogram2d`` shape.
 
         The grid is returned as ``float64`` so it is interchangeable
-        with :meth:`EyeDiagram.histogram2d` output.
+        with :meth:`EyeDiagram.histogram2d` output. In per-channel
+        mode, *channel* selects one row's grid; None merges every
+        channel (exact — counts are integers).
         """
-        return (self.grid.astype(np.float64), self.t_edges.copy(),
+        _, grid, _, _, _ = self._select(channel)
+        return (grid.astype(np.float64), self.t_edges.copy(),
                 self.v_edges.copy())
 
-    def crossover_phase(self) -> float:
+    def crossover_phase(self, channel: Optional[int] = None) -> float:
         """Mean crossover position in ps within [0, UI) — exact.
 
         The circular mean comes from streamed sine/cosine sums, so
         it matches :meth:`EyeDiagram.crossover_phase` to float
-        round-off, not to a bin.
+        round-off, not to a bin. *channel* selects one row in
+        per-channel mode (None: all channels pooled).
         """
-        if self.n_crossings == 0:
+        _, _, n_crossings, sum_sin, sum_cos = self._select(channel)
+        if n_crossings == 0:
             raise MeasurementError("eye has no threshold crossings")
-        mean_angle = np.arctan2(self._sum_sin / self.n_crossings,
-                                self._sum_cos / self.n_crossings)
+        mean_angle = np.arctan2(sum_sin / n_crossings,
+                                sum_cos / n_crossings)
         ui = self.unit_interval
         return float(np.mod((mean_angle / (2.0 * np.pi)) * ui, ui))
 
-    def metrics(self, center_window_frac: float = 0.1) -> EyeMetrics:
+    def metrics(self, center_window_frac: float = 0.1,
+                channel: Optional[int] = None) -> EyeMetrics:
         """Binned :class:`EyeMetrics` for the stream so far.
 
         Jitter statistics come from the crossing-phase histogram
         (quantized to ``ui / n_phase_bins``); vertical statistics
         from the density grid columns nearest the eye center
         (quantized to one voltage bin). See the module docstring for
-        the equivalence bounds.
+        the equivalence bounds. *channel* selects one row in
+        per-channel mode (None: the merged eye).
         """
-        if self.n_crossings < 2:
+        phase_hist, grid, n_crossings, sum_sin, sum_cos = \
+            self._select(channel)
+        if n_crossings < 2:
             raise MeasurementError(
                 "eye diagram needs at least two crossings to measure "
                 "jitter"
             )
         ui = self.unit_interval
-        mean_phase = self.crossover_phase()
-        occupied = np.flatnonzero(self.phase_hist)
+        mean_phase = self.crossover_phase(channel)
+        occupied = np.flatnonzero(phase_hist)
         centers = (occupied + 0.5) * (ui / self.n_phase_bins)
         dev = np.mod(centers - mean_phase + ui / 2.0, ui) - ui / 2.0
-        weights = self.phase_hist[occupied]
+        weights = phase_hist[occupied]
         jitter_pp = float(dev.max() - dev.min())
         mean_dev = float(np.average(dev, weights=weights))
         jitter_rms = float(np.sqrt(
@@ -221,7 +411,7 @@ class EyeAccumulator:
         half_window = 0.5 * center_window_frac * ui
         t_centers = 0.5 * (self.t_edges[:-1] + self.t_edges[1:])
         d = np.mod(t_centers - center + ui / 2.0, ui) - ui / 2.0
-        counts = self.grid[np.abs(d) <= half_window].sum(axis=0)
+        counts = grid[np.abs(d) <= half_window].sum(axis=0)
         if counts.sum() < 4:
             raise MeasurementError("too few samples at eye center")
         v_centers = 0.5 * (self.v_edges[:-1] + self.v_edges[1:])
@@ -247,7 +437,7 @@ class EyeAccumulator:
             v_high=v_high,
             v_low=v_low,
             amplitude=v_high - v_low,
-            n_crossings=self.n_crossings,
+            n_crossings=n_crossings,
         )
 
     def __repr__(self) -> str:

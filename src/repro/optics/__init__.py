@@ -9,7 +9,13 @@ photodetector+TIA receiver.
 """
 
 from repro.optics.laser import LaserDriver, LaserSpec, WavelengthChannel
-from repro.optics.wdm import WDMMux, WDMDemux, wavelength_grid
+from repro.optics.wdm import (
+    WDMMux,
+    WDMDemux,
+    wavelength_grid,
+    stack_channels,
+    unstack_channels,
+)
 from repro.optics.fiber import FiberSpan
 from repro.optics.photodetector import Photodetector
 from repro.optics.link import OpticalLink, LinkBudget
@@ -21,6 +27,8 @@ __all__ = [
     "WDMMux",
     "WDMDemux",
     "wavelength_grid",
+    "stack_channels",
+    "unstack_channels",
     "FiberSpan",
     "Photodetector",
     "OpticalLink",

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.signal.jitter import JitterBudget
-from repro.signal.waveform import Waveform
+from repro.signal.waveform import Waveform, WaveformBatch
 from repro.dlc.clocking import ClockSignal
 from repro.pecl.buffer import OutputBuffer, BufferSpec, SIGE_BUFFER
 from repro.pecl.dac import LevelControl
@@ -159,6 +159,45 @@ class PECLTransmitter:
             waveform = self.delay_line.apply(waveform) \
                 .shifted(-self.delay_line.insertion_delay)
         return waveform
+
+    def transmit_serial_batch(self, bits, rate_gbps: float,
+                              rng: Optional[np.random.Generator] = None,
+                              dt: float = 1.0) -> WaveformBatch:
+        """Drive a ``(channels, n_bits)`` block down this channel.
+
+        The batched counterpart of :meth:`transmit_serial` for a
+        group of streams sharing this transmitter's configuration:
+        one :meth:`OutputBuffer.drive_batch` render, the same rate
+        ceilings, and the programmed delay applied to every row.
+        Jitter offsets are drawn once across all rows' edges
+        (statistically, not bit-, identical to the per-channel
+        loop).
+        """
+        if isinstance(self.serializer, TwoStageSerializer):
+            self.serializer.stage_a.check_rates(rate_gbps / 2.0,
+                                                self.lane_limit_mbps)
+            if rate_gbps > self.serializer.mux.spec.max_output_gbps:
+                raise ConfigurationError(
+                    f"{rate_gbps} Gbps exceeds the output mux ceiling of "
+                    f"{self.serializer.mux.spec.max_output_gbps} Gbps"
+                )
+        else:
+            self.serializer.check_rates(rate_gbps, self.lane_limit_mbps)
+        self._sync_levels()
+        batch = self.output_buffer.drive_batch(
+            bits, rate_gbps,
+            extra_jitter=self.path_jitter_budget(),
+            rng=rng, dt=dt,
+        )
+        if self.delay_line.code != 0:
+            # The programmable delay is rarely armed; rows go
+            # through the scalar path and restack.
+            batch = WaveformBatch.from_waveforms([
+                self.delay_line.apply(wf)
+                .shifted(-self.delay_line.insertion_delay)
+                for wf in batch
+            ])
+        return batch
 
     def max_rate_gbps(self) -> float:
         """Highest serial rate the composed path supports."""

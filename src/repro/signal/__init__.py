@@ -9,7 +9,7 @@ Everything the paper measures on a sampling oscilloscope is computed
 from these waveforms.
 """
 
-from repro.signal.waveform import Waveform
+from repro.signal.waveform import Waveform, WaveformBatch
 from repro.signal.edges import EdgeShape, synthesize_edge
 from repro.signal.nrz import NRZEncoder, bits_to_waveform
 from repro.signal.jitter import (
@@ -43,6 +43,7 @@ from repro.signal.io import (
 
 __all__ = [
     "Waveform",
+    "WaveformBatch",
     "EdgeShape",
     "synthesize_edge",
     "NRZEncoder",

@@ -245,3 +245,215 @@ class Waveform:
                 raise ConfigurationError("concatenate requires equal dt")
         values = np.concatenate([w._values for w in waveforms])
         return Waveform(values, dt=dt, t0=waveforms[0].t0)
+
+
+class WaveformBatch:
+    """A stack of waveforms on one shared time grid.
+
+    The batched signal path's currency: a C-contiguous
+    ``(channels, samples)`` float64 block with one ``dt``/``t0`` for
+    every row — the layout that lets NRZ rendering, channel
+    filtering, crosstalk mixing, and eye folding run as single array
+    kernels over the channel axis instead of per-channel Python
+    loops (and the layout a compiled/GPU backend can consume
+    directly).
+
+    Like :class:`Waveform`, a batch is externally immutable: rows
+    exposed as waveforms are zero-copy views, and per-row cache
+    tokens attached by producing stages stay sound.
+
+    Parameters
+    ----------
+    values:
+        2-D array-like, shape ``(n_channels, n_samples)``.
+    dt:
+        Shared sample spacing in picoseconds.
+    t0:
+        Shared time of each row's first sample in picoseconds.
+    tokens:
+        Optional per-row provenance tokens (``repro.cache`` keys of
+        the producing stage), one per channel.
+    """
+
+    __slots__ = ("_values", "_dt", "_t0", "_tokens")
+
+    def __init__(self, values, dt: float = 1.0, t0: float = 0.0,
+                 tokens=None):
+        if dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        self._values = np.ascontiguousarray(values, dtype=np.float64)
+        if self._values.ndim != 2:
+            raise ConfigurationError(
+                f"batch values must be 2-D (channels x samples), "
+                f"got shape {self._values.shape}"
+            )
+        self._dt = float(dt)
+        self._t0 = float(t0)
+        n = self._values.shape[0]
+        if tokens is None:
+            self._tokens = [None] * n
+        else:
+            self._tokens = [None if t is None else str(t)
+                            for t in tokens]
+            if len(self._tokens) != n:
+                raise ConfigurationError(
+                    f"{len(self._tokens)} tokens for {n} channels"
+                )
+
+    # -- basic properties ----------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """The ``(channels, samples)`` block (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def dt(self) -> float:
+        """Shared sample spacing in picoseconds."""
+        return self._dt
+
+    @property
+    def t0(self) -> float:
+        """Shared time of the first sample in picoseconds."""
+        return self._t0
+
+    @property
+    def n_channels(self) -> int:
+        """Number of rows (channels) in the batch."""
+        return self._values.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        """Samples per channel."""
+        return self._values.shape[1]
+
+    @property
+    def duration(self) -> float:
+        """Span from the first to the last sample, in picoseconds."""
+        n = self._values.shape[1]
+        return (n - 1) * self._dt if n else 0.0
+
+    @property
+    def t_end(self) -> float:
+        """Time of the last sample in picoseconds."""
+        return self._t0 + self.duration
+
+    def times(self) -> np.ndarray:
+        """The shared time axis in picoseconds."""
+        return self._t0 + self._dt * np.arange(self._values.shape[1])
+
+    def __len__(self) -> int:
+        return self._values.shape[0]
+
+    def __repr__(self) -> str:
+        return (f"WaveformBatch(channels={self.n_channels}, "
+                f"n={self.n_samples}, dt={self._dt} ps, "
+                f"t0={self._t0} ps)")
+
+    # -- construction / deconstruction -----------------------------------
+
+    @classmethod
+    def from_waveforms(cls, waveforms: Sequence[Waveform]
+                       ) -> "WaveformBatch":
+        """Stack per-channel waveforms into one batch.
+
+        All waveforms must share ``dt``, ``t0``, and length; their
+        cache tokens (when attached) become the batch's per-row
+        tokens.
+        """
+        if not waveforms:
+            raise ConfigurationError(
+                "cannot build a batch from zero waveforms; construct "
+                "an empty WaveformBatch directly from a (0, n) array"
+            )
+        first = waveforms[0]
+        for w in waveforms:
+            if abs(w.dt - first.dt) > 1e-12 \
+                    or abs(w.t0 - first.t0) > 1e-12 \
+                    or len(w) != len(first):
+                raise ConfigurationError(
+                    "batch rows must share dt, t0, and length"
+                )
+        values = np.stack([w.values for w in waveforms])
+        tokens = [w._cache_token for w in waveforms]
+        return cls(values, dt=first.dt, t0=first.t0, tokens=tokens)
+
+    def row(self, i: int) -> Waveform:
+        """Channel *i* as a zero-copy :class:`Waveform` view.
+
+        The row carries its per-row cache token when one was
+        attached by the producing stage.
+        """
+        wf = Waveform(self._values[i], dt=self._dt, t0=self._t0)
+        if self._tokens[i] is not None:
+            wf.set_cache_token(self._tokens[i])
+        return wf
+
+    def waveforms(self) -> list:
+        """Every channel as a list of zero-copy waveform views."""
+        return [self.row(i) for i in range(self.n_channels)]
+
+    def __iter__(self):
+        return iter(self.waveforms())
+
+    # -- content addressing ------------------------------------------------
+
+    def cache_tokens(self) -> list:
+        """Per-row digests identifying each channel for cache keys.
+
+        Rows with a producing-stage provenance token return it
+        (cheap); rows without one fall back to a content digest of
+        that row — the same rule as :meth:`Waveform.cache_token`, so
+        batched and single-channel keys stay bit-compatible.
+        """
+        from repro.cache.keys import canonical_digest
+
+        out = []
+        for i, token in enumerate(self._tokens):
+            if token is None:
+                token = canonical_digest(
+                    "waveform", self._values[i], self._dt, self._t0,
+                )
+                self._tokens[i] = token
+            out.append(token)
+        return out
+
+    def set_cache_tokens(self, tokens) -> "WaveformBatch":
+        """Attach per-row provenance *tokens*; returns self."""
+        tokens = [None if t is None else str(t) for t in tokens]
+        if len(tokens) != self.n_channels:
+            raise ConfigurationError(
+                f"{len(tokens)} tokens for {self.n_channels} channels"
+            )
+        self._tokens = tokens
+        return self
+
+    # -- arithmetic --------------------------------------------------------
+
+    def scaled(self, gain: float, offset: float = 0.0) -> "WaveformBatch":
+        """Return ``gain * v + offset`` applied to every row."""
+        return WaveformBatch(gain * self._values + offset,
+                             dt=self._dt, t0=self._t0)
+
+    def shifted(self, delay: float) -> "WaveformBatch":
+        """Return a copy delayed by *delay* ps (t0 moves later)."""
+        return WaveformBatch(self._values.copy(), dt=self._dt,
+                             t0=self._t0 + delay)
+
+    def __add__(self, other) -> "WaveformBatch":
+        if isinstance(other, WaveformBatch):
+            if abs(other._dt - self._dt) > 1e-12 \
+                    or abs(other._t0 - self._t0) > 1e-12 \
+                    or other._values.shape != self._values.shape:
+                raise ConfigurationError(
+                    "batch addition requires identical grids"
+                )
+            return WaveformBatch(self._values + other._values,
+                                 dt=self._dt, t0=self._t0)
+        return WaveformBatch(self._values + float(other),
+                             dt=self._dt, t0=self._t0)
+
+    def __radd__(self, other) -> "WaveformBatch":
+        return self.__add__(other)

@@ -16,7 +16,7 @@ from repro.eye import EyeAccumulator, EyeDiagram, measure_eye
 from repro.eye._binning import density_grid, fold_phases
 from repro.signal.nrz import bits_to_waveform
 from repro.signal.prbs import prbs_bits
-from repro.signal.waveform import Waveform
+from repro.signal.waveform import Waveform, WaveformBatch
 
 
 def _record(rate=2.5, n=600, rj=0.0, seed=2):
@@ -96,6 +96,30 @@ class TestAccumulatorEquivalence:
         assert np.array_equal(te, te2) and np.array_equal(ve, ve2)
         assert acc.n_samples == eye.n_samples
         assert acc.n_crossings == eye.n_crossings
+
+    @given(chunk=st.integers(37, 4001))
+    @settings(max_examples=8, deadline=None)
+    def test_batched_chunking_matches_scalar_stream(self, chunk):
+        """A batched stream chunked any way folds each row exactly
+        like the scalar stream of test_any_chunking_matches_one_shot
+        (the deeper golden suite lives in test_batch_equivalence)."""
+        rows = [_record(seed=s) for s in (2, 3)]
+        batch = WaveformBatch.from_waveforms(rows)
+        v_range = (float(batch.values.min()), float(batch.values.max()))
+        acc = EyeAccumulator(2.5, v_range=v_range, threshold=0.0,
+                             n_channels=2)
+        for i in range(0, batch.n_samples, chunk):
+            acc.update(WaveformBatch(
+                np.ascontiguousarray(batch.values[:, i:i + chunk]),
+                dt=batch.dt, t0=batch.t0 + i * batch.dt))
+        for k, wf in enumerate(rows):
+            ref = EyeAccumulator(2.5, v_range=v_range, threshold=0.0)
+            _feed(ref, wf, 1000)
+            grid_b, _, _ = acc.density(channel=k)
+            grid_s, _, _ = ref.density()
+            assert np.array_equal(grid_b, grid_s)
+            assert int(acc.n_crossings_per_channel[k]) \
+                == ref.n_crossings
 
     def test_crossover_phase_exact(self):
         wf = _record(rj=3.0, seed=5)
