@@ -1,0 +1,177 @@
+"""Coded serial links: the related work's scenarios as benches.
+
+Not paper figures — the DATE'05 systems drive raw NRZ — but the two
+links the related work builds on the same techniques: the 16:1
+serializer at 5 Gbps (arXiv 2401.15755) and the 10 Gbps
+driver/receiver ASIC (arXiv 2010.16069), both of which assume
+8b10b-style coding. Benched here: the coded mini-tester loopback,
+the 10 Gbps coded-stream eye, the link-lock time distribution, and
+error-burst statistics under injected noise.
+"""
+
+import numpy as np
+
+from repro.coding import LinkCodec, prbs_payload_bytes
+from repro.core.minitester import MiniTester
+from repro.eye.diagram import EyeDiagram
+from repro.eye.metrics import measure_eye
+from repro.pecl.buffer import SIGE_BUFFER
+from repro.pecl.serializer import ParallelToSerial, SerializerSpec
+from repro.pecl.transmitter import PECLTransmitter
+
+from _report import report
+from conftest import one_shot
+
+
+def test_mini_16to1_coded_5g(benchmark):
+    """The 16:1 / 5 Gbps coded link of arXiv 2401.15755 on the
+    mini-tester: a scrambled 8b10b frame through the full probe
+    loop, graded by payload BER and link health."""
+    mini = MiniTester(rate_gbps=5.0, encoding="8b10b-scrambled")
+
+    result = one_shot(benchmark, mini.run_coded_loopback,
+                      n_bytes=512, seed=3)
+    report(
+        "Coded link — 16:1 serialization at 5 Gbps (mini-tester)",
+        ("metric", "reference", "measured"),
+        [
+            ("serialization", "16:1",
+             f"{mini.serialization_factor()}:1"),
+            ("line rate", "5 Gbps", f"{result.rate_gbps} Gbps"),
+            ("payload BER", "error-free", str(result.ber)),
+            ("lock time", "within preamble",
+             f"{result.stats.lock_time_symbols} symbols"),
+            ("line errors", "0",
+             f"{result.stats.total_errors}"),
+        ],
+    )
+    assert mini.serialization_factor() == 16
+    assert result.passed
+    assert result.stats.lock_time_symbols <= mini.transmitter \
+        .codec.n_preamble
+
+
+def test_coded_eye_10g(benchmark):
+    """A 10 Gbps coded-stream eye: 16:1 ASIC-class serializer into
+    the SiGe buffer (the arXiv 2010.16069 operating point), carrying
+    an 8b10b frame rather than raw PRBS."""
+    spec = SerializerSpec(name="asic_16to1", factor=16,
+                          max_output_gbps=10.0, lane_skew_pp=8.0,
+                          rj_rms=1.6)
+    tx = PECLTransmitter(ParallelToSerial(spec),
+                         buffer_spec=SIGE_BUFFER,
+                         lane_limit_mbps=700.0,
+                         encoding="8b10b")
+    payload = prbs_payload_bytes(7, 400, seed=5)
+
+    def coded_eye():
+        wf = tx.transmit_coded(payload, 10.0,
+                               rng=np.random.default_rng(5))
+        return measure_eye(EyeDiagram.from_waveform(wf, 10.0))
+
+    metrics = one_shot(benchmark, coded_eye)
+    report(
+        "Coded link — 10 Gbps coded-stream eye",
+        ("metric", "reference", "measured"),
+        [
+            ("line rate", "10 Gbps", "10 Gbps"),
+            ("eye opening", "open",
+             f"{metrics.eye_opening_ui:.2f} UI"),
+            ("jitter p-p", "—", f"{metrics.jitter_pp:.1f} ps"),
+            ("amplitude", "—",
+             f"{metrics.amplitude * 1000:.0f} mV"),
+        ],
+    )
+    assert metrics.eye_opening_ui > 0.5
+    assert metrics.eye_height > 0.0
+
+
+def test_link_lock_time_distribution(benchmark):
+    """Lock-acquisition time across bit-slip phase and noise: the
+    CDR hunt must converge inside the preamble for every slip
+    offset, clean or noisy."""
+    codec = LinkCodec(comma_period=16)
+    payload = prbs_payload_bytes(7, 128, seed=1)
+    line = codec.encode_frame(payload)
+
+    def distribution():
+        times = []
+        for slip in range(10):
+            for seed in range(8):
+                rng = np.random.default_rng(seed)
+                prefix = rng.integers(0, 2, size=(10 - slip) % 10)
+                bits = np.concatenate([prefix, line]) \
+                    .astype(np.uint8)
+                # ~1e-3 line BER of random flips.
+                flips = rng.random(len(bits)) < 1e-3
+                frame = codec.decode_frame(
+                    np.where(flips, bits ^ 1, bits),
+                    n_bytes=len(payload))
+                if frame.stats.locked or \
+                        frame.stats.lock_acquisitions:
+                    times.append(frame.stats.lock_time_symbols)
+        return np.array(times)
+
+    times = one_shot(benchmark, distribution)
+    p50, p95 = np.percentile(times, [50, 95])
+    report(
+        "Coded link — lock-time distribution (80 trials)",
+        ("metric", "target", "measured"),
+        [
+            ("trials locked", "80/80", f"{len(times)}/80"),
+            ("lock time p50", "<= preamble",
+             f"{p50:.0f} symbols"),
+            ("lock time p95", "< 2 comma periods",
+             f"{p95:.0f} symbols"),
+            ("worst case", "bounded",
+             f"{times.max()} symbols"),
+        ],
+    )
+    assert len(times) == 80
+    # lock_commas=2: the second comma locks; slipped streams burn
+    # at most one extra comma period re-hunting.
+    assert p50 <= codec.n_preamble
+    assert p95 < 2 * (codec.comma_period + 1)
+
+
+def test_error_burst_statistics(benchmark):
+    """Error-burst statistics under injected noise: violations,
+    disparity errors, and lock losses versus line BER."""
+    codec = LinkCodec(comma_period=16, scramble=True)
+    payload = prbs_payload_bytes(7, 256, seed=2)
+    line = codec.encode_frame(payload)
+
+    def sweep():
+        rows = []
+        for ber in (0.0, 1e-3, 1e-2, 5e-2):
+            viol = disp = losses = payload_errs = 0
+            for seed in range(6):
+                rng = np.random.default_rng(seed + 11)
+                flips = rng.random(len(line)) < ber
+                frame = codec.decode_frame(
+                    np.where(flips, line ^ 1, line),
+                    n_bytes=len(payload))
+                viol += frame.stats.code_violations
+                disp += frame.stats.disparity_errors
+                losses += frame.stats.lock_losses
+                n = min(len(frame.payload), len(payload))
+                payload_errs += int(np.count_nonzero(
+                    frame.payload[:n] != payload[:n])) \
+                    + (len(payload) - n)
+            rows.append((ber, viol, disp, losses, payload_errs))
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    report(
+        "Coded link — error bursts vs injected line BER (6 frames each)",
+        ("line BER", "violations", "disparity", "lock losses",
+         "payload byte errs"),
+        [(f"{ber:.0e}" if ber else "0", str(v), str(d), str(l),
+          str(p)) for ber, v, d, l, p in rows],
+    )
+    clean, worst = rows[0], rows[-1]
+    assert clean[1:] == (0, 0, 0, 0)  # no noise, no errors
+    # Detected line errors grow with injected BER.
+    assert worst[1] + worst[2] > rows[1][1] + rows[1][2] > 0
+    # Heavy noise forces at least one loss-of-lock event.
+    assert worst[3] >= 1

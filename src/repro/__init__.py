@@ -43,7 +43,7 @@ __all__ = [
     "MeasurementError",
     "Waveform", "EyeDiagram", "EyeMetrics", "measure_eye",
     "DigitalLogicCore", "OpticalTestBed", "MiniTester",
-    "telemetry",
+    "telemetry", "coding",
 ]
 
 
@@ -71,4 +71,7 @@ def __getattr__(name):
     if name == "telemetry":
         import repro.telemetry as _telemetry
         return _telemetry
+    if name == "coding":
+        import repro.coding as _coding
+        return _coding
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,51 @@
+"""repro.coding — coded serial links (8b10b, scrambling, CDR lock).
+
+The paper's test systems drive raw NRZ; every real multi-gigabit
+link the related work runs is *coded* — DC-balanced 8b10b symbols,
+comma-based word alignment, scrambled payloads, and a lock state
+machine that knows when the receiver can trust its bits. This
+package supplies that layer:
+
+- :mod:`~repro.coding.code8b10b` — the 8b10b encoder/decoder with
+  running-disparity tracking and K characters (vectorized, batch-
+  capable).
+- :mod:`~repro.coding.scrambler` — self-synchronizing scrambler/
+  descrambler (64b/66b polynomial by default).
+- :mod:`~repro.coding.align` — bit-slip comma alignment.
+- :mod:`~repro.coding.link` — the lock state machine and
+  :class:`LinkCodec`, the full TX/RX framing stack that
+  ``PECLTransmitter``/``PECLReceiver`` and the test systems accept
+  via their ``encoding=`` arguments.
+- :mod:`~repro.coding.checker` — PRBS verification through the
+  decoded payload with line-layer telemetry.
+"""
+
+from repro.coding.align import Alignment, BitSlipAligner
+from repro.coding.checker import (
+    CodedCheckResult, CodedStreamChecker, prbs_payload_bytes,
+)
+from repro.coding.code8b10b import (
+    COMMA, COMMA_CODES, K, K_CODES, SYMBOL_BITS,
+    DecodeResult, Decoder8b10b, Encoder8b10b,
+    bits_to_symbols, decode_stream, decode_symbol,
+    encode_stream, encode_symbol, symbols_to_bits,
+)
+from repro.coding.link import (
+    DecodedFrame, LinkCodec, LinkLockStateMachine, LinkState,
+    LinkStats,
+)
+from repro.coding.scrambler import (
+    DEFAULT_TAPS, Scrambler, descramble_bytes, scramble_bytes,
+)
+
+__all__ = [
+    "Alignment", "BitSlipAligner",
+    "CodedCheckResult", "CodedStreamChecker", "prbs_payload_bytes",
+    "COMMA", "COMMA_CODES", "K", "K_CODES", "SYMBOL_BITS",
+    "DecodeResult", "Decoder8b10b", "Encoder8b10b",
+    "bits_to_symbols", "decode_stream", "decode_symbol",
+    "encode_stream", "encode_symbol", "symbols_to_bits",
+    "DecodedFrame", "LinkCodec", "LinkLockStateMachine", "LinkState",
+    "LinkStats",
+    "DEFAULT_TAPS", "Scrambler", "descramble_bytes", "scramble_bytes",
+]

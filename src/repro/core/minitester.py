@@ -53,6 +53,36 @@ class LoopbackResult:
         return self.ber.n_errors == 0
 
 
+@dataclasses.dataclass(frozen=True)
+class CodedLoopbackResult:
+    """Outcome of one *coded* loopback through the probe path.
+
+    Attributes
+    ----------
+    ber:
+        Payload-bit comparison (after decode + descramble).
+    stats:
+        Link-layer health: code violations, disparity errors, lock
+        acquisition/loss accounting (a
+        :class:`repro.coding.LinkStats`).
+    rate_gbps:
+        Line rate used (payload rate is 8/10 of it).
+    strobe_code:
+        Sampler strobe position.
+    """
+
+    ber: BERResult
+    stats: object
+    rate_gbps: float
+    strobe_code: int
+
+    @property
+    def passed(self) -> bool:
+        """Error-free payload with lock held and a clean line."""
+        return (self.ber.n_errors == 0 and self.stats.locked
+                and self.stats.total_errors == 0)
+
+
 class MiniTester(TestSystem):
     """Project 2: the self-contained wafer-probe tester.
 
@@ -71,19 +101,25 @@ class MiniTester(TestSystem):
                  buffer_spec: BufferSpec = MINI_IO_BUFFER,
                  channel: Optional[LTIChannel] = None,
                  io_rate_mbps: float = 400.0,
+                 encoding=None,
                  registry=None):
+        from repro.coding.link import LinkCodec
+
         # The RF reference runs at half the bit rate: the 2:1 output
         # mux toggles on both clock edges (1.25 GHz input in Fig. 15
         # for 2.5 G halves / 5 G output).
         super().__init__(rate_gbps, rf_frequency_ghz=rate_gbps / 2.0,
                          io_rate_mbps=io_rate_mbps, registry=registry)
+        codec = LinkCodec.from_spec(encoding, registry=registry)
         self._tx = PECLTransmitter(
             TwoStageSerializer(),
             buffer_spec=buffer_spec,
             clock=self.rf_clock,
             lane_limit_mbps=SILICON_MAX_MBPS,
+            encoding=codec,
         )
-        self.receiver = PECLReceiver(buffer_spec=buffer_spec)
+        self.receiver = PECLReceiver(buffer_spec=buffer_spec,
+                                     encoding=codec)
         self.channel = channel if channel is not None else \
             InterposerChannel()
         self.bert = BitErrorRateTester()
@@ -139,6 +175,50 @@ class MiniTester(TestSystem):
                 tel.counter("minitester.loopback_failures").inc()
             return LoopbackResult(ber=ber, rate_gbps=rate,
                                   strobe_code=strobe_code)
+
+    def run_coded_loopback(self, n_bytes: int = 256, seed: int = 1,
+                           rate_gbps: Optional[float] = None,
+                           strobe_code: Optional[int] = None,
+                           order: int = 7) -> CodedLoopbackResult:
+        """Coded self-test: PRBS payload through the 8b10b link.
+
+        The 16:1 serializer drives the framed, encoded payload at
+        the line rate; the receiver strobes the raw line bits and
+        runs the full coded receive stack (comma alignment, decode,
+        lock tracking, descrambling). Requires ``encoding=`` at
+        construction.
+        """
+        from repro.coding.checker import prbs_payload_bytes
+
+        self.transmitter._require_codec()
+        rate = self.rate_gbps if rate_gbps is None else rate_gbps
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("minitester.run_coded_loopback"):
+            payload = prbs_payload_bytes(order, n_bytes, seed=seed)
+            wf = self.transmitter.transmit_coded(
+                payload, rate, rng=np.random.default_rng(seed))
+            wf = self.channel.round_trip().apply(wf) \
+                if isinstance(self.channel, InterposerChannel) \
+                else self.channel.apply(wf)
+            if strobe_code is None:
+                ui = 1_000.0 / rate
+                step = self.receiver.sampler.resolution
+                strobe_code = int(round((ui / 2.0) / step))
+            frame = self.receiver.receive_payload(
+                wf, rate, n_bytes, strobe_code=strobe_code,
+                t_first_bit=self._channel_delay(),
+                rng=np.random.default_rng(seed + 7),
+            )
+            received = np.unpackbits(frame.payload)
+            expected = np.unpackbits(payload)[:len(received)]
+            ber = self.receiver.compare(received, expected)
+            tel.counter("minitester.coded_loopbacks").inc()
+            tel.counter("minitester.bit_errors").inc(ber.n_errors)
+            if ber.n_errors or not frame.stats.locked:
+                tel.counter("minitester.loopback_failures").inc()
+            return CodedLoopbackResult(ber=ber, stats=frame.stats,
+                                       rate_gbps=rate,
+                                       strobe_code=strobe_code)
 
     def _channel_delay(self) -> float:
         if isinstance(self.channel, InterposerChannel):

@@ -42,7 +42,10 @@ class OpticalTestBed(TestSystem):
     def __init__(self, rate_gbps: float = 2.5, n_data_channels: int = 4,
                  buffer_spec: BufferSpec = SIGE_BUFFER,
                  io_rate_mbps: float = 400.0,
-                 crosstalk=None, registry=None):
+                 crosstalk=None, encoding=None, registry=None):
+        from repro.coding.link import LinkCodec
+        from repro.pecl.receiver import PECLReceiver
+
         super().__init__(rate_gbps, io_rate_mbps=io_rate_mbps,
                          registry=registry)
         if n_data_channels < 1:
@@ -50,12 +53,19 @@ class OpticalTestBed(TestSystem):
         self.n_data_channels = int(n_data_channels)
         self.fmt = PacketSlotFormat(rate_gbps=rate_gbps,
                                     n_data_channels=n_data_channels)
+        #: Optional line coding on the high-speed channels (None =
+        #: raw NRZ; "8b10b", "8b10b-scrambled", or a
+        #: :class:`repro.coding.LinkCodec`).
+        self.codec = LinkCodec.from_spec(encoding, registry=registry)
         # One TX per high-speed channel: data channels + the clock.
         self.channels: Dict[str, PECLTransmitter] = {}
         for i in range(n_data_channels):
             self.channels[f"data{i}"] = self._make_tx()
         self.channels["clock"] = self._make_tx()
         self._tx = self.channels["data0"]
+        #: Receive side for coded channels (shares the codec).
+        self.receiver = PECLReceiver(buffer_spec=SIGE_BUFFER,
+                                     encoding=self.codec)
         #: Optional board-level coupling between the high-speed
         #: channels (a :class:`repro.channel.crosstalk
         #: .CrosstalkMatrix` over this bed's channel names).
@@ -67,6 +77,7 @@ class OpticalTestBed(TestSystem):
             buffer_spec=SIGE_BUFFER,
             clock=self.rf_clock,
             lane_limit_mbps=SILICON_MAX_MBPS,
+            encoding=self.codec,
         )
 
     def serialization_factor(self) -> int:
@@ -322,3 +333,85 @@ class OpticalTestBed(TestSystem):
                 bits, self.rate_gbps, rng=rng, dt=dt
             )
         return out
+
+    # -- coded serial links -----------------------------------------------
+
+    def _require_codec(self):
+        if self.codec is None:
+            raise ConfigurationError(
+                "no encoding configured on this test bed; pass "
+                "encoding='8b10b' (or a LinkCodec) at construction"
+            )
+        return self.codec
+
+    def transmit_coded(self, payload, channel: str = "data0",
+                       seed: int = 0, dt: float = 1.0) -> Waveform:
+        """Frame, encode, and render *payload* bytes on one channel."""
+        self._require_codec()
+        tx = self._channel(channel)
+        return tx.transmit_coded(payload, self.rate_gbps,
+                                 rng=np.random.default_rng(seed),
+                                 dt=dt)
+
+    def transmit_coded_channels(self, payloads, seed: int = 0,
+                                dt: float = 1.0) -> WaveformBatch:
+        """Drive a ``(n_data_channels, n_bytes)`` coded payload block.
+
+        One vectorized frame encode plus one batched render across
+        the bed's data channels (they share a transmit
+        configuration), consistent with the PR 5 batched layout —
+        the encoded line bits are bit-identical per row to
+        :meth:`transmit_coded`.
+        """
+        self._require_codec()
+        payloads = np.asarray(payloads, dtype=np.uint8)
+        if payloads.ndim != 2 or \
+                payloads.shape[0] != self.n_data_channels:
+            raise ConfigurationError(
+                f"expected ({self.n_data_channels}, n_bytes), got "
+                f"shape {payloads.shape}"
+            )
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span("testbed.transmit_coded_channels"):
+            return self._tx.transmit_coded_batch(
+                payloads, self.rate_gbps,
+                rng=np.random.default_rng(seed), dt=dt)
+
+    def coded_roundtrip(self, payload, channel: str = "data0",
+                        seed: int = 0, noise_rms: float = 0.0):
+        """One coded TX → RX pass; returns the decoded frame.
+
+        Optionally adds Gaussian voltage noise before the receiver
+        (the bench knob for error-burst statistics). The returned
+        :class:`repro.coding.DecodedFrame` carries payload bytes and
+        the violation/disparity/lock stats.
+        """
+        self._require_codec()
+        payload = np.asarray(payload, dtype=np.uint8)
+        wf = self.transmit_coded(payload, channel=channel, seed=seed)
+        if noise_rms > 0.0:
+            rng = np.random.default_rng(seed + 1)
+            wf = Waveform(
+                wf.values + rng.normal(0.0, noise_rms, len(wf)),
+                dt=wf.dt, t0=wf.t0)
+        return self.receiver.receive_payload(
+            wf, self.rate_gbps, len(payload),
+            rng=np.random.default_rng(seed + 2))
+
+    def measure_coded_eye(self, n_bytes: int = 400, seed: int = 1,
+                          channel: str = "data0"):
+        """Eye metrics of the encoded line stream on one channel.
+
+        The 8b10b symbol stream is what actually crosses the
+        connector, so its eye (at the line rate) is the apples-to-
+        apples counterpart of the raw-PRBS eyes in Figures 7-8.
+        """
+        from repro.coding.checker import prbs_payload_bytes
+        from repro.eye.diagram import EyeDiagram
+        from repro.eye.metrics import measure_eye
+
+        self._require_codec()
+        payload = prbs_payload_bytes(7, n_bytes, seed=seed)
+        wf = self.transmit_coded(payload, channel=channel, seed=seed)
+        return measure_eye(EyeDiagram.from_waveform(wf,
+                                                    self.rate_gbps))

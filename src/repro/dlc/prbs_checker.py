@@ -37,12 +37,17 @@ class CheckerState:
         Mismatches counted.
     synchronized:
         Whether the register holds enough clean history.
+    slips:
+        Loss-of-sync events (a stream slip or garbage, not random
+        bit errors): each triggered one resynchronization and is
+        reported here as a single event.
     """
 
     bits_in: int = 0
     bits_checked: int = 0
     errors: int = 0
     synchronized: bool = False
+    slips: int = 0
 
     @property
     def ber(self) -> float:
@@ -62,23 +67,39 @@ class SelfSyncChecker:
     resync_threshold:
         Consecutive errors that trigger a resynchronization (a slip
         or a totally wrong stream, not random bit errors).
+    slip_window / slip_density:
+        The density detector: *slip_density* errors within the last
+        *slip_window* checked bits also declares loss of sync. A
+        slipped stream mispredicts only ~half its bits, so a long
+        all-errors run (the consecutive detector) may essentially
+        never occur — the density detector is what bounds a slip to
+        a window-sized burst instead of an unbounded error count.
     """
 
-    def __init__(self, order: int = 7, resync_threshold: int = 16):
+    def __init__(self, order: int = 7, resync_threshold: int = 16,
+                 slip_window: int = 32, slip_density: int = 16):
         if order not in PRBS_POLYNOMIALS:
             raise ConfigurationError(
                 f"unsupported PRBS order {order}"
             )
         if resync_threshold < 2:
             raise ConfigurationError("resync threshold must be >= 2")
+        if slip_window < 2 or not 2 <= slip_density <= slip_window:
+            raise ConfigurationError(
+                "need slip_window >= slip_density >= 2"
+            )
         self.order = int(order)
         self.taps = PRBS_POLYNOMIALS[order]
         self._mask = (1 << order) - 1
         self.resync_threshold = int(resync_threshold)
+        self.slip_window = int(slip_window)
+        self.slip_density = int(slip_density)
+        self._window_mask = (1 << self.slip_window) - 1
         self.state = CheckerState()
         self._register = 0
         self._fill = 0
         self._consecutive_errors = 0
+        self._recent = 0  # bitmask of the last slip_window results
 
     def _predict(self) -> int:
         return ((self._register >> (self.taps[0] - 1))
@@ -90,12 +111,15 @@ class SelfSyncChecker:
         self._register = 0
         self._fill = 0
         self._consecutive_errors = 0
+        self._recent = 0
 
     def _resync(self) -> None:
         self._fill = 0
         self._register = 0
         self.state.synchronized = False
         self._consecutive_errors = 0
+        self._recent = 0
+        self.state.slips += 1
 
     def push(self, bit: int) -> bool:
         """Consume one received bit; returns True if it was an error.
@@ -118,10 +142,14 @@ class SelfSyncChecker:
         predicted = self._predict()
         error = bit != predicted
         self.state.bits_checked += 1
+        self._recent = ((self._recent << 1) | int(error)) \
+            & self._window_mask
         if error:
             self.state.errors += 1
             self._consecutive_errors += 1
-            if self._consecutive_errors >= self.resync_threshold:
+            if (self._consecutive_errors >= self.resync_threshold
+                    or bin(self._recent).count("1")
+                    >= self.slip_density):
                 self._resync()
                 return True
         else:

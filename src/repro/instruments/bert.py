@@ -8,6 +8,7 @@ link like the mini-tester's loop is graded.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from typing import Optional, Tuple
 
@@ -16,6 +17,35 @@ import numpy as np
 from repro.errors import ConfigurationError, MeasurementError
 from repro.signal.prbs import prbs_bits
 from repro.pecl.receiver import BERResult
+
+
+@dataclasses.dataclass(frozen=True)
+class SlipBERResult:
+    """Slip-aware bit-error measurement.
+
+    A fixed-reference comparison turns one dropped or doubled bit
+    into a ~50% miscompare rate for the entire tail; this result
+    separates those events out. Attributes:
+
+    n_bits / n_errors:
+        Bits compared and *genuine* mismatches (slips excluded).
+    slips:
+        Re-alignment events: each is one lost/gained bit-clock
+        cycle, not a run of bit errors.
+    slip_positions:
+        Received-stream index where each slip was detected.
+    """
+
+    n_bits: int
+    n_errors: int
+    slips: int
+    slip_positions: Tuple[int, ...] = ()
+
+    @property
+    def ber(self) -> float:
+        if self.n_bits == 0:
+            return 0.0
+        return self.n_errors / self.n_bits
 
 
 class BitErrorRateTester:
@@ -77,6 +107,85 @@ class BitErrorRateTester:
             reference = reference[:len(received)]
         errors = int(np.count_nonzero(received != reference))
         return BERResult(n_bits=len(received), n_errors=errors)
+
+    def measure_resync(self, received, reference=None,
+                       slip_window: int = 32, slip_density: int = 16,
+                       max_slip: int = 4) -> SlipBERResult:
+        """Count errors with mid-stream slip detection.
+
+        Wherever *slip_density* mismatches land inside a
+        *slip_window*-bit span — the signature of a lost or gained
+        bit cycle, which makes a fixed reference miscompare half the
+        tail — the reference is re-aligned (within ±\\ *max_slip*
+        bits) and the event is reported as **one slip**, not as an
+        unbounded error count.
+        """
+        if not 2 <= slip_density <= slip_window:
+            raise ConfigurationError(
+                "need slip_window >= slip_density >= 2"
+            )
+        if max_slip < 1:
+            raise ConfigurationError("max_slip must be >= 1")
+        received = np.asarray(received).astype(np.uint8)
+        if reference is None:
+            reference = self.pattern(
+                len(received) + 256 + max_slip)
+        reference = np.asarray(reference).astype(np.uint8)
+        lag, _ = self.align(
+            received, reference,
+            max_lag=len(reference) - len(received) - max_slip)
+        kernel = np.ones(slip_window, dtype=np.int32)
+        pos, errors, slip_positions = 0, 0, []
+        while pos < len(received):
+            seg = received[pos:]
+            ref = reference[lag + pos:lag + pos + len(seg)]
+            seg = seg[:len(ref)]
+            mism = (seg != ref).astype(np.int32)
+            density = np.convolve(mism, kernel)[:len(seg)]
+            burst = np.flatnonzero(density >= slip_density)
+            if len(burst) == 0:
+                errors += int(mism.sum())
+                break
+            # The convolution index is the window's *end*; the slip
+            # happened at its start.
+            at = max(int(burst[0]) - slip_window + 1, 0)
+            errors += int(mism[:at].sum())
+            slip_positions.append(pos + at)
+            # Re-align the tail: probe small lag shifts over the
+            # next window and keep the best match.
+            tail = received[pos + at:pos + at + 4 * slip_window]
+            best_d, best_mism = None, len(tail) + 1
+            for d in range(-max_slip, max_slip + 1):
+                if d == 0:
+                    continue
+                start = lag + pos + at + d
+                if start < 0:
+                    continue
+                cand = reference[start:start + len(tail)]
+                n = min(len(cand), len(tail))
+                if n == 0:
+                    continue
+                m = int(np.count_nonzero(tail[:n] != cand[:n]))
+                if m < best_mism:
+                    best_mism, best_d = m, d
+            if best_d is None:
+                # Nothing realigns (stream ends inside the burst):
+                # count the remainder as errors.
+                errors += int(mism[at:].sum())
+                break
+            lag += best_d
+            pos += at
+            if len(slip_positions) > 1 and \
+                    slip_positions[-1] == slip_positions[-2]:
+                # Not actually a slip (e.g. dense random errors):
+                # bail out rather than loop on the same spot.
+                slip_positions.pop()
+                errors += int(mism[at:].sum())
+                break
+        return SlipBERResult(
+            n_bits=len(received), n_errors=errors,
+            slips=len(slip_positions),
+            slip_positions=tuple(slip_positions))
 
     @staticmethod
     def ber_upper_bound(n_bits: int, n_errors: int = 0,

@@ -63,12 +63,19 @@ class PECLReceiver:
 
     def __init__(self, buffer_spec: BufferSpec = MINI_IO_BUFFER,
                  deserializer: Optional[ParallelToSerial] = None,
-                 threshold: Optional[float] = None):
+                 threshold: Optional[float] = None,
+                 encoding=None):
+        from repro.coding.link import LinkCodec
+
         self.input_buffer = OutputBuffer(buffer_spec)
         if threshold is None:
             threshold = self.input_buffer.levels.midpoint
         self.sampler = PECLSampler(threshold=threshold)
         self.deserializer = deserializer
+        #: Optional line coding, mirroring the transmit side (None =
+        #: raw NRZ; "8b10b", "8b10b-scrambled", or a
+        #: :class:`repro.coding.LinkCodec`).
+        self.codec = LinkCodec.from_spec(encoding)
 
     def regenerate(self, waveform: Waveform) -> Waveform:
         """Pass the input through the limiting input buffer."""
@@ -97,6 +104,28 @@ class PECLReceiver:
                               self.sampler.delay_line.n_codes - 1)
         return self.sampler.capture_bits(regen, rate_gbps, n_bits,
                                          strobe_code, t_first_bit, rng)
+
+    def receive_payload(self, waveform: Waveform, rate_gbps: float,
+                        n_bytes: int, extra_bits: int = 0,
+                        **kwargs):
+        """Strobe a coded waveform and recover the framed payload.
+
+        Captures the frame's line bits (``codec.frame_bits(n_bytes)``
+        plus *extra_bits* of margin), then runs the full receive
+        stack — bit-slip comma alignment, 8b10b decode with
+        disparity tracking, lock state machine, descrambling —
+        returning a :class:`repro.coding.DecodedFrame` whose stats
+        carry the code-violation / disparity-error / lock telemetry.
+        """
+        if self.codec is None:
+            raise ConfigurationError(
+                "no encoding configured on this receiver; pass "
+                "encoding='8b10b' (or a LinkCodec) at construction"
+            )
+        n_line_bits = self.codec.frame_bits(n_bytes) + int(extra_bits)
+        bits = self.receive_bits(waveform, rate_gbps, n_line_bits,
+                                 **kwargs)
+        return self.codec.decode_frame(bits, n_bytes=n_bytes)
 
     def receive_lanes(self, waveform: Waveform, rate_gbps: float,
                       n_bits: int, **kwargs) -> np.ndarray:

@@ -1,0 +1,253 @@
+"""Golden 8b10b conformance suite.
+
+The reference tables here are written out independently of the
+implementation (different representation: integer literals keyed by
+sub-block value, composed in-test), pinned against published
+codewords from the IBM/Widmer code. Coverage: all 256 data codes at
+both entry running disparities, every K character, encode output,
+disparity evolution, and the decode inverse.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding import (
+    COMMA, COMMA_CODES, K, K_CODES, SYMBOL_BITS,
+    bits_to_symbols, decode_stream, decode_symbol,
+    encode_stream, encode_symbol, symbols_to_bits,
+)
+
+# -- independent golden tables -----------------------------------------
+#
+# 5b/6b sub-block, output abcdei as integers, (entry RD-, entry RD+).
+GOLD_5B6B = {
+    0: (0b100111, 0b011000), 1: (0b011101, 0b100010),
+    2: (0b101101, 0b010010), 3: (0b110001, 0b110001),
+    4: (0b110101, 0b001010), 5: (0b101001, 0b101001),
+    6: (0b011001, 0b011001), 7: (0b111000, 0b000111),
+    8: (0b111001, 0b000110), 9: (0b100101, 0b100101),
+    10: (0b010101, 0b010101), 11: (0b110100, 0b110100),
+    12: (0b001101, 0b001101), 13: (0b101100, 0b101100),
+    14: (0b011100, 0b011100), 15: (0b010111, 0b101000),
+    16: (0b011011, 0b100100), 17: (0b100011, 0b100011),
+    18: (0b010011, 0b010011), 19: (0b110010, 0b110010),
+    20: (0b001011, 0b001011), 21: (0b101010, 0b101010),
+    22: (0b011010, 0b011010), 23: (0b111010, 0b000101),
+    24: (0b110011, 0b001100), 25: (0b100110, 0b100110),
+    26: (0b010110, 0b010110), 27: (0b110110, 0b001001),
+    28: (0b001110, 0b001110), 29: (0b101110, 0b010001),
+    30: (0b011110, 0b100001), 31: (0b101011, 0b010100),
+}
+
+# 3b/4b sub-block for data, output fghj; y = 7 is the primary (P7).
+GOLD_3B4B = {
+    0: (0b1011, 0b0100), 1: (0b1001, 0b1001),
+    2: (0b0101, 0b0101), 3: (0b1100, 0b0011),
+    4: (0b1101, 0b0010), 5: (0b1010, 0b1010),
+    6: (0b0110, 0b0110), 7: (0b1110, 0b0001),
+}
+GOLD_A7 = (0b0111, 0b1000)
+
+# K.28 has the only non-data 6b code; the other K rows reuse data 6b.
+GOLD_K_5B6B = {28: (0b001111, 0b110000)}
+GOLD_K_3B4B = {
+    0: (0b1011, 0b0100), 1: (0b0110, 0b1001),
+    2: (0b1010, 0b0101), 3: (0b1100, 0b0011),
+    4: (0b1101, 0b0010), 5: (0b0101, 0b1010),
+    6: (0b1001, 0b0110), 7: (0b0111, 0b1000),
+}
+
+# D.x.A7 replaces D.x.P7 when the run-length rule demands it.
+A7_WHEN_MINUS = {17, 18, 20}
+A7_WHEN_PLUS = {11, 13, 14}
+
+ALL_K = sorted(K_CODES)
+
+
+def popcount(v):
+    return bin(v).count("1")
+
+
+def golden_encode(byte, k, rd):
+    """Independent scalar composition: (code, rd_out)."""
+    x, y = byte & 0b11111, (byte >> 5) & 0b111
+    col = 0 if rd < 0 else 1
+    if k:
+        six = (GOLD_K_5B6B[x] if x in GOLD_K_5B6B
+               else GOLD_5B6B[x])[col]
+        rd_mid = -rd if popcount(six) != 3 else rd
+        four = GOLD_K_3B4B[y][0 if rd_mid < 0 else 1]
+    else:
+        six = GOLD_5B6B[x][col]
+        rd_mid = -rd if popcount(six) != 3 else rd
+        alt = (y == 7) and ((rd_mid < 0 and x in A7_WHEN_MINUS)
+                            or (rd_mid > 0 and x in A7_WHEN_PLUS))
+        four = (GOLD_A7 if alt else GOLD_3B4B[y])[0 if rd_mid < 0
+                                                  else 1]
+    rd_out = -rd_mid if popcount(four) != 2 else rd_mid
+    return (six << 4) | four, rd_out
+
+
+# Published full codewords (abcdei fghj, 'a' first), spot-pinning the
+# composition itself against the literature.
+PINNED = [
+    # (byte, is_k, entry_rd, codeword)
+    (0x00, False, -1, 0b1001110100),   # D0.0  RD-
+    (0x00, False, +1, 0b0110001011),   # D0.0  RD+
+    (0xB5, False, -1, 0b1010101010),   # D21.5 (alternating)
+    (0xB5, False, +1, 0b1010101010),
+    (0x4A, False, -1, 0b0101010101),   # D10.2 (alternating)
+    (0x4A, False, +1, 0b0101010101),
+    (0xEB, False, -1, 0b1101001110),   # D11.7 primary at RD-
+    (0xEB, False, +1, 0b1101001000),   # D11.7 A7 at RD+
+    (0xF1, False, -1, 0b1000110111),   # D17.7 A7 at RD-
+    (0xF1, False, +1, 0b1000110001),   # D17.7 primary at RD+
+    (K(28, 5), True, -1, 0b0011111010),  # K28.5 comma RD-
+    (K(28, 5), True, +1, 0b1100000101),  # K28.5 comma RD+
+    (K(28, 1), True, -1, 0b0011111001),  # K28.1 RD-
+    (K(28, 7), True, -1, 0b0011111000),  # K28.7 RD-
+    (K(23, 7), True, -1, 0b1110101000),  # K23.7 RD-
+]
+
+
+class TestGoldenTable:
+    def test_all_256_data_codes_both_disparities(self):
+        for byte in range(256):
+            for rd in (-1, +1):
+                want_code, want_rd = golden_encode(byte, False, rd)
+                code, rd_out = encode_symbol(byte, k=False, rd=rd)
+                assert code == want_code, (
+                    f"D{byte & 31}.{byte >> 5} at RD{rd:+d}: "
+                    f"got {code:010b}, want {want_code:010b}"
+                )
+                assert rd_out == want_rd
+
+    def test_all_k_characters_both_disparities(self):
+        assert len(ALL_K) == 12
+        for byte in ALL_K:
+            for rd in (-1, +1):
+                want_code, want_rd = golden_encode(byte, True, rd)
+                code, rd_out = encode_symbol(byte, k=True, rd=rd)
+                assert (code, rd_out) == (want_code, want_rd)
+
+    def test_pinned_published_codewords(self):
+        for byte, is_k, rd, want in PINNED:
+            code, _ = encode_symbol(byte, k=is_k, rd=rd)
+            assert code == want, (
+                f"0x{byte:02X} k={is_k} RD{rd:+d}: got {code:010b}, "
+                f"want {want:010b}"
+            )
+
+    def test_comma_codes_match_table(self):
+        assert COMMA == 0xBC
+        assert COMMA_CODES == (0b0011111010, 0b1100000101)
+
+    def test_invalid_k_byte_rejected(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            encode_symbol(0x00, k=True, rd=-1)
+
+
+class TestDisparityEvolution:
+    def test_rd_tracks_codeword_imbalance(self):
+        # After any symbol, RD must equal entry RD plus the code's
+        # ones-minus-zeros imbalance (which is always 0 or ±2).
+        for k in (False, True):
+            for byte in (ALL_K if k else range(256)):
+                for rd in (-1, +1):
+                    code, rd_out = encode_symbol(byte, k=k, rd=rd)
+                    imbalance = 2 * popcount(code) - SYMBOL_BITS
+                    assert imbalance in (-2, 0, 2)
+                    assert rd_out == rd + imbalance or (
+                        imbalance == 0 and rd_out == rd)
+                    assert rd_out in (-1, +1)
+
+    def test_stream_disparity_matches_scalar_chain(self):
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 256, size=400).astype(np.uint8)
+        bits, rd_out = encode_stream(data, rd=-1)
+        rd = -1
+        chained = []
+        for byte in data:
+            code, rd = golden_encode(int(byte), False, rd)
+            chained.append(code)
+        assert rd_out == rd
+        np.testing.assert_array_equal(
+            bits_to_symbols(bits), np.array(chained, dtype=np.uint16))
+
+    def test_bounded_digital_sum(self):
+        # DC balance: the running digital sum of the line stays in a
+        # narrow band for any payload.
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 256, size=2000).astype(np.uint8)
+        bits, _ = encode_stream(data, rd=-1)
+        rds = np.cumsum(bits.astype(np.int64) * 2 - 1)
+        assert rds.max() - rds.min() <= 6
+
+
+class TestDecodeInverse:
+    def test_decode_inverts_every_data_code(self):
+        for byte in range(256):
+            for rd in (-1, +1):
+                code, rd_out = golden_encode(byte, False, rd)
+                data, k, viol, disp, rd_after = decode_symbol(code,
+                                                              rd=rd)
+                assert (data, k) == (byte, False)
+                assert not viol and not disp
+                assert rd_after == rd_out
+
+    def test_decode_inverts_every_k_code(self):
+        for byte in ALL_K:
+            for rd in (-1, +1):
+                code, rd_out = golden_encode(byte, True, rd)
+                data, k, viol, disp, rd_after = decode_symbol(code,
+                                                              rd=rd)
+                assert (data, k) == (byte, True)
+                assert not viol and not disp
+                assert rd_after == rd_out
+
+    def test_full_stream_roundtrip_with_k(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 256, size=300).astype(np.uint8)
+        kmask = np.zeros(300, dtype=bool)
+        kmask[::25] = True
+        data[kmask] = COMMA
+        bits, _ = encode_stream(data, k=kmask, rd=-1)
+        res = decode_stream(bits, rd=-1)
+        assert res.clean
+        np.testing.assert_array_equal(res.data, data)
+        np.testing.assert_array_equal(res.k, kmask)
+
+    def test_out_of_space_codes_flag_violations(self):
+        # Every 10-bit word outside the code space must decode as a
+        # violation; every word inside must not.
+        valid = set()
+        for k in (False, True):
+            for byte in (ALL_K if k else range(256)):
+                for rd in (-1, +1):
+                    valid.add(golden_encode(byte, k, rd)[0])
+        codes = np.arange(1024, dtype=np.uint16)
+        res = decode_stream(symbols_to_bits(codes), rd=-1)
+        flagged = set(codes[res.violations].tolist())
+        assert flagged == set(range(1024)) - valid
+
+    def test_wrong_disparity_is_disparity_error_not_violation(self):
+        # D0.0's RD- codeword presented at entry RD+ is a legal code
+        # at the wrong disparity.
+        code_minus, _ = golden_encode(0x00, False, -1)
+        data, k, viol, disp, _ = decode_symbol(code_minus, rd=+1)
+        assert (data, k) == (0x00, False)
+        assert disp and not viol
+
+
+class TestCommaSingularity:
+    def test_comma_pattern_absent_from_data_stream(self):
+        # The 7-bit comma pattern (0011111 or its complement) cannot
+        # occur anywhere in an aligned stream of data symbols — the
+        # property blind word alignment depends on.
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 256, size=4000).astype(np.uint8)
+        bits, _ = encode_stream(data, rd=-1)
+        s = "".join(map(str, bits.tolist()))
+        assert "0011111" not in s
+        assert "1100000" not in s

@@ -204,3 +204,134 @@ class TestInstrumentFaults:
                 "3.3V": DCSource(3.3, 2.0, "io")}
         with pytest.raises(ConfigurationError):
             budget.check_supplies(weak)
+
+
+class TestCodedLinkFaults:
+    """Corruption on the 8b10b line: every injected fault must be
+    visible as a code violation, a disparity error, or a payload
+    miscompare — and the telemetry counters must agree with the
+    per-frame stats."""
+
+    def _frame(self, codec, n_bytes=64, seed=9):
+        rng = np.random.default_rng(seed)
+        payload = rng.integers(0, 256, size=n_bytes).astype(np.uint8)
+        return payload, codec.encode_frame(payload)
+
+    def test_single_bit_flip_is_detected(self):
+        from repro import telemetry
+        from repro.coding import LinkCodec
+
+        codec = LinkCodec()
+        payload, line = self._frame(codec)
+        # Flip one payload-region bit; every possible single flip
+        # must surface somewhere (line error or payload mismatch).
+        detections = {"violation": 0, "disparity": 0, "payload": 0}
+        for bit in range(codec.n_preamble * 10,
+                         codec.n_preamble * 10 + 200):
+            bad = line.copy()
+            bad[bit] ^= 1
+            frame = codec.decode_frame(bad, n_bytes=len(payload))
+            # A flip that lands on a valid K codeword drops that
+            # symbol from the payload — a length mismatch is a
+            # detection too.
+            n = min(len(frame.payload), len(payload))
+            mismatch = int(
+                np.count_nonzero(frame.payload[:n] != payload[:n])
+            ) + (len(payload) - n)
+            assert (frame.stats.code_violations
+                    + frame.stats.disparity_errors + mismatch) >= 1
+            if frame.stats.code_violations:
+                detections["violation"] += 1
+            if frame.stats.disparity_errors:
+                detections["disparity"] += 1
+            if mismatch:
+                detections["payload"] += 1
+        # All three detection modes occur across the sweep.
+        assert all(v > 0 for v in detections.values())
+
+    def test_telemetry_counters_match_frame_stats(self):
+        from repro import telemetry
+        from repro.coding import LinkCodec
+
+        with telemetry.use_registry() as reg:
+            codec = LinkCodec()
+            payload, line = self._frame(codec, n_bytes=48)
+            bad = line.copy()
+            bad[codec.n_preamble * 10 + 3] ^= 1
+            frame = codec.decode_frame(bad, n_bytes=len(payload))
+        counters = reg.to_dict()["counters"]
+        assert counters["coding.code_violations"] \
+            == frame.stats.code_violations
+        assert counters["coding.disparity_errors"] \
+            == frame.stats.disparity_errors
+        assert counters["coding.lock_acquisitions"] \
+            == frame.stats.lock_acquisitions
+        assert counters["coding.lock_losses"] \
+            == frame.stats.lock_losses
+        assert counters["coding.commas_seen"] == frame.stats.commas
+
+    def test_garbage_burst_forces_loss_then_relock(self):
+        from repro.coding import LinkCodec
+
+        # Periodic commas bound the relock time after a mid-frame
+        # loss of lock.
+        codec = LinkCodec(comma_period=16)
+        payload, line = self._frame(codec, n_bytes=192)
+        rng = np.random.default_rng(1)
+        # Trash 30 symbols of the payload region with random bits
+        # (full-symbol inversions would only flip disparity — the
+        # 8b10b code space is closed under complement).
+        start = (codec.n_preamble + 20) * 10
+        bad = line.copy()
+        bad[start:start + 300] = rng.integers(0, 2, size=300)
+        frame = codec.decode_frame(bad, n_bytes=len(payload))
+        assert frame.stats.code_violations >= codec.loss_violations
+        assert frame.stats.lock_losses >= 1
+        assert frame.stats.lock_acquisitions \
+            >= frame.stats.lock_losses + 1
+        assert frame.stats.locked  # relocked by the next commas
+        # The tail of the payload (post-relock) came through.
+        tail_got = frame.payload[-32:]
+        tail_want = payload[-32:]
+        assert np.count_nonzero(tail_got != tail_want) == 0
+
+    def test_coded_checker_grades_corrupted_stream(self):
+        from repro import telemetry
+        from repro.coding import (
+            CodedStreamChecker, LinkCodec, prbs_payload_bytes,
+        )
+
+        with telemetry.use_registry() as reg:
+            codec = LinkCodec()
+            checker = CodedStreamChecker(codec, order=7)
+            payload = prbs_payload_bytes(7, 128, seed=2)
+            line = codec.encode_frame(payload)
+            bad = line.copy()
+            bad[codec.n_preamble * 10 + 7] ^= 1
+            res = checker.check(bad, n_bytes=len(payload))
+        assert not res.clean
+        assert (res.code_violations + res.disparity_errors
+                + res.payload.errors) >= 1
+        counters = reg.to_dict()["counters"]
+        assert counters["coding.payload_errors"] \
+            == res.payload.errors
+
+    def test_forced_loss_of_lock_reacquires(self):
+        from repro.coding import LinkLockStateMachine, LinkState
+
+        sm = LinkLockStateMachine(lock_commas=2, loss_window=16,
+                                  loss_violations=4)
+        # Acquire.
+        sm.step(True, False)
+        state = sm.step(True, False)
+        assert state is LinkState.LOCKED
+        # Violation burst inside the window forces the hunt.
+        for _ in range(4):
+            state = sm.step(False, True)
+        assert state is LinkState.HUNT
+        assert sm.losses == 1
+        # Commas reacquire.
+        sm.step(True, False)
+        state = sm.step(True, False)
+        assert state is LinkState.LOCKED
+        assert sm.acquisitions == 2

@@ -139,3 +139,93 @@ class TestEndToEnd:
         state = checker.run(received)
         assert state.synchronized
         assert state.errors == 0
+
+
+class TestSlipEvents:
+    def test_self_sync_absorbs_single_slip(self):
+        """The self-synchronizing checker recovers from a dropped
+        bit on its own: a few multiplied errors, then clean — no
+        spurious loss-of-sync event."""
+        bits = prbs_bits(7, 6000)
+        slipped = np.concatenate([bits[:3000], bits[3001:]])
+        checker = SelfSyncChecker(order=7)
+        state = checker.run(slipped)
+        assert state.slips == 0
+        assert 0 < state.errors < 10
+
+    def test_density_detector_fires_on_garbage_at_default(self):
+        """Garbage mispredicts only ~half its bits, so the old
+        consecutive-error rule essentially never fired at the
+        default threshold; the density detector declares the loss
+        of sync promptly."""
+        rng = np.random.default_rng(3)
+        garbage = rng.integers(0, 2, size=2000).astype(np.uint8)
+        checker = SelfSyncChecker(order=7)  # default thresholds
+        state = checker.run(garbage)
+        assert state.slips >= 1
+
+    def test_bert_slip_is_one_event_not_unbounded_errors(self):
+        """The fixed-reference BERT: a mid-stream dropped bit used
+        to miscompare every subsequent bit (~tail/2 errors); the
+        slip-aware measurement reports one slip and a bounded
+        error count."""
+        from repro.instruments.bert import BitErrorRateTester
+
+        bert = BitErrorRateTester(prbs_order=7)
+        bits = bert.pattern(6000)
+        slipped = np.concatenate([bits[:3000], bits[3001:]])
+        # The old behaviour: roughly half the tail miscompares.
+        raw = bert.measure(slipped, auto_align=False)
+        assert raw.n_errors > 1000
+        res = bert.measure_resync(slipped)
+        assert res.slips == 1
+        assert res.n_errors < 40
+        assert 2900 < res.slip_positions[0] < 3100
+
+    def test_bert_inserted_bit_also_one_slip(self):
+        from repro.instruments.bert import BitErrorRateTester
+
+        bert = BitErrorRateTester(prbs_order=7)
+        bits = bert.pattern(6000)
+        slipped = np.concatenate(
+            [bits[:3000], np.array([1], dtype=np.uint8),
+             bits[3000:5999]])
+        res = bert.measure_resync(slipped)
+        assert res.slips == 1
+        assert res.n_errors < 40
+
+    def test_bert_clean_and_sparse_errors_report_no_slips(self):
+        from repro.instruments.bert import BitErrorRateTester
+
+        bert = BitErrorRateTester(prbs_order=7)
+        bits = bert.pattern(4000)
+        assert bert.measure_resync(bits) == \
+            bert.measure_resync(bits.copy())
+        clean = bert.measure_resync(bits)
+        assert clean.slips == 0 and clean.n_errors == 0
+        # Sparse random errors are errors, not slips.
+        noisy = bits.copy()
+        noisy[::500] ^= 1
+        res = bert.measure_resync(noisy)
+        assert res.slips == 0
+        assert res.n_errors == len(noisy[::500])
+
+    def test_reset_clears_slips(self):
+        rng = np.random.default_rng(3)
+        checker = SelfSyncChecker(order=7)
+        checker.run(rng.integers(0, 2, size=2000).astype(np.uint8))
+        assert checker.state.slips >= 1
+        checker.reset()
+        assert checker.state.slips == 0
+
+    def test_slip_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            SelfSyncChecker(slip_window=8, slip_density=16)
+        with pytest.raises(ConfigurationError):
+            SelfSyncChecker(slip_density=1)
+        from repro.instruments.bert import BitErrorRateTester
+        bert = BitErrorRateTester()
+        with pytest.raises(ConfigurationError):
+            bert.measure_resync(np.zeros(100), slip_density=1)
+        with pytest.raises(ConfigurationError):
+            bert.measure_resync(np.zeros(100), max_slip=0)

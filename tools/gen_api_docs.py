@@ -276,6 +276,51 @@ a 32x32 BER shmoo runs >= 2x faster on 4 process workers.
 """
 
 
+CODING = """\
+## Coded Serial Links
+
+The paper's systems drive raw NRZ, but the multi-gigabit links the
+related work builds on the same parts are *coded*. `repro.coding`
+supplies that layer: an 8b10b encoder/decoder with running-disparity
+tracking and K characters (`encode_stream` / `decode_stream`,
+vectorized over `(channels, n)` blocks), a self-synchronizing
+scrambler (G(x) = 1 + x^39 + x^58), a bit-slip comma aligner, and a
+CDR lock state machine (hunt → comma-align → locked, with
+loss-of-lock on code-violation bursts). `LinkCodec` composes them
+into a framing stack that `PECLTransmitter`, `PECLReceiver`,
+`OpticalTestBed`, and `MiniTester` all accept through their
+`encoding=` argument (`"8b10b"`, `"8b10b-scrambled"`, or a
+configured `LinkCodec`):
+
+```python
+from repro.core.minitester import MiniTester
+
+mini = MiniTester(rate_gbps=5.0, encoding="8b10b-scrambled")
+result = mini.run_coded_loopback(n_bytes=256, seed=1)
+assert result.passed            # payload error-free, link locked
+result.stats.code_violations    # line-layer health telemetry
+result.stats.lock_time_symbols  # CDR acquisition time
+```
+
+Per-frame health lands in `LinkStats` (code violations, disparity
+errors, lock acquisitions/losses, slipped and discarded bits) and —
+when telemetry is enabled — in dotted counters
+(`coding.code_violations`, `coding.lock_losses`,
+`coding.payload_errors`, ...). `CodedStreamChecker` grades a raw
+line-bit capture end to end: align, decode, descramble, then PRBS-
+check the payload with the self-synchronizing fabric checker, whose
+density-based resync reports stream slips as single `slips` events.
+The fixed-reference BERT gains the same awareness via
+`BitErrorRateTester.measure_resync`, which re-aligns at a detected
+slip instead of miscomparing the entire tail. Conformance of the
+code tables is pinned by `tests/test_coding_conformance.py` (all
+512 (code, disparity) pairs plus every K character against an
+independent golden table) and `tests/test_coding_properties.py`
+(hypothesis round-trip, disparity, run-length, and bit-slip
+recovery properties).
+"""
+
+
 def main() -> int:
     import repro
 
@@ -290,6 +335,7 @@ def main() -> int:
         BATCHED,
         CACHING,
         PARALLEL,
+        CODING,
     ]
     modules = [repro]
     for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
