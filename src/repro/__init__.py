@@ -43,7 +43,7 @@ __all__ = [
     "MeasurementError",
     "Waveform", "EyeDiagram", "EyeMetrics", "measure_eye",
     "DigitalLogicCore", "OpticalTestBed", "MiniTester",
-    "telemetry", "coding",
+    "telemetry", "coding", "service",
 ]
 
 
@@ -74,4 +74,7 @@ def __getattr__(name):
     if name == "coding":
         import repro.coding as _coding
         return _coding
+    if name == "service":
+        import repro.service as _service
+        return _service
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -359,6 +359,43 @@ class EyeAccumulator:
         return (grid.astype(np.float64), self.t_edges.copy(),
                 self.v_edges.copy())
 
+    def snapshot(self, channel: Optional[int] = None,
+                 include_grid: bool = True) -> dict:
+        """A detached, wire-ready view of the stream so far.
+
+        Every value is a scalar or a fresh list copy, so taking a
+        snapshot between ``update`` calls never perturbs
+        accumulation — the live-streaming service channel publishes
+        these at arbitrary chunk boundaries, and invariance against
+        the uninterrupted stream is pinned in
+        ``tests/test_eye_accumulator.py``. With *include_grid*
+        False only the scalar tallies ship (cheap enough to
+        publish per chunk); True adds the density grid, its edges,
+        and the crossing-phase histogram. *channel* selects one row
+        in per-channel mode (None: the merged view).
+        """
+        phase_hist, grid, n_crossings, _ss, _sc = \
+            self._select(channel)
+        if self.n_channels is not None and channel is not None:
+            n_samples = int(self.n_samples_per_channel[channel])
+        else:
+            n_samples = int(self.n_samples)
+        out = {
+            "n_samples": n_samples,
+            "n_crossings": int(n_crossings),
+            "unit_interval_ps": float(self.unit_interval),
+            "threshold": float(self.threshold),
+            "v_range": [self.v_range[0], self.v_range[1]],
+            "n_time_bins": int(len(self.t_edges) - 1),
+            "n_volt_bins": int(len(self.v_edges) - 1),
+        }
+        if include_grid:
+            out["grid"] = grid.tolist()
+            out["phase_hist"] = phase_hist.tolist()
+            out["t_edges"] = self.t_edges.tolist()
+            out["v_edges"] = self.v_edges.tolist()
+        return out
+
     def crossover_phase(self, channel: Optional[int] = None) -> float:
         """Mean crossover position in ps within [0, UI) — exact.
 

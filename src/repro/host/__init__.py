@@ -8,7 +8,10 @@ test programs whose results land in a datalog.
 from repro.host.controller import PCController
 from repro.host.testprogram import TestProgram, TestStep, Limit
 from repro.host.results import TestRecord, Datalog, Verdict
-from repro.host.shmoo import ShmooResult, ShmooRunner, minitester_strobe_rate_shmoo
+from repro.host.shmoo import (
+    ShmooResult, ShmooRunner, minitester_strobe_rate_shmoo,
+    strobe_rate_test,
+)
 from repro.host.session import SessionReport, TestSession
 
 __all__ = [
@@ -22,6 +25,7 @@ __all__ = [
     "ShmooRunner",
     "ShmooResult",
     "minitester_strobe_rate_shmoo",
+    "strobe_rate_test",
     "TestSession",
     "SessionReport",
 ]

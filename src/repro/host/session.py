@@ -109,6 +109,25 @@ class BERCharacterization:
         return (self.total_errors
                 + 1.645 * math.sqrt(self.total_errors)) / self.total_bits
 
+    def to_dict(self) -> dict:
+        """Wire-ready plain-dict form (for the RPC service layer)."""
+        return {
+            "total_bits": int(self.total_bits),
+            "total_errors": int(self.total_errors),
+            "shard_errors": [int(e) for e in self.shard_errors],
+            "rate_gbps": float(self.rate_gbps),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BERCharacterization":
+        """Rebuild a characterization from its :meth:`to_dict` form."""
+        return cls(
+            total_bits=int(data["total_bits"]),
+            total_errors=int(data["total_errors"]),
+            shard_errors=tuple(int(e) for e in data["shard_errors"]),
+            rate_gbps=float(data["rate_gbps"]),
+        )
+
     def __str__(self) -> str:
         return (f"{self.total_errors}/{self.total_bits} errors "
                 f"(BER {self.ber:.2e}, 95% <= {self.ber_upper_95:.2e}, "

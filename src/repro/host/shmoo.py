@@ -17,7 +17,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.errors import ConfigurationError
-from repro.parallel import Executor, ShardPlan
+from repro.parallel import CallbackGuard, Executor, ShardPlan
 
 
 def _evaluate_shard(test: Callable[[float, float], bool],
@@ -118,6 +118,37 @@ class ShmooResult:
                 return False
         return True
 
+    def to_dict(self) -> dict:
+        """Wire-ready plain-dict form: arrays become nested lists.
+
+        Round-trips exactly through :meth:`from_dict` (grids are
+        boolean, so list conversion is lossless) — the form the RPC
+        service streams and returns.
+        """
+        return {
+            "x_values": [float(x) for x in self.x_values],
+            "y_values": [float(y) for y in self.y_values],
+            "passes": np.asarray(self.passes, dtype=bool).tolist(),
+            "x_name": self.x_name,
+            "y_name": self.y_name,
+            "evaluated": np.asarray(self.evaluated,
+                                    dtype=bool).tolist(),
+            "complete": bool(self.complete),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShmooResult":
+        """Rebuild a result from its :meth:`to_dict` form."""
+        return cls(
+            x_values=tuple(float(x) for x in data["x_values"]),
+            y_values=tuple(float(y) for y in data["y_values"]),
+            passes=np.array(data["passes"], dtype=bool),
+            x_name=data.get("x_name", "x"),
+            y_name=data.get("y_name", "y"),
+            evaluated=np.array(data["evaluated"], dtype=bool),
+            complete=bool(data.get("complete", True)),
+        )
+
     def render(self, pass_char: str = "P",
                fail_char: str = ".") -> str:
         """ASCII plot, first y value at the bottom row."""
@@ -203,6 +234,12 @@ class ShmooRunner:
         if not x_values or not y_values:
             raise ConfigurationError("both axes need values")
         tel = telemetry.resolve(self.telemetry)
+        guard = CallbackGuard(progress, should_abort, registry=tel)
+        if guard.active:
+            # A raising hook aborts the sweep cleanly (partial grid,
+            # complete=False) instead of propagating mid-sweep.
+            progress = guard.progress if progress is not None else None
+            should_abort = guard.should_abort
         shape = (len(y_values), len(x_values))
         passes = np.zeros(shape, dtype=bool)
         evaluated = np.zeros(shape, dtype=bool)
@@ -337,6 +374,10 @@ class ShmooRunner:
                             should_abort=should_abort,
                             executor=executor)
         tel = telemetry.resolve(self.telemetry)
+        guard = CallbackGuard(progress, should_abort, registry=tel)
+        if guard.active:
+            progress = guard.progress if progress is not None else None
+            should_abort = guard.should_abort
         shape = (ny, nx)
         passes = np.zeros(shape, dtype=bool)
         evaluated = np.zeros(shape, dtype=bool)
@@ -450,6 +491,31 @@ class ShmooRunner:
         return outcome.aborted
 
 
+def strobe_rate_test(minitester, n_bits: int = 300,
+                     seed: int = 1) -> Callable[[float, float], bool]:
+    """The mini-tester's canonical shmoo cell as a callable.
+
+    Returns ``test(rate_gbps, strobe_frac) -> bool``: one loopback
+    at *rate_gbps* with the sampler strobed at *strobe_frac* of the
+    unit interval. Shared by :func:`minitester_strobe_rate_shmoo`
+    and the service layer's builtin ``shmoo`` job, so both paths
+    evaluate bit-identical cells.
+    """
+    def test(rate: float, frac: float) -> bool:
+        ui = 1_000.0 / rate
+        step = minitester.receiver.sampler.resolution
+        code = int(round(frac * ui / step))
+        code = min(code, minitester.receiver.sampler
+                   .delay_line.n_codes - 1)
+        result = minitester.run_loopback(
+            n_bits=n_bits, seed=seed, rate_gbps=rate,
+            strobe_code=code,
+        )
+        return result.passed
+
+    return test
+
+
 def minitester_strobe_rate_shmoo(minitester, rates: Sequence[float],
                                  strobe_fracs: Sequence[float],
                                  n_bits: int = 300,
@@ -464,18 +530,8 @@ def minitester_strobe_rate_shmoo(minitester, rates: Sequence[float],
     registry:
         Optional injected telemetry registry for the runner.
     """
-    def test(rate: float, frac: float) -> bool:
-        ui = 1_000.0 / rate
-        step = minitester.receiver.sampler.resolution
-        code = int(round(frac * ui / step))
-        code = min(code, minitester.receiver.sampler
-                   .delay_line.n_codes - 1)
-        result = minitester.run_loopback(
-            n_bits=n_bits, seed=seed, rate_gbps=rate,
-            strobe_code=code,
-        )
-        return result.passed
-
-    runner = ShmooRunner(test, x_name="rate (Gbps)",
+    runner = ShmooRunner(strobe_rate_test(minitester, n_bits=n_bits,
+                                          seed=seed),
+                         x_name="rate (Gbps)",
                          y_name="strobe (UI)", registry=registry)
     return runner.run(rates, strobe_fracs)

@@ -26,12 +26,13 @@ bit-exactness are untouched unless a caller opts in.
 """
 
 from repro.parallel.executor import (
-    BACKENDS, ExecutionResult, Executor, ShardError,
+    BACKENDS, CallbackGuard, ExecutionResult, Executor, ShardError,
 )
 from repro.parallel.shards import Shard, ShardPlan
 from repro.parallel.workers import ber_shard_worker, run_chunk
 
 __all__ = [
-    "BACKENDS", "ExecutionResult", "Executor", "ShardError",
-    "Shard", "ShardPlan", "ber_shard_worker", "run_chunk",
+    "BACKENDS", "CallbackGuard", "ExecutionResult", "Executor",
+    "ShardError", "Shard", "ShardPlan", "ber_shard_worker",
+    "run_chunk",
 ]

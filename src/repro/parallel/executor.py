@@ -48,6 +48,63 @@ class ShardError(ReproError):
     """A shard failed, crashed, or timed out beyond its retry budget."""
 
 
+class CallbackGuard:
+    """Shields a run from exceptions raised by caller hooks.
+
+    ``progress`` and ``should_abort`` callbacks are caller code
+    executing inside the engine's dispatch loop; one that raises
+    used to propagate out of :meth:`Executor.run` (or a
+    :class:`~repro.host.shmoo.ShmooRunner` sweep) mid-run, losing
+    every completed shard. Wrapped in a guard, the first hook
+    failure is counted as ``parallel.callback_errors``, the failing
+    hook is never called again, and the run converts to a clean
+    cooperative abort — partial results with ``aborted=True`` —
+    exactly as if ``should_abort`` had returned True.
+    """
+
+    __slots__ = ("_progress", "_should_abort", "_registry", "failed")
+
+    def __init__(self, progress=None, should_abort=None,
+                 registry=None):
+        self._progress = progress
+        self._should_abort = should_abort
+        self._registry = registry
+        #: True once any hook has raised; latches the abort.
+        self.failed = False
+
+    @property
+    def active(self) -> bool:
+        """True when at least one hook is present (guard needed)."""
+        return (self._progress is not None
+                or self._should_abort is not None)
+
+    def _note_failure(self) -> None:
+        self.failed = True
+        telemetry.resolve(self._registry) \
+            .counter("parallel.callback_errors").inc()
+
+    def progress(self, *args) -> None:
+        """Forward to the caller's progress hook, absorbing errors."""
+        if self.failed or self._progress is None:
+            return
+        try:
+            self._progress(*args)
+        except Exception:
+            self._note_failure()
+
+    def should_abort(self) -> bool:
+        """Poll the caller's abort hook; a raised error aborts."""
+        if self.failed:
+            return True
+        if self._should_abort is None:
+            return False
+        try:
+            return bool(self._should_abort())
+        except Exception:
+            self._note_failure()
+            return True
+
+
 @dataclasses.dataclass
 class ExecutionResult:
     """What one :meth:`Executor.run` produced.
@@ -79,6 +136,30 @@ class ExecutionResult:
     def n_completed(self) -> int:
         """Items that finished."""
         return sum(1 for c in self.completed if c)
+
+    def to_dict(self) -> dict:
+        """Wire-ready plain-dict form (for the RPC service layer).
+
+        Per-item results ride through verbatim, so they must
+        themselves be JSON-friendly (numbers, strings, lists,
+        dicts, or ``None``) for the dict to serialize.
+        """
+        return {
+            "results": list(self.results),
+            "completed": [bool(c) for c in self.completed],
+            "retries": int(self.retries),
+            "aborted": bool(self.aborted),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionResult":
+        """Rebuild a result from its :meth:`to_dict` form."""
+        return cls(
+            results=list(data["results"]),
+            completed=[bool(c) for c in data["completed"]],
+            retries=int(data["retries"]),
+            aborted=bool(data["aborted"]),
+        )
 
 
 class _RunState:
@@ -205,6 +286,13 @@ class Executor:
         if not items:
             raise ConfigurationError("no work items to run")
         tel = telemetry.resolve(self.telemetry)
+        guard = CallbackGuard(progress, should_abort, registry=tel)
+        if guard.active:
+            # A raising hook converts to a clean abort instead of
+            # propagating mid-run (counted as
+            # parallel.callback_errors).
+            progress = guard.progress if progress is not None else None
+            should_abort = guard.should_abort
         if collect_telemetry is None:
             collect_telemetry = bool(tel.enabled) \
                 and self.backend == "process"

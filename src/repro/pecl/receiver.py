@@ -44,6 +44,17 @@ class BERResult:
             return 0.0
         return self.n_errors / self.n_bits
 
+    def to_dict(self) -> dict:
+        """Wire-ready plain-dict form (for the RPC service layer)."""
+        return {"n_bits": int(self.n_bits),
+                "n_errors": int(self.n_errors)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BERResult":
+        """Rebuild a result from its :meth:`to_dict` form."""
+        return cls(n_bits=int(data["n_bits"]),
+                   n_errors=int(data["n_errors"]))
+
     def __str__(self) -> str:
         return f"{self.n_errors}/{self.n_bits} errors (BER {self.ber:.2e})"
 

@@ -1,0 +1,53 @@
+"""repro.service — the asynchronous test-floor master.
+
+The paper's production picture is many testers and many engineers
+sharing one floor. This subsystem is that coordination layer for
+the simulation stack: an asyncio RPC server
+(:class:`~repro.service.rpc.RPCServer`, newline-delimited JSON), a
+priority scheduler with bounded worker slots, cooperative
+preemption, and per-job deadlines
+(:class:`~repro.service.scheduler.Scheduler`), builtin
+shmoo/BER/eye/wafer job types that reuse the library's canonical
+computations bit-for-bit (:class:`~repro.service.runner.JobRunner`),
+and a pub/sub hub streaming partial results to subscribers with
+bounded, lossy-oldest queues (:class:`~repro.service.pubsub.PubSubHub`).
+
+Usage::
+
+    from repro.service import serve_in_thread
+
+    with serve_in_thread(max_slots=2) as handle:
+        with handle.client() as cli:
+            cli.subscribe("job.*")
+            job = cli.submit(kind="ber",
+                             params={"total_bits": 4000},
+                             priority=1)
+            done = cli.result(job_id=job["job_id"])
+
+Everything is stdlib (asyncio + threading + json) — no new
+dependencies — and jobs run the same measurement code a direct
+caller would, so results match direct library calls exactly.
+"""
+
+from repro.service.jobs import (
+    ABORTED, COMPLETED, FAILED, PAUSED, PAUSING, PENDING, RUNNING,
+    TERMINAL_STATES, Job, JobContext,
+)
+from repro.service.master import (
+    MasterHandle, TestFloorMaster, serve_in_thread,
+)
+from repro.service.pubsub import PubSubHub, Subscription, topic_matches
+from repro.service.rpc import Client, RemoteError, RPCServer
+from repro.service.runner import JobRunner
+from repro.service.scheduler import Scheduler
+from repro.service.wire import decode_line, encode_line
+
+__all__ = [
+    "PENDING", "RUNNING", "PAUSING", "PAUSED", "COMPLETED",
+    "FAILED", "ABORTED", "TERMINAL_STATES",
+    "Job", "JobContext", "JobRunner", "Scheduler",
+    "PubSubHub", "Subscription", "topic_matches",
+    "RPCServer", "Client", "RemoteError",
+    "TestFloorMaster", "MasterHandle", "serve_in_thread",
+    "encode_line", "decode_line",
+]

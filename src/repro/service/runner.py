@@ -1,0 +1,273 @@
+"""Builtin job types and the worker-side dispatcher.
+
+The bridge between the async master and the synchronous
+measurement stack: the scheduler hands a :class:`~.jobs.Job` plus
+its :class:`~.jobs.JobContext` to :meth:`JobRunner.run` on a worker
+thread (``asyncio.to_thread``), and the job type wires the
+context's ``should_abort``/``progress`` into the existing hooks of
+:class:`~repro.host.shmoo.ShmooRunner`, the BER shard plan, and the
+streaming :class:`~repro.eye.EyeAccumulator`.
+
+Every builtin reuses the library's canonical computation — the
+shmoo cell comes from :func:`repro.host.shmoo.strobe_rate_test`,
+the BER shard math from the same
+:class:`~repro.parallel.ShardPlan` + :func:`~repro._rng.spawn_seeds`
+recipe as :meth:`TestSession.characterize_ber` — so a job submitted
+over RPC returns bit-identical numbers to the direct library call
+with the same parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro import telemetry
+from repro._rng import spawn_seeds
+from repro.errors import ConfigurationError
+from repro.parallel import Executor, ShardPlan
+from repro.service.jobs import Job, JobContext
+
+
+class JobRunner:
+    """Dispatches jobs to registered job types on worker threads.
+
+    Parameters
+    ----------
+    registry:
+        Optional injected telemetry registry, forwarded to the
+        testers and runners each job builds.
+    executor:
+        Optional :class:`repro.parallel.Executor` for job types
+        that can shard (the shmoo sweep). Serial/thread backends
+        only — the partial-streaming wrappers close over the job
+        context and don't pickle. None (default) runs sweeps
+        serially, which also gives the finest pause/abort
+        granularity (every cell is a checkpoint).
+    """
+
+    def __init__(self, registry=None,
+                 executor: Optional[Executor] = None):
+        if executor is not None and executor.backend == "process":
+            raise ConfigurationError(
+                "the service runner streams partials through "
+                "closures; use a serial or thread executor"
+            )
+        self.telemetry = registry
+        self.executor = executor
+        self._kinds: Dict[str, Callable[[JobContext, dict], Any]] = {
+            "shmoo": self.run_shmoo_job,
+            "ber": self.run_ber_job,
+            "eye": self.run_eye_job,
+            "wafer": self.run_wafer_job,
+        }
+
+    @property
+    def kinds(self) -> tuple:
+        """Registered job type names."""
+        return tuple(sorted(self._kinds))
+
+    def register(self, kind: str,
+                 fn: Callable[[JobContext, dict], Any]) -> None:
+        """Add (or replace) a job type; *fn* gets ``(ctx, params)``
+        and returns a JSON-ready payload."""
+        self._kinds[str(kind)] = fn
+
+    def run(self, job: Job, ctx: JobContext) -> Any:
+        """Execute *job* (worker thread); returns its payload."""
+        try:
+            fn = self._kinds[job.kind]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown job kind {job.kind!r}; "
+                f"registered: {', '.join(self.kinds)}"
+            ) from None
+        tel = telemetry.resolve(self.telemetry)
+        with tel.span(f"service.job.{job.kind}"):
+            return fn(ctx, job.params)
+
+    # -- builtin job types -----------------------------------------------
+
+    def run_shmoo_job(self, ctx: JobContext, params: dict) -> dict:
+        """Strobe-position vs rate shmoo on a fresh mini-tester.
+
+        Params: ``rates`` and ``strobe_fracs`` (required axes),
+        ``n_bits`` (300), ``seed`` (1), ``adaptive`` (False),
+        ``coarse_step`` (8). Streams one partial per evaluated cell
+        and returns :meth:`ShmooResult.to_dict`, bit-identical to
+        :func:`~repro.host.shmoo.minitester_strobe_rate_shmoo` with
+        the same arguments.
+        """
+        from repro.core.minitester import MiniTester
+        from repro.host.shmoo import ShmooRunner, strobe_rate_test
+
+        rates = [float(x) for x in params["rates"]]
+        fracs = [float(y) for y in params["strobe_fracs"]]
+        n_bits = int(params.get("n_bits", 300))
+        seed = int(params.get("seed", 1))
+        tester = MiniTester(registry=self.telemetry)
+        base = strobe_rate_test(tester, n_bits=n_bits, seed=seed)
+        total = len(rates) * len(fracs)
+        done = {"cells": 0}
+
+        def test(x: float, y: float) -> bool:
+            ok = base(x, y)
+            done["cells"] += 1
+            ctx.partial({"cells_done": done["cells"],
+                         "cells_total": total,
+                         "cell": {"x": x, "y": y, "ok": bool(ok)}})
+            return ok
+
+        runner = ShmooRunner(test, x_name="rate (Gbps)",
+                             y_name="strobe (UI)",
+                             registry=self.telemetry)
+        if params.get("adaptive", False):
+            result = runner.run_adaptive(
+                rates, fracs,
+                coarse_step=int(params.get("coarse_step", 8)),
+                progress=ctx.progress,
+                should_abort=ctx.should_abort,
+                executor=self.executor,
+            )
+        else:
+            result = runner.run(rates, fracs,
+                                progress=ctx.progress,
+                                should_abort=ctx.should_abort,
+                                executor=self.executor)
+        return result.to_dict()
+
+    def run_ber_job(self, ctx: JobContext, params: dict) -> dict:
+        """Sharded BER characterization on a fresh mini-tester.
+
+        Params: ``total_bits`` (20000), ``n_shards`` (4), ``seed``
+        (1), ``rate_gbps`` (tester default). Shard partitioning and
+        per-shard seeding follow
+        :meth:`TestSession.characterize_ber` exactly — identical
+        totals to the direct call. Streams cumulative tallies after
+        every shard; each shard boundary is a pause/abort
+        checkpoint.
+        """
+        from repro.core.minitester import MiniTester
+        from repro.host.session import BERCharacterization
+
+        total_bits = int(params.get("total_bits", 20_000))
+        n_shards = int(params.get("n_shards", 4))
+        seed = int(params.get("seed", 1))
+        if total_bits < 1:
+            raise ConfigurationError("need a positive bit budget")
+        tester = MiniTester(registry=self.telemetry)
+        rate = float(params.get("rate_gbps", tester.rate_gbps))
+        plan = ShardPlan.for_range(total_bits, n_shards)
+        ranges = [shard.items[0] for shard in plan.shards]
+        seeds = spawn_seeds(len(ranges), root=seed)
+        pairs = []
+        for i, ((_start, count), s) in enumerate(zip(ranges, seeds)):
+            if ctx.should_abort():
+                break
+            ber = tester.run_loopback(n_bits=int(count), seed=int(s),
+                                      rate_gbps=rate).ber
+            pairs.append((ber.n_bits, ber.n_errors))
+            ctx.partial({"shards_done": len(pairs),
+                         "n_shards": len(ranges),
+                         "bits": sum(b for b, _ in pairs),
+                         "errors": sum(e for _, e in pairs)})
+            ctx.progress(i + 1, len(ranges))
+        result = BERCharacterization(
+            total_bits=sum(b for b, _ in pairs),
+            total_errors=sum(e for _, e in pairs),
+            shard_errors=tuple(e for _, e in pairs),
+            rate_gbps=rate,
+        )
+        out = result.to_dict()
+        out["complete"] = len(pairs) == len(ranges)
+        return out
+
+    def run_eye_job(self, ctx: JobContext, params: dict) -> dict:
+        """Streaming eye capture through the accumulator.
+
+        Params: ``n_bits`` (1200), ``rate_gbps`` (2.5), ``seed``
+        (2), ``chunk_samples`` (2048), ``n_time_bins``/
+        ``n_volt_bins`` (32). Folds the PRBS record chunk by chunk;
+        every chunk boundary is a checkpoint and publishes a
+        grid-free :meth:`EyeAccumulator.snapshot`. Returns the full
+        snapshot (grid included) — chunking never changes it.
+        """
+        from repro.eye import EyeAccumulator
+        from repro.signal.nrz import bits_to_waveform
+        from repro.signal.prbs import prbs_bits
+        from repro.signal.waveform import Waveform
+
+        n_bits = int(params.get("n_bits", 1200))
+        rate = float(params.get("rate_gbps", 2.5))
+        seed = int(params.get("seed", 2))
+        chunk = int(params.get("chunk_samples", 2048))
+        if chunk < 1:
+            raise ConfigurationError(
+                f"chunk_samples must be >= 1, got {chunk}"
+            )
+        bits = prbs_bits(7, n_bits)
+        wf = bits_to_waveform(bits, rate, v_low=-0.4, v_high=0.4,
+                              t20_80=72.0,
+                              rng=np.random.default_rng(seed))
+        acc = EyeAccumulator(
+            rate, v_range=(-0.45, 0.45), threshold=0.0,
+            n_time_bins=int(params.get("n_time_bins", 32)),
+            n_volt_bins=int(params.get("n_volt_bins", 32)),
+            registry=self.telemetry,
+        )
+        n = len(wf)
+        for i in range(0, n, chunk):
+            if ctx.should_abort():
+                break
+            acc.update(Waveform(wf.values[i:i + chunk].copy(),
+                                dt=wf.dt, t0=wf.t0 + i * wf.dt))
+            ctx.partial(acc.snapshot(include_grid=False))
+            ctx.progress(min(i + chunk, n), n)
+        out = acc.snapshot(include_grid=True)
+        out["complete"] = not ctx.job.abort_requested
+        return out
+
+    def run_wafer_job(self, ctx: JobContext, params: dict) -> dict:
+        """Multi-site wafer sort.
+
+        Params: ``diameter_mm`` (100), ``die_mm`` (10),
+        ``n_sites`` (4), ``test_time_s`` (0.5), ``seed`` (0). The
+        sort itself is one uninterruptible unit (the wafer stack
+        has no mid-sort hooks), so the only checkpoint is before
+        the first touchdown.
+        """
+        from repro.wafer.inkmap import summarize
+        from repro.wafer.map import WaferMap
+        from repro.wafer.probe import ProbeCard
+        from repro.wafer.scheduler import MultiSiteScheduler
+
+        if ctx.should_abort():
+            return {"dies_tested": 0, "touchdowns": 0,
+                    "total_time_s": 0.0, "complete": False}
+        die = float(params.get("die_mm", 10.0))
+        wafer = WaferMap(
+            diameter_mm=float(params.get("diameter_mm", 100.0)),
+            die_width_mm=die, die_height_mm=die,
+        )
+        card = ProbeCard(n_sites=int(params.get("n_sites", 4)))
+        scheduler = MultiSiteScheduler(
+            card, test_time_s=float(params.get("test_time_s", 0.5)),
+            registry=self.telemetry,
+        )
+        ctx.progress(0, 1)
+        run = scheduler.sort_wafer(wafer,
+                                   seed=int(params.get("seed", 0)))
+        summary = summarize(wafer)
+        ctx.progress(1, 1)
+        return {
+            "dies_tested": int(run.dies_tested),
+            "touchdowns": int(run.touchdowns),
+            "total_time_s": float(run.total_time_s),
+            "bins": {"total": summary.total,
+                     "passed": summary.passed,
+                     "failed": summary.failed,
+                     "skipped": summary.skipped,
+                     "untested": summary.untested},
+            "complete": True,
+        }

@@ -1,0 +1,86 @@
+"""Newline-delimited JSON wire format for the test-floor service.
+
+One JSON object per line, UTF-8, ``\\n``-terminated — the simplest
+framing that survives every transport (asyncio streams here; a
+serial console or netcat in a pinch). Requests carry ``id``,
+``method``, ``params``; responses echo the ``id`` with ``ok`` and
+either ``result`` or a structured ``error``; server-pushed events
+carry ``event``, ``seq``, ``data`` and no ``id``.
+
+The encoder accepts numpy scalars and arrays so results assembled
+from measurement code serialize without each call site remembering
+to convert — arrays become nested lists, scalars become their
+Python equivalents.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+#: Longest accepted wire line (1 GiB would be absurd; 16 MiB covers
+#: a 1024x1024 int grid with room to spare).
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+class NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands numpy scalars and arrays."""
+
+    def default(self, o: Any) -> Any:
+        """Convert numpy types to plain Python; defer otherwise."""
+        if isinstance(o, np.integer):
+            return int(o)
+        if isinstance(o, np.floating):
+            return float(o)
+        if isinstance(o, np.bool_):
+            return bool(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        return super().default(o)
+
+
+def encode_line(obj: Any) -> bytes:
+    """One wire line: compact JSON, UTF-8, newline-terminated."""
+    text = json.dumps(obj, cls=NumpyJSONEncoder,
+                      separators=(",", ":"))
+    return text.encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Any:
+    """Parse one wire line back into Python.
+
+    Raises
+    ------
+    ProtocolError
+        On malformed JSON, a non-object payload, or a line past
+        :data:`MAX_LINE_BYTES`.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"wire line of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte limit"
+        )
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed wire line: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"wire lines must be JSON objects, got "
+            f"{type(obj).__name__}"
+        )
+    return obj
+
+
+def error_payload(exc: BaseException,
+                  traceback_text: str = "") -> dict:
+    """The structured ``error`` field for a failed response."""
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback_text,
+    }

@@ -217,3 +217,82 @@ class TestAccumulatorContracts:
         assert acc2.grid.shape == shape_before
         assert acc2.grid.nbytes + acc2.phase_hist.nbytes == nbytes
         assert acc2.n_samples > 9 * acc.n_samples
+
+
+class TestSnapshot:
+    """Snapshots are detached views: reading one mid-stream (the
+    service layer publishes them between chunks) must never change
+    what the stream folds to."""
+
+    def test_interleaved_snapshots_do_not_perturb(self):
+        wf = _record(n=400)
+        win = _window(wf, 2.5)
+        plain = EyeAccumulator(2.5, (-0.5, 0.5), 0.0,
+                               n_time_bins=16, n_volt_bins=16)
+        _feed(plain, win, 500)
+        snapped = EyeAccumulator(2.5, (-0.5, 0.5), 0.0,
+                                 n_time_bins=16, n_volt_bins=16)
+        taken = []
+        for i in range(0, len(win), 500):
+            snapped.update(Waveform(win.values[i:i + 500].copy(),
+                                    dt=win.dt,
+                                    t0=win.t0 + i * win.dt))
+            taken.append(snapped.snapshot())
+        assert np.array_equal(plain.grid, snapped.grid)
+        assert np.array_equal(plain.phase_hist, snapped.phase_hist)
+        assert plain.n_samples == snapped.n_samples
+        assert plain.n_crossings == snapped.n_crossings
+        # The final snapshot equals the uninterrupted stream's.
+        assert taken[-1] == plain.snapshot()
+        # Partials grow monotonically, the stream the service
+        # subscribers watch.
+        samples = [s["n_samples"] for s in taken]
+        assert samples == sorted(samples)
+        assert samples[-1] == plain.n_samples
+
+    def test_snapshot_is_detached(self):
+        acc = EyeAccumulator(2.5, (-0.5, 0.5), 0.0,
+                             n_time_bins=8, n_volt_bins=8)
+        _feed(acc, _window(_record(n=200), 2.5), 777)
+        snap = acc.snapshot()
+        snap["grid"][0][0] += 999
+        snap["n_samples"] = -1
+        again = acc.snapshot()
+        assert again["grid"][0][0] != snap["grid"][0][0]
+        assert again["n_samples"] == acc.n_samples
+
+    def test_snapshot_scalar_only_form(self):
+        acc = EyeAccumulator(2.5, (-0.5, 0.5), 0.0,
+                             n_time_bins=8, n_volt_bins=8)
+        _feed(acc, _window(_record(n=200), 2.5), 1000)
+        lite = acc.snapshot(include_grid=False)
+        assert "grid" not in lite and "phase_hist" not in lite
+        assert lite["n_samples"] == acc.n_samples
+        assert lite["n_time_bins"] == 8
+        assert lite["n_volt_bins"] == 8
+
+    def test_snapshot_json_ready(self):
+        import json
+
+        acc = EyeAccumulator(2.5, (-0.5, 0.5), 0.0,
+                             n_time_bins=8, n_volt_bins=8)
+        _feed(acc, _window(_record(n=200), 2.5), 1000)
+        text = json.dumps(acc.snapshot())
+        back = json.loads(text)
+        assert back["n_samples"] == acc.n_samples
+        assert back["grid"] == acc.grid.tolist()
+
+    def test_per_channel_snapshot_selects_row(self):
+        wf = _record(n=240)
+        win = _window(wf, 2.5)
+        batch = WaveformBatch(
+            np.stack([win.values, win.values * 0.5]),
+            dt=win.dt, t0=win.t0)
+        acc = EyeAccumulator(2.5, (-0.5, 0.5), 0.0,
+                             n_time_bins=8, n_volt_bins=8,
+                             n_channels=2)
+        acc.update(batch)
+        merged = acc.snapshot()
+        ch0 = acc.snapshot(channel=0)
+        assert merged["n_samples"] == 2 * ch0["n_samples"]
+        assert ch0["grid"] == acc.grid[0].tolist()

@@ -239,3 +239,103 @@ def counting_work(item, seed):
     with tel.span("worker.step"):
         tel.counter("worker.calls").inc()
     return item
+
+
+class TestCallbackGuard:
+    """Raising caller hooks must degrade to a clean abort, never a
+    mid-run crash (satellite of the service layer: a buggy client
+    callback cannot take down a worker slot)."""
+
+    def test_raising_progress_converts_to_abort(self):
+        def bad_progress(done, total, idx):
+            raise RuntimeError("client hook bug")
+
+        ex = Executor(chunk_size=2)
+        with telemetry.use_registry() as reg:
+            out = ex.run(square, list(range(10)),
+                         progress=bad_progress)
+        assert out.aborted
+        # The first chunk completed before its progress tick blew up.
+        assert out.n_completed >= 2
+        assert out.results[:2] == [0, 1]
+        counters = reg.to_dict()["counters"]
+        assert counters["parallel.callback_errors"] == 1
+        assert counters["parallel.aborts"] == 1
+
+    def test_raising_should_abort_converts_to_abort(self):
+        calls = []
+
+        def bad_abort():
+            calls.append(1)
+            raise ValueError("flaky sensor")
+
+        ex = Executor(chunk_size=2)
+        with telemetry.use_registry() as reg:
+            out = ex.run(square, list(range(10)),
+                         should_abort=bad_abort)
+        assert out.aborted
+        assert len(calls) == 1  # latched: never called again
+        assert reg.to_dict()["counters"][
+            "parallel.callback_errors"] == 1
+
+    def test_healthy_hooks_unaffected(self):
+        seen = []
+        ex = Executor(chunk_size=2)
+        with telemetry.use_registry() as reg:
+            out = ex.run(square, list(range(4)),
+                         progress=lambda d, t, i: seen.append(d),
+                         should_abort=lambda: False)
+        assert out.ok and not out.aborted
+        assert seen == [2, 4]
+        assert "parallel.callback_errors" not in \
+            reg.to_dict()["counters"]
+
+    def test_shmoo_serial_raising_progress_partial_grid(self):
+        from repro.host.shmoo import ShmooRunner
+
+        def bad_progress(done, total):
+            if done >= 3:
+                raise RuntimeError("plotter died")
+
+        runner = ShmooRunner(lambda x, y: x > y)
+        with telemetry.use_registry() as reg:
+            result = runner.run([0, 1, 2], [0, 1, 2],
+                                progress=bad_progress)
+        assert not result.complete
+        assert 3 <= int(result.evaluated.sum()) < 9
+        assert reg.to_dict()["counters"][
+            "parallel.callback_errors"] == 1
+
+    def test_shmoo_sharded_counts_error_once(self):
+        """ShmooRunner wraps hooks, then Executor wraps again; the
+        inner guard swallows the exception so the counter must
+        increment exactly once."""
+        from repro.host.shmoo import ShmooRunner
+
+        def bad_abort():
+            raise RuntimeError("hook bug")
+
+        runner = ShmooRunner(lambda x, y: True)
+        with telemetry.use_registry() as reg:
+            result = runner.run([0, 1, 2, 3], [0, 1],
+                                should_abort=bad_abort,
+                                executor=Executor(chunk_size=2))
+        assert not result.complete
+        assert reg.to_dict()["counters"][
+            "parallel.callback_errors"] == 1
+
+    def test_shmoo_adaptive_raising_hook_aborts_cleanly(self):
+        from repro.host.shmoo import ShmooRunner
+
+        def bad_abort():
+            raise RuntimeError("hook bug")
+
+        runner = ShmooRunner(lambda x, y: x >= y)
+        with telemetry.use_registry() as reg:
+            result = runner.run_adaptive(list(range(8)),
+                                         list(range(8)),
+                                         coarse_step=4,
+                                         should_abort=bad_abort)
+        assert not result.complete
+        assert reg.to_dict()["counters"][
+            "parallel.callback_errors"] == 1

@@ -1,0 +1,119 @@
+"""Tests for the NDJSON wire format and wire-ready result forms.
+
+The contract: every result object the service returns or streams
+round-trips ``to_dict -> json -> from_dict`` without loss, and the
+line codec survives numpy payloads and rejects garbage.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.host.session import BERCharacterization
+from repro.host.shmoo import ShmooResult
+from repro.parallel import ExecutionResult
+from repro.pecl.receiver import BERResult
+from repro.service.wire import (
+    MAX_LINE_BYTES, decode_line, encode_line, error_payload,
+)
+
+
+class TestLineCodec:
+    def test_round_trip(self):
+        obj = {"id": 7, "method": "submit",
+               "params": {"kind": "ber", "priority": 2}}
+        assert decode_line(encode_line(obj)) == obj
+
+    def test_numpy_types_encode(self):
+        obj = {"a": np.int64(3), "b": np.float64(2.5),
+               "c": np.bool_(True), "d": np.arange(4),
+               "e": np.array([[True, False]])}
+        back = decode_line(encode_line(obj))
+        assert back == {"a": 3, "b": 2.5, "c": True,
+                        "d": [0, 1, 2, 3], "e": [[True, False]]}
+
+    def test_one_line_per_object(self):
+        line = encode_line({"x": "multi\nline\ntext"})
+        assert line.count(b"\n") == 1
+        assert line.endswith(b"\n")
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"{not json}\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2, 3]\n")
+
+    def test_oversized_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"x" * (MAX_LINE_BYTES + 1))
+
+    def test_error_payload_shape(self):
+        err = error_payload(ValueError("bad knob"), "tb text")
+        assert err == {"type": "ValueError", "message": "bad knob",
+                       "traceback": "tb text"}
+
+
+class TestExecutionResultWire:
+    def test_round_trip(self):
+        src = ExecutionResult(results=[1, None, 9],
+                              completed=[True, False, True],
+                              retries=2, aborted=True)
+        back = ExecutionResult.from_dict(
+            json.loads(json.dumps(src.to_dict())))
+        assert back.results == src.results
+        assert back.completed == src.completed
+        assert back.retries == 2 and back.aborted
+        assert back.n_completed == 2 and not back.ok
+
+
+class TestShmooResultWire:
+    def _result(self):
+        passes = np.array([[True, False], [False, True]])
+        evaluated = np.array([[True, True], [True, False]])
+        return ShmooResult(x_values=(1.0, 2.0), y_values=(0.2, 0.8),
+                           passes=passes, x_name="rate",
+                           y_name="strobe", evaluated=evaluated,
+                           complete=False)
+
+    def test_round_trip_preserves_masks(self):
+        src = self._result()
+        back = ShmooResult.from_dict(
+            json.loads(json.dumps(src.to_dict())))
+        assert np.array_equal(back.passes, src.passes)
+        assert np.array_equal(back.evaluated, src.evaluated)
+        assert back.passes.dtype == bool
+        assert back.evaluated.dtype == bool
+        assert back.x_values == src.x_values
+        assert back.y_values == src.y_values
+        assert back.x_name == "rate" and back.y_name == "strobe"
+        assert back.aborted
+
+    def test_default_mask_round_trips_all_true(self):
+        src = ShmooResult(x_values=(1.0,), y_values=(2.0,),
+                          passes=np.array([[True]]))
+        back = ShmooResult.from_dict(src.to_dict())
+        assert back.evaluated.all() and back.complete
+
+
+class TestBERWire:
+    def test_ber_result_round_trip(self):
+        src = BERResult(n_bits=1000, n_errors=3)
+        back = BERResult.from_dict(
+            json.loads(json.dumps(src.to_dict())))
+        assert back == src
+        assert back.ber == src.ber
+
+    def test_characterization_round_trip(self):
+        src = BERCharacterization(total_bits=4000, total_errors=5,
+                                  shard_errors=(1, 0, 4, 0),
+                                  rate_gbps=5.0)
+        back = BERCharacterization.from_dict(
+            json.loads(json.dumps(src.to_dict())))
+        assert back == src
+        assert back.shard_errors == (1, 0, 4, 0)
+        assert back.ber == src.ber
+        assert back.n_shards == 4

@@ -321,6 +321,73 @@ recovery properties).
 """
 
 
+SERVICE = """\
+## Test-Floor Service
+
+`repro.service` turns the library into a shared shop-floor master:
+an asyncio RPC server speaking newline-delimited JSON
+(`{"id", "method", "params"}` in; `{"id", "ok", "result"|"error"}`
+out; subscribed connections additionally receive
+`{"event", "seq", "data"}` lines), a priority scheduler with
+bounded worker slots, and a pub/sub hub streaming partial results
+live. Everything is stdlib (asyncio + threading + json); jobs run
+the same measurement code a direct caller would, so service
+results are **bit-identical to direct library calls** — pinned
+end-to-end by `tests/test_service_e2e.py`.
+
+```python
+from repro.service import serve_in_thread
+
+with serve_in_thread(max_slots=2) as handle:
+    with handle.client() as cli:
+        cli.subscribe("job.*")            # live event stream
+        job = cli.submit(kind="shmoo",
+                         params={"rates": [2.0, 3.0, 4.0],
+                                 "strobe_fracs": [0.2, 0.5, 0.8],
+                                 "n_bits": 200},
+                         priority=2, deadline_s=120.0)
+        final = cli.result(job_id=job["job_id"])
+```
+
+**Scheduling.** Higher priority runs first, FIFO within a
+priority, at most `max_slots` jobs on worker threads
+(`asyncio.to_thread`). When every slot is busy and a strictly
+higher-priority job arrives, the lowest-priority running job is
+*preempted cooperatively*: its worker thread parks at the next
+`should_abort` checkpoint (the same hook the measurement stack
+already polls between cells/shards/chunks), the slot frees on the
+pause acknowledgement, and the job auto-resumes — bit-identically
+— when a slot opens. Clients can also `pause`/`resume`/`abort`
+explicitly; an aborted job returns its partial results. Per-job
+`deadline_s` is wall-clock from start; overruns abort with
+partials.
+
+**Builtin job kinds** (`JobRunner.register` adds more): `shmoo`
+(cells via `repro.host.shmoo.strobe_rate_test`, one partial per
+cell), `ber` (the exact `ShardPlan.for_range` + `spawn_seeds`
+recipe of `TestSession.characterize_ber`, cumulative tallies per
+shard), `eye` (chunked `EyeAccumulator` fold publishing
+`snapshot()` views), and `wafer` (multi-site sort summary).
+
+**Streaming.** Topics `job.<id>.state` / `.progress` / `.partial`
+with trailing-`*` wildcards. Per-subscriber queues are bounded and
+lossy-oldest: a slow reader lags (visible as gaps in per-topic
+`seq` numbers, counted in `service.events_dropped`) without ever
+stalling publishers. Raising client hooks are quarantined the same
+way on the library side: a `progress`/`should_abort` callback that
+throws converts the run into a clean abort (counted as
+`parallel.callback_errors`) instead of crashing mid-measurement.
+
+Service health is observable under dotted `service.*` names:
+`jobs_submitted/completed/failed/aborted`, `preemptions`,
+`deadline_aborts`, `rpc_requests/rpc_errors`,
+`events_published/events_dropped` counters and
+`jobs_queued/jobs_running/jobs_paused`, `subscribers`,
+`stream_lag` gauges. Run `python examples/service_demo.py` for the
+full multi-client story.
+"""
+
+
 def main() -> int:
     import repro
 
@@ -336,6 +403,7 @@ def main() -> int:
         CACHING,
         PARALLEL,
         CODING,
+        SERVICE,
     ]
     modules = [repro]
     for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
