@@ -47,9 +47,10 @@ from typing import Optional, Union
 
 from repro.cache.artifact import ArtifactCache, NullCache
 from repro.cache.keys import DIGEST_SIZE, array_digest, canonical_digest
+from repro.cache.remote import RemoteCacheTier
 
 __all__ = [
-    "ArtifactCache", "NullCache", "NULL_CACHE",
+    "ArtifactCache", "NullCache", "NULL_CACHE", "RemoteCacheTier",
     "canonical_digest", "array_digest", "DIGEST_SIZE",
     "active", "resolve", "enable", "disable", "enabled", "use_cache",
 ]

@@ -17,7 +17,6 @@ from repro.errors import ConfigurationError
 from repro.dlc.core import DigitalLogicCore
 from repro.dlc.lfsr import LFSR
 from repro.dlc.sram import SRAM
-from repro.wafer.bist import MISR
 
 
 @dataclasses.dataclass(frozen=True)
@@ -79,6 +78,11 @@ def lfsr_signature_test(order: int = 15, seed: int = 1) -> bool:
     the check validates the register-accurate LFSR implementation.
     """
     from repro.signal.prbs import prbs_bits
+    # Imported here, not at module top: repro.wafer.bist imports
+    # repro.dlc, and a wafer-first import order (e.g. a remote
+    # worker unpickling a wafer work function) would hit the cycle
+    # mid-initialization.
+    from repro.wafer.bist import MISR
 
     lfsr = LFSR(order, seed=seed)
     misr = MISR(16)

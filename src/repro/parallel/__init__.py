@@ -27,12 +27,19 @@ bit-exactness are untouched unless a caller opts in.
 
 from repro.parallel.executor import (
     BACKENDS, CallbackGuard, ExecutionResult, Executor, ShardError,
+    register_backend, registered_backends,
 )
 from repro.parallel.shards import Shard, ShardPlan
 from repro.parallel.workers import ber_shard_worker, run_chunk
 
+# Imported after the executor so its `from repro.parallel import
+# Executor` (via repro.service) resolves; importing it registers the
+# "remote" backend.
+from repro.parallel.pool import ChunkLedger, WorkerPool
+
 __all__ = [
-    "BACKENDS", "CallbackGuard", "ExecutionResult", "Executor",
-    "ShardError", "Shard", "ShardPlan", "ber_shard_worker",
+    "BACKENDS", "CallbackGuard", "ChunkLedger", "ExecutionResult",
+    "Executor", "ShardError", "Shard", "ShardPlan", "WorkerPool",
+    "ber_shard_worker", "register_backend", "registered_backends",
     "run_chunk",
 ]

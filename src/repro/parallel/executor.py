@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import pickle
 import time
 from concurrent.futures import (
     FIRST_COMPLETED, Future, ProcessPoolExecutor, ThreadPoolExecutor, wait,
@@ -37,7 +38,9 @@ from repro.errors import ConfigurationError, ReproError
 from repro.parallel.workers import run_chunk
 from repro.telemetry.registry import Registry
 
-#: Recognized backend names.
+#: The built-in in-process backends (kept for compatibility; the
+#: authoritative list — including ``"remote"`` and any plugin — is
+#: :func:`registered_backends`).
 BACKENDS = ("serial", "thread", "process")
 
 #: Poll interval (s) while watching for timeouts or abort requests.
@@ -46,6 +49,87 @@ _POLL_S = 0.02
 
 class ShardError(ReproError):
     """A shard failed, crashed, or timed out beyond its retry budget."""
+
+
+@dataclasses.dataclass(frozen=True)
+class _Backend:
+    """One registered backend: its runner and dispatch traits."""
+
+    #: ``runner(executor, fn, chunks, state, progress,
+    #: should_abort, collect_telemetry)`` mutating *state* in place.
+    runner: Callable
+    #: True when work leaves the parent process (work functions and
+    #: items must pickle; worker telemetry snapshots merge back).
+    isolated: bool = False
+
+
+#: name -> :class:`_Backend`. The serial/thread/process builtins
+#: register at import; ``repro.parallel.pool`` adds ``"remote"``;
+#: plugins (a GPU or compiled backend) call :func:`register_backend`.
+_REGISTRY: Dict[str, _Backend] = {}
+
+
+def register_backend(name: str, runner: Callable, *,
+                     isolated: bool = False,
+                     replace: bool = False) -> None:
+    """Register an executor backend under *name*.
+
+    The pluggable seam: a new backend (remote pool, GPU, compiled)
+    plugs in without editing :class:`Executor`. *runner* is called
+    as ``runner(executor, fn, chunks, state, progress,
+    should_abort, collect_telemetry)`` where ``chunks`` is a list
+    of ``(global_index, item, seed)`` entry lists and *state* is
+    the run's mutable bookkeeping — record completed chunks through
+    ``Executor._record`` to keep canonical-order reassembly and
+    telemetry-snapshot merging identical across backends.
+
+    Parameters
+    ----------
+    name:
+        Backend name accepted by ``Executor(backend=...)``.
+    runner:
+        The dispatch callable described above.
+    isolated:
+        Declare that work leaves the parent process: submit-time
+        picklability checks apply and per-chunk telemetry snapshots
+        are collected for the parent to merge.
+    replace:
+        Allow overwriting an existing registration (re-imports,
+        tests); without it a duplicate name raises.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError("backend name must be a non-empty "
+                                 "string")
+    if not callable(runner):
+        raise ConfigurationError(
+            f"backend {name!r} runner must be callable"
+        )
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"backend {name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    _REGISTRY[name] = _Backend(runner=runner, isolated=bool(isolated))
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Every registered backend name, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _lookup_backend(name: str) -> _Backend:
+    if name not in _REGISTRY and name == "remote":
+        # The remote backend registers on import; importing the
+        # package normally does this, but direct
+        # ``repro.parallel.executor`` importers get it lazily.
+        import repro.parallel.pool  # noqa: F401
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(registered_backends())}"
+        ) from None
 
 
 class CallbackGuard:
@@ -183,12 +267,18 @@ class Executor:
     backend:
         ``"serial"`` (inline, the default), ``"thread"``
         (:class:`~concurrent.futures.ThreadPoolExecutor` — right for
-        workloads that sleep or release the GIL), or ``"process"``
+        workloads that sleep or release the GIL), ``"process"``
         (:class:`~concurrent.futures.ProcessPoolExecutor` — true
         parallelism; work functions and their bound arguments must
-        be picklable).
+        be picklable), ``"remote"`` (a
+        :class:`~repro.parallel.pool.WorkerPool` of worker
+        *processes* over NDJSON/TCP — local or on other hosts, with
+        heartbeat supervision, requeue on worker death, and the
+        shared read-through cache tier), or any name added through
+        :func:`register_backend`.
     max_workers:
-        Pool width for the thread/process backends.
+        Pool width for the thread/process backends; spawned worker
+        count for an owned remote pool.
     chunk_size:
         Items per dispatched chunk; default balances ~4 chunks per
         worker to amortize IPC while keeping the queue responsive.
@@ -205,6 +295,13 @@ class Executor:
     registry:
         Optional injected telemetry registry; defaults to the
         module-level active one.
+    backend_options:
+        Backend-specific settings. The remote backend reads
+        ``pool`` (a started :class:`~repro.parallel.pool.WorkerPool`
+        to share — the executor will not close it) or, when
+        spawning its own, ``heartbeat_s`` / ``heartbeat_timeout_s``
+        / ``connect_timeout_s`` / ``spawn`` / ``host`` / ``port`` /
+        ``cache``. Plugin backends define their own keys.
     """
 
     def __init__(self, backend: str = "serial",
@@ -212,11 +309,9 @@ class Executor:
                  chunk_size: Optional[int] = None,
                  max_retries: int = 1,
                  timeout_s: Optional[float] = None,
-                 registry=None):
-        if backend not in BACKENDS:
-            raise ConfigurationError(
-                f"unknown backend {backend!r}; choose from {BACKENDS}"
-            )
+                 registry=None,
+                 backend_options: Optional[dict] = None):
+        self._backend_impl = _lookup_backend(backend)
         if max_workers < 1:
             raise ConfigurationError(
                 f"need >= 1 worker, got {max_workers}"
@@ -239,11 +334,58 @@ class Executor:
         self.max_retries = int(max_retries)
         self.timeout_s = timeout_s
         self.telemetry = registry
+        self.backend_options = dict(backend_options or {})
+        self._remote_pool = None
+        self._owns_pool = False
 
     def __repr__(self) -> str:
         return (f"Executor(backend={self.backend!r}, "
                 f"max_workers={self.max_workers}, "
                 f"max_retries={self.max_retries})")
+
+    # -- remote-pool lifecycle ---------------------------------------------
+
+    def _ensure_remote_pool(self):
+        """The WorkerPool this executor dispatches remote runs on.
+
+        An injected ``backend_options={"pool": ...}`` pool is used
+        as-is (and never closed here); otherwise the executor
+        spawns and owns a local pool of ``max_workers`` workers,
+        kept warm across runs until :meth:`close`.
+        """
+        if self._remote_pool is not None:
+            return self._remote_pool
+        pool = self.backend_options.get("pool")
+        if pool is None:
+            from repro.parallel.pool import WorkerPool
+
+            opts = {k: v for k, v in self.backend_options.items()
+                    if k in ("heartbeat_s", "heartbeat_timeout_s",
+                             "connect_timeout_s", "spawn", "host",
+                             "port", "cache")}
+            pool = WorkerPool(n_workers=self.max_workers,
+                              registry=self.telemetry, **opts)
+            self._owns_pool = True
+        self._remote_pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Release backend resources (the owned remote pool).
+
+        Safe to call on any backend; in-process backends hold
+        nothing between runs. Executors used as context managers
+        close on exit.
+        """
+        if self._remote_pool is not None and self._owns_pool:
+            self._remote_pool.close()
+        self._remote_pool = None
+        self._owns_pool = False
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- public API --------------------------------------------------------
 
@@ -295,7 +437,7 @@ class Executor:
             should_abort = guard.should_abort
         if collect_telemetry is None:
             collect_telemetry = bool(tel.enabled) \
-                and self.backend == "process"
+                and self._backend_impl.isolated
         seeds: List[Optional[int]]
         if seed_root is not None:
             seeds = list(spawn_seeds(len(items), root=seed_root))
@@ -303,6 +445,8 @@ class Executor:
             seeds = [None] * len(items)
         entries = [(i, item, seed)
                    for i, (item, seed) in enumerate(zip(items, seeds))]
+        if self._backend_impl.isolated:
+            self._check_portable(fn, entries[0])
         size = self.chunk_size if self.chunk_size is not None else \
             max(1, math.ceil(len(items) / (self.max_workers * 4)))
         chunks = [entries[i:i + size]
@@ -310,12 +454,9 @@ class Executor:
         state = _RunState(len(items))
         try:
             with tel.span("parallel.run"):
-                if self.backend == "serial":
-                    self._run_serial(fn, chunks, state, progress,
-                                     should_abort)
-                else:
-                    self._run_pooled(fn, chunks, state, progress,
-                                     should_abort, collect_telemetry)
+                self._backend_impl.runner(
+                    self, fn, chunks, state, progress, should_abort,
+                    collect_telemetry)
         finally:
             # Commit the run's accounting even when a shard error
             # propagates — failed runs must stay observable.
@@ -333,6 +474,49 @@ class Executor:
                                completed=state.completed,
                                retries=state.retries,
                                aborted=state.aborted)
+
+    # -- submit-time portability check -------------------------------------
+
+    def _check_portable(self, fn, first_entry) -> None:
+        """Fail fast when work cannot travel to another process.
+
+        On an isolated backend an unpicklable work function (a
+        lambda, a bound method of an unpicklable object) or work
+        item used to surface as an opaque per-chunk failure — and a
+        retry storm — mid-run. One representative pickle of the
+        function and the first ``(index, item, seed)`` entry at
+        submit time turns that into an immediate, actionable
+        :class:`ConfigurationError`.
+        """
+        if self.backend == "remote" \
+                and getattr(fn, "__module__", None) == "__main__":
+            name = getattr(fn, "__qualname__", None) or repr(fn)
+            raise ConfigurationError(
+                f"work function {name} lives in __main__, which "
+                f"remote workers cannot import (they run as their "
+                f"own __main__); move it into an importable module "
+                f"or run with backend='serial'/'process'"
+            )
+        try:
+            pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            name = getattr(fn, "__qualname__", None) or repr(fn)
+            raise ConfigurationError(
+                f"work function {name} is not picklable, but the "
+                f"{self.backend!r} backend ships work to other "
+                f"processes ({exc}); use a module-level function "
+                f"or a functools.partial over one, or run with "
+                f"backend='serial'/'thread'"
+            ) from exc
+        try:
+            pickle.dumps(first_entry, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise ConfigurationError(
+                f"work item 0 ({first_entry[1]!r}) is not picklable, "
+                f"but the {self.backend!r} backend ships work to "
+                f"other processes ({exc}); pass plain-data items or "
+                f"run with backend='serial'/'thread'"
+            ) from exc
 
     # -- serial backend ----------------------------------------------------
 
@@ -492,3 +676,21 @@ class Executor:
         for snap in state.snapshots[1:]:
             combined = combined.merge(Registry.from_snapshot(snap))
         tel.absorb(combined)
+
+
+# -- built-in backends -----------------------------------------------------
+
+def _run_serial_backend(executor, fn, chunks, state, progress,
+                        should_abort, collect) -> None:
+    executor._run_serial(fn, chunks, state, progress, should_abort)
+
+
+def _run_pooled_backend(executor, fn, chunks, state, progress,
+                        should_abort, collect) -> None:
+    executor._run_pooled(fn, chunks, state, progress, should_abort,
+                         collect)
+
+
+register_backend("serial", _run_serial_backend)
+register_backend("thread", _run_pooled_backend)
+register_backend("process", _run_pooled_backend, isolated=True)

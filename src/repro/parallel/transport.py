@@ -1,0 +1,163 @@
+"""Socket transport for the distributed executor backend.
+
+The remote worker pool speaks the same newline-delimited JSON frames
+as the test-floor service (:mod:`repro.service.wire`) over plain TCP
+sockets — one JSON object per line in both directions. Python
+payloads that JSON cannot carry verbatim (work functions, chunk
+entries, computed artifacts) ride inside frames as base64-encoded
+pickles, packed once at the sending side and unpacked exactly once
+at the receiver, so the chunk a remote worker executes is
+byte-for-byte the chunk the process backend would have been handed.
+
+Message vocabulary (``type`` field):
+
+========== =========== ==================================================
+type       direction   meaning
+========== =========== ==================================================
+hello      worker → m  join request: protocol, worker name, pid
+welcome    m → worker  join accepted: heartbeat interval, master name
+reject     m → worker  join refused (protocol mismatch, pool full)
+job        m → worker  per-run setup: pickled work function, flags
+chunk      m → worker  one chunk of ``(index, item, seed)`` entries
+result     worker → m  chunk outcome: payload or structured error
+ping/pong  both        heartbeat (answered by the worker's reader
+                       thread, so a busy worker still pongs; only a
+                       dead or frozen process goes silent)
+cache_get  worker → m  read-through probe of the master's cache
+cache_hit/ m → worker  probe answer (hit carries the pickled value)
+cache_miss
+cache_put  worker → m  publish a computed artifact (no reply)
+close      m → worker  orderly shutdown
+========== =========== ==================================================
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+import socket
+import threading
+from typing import Any, Optional
+
+from repro.errors import ProtocolError
+from repro.service import wire
+
+#: Wire protocol version; a worker whose hello carries a different
+#: value is rejected at handshake instead of failing mid-run.
+PROTOCOL_VERSION = 1
+
+#: Seconds a just-accepted connection gets to complete its hello.
+HANDSHAKE_TIMEOUT_S = 10.0
+
+
+def pack_payload(obj: Any) -> str:
+    """Base64 text of *obj*'s pickle, ready to embed in a frame."""
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return base64.b64encode(blob).decode("ascii")
+
+
+def unpack_payload(text: str) -> Any:
+    """Inverse of :func:`pack_payload`."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+class MessageStream:
+    """Blocking NDJSON message framing over one connected socket.
+
+    Writes are serialized by a lock so the dispatch loop, heartbeat
+    thread, and cache-reply path can share the socket; reads are
+    single-consumer (each side owns one reader thread or loop).
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._wlock = threading.Lock()
+        self._closed = False
+
+    def send(self, obj: dict) -> None:
+        """Write one frame; raises ``ConnectionError`` when down."""
+        data = wire.encode_line(obj)
+        try:
+            with self._wlock:
+                self._sock.sendall(data)
+        except OSError as exc:
+            raise ConnectionError(str(exc)) from exc
+
+    def recv(self) -> Optional[dict]:
+        """Read one frame; ``None`` on EOF.
+
+        Raises
+        ------
+        ProtocolError
+            On a malformed or oversized line.
+        ConnectionError
+            When the socket dies mid-read.
+        """
+        try:
+            line = self._rfile.readline(wire.MAX_LINE_BYTES + 1)
+        except (OSError, ValueError) as exc:
+            if self._closed:
+                return None
+            raise ConnectionError(str(exc)) from exc
+        if not line:
+            return None
+        if not line.endswith(b"\n"):
+            raise ProtocolError("unterminated wire line (peer died "
+                                "mid-frame or line too long)")
+        return wire.decode_line(line)
+
+    def settimeout(self, timeout_s: Optional[float]) -> None:
+        """Set the socket read timeout (handshake guard)."""
+        self._sock.settimeout(timeout_s)
+
+    def close(self) -> None:
+        """Tear the connection down; safe to call twice."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        """True after :meth:`close`."""
+        return self._closed
+
+
+def hello_frame(name: str, pid: int) -> dict:
+    """The worker's join request."""
+    return {"type": "hello", "protocol": PROTOCOL_VERSION,
+            "worker": str(name), "pid": int(pid)}
+
+
+def check_hello(msg: dict) -> str:
+    """Validate a hello frame; returns the worker name.
+
+    Raises :class:`ProtocolError` on a version or shape mismatch —
+    the master turns that into a ``reject`` frame.
+    """
+    if msg.get("type") != "hello":
+        raise ProtocolError(
+            f"expected a hello frame, got {msg.get('type')!r}"
+        )
+    proto = msg.get("protocol")
+    if proto != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol mismatch: worker speaks {proto!r}, master "
+            f"speaks {PROTOCOL_VERSION}"
+        )
+    name = msg.get("worker")
+    if not isinstance(name, str) or not name:
+        raise ProtocolError("hello frame carries no worker name")
+    return name

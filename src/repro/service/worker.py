@@ -1,0 +1,294 @@
+"""Remote executor worker: the process the pool master dials up.
+
+Launch one per core (the master's ``spawn=True`` does this for
+local workers) or point it at a master on another host::
+
+    python -m repro.service.worker --connect 10.0.0.5:7920 --name rack3-w0
+
+The worker connects, handshakes (protocol version checked both
+ways), then loops: receive a ``job`` frame (the pickled work
+function plus flags), receive ``chunk`` frames, execute each through
+the universal :func:`repro.parallel.workers.run_chunk` frame — the
+same code path as every other backend, which is what keeps remote
+results bit-identical — and send the pickled results home, with a
+per-chunk telemetry snapshot when the master asked for one.
+
+A dedicated reader thread answers heartbeat pings and routes cache
+replies, so the main thread can crunch a chunk for minutes without
+the master declaring the process dead. When the job enables the
+shared cache tier, chunks run under an activated
+:class:`repro.cache.remote.RemoteCacheTier` that consults the
+master's artifact store before computing and publishes what it had
+to compute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import queue
+import socket
+import sys
+import threading
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+from repro import cache as artifact_cache
+from repro import telemetry
+from repro.cache.remote import RemoteCacheTier
+from repro.errors import ProtocolError, ReproError
+from repro.parallel import transport
+from repro.parallel.workers import run_chunk
+
+#: Jobs retained per worker; in-order TCP guarantees a chunk never
+#: precedes its job frame, so only aborted-and-superseded jobs age
+#: out.
+_MAX_JOBS = 8
+
+#: Seconds a cache read-through waits for the master before
+#: degrading to a local miss.
+CACHE_FETCH_TIMEOUT_S = 30.0
+
+
+class _Job:
+    """One run's setup: the work function and its flags."""
+
+    __slots__ = ("fn", "collect", "cache")
+
+    def __init__(self, fn, collect: bool, cache: bool):
+        self.fn = fn
+        self.collect = collect
+        self.cache = cache
+
+
+class WorkerSession:
+    """One worker's connection to a pool master.
+
+    Parameters
+    ----------
+    host, port:
+        The master's :attr:`~repro.parallel.pool.WorkerPool.address`.
+    name:
+        Worker name; must be unique across the pool (it keys the
+        master's per-worker telemetry labels).
+    """
+
+    def __init__(self, host: str, port: int, name: str = "worker"):
+        sock = socket.create_connection((host, int(port)))
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.stream = transport.MessageStream(sock)
+        self.name = name
+        self._work: "queue.Queue" = queue.Queue()
+        self._cache_replies: Dict[int, "queue.Queue"] = {}
+        self._cache_req = iter(range(1, 1 << 62)).__next__
+        self._jobs: "Dict[int, _Job]" = {}
+        self._tier: Optional[RemoteCacheTier] = None
+        self._closed = False
+
+    # -- handshake ---------------------------------------------------------
+
+    def handshake(self) -> dict:
+        """Send hello, await welcome; raises on reject/mismatch."""
+        self.stream.send(transport.hello_frame(self.name,
+                                               os.getpid()))
+        self.stream.settimeout(transport.HANDSHAKE_TIMEOUT_S)
+        reply = self.stream.recv()
+        self.stream.settimeout(None)
+        if reply is None:
+            raise ProtocolError("master closed during handshake")
+        if reply.get("type") == "reject":
+            raise ProtocolError(
+                f"master rejected worker {self.name!r}: "
+                f"{reply.get('reason', 'no reason given')}"
+            )
+        if reply.get("type") != "welcome" \
+                or reply.get("protocol") != transport.PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"bad welcome frame: {reply!r}"
+            )
+        return reply
+
+    # -- reader thread -----------------------------------------------------
+
+    def _reader_loop(self) -> None:
+        """Split incoming frames: pings answered here, cache
+        replies routed to the waiting compute, work queued."""
+        try:
+            while True:
+                msg = self.stream.recv()
+                if msg is None:
+                    break
+                kind = msg.get("type")
+                if kind == "ping":
+                    self.stream.send({"type": "pong",
+                                      "seq": msg.get("seq")})
+                elif kind in ("cache_hit", "cache_miss"):
+                    waiter = self._cache_replies.pop(
+                        msg.get("req"), None)
+                    if waiter is not None:
+                        waiter.put(msg)
+                else:
+                    self._work.put(msg)
+        except (ConnectionError, ProtocolError):
+            pass
+        self._work.put(None)  # wake the main loop for exit
+        for waiter in list(self._cache_replies.values()):
+            waiter.put(None)
+
+    # -- shared cache transport (worker side) ------------------------------
+
+    def _cache_fetch(self, key: str) -> Tuple[bool, Any]:
+        """One read-through round trip to the master's cache."""
+        req = self._cache_req()
+        waiter: "queue.Queue" = queue.Queue()
+        self._cache_replies[req] = waiter
+        try:
+            self.stream.send({"type": "cache_get", "req": req,
+                              "key": key})
+            reply = waiter.get(timeout=CACHE_FETCH_TIMEOUT_S)
+        except (ConnectionError, queue.Empty):
+            self._cache_replies.pop(req, None)
+            return False, None
+        if not reply or reply.get("type") != "cache_hit":
+            return False, None
+        try:
+            return True, transport.unpack_payload(reply["payload"])
+        except Exception:
+            return False, None
+
+    def _cache_publish(self, key: str, value: Any) -> None:
+        """Fire-and-forget a computed artifact to the master."""
+        try:
+            self.stream.send({
+                "type": "cache_put", "key": key,
+                "payload": transport.pack_payload(value),
+            })
+        except Exception:
+            pass  # a lost publish only costs a future miss
+
+    def _cache_tier(self) -> RemoteCacheTier:
+        if self._tier is None:
+            self._tier = RemoteCacheTier(fetch=self._cache_fetch,
+                                         publish=self._cache_publish)
+        return self._tier
+
+    # -- main loop ---------------------------------------------------------
+
+    def serve(self) -> None:
+        """Process job/chunk/close frames until the master hangs up."""
+        reader = threading.Thread(target=self._reader_loop,
+                                  name="repro-worker-reader",
+                                  daemon=True)
+        reader.start()
+        while True:
+            msg = self._work.get()
+            if msg is None or msg.get("type") == "close":
+                return
+            kind = msg.get("type")
+            if kind == "job":
+                self._on_job(msg)
+            elif kind == "chunk":
+                self._on_chunk(msg)
+            # Unknown frame types are ignored (forward compat).
+
+    def _on_job(self, msg: dict) -> None:
+        job_id = msg.get("job")
+        self._jobs[job_id] = _Job(
+            fn=transport.unpack_payload(msg["fn"]),
+            collect=bool(msg.get("collect")),
+            cache=bool(msg.get("cache")),
+        )
+        while len(self._jobs) > _MAX_JOBS:
+            self._jobs.pop(next(iter(self._jobs)))
+
+    def _on_chunk(self, msg: dict) -> None:
+        job_id = msg.get("job")
+        cid = msg.get("chunk")
+        job = self._jobs.get(job_id)
+        reply = {"type": "result", "job": job_id, "chunk": cid}
+        if job is None:
+            reply.update(ok=False, error={
+                "type": "ProtocolError",
+                "message": f"chunk for unknown job {job_id!r}",
+                "traceback": "",
+            })
+            self._send_result(reply)
+            return
+        try:
+            entries = transport.unpack_payload(msg["entries"])
+            if job.cache:
+                with artifact_cache.use_cache(self._cache_tier()):
+                    results, snap = run_chunk(job.fn, entries,
+                                              job.collect)
+            else:
+                results, snap = run_chunk(job.fn, entries,
+                                          job.collect)
+        except Exception as exc:
+            reply.update(ok=False, error={
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            })
+        else:
+            reply.update(ok=True,
+                         payload=transport.pack_payload(results),
+                         telemetry=snap)
+        self._send_result(reply)
+
+    def _send_result(self, reply: dict) -> None:
+        try:
+            self.stream.send(reply)
+        except ConnectionError:
+            pass  # master gone; serve() exits on the queue sentinel
+
+    def close(self) -> None:
+        """Drop the connection."""
+        self._closed = True
+        self.stream.close()
+
+
+def run_worker(host: str, port: int, name: str = "worker") -> int:
+    """Connect, handshake, serve until the master disconnects.
+
+    Returns a process exit code (0 on an orderly close, 2 on a
+    refused handshake) — the body of ``python -m
+    repro.service.worker``.
+    """
+    session = WorkerSession(host, port, name=name)
+    try:
+        welcome = session.handshake()
+    except (ProtocolError, ReproError) as exc:
+        print(f"worker {name}: {exc}", file=sys.stderr)
+        session.close()
+        return 2
+    # The worker records into a throwaway registry by default; the
+    # master's per-chunk collect flag decides what rides home.
+    telemetry.disable()
+    del welcome
+    try:
+        session.serve()
+    finally:
+        session.close()
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point: ``python -m repro.service.worker``."""
+    parser = argparse.ArgumentParser(
+        description="repro remote executor worker")
+    parser.add_argument("--connect", required=True,
+                        metavar="HOST:PORT",
+                        help="pool master address "
+                             "(WorkerPool.address)")
+    parser.add_argument("--name", default=f"worker-{os.getpid()}",
+                        help="unique worker name within the pool")
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"--connect wants HOST:PORT, got "
+                     f"{args.connect!r}")
+    return run_worker(host, int(port), name=args.name)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,7 @@ from typing import Optional, Union
 
 from repro.telemetry.export import (
     sanitize_metric_name, snapshot_to_json, snapshot_to_prometheus,
+    split_labels,
 )
 from repro.telemetry.instruments import (
     NULL_COUNTER, NULL_GAUGE, NULL_SPAN, NULL_TIMER,
@@ -51,6 +52,7 @@ __all__ = [
     "NULL_REGISTRY", "get_registry", "active", "resolve", "enable",
     "disable", "enabled", "use_registry",
     "sanitize_metric_name", "snapshot_to_json", "snapshot_to_prometheus",
+    "split_labels",
 ]
 
 #: The shared disabled-path registry; `active()` returns it whenever

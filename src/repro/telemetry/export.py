@@ -12,6 +12,51 @@ import re
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
+#: A label suffix in a registry metric name: ``name{key=value}``.
+#: The worker pool uses this for per-worker gauges, e.g.
+#: ``parallel.remote.worker.busy{worker=w0}``.
+_LABEL_RE = re.compile(
+    r"^(?P<base>[^{}]+)\{(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="
+    r"(?P<value>[^{}=]*)\}$")
+
+
+def split_labels(name: str):
+    """``(base, labels_dict)`` for a possibly-labelled metric name.
+
+    Registry metric names may carry a single ``{key=value}`` suffix
+    (the registry itself treats the whole string as the name; only
+    the exporters interpret it). Unlabelled names return an empty
+    dict.
+
+    >>> split_labels("parallel.remote.worker.busy{worker=w0}")
+    ('parallel.remote.worker.busy', {'worker': 'w0'})
+    >>> split_labels("cache.hits")
+    ('cache.hits', {})
+    """
+    m = _LABEL_RE.match(name)
+    if not m:
+        return name, {}
+    return m.group("base"), {m.group("key"): m.group("value")}
+
+
+def _prom_series(prefix: str, name: str, suffix: str = "") -> tuple:
+    """``(family, labelstr)`` for one snapshot entry.
+
+    The family name (used for the ``# TYPE`` line) drops any label
+    suffix; *labelstr* is the rendered ``{k="v"}`` block (empty for
+    unlabelled names) to append after the full series name — which
+    keeps sub-suffixes like a summary's ``_count`` ahead of the
+    labels, as Prometheus requires.
+    """
+    base, labels = split_labels(name)
+    family = f"{prefix}_{sanitize_metric_name(base)}{suffix}"
+    if not labels:
+        return family, ""
+    rendered = ",".join(
+        f'{sanitize_metric_name(k)}="{v}"'
+        for k, v in sorted(labels.items()))
+    return family, f"{{{rendered}}}"
+
 
 def sanitize_metric_name(name: str) -> str:
     """Map a dotted/slashed metric name to Prometheus charset.
@@ -37,24 +82,36 @@ def snapshot_to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
     Counters become ``<prefix>_<name>_total``, gauges
     ``<prefix>_<name>``, and each timer expands to ``_seconds_count``
     / ``_seconds_sum`` / ``_seconds_min`` / ``_seconds_max`` series.
-    Lines are emitted in sorted-name order, so the export is
-    deterministic for a given snapshot.
+    Metric names carrying a ``{key=value}`` label suffix (per-worker
+    gauges from the distributed pool) render as labelled Prometheus
+    series sharing one ``# TYPE`` line per family. Lines are emitted
+    in sorted-name order, so the export is deterministic for a given
+    snapshot.
     """
     lines = []
+    typed = set()
+
+    def emit(family: str, kind: str, series_lines) -> None:
+        if family not in typed:
+            typed.add(family)
+            lines.append(f"# TYPE {family} {kind}")
+        lines.extend(series_lines)
+
     for name in sorted(snapshot.get("counters", {})):
-        metric = f"{prefix}_{sanitize_metric_name(name)}_total"
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {snapshot['counters'][name]}")
+        family, labels = _prom_series(prefix, name, "_total")
+        emit(family, "counter",
+             [f"{family}{labels} {snapshot['counters'][name]}"])
     for name in sorted(snapshot.get("gauges", {})):
-        metric = f"{prefix}_{sanitize_metric_name(name)}"
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {snapshot['gauges'][name]:g}")
+        family, labels = _prom_series(prefix, name)
+        emit(family, "gauge",
+             [f"{family}{labels} {snapshot['gauges'][name]:g}"])
     for name in sorted(snapshot.get("timers", {})):
         stats = snapshot["timers"][name]
-        metric = f"{prefix}_{sanitize_metric_name(name)}_seconds"
-        lines.append(f"# TYPE {metric} summary")
-        lines.append(f"{metric}_count {stats['count']}")
-        lines.append(f"{metric}_sum {stats['total_s']:.9g}")
-        lines.append(f"{metric}_min {stats['min_s']:.9g}")
-        lines.append(f"{metric}_max {stats['max_s']:.9g}")
+        family, labels = _prom_series(prefix, name, "_seconds")
+        emit(family, "summary", [
+            f"{family}_count{labels} {stats['count']}",
+            f"{family}_sum{labels} {stats['total_s']:.9g}",
+            f"{family}_min{labels} {stats['min_s']:.9g}",
+            f"{family}_max{labels} {stats['max_s']:.9g}",
+        ])
     return "\n".join(lines) + ("\n" if lines else "")

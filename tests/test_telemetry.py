@@ -12,7 +12,7 @@ from repro import telemetry
 from repro.errors import ConfigurationError
 from repro.telemetry import (
     NULL_REGISTRY, NullRegistry, Registry,
-    sanitize_metric_name, snapshot_to_prometheus,
+    sanitize_metric_name, snapshot_to_prometheus, split_labels,
 )
 from repro.telemetry.instruments import (
     NULL_COUNTER, NULL_GAUGE, NULL_SPAN, NULL_TIMER,
@@ -305,3 +305,48 @@ class TestMerge:
         a.merge(b)
         assert a.to_dict()["counters"]["n"] == 2
         assert b.to_dict()["counters"] == {}
+
+
+class TestLabelledMetrics:
+    """Per-worker ``name{worker=w0}`` metric names: the convention
+    the distributed pool uses for its liveness gauges."""
+
+    def test_split_labels(self):
+        assert split_labels("parallel.remote.worker.busy{worker=w0}") \
+            == ("parallel.remote.worker.busy", {"worker": "w0"})
+        assert split_labels("cache.hits") == ("cache.hits", {})
+        # A malformed suffix stays part of the plain name.
+        assert split_labels("odd{name")[1] == {}
+
+    def test_prometheus_renders_labels(self):
+        reg = Registry()
+        reg.gauge("pool.worker.busy{worker=w0}").set(1.0)
+        reg.gauge("pool.worker.busy{worker=w1}").set(0.0)
+        text = reg.to_prometheus()
+        assert 'repro_pool_worker_busy{worker="w0"} 1' in text
+        assert 'repro_pool_worker_busy{worker="w1"} 0' in text
+        # One TYPE line per family, not per labelled series.
+        assert text.count("# TYPE repro_pool_worker_busy gauge") == 1
+
+    def test_labelled_summary_suffix_order(self):
+        snap = {"timers": {"chunk.time{worker=w2}": {
+            "count": 3, "total_s": 0.3, "min_s": 0.05,
+            "max_s": 0.2}}}
+        text = snapshot_to_prometheus(snap)
+        # Prometheus wants the _count/_sum suffix *before* labels.
+        assert 'repro_chunk_time_seconds_count{worker="w2"} 3' in text
+        assert 'repro_chunk_time_seconds_sum{worker="w2"}' in text
+
+    def test_cross_worker_merge_keeps_series_distinct(self):
+        master, w0, w1 = Registry(), Registry(), Registry()
+        master.gauge("pool.worker.alive{worker=w0}").set(1.0)
+        w0.counter("cache.remote.hits").inc(2)
+        w0.gauge("pool.worker.alive{worker=w0}").set(0.0)
+        w1.counter("cache.remote.hits").inc(3)
+        w1.gauge("pool.worker.alive{worker=w1}").set(1.0)
+        merged = master.merge(w0).merge(w1).to_dict()
+        # Counters pool across workers; labelled gauges stay per
+        # series with last-writer-wins within one.
+        assert merged["counters"]["cache.remote.hits"] == 5
+        assert merged["gauges"]["pool.worker.alive{worker=w0}"] == 0.0
+        assert merged["gauges"]["pool.worker.alive{worker=w1}"] == 1.0

@@ -276,6 +276,75 @@ a 32x32 BER shmoo runs >= 2x faster on 4 process workers.
 """
 
 
+DISTRIBUTED = """\
+## Distributed Execution
+
+The `"remote"` executor backend takes sharded runs off-box: a
+`repro.parallel.WorkerPool` master accepts worker *processes* over
+TCP speaking the same NDJSON frames as the test-floor service
+(`repro.service.wire`), with pickled payloads riding base64 inside
+the JSON lines. Every serial-semantics contract carries over
+unchanged — canonical-order reassembly, per-shard
+`SeedSequence.spawn` seeds, merged telemetry — so a remote run is
+**bit-identical to serial**, a property the million-cell shmoo
+bench re-proves on every run *including after a worker is killed
+mid-sweep* (`benchmarks/test_bench_remote_scaling.py`).
+
+```python
+from repro.parallel import Executor, WorkerPool
+
+with WorkerPool(n_workers=4) as pool:        # spawns local workers
+    ex = Executor(backend="remote", backend_options={"pool": pool})
+    result = ex.run(my_module_level_fn, work_items, seed_root=7)
+```
+
+Workers can also join from other machines: start the master with
+`WorkerPool(spawn=False, host="0.0.0.0", port=...)` and run
+`python -m repro.service.worker --connect HOST:PORT --name w0` on
+each box. The handshake pins `transport.PROTOCOL_VERSION` (a
+mismatched or duplicate-named worker is rejected with a reason),
+after which the master pickles the work function **once per worker
+per job** and streams chunks. Liveness is heartbeat-based: workers
+answer pings from a dedicated reader thread, so a *busy* worker
+still pongs and only a dead or frozen process goes silent; a
+worker declared dead has its in-flight chunks requeued to
+survivors (chunk failures, by contrast, charge
+`Executor.max_retries`). The requeue ledger is a pure state
+machine (`ChunkLedger`), property-tested in
+`tests/test_parallel_remote.py` so that *any* interleaving of
+completions and worker deaths still yields exactly-once canonical
+reassembly.
+
+**Shared read-through cache.** With an `ArtifactCache` active on
+the master (or passed as `WorkerPool(cache=...)`), workers resolve
+`cache.get_or_compute` through a `repro.cache.RemoteCacheTier`:
+worker-local LRU front, then a master fetch over the wire, then
+compute-and-publish. The first worker to render an artifact warms
+every other worker through the master — cross-worker hits are the
+reason the 4-worker shmoo point holds its >= 2.5x floor. Wire
+failures degrade to a local miss, never an error.
+
+**Backends are pluggable.** `register_backend(name, runner)` adds
+a strategy; `registered_backends()` lists them, and an unknown
+`backend=` raises a `ConfigurationError` naming the registered
+set. Submit-time validation fails fast with an actionable message
+when the work function is unpicklable or lives in `__main__`
+(remote workers cannot import a script's `__main__`) instead of
+dying opaquely on a worker.
+
+Remote health is observable under `parallel.remote.*`:
+`dispatches`, `requeues`, `worker_deaths`, `heartbeat_misses`,
+`joins`, `rejects`, `cache.{gets,served,puts}` counters, a
+`workers_alive` gauge, and per-worker labelled gauges
+(`pool.worker_busy{worker=w0}`, `pool.worker_chunks{worker=w0}`)
+that `telemetry.split_labels` parses and the Prometheus exporter
+renders as proper label sets. Worker-side counters ride home in
+each chunk's result frame and merge into the run's registry, so an
+N-worker sweep's totals read identically to serial. See
+`examples/distributed_shmoo.py` for the full story.
+"""
+
+
 CODING = """\
 ## Coded Serial Links
 
@@ -402,6 +471,7 @@ def main() -> int:
         BATCHED,
         CACHING,
         PARALLEL,
+        DISTRIBUTED,
         CODING,
         SERVICE,
     ]
