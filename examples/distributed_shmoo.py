@@ -20,9 +20,12 @@ Run:  python examples/distributed_shmoo.py
 
 To span real machines instead of local processes, start the master
 side with ``WorkerPool(spawn=False, host="0.0.0.0", port=9800)``
-and on each box run::
+— on a trusted network only; the HMAC handshake authenticates but
+does not encrypt — and on each box run with the master's
+``pool.secret``::
 
-    python -m repro.service.worker --connect MASTER:9800 --name w0
+    REPRO_POOL_SECRET=... \\
+        python -m repro.service.worker --connect MASTER:9800 --name w0
 """
 
 import functools

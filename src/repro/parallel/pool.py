@@ -7,8 +7,11 @@ the parent, chunks executed through the universal
 :func:`repro.parallel.workers.run_chunk` frame, results reassembled
 in canonical submission order, worker telemetry snapshots merged
 back into the parent registry. The master/worker split follows the
-ARTIQ pattern: workers dial in over TCP, handshake with a protocol
-version check, answer heartbeats from a reader thread (so a busy
+ARTIQ pattern: workers dial in over TCP, handshake with an HMAC
+shared-secret challenge/response (mutual — pickled payloads are
+never accepted from an unauthenticated peer; the wire is
+trusted-network-only) plus a protocol version check, answer
+heartbeats from a reader thread (so a busy
 worker still pongs; only a dead or frozen process goes silent), and
 any chunk in flight on a worker that dies is requeued to the
 survivors — a mid-run ``kill -9`` costs latency, never results.
@@ -161,7 +164,19 @@ class WorkerPool:
     host, port:
         Bind address; port 0 picks a free port (see :attr:`address`
         after :meth:`start`). Bind a routable address to accept
-        workers from other hosts.
+        workers from other hosts — on a **trusted network only**:
+        the handshake authenticates (HMAC shared secret) but the
+        wire is neither encrypted nor hardened against a hostile
+        peer that holds the secret.
+    secret:
+        Shared HMAC secret every worker must prove during the
+        handshake (payloads are pickles, so unauthenticated peers
+        must never get a frame accepted). Defaults to the
+        ``REPRO_POOL_SECRET`` environment variable, else a fresh
+        random secret; spawned workers inherit it automatically,
+        external workers must be launched with the same value
+        (``--secret`` or the environment variable). Exposed as
+        :attr:`secret` for handing to external launches.
     heartbeat_s:
         Ping interval. Workers answer from their reader thread, so
         heartbeats detect dead or frozen processes, not slow chunks.
@@ -188,6 +203,7 @@ class WorkerPool:
                  heartbeat_s: float = 0.5,
                  heartbeat_timeout_s: Optional[float] = None,
                  connect_timeout_s: float = 60.0,
+                 secret: Optional[str] = None,
                  cache=None, registry=None):
         if n_workers < 0 or (spawn and n_workers < 1):
             raise ConfigurationError(
@@ -212,6 +228,11 @@ class WorkerPool:
         self.heartbeat_s = float(heartbeat_s)
         self.heartbeat_timeout_s = float(heartbeat_timeout_s)
         self.connect_timeout_s = float(connect_timeout_s)
+        resolved = transport.resolve_secret(secret)
+        #: The handshake secret (text) — hand this to external
+        #: worker launches (``--secret`` / ``REPRO_POOL_SECRET``).
+        self.secret = resolved.decode("utf-8") if resolved \
+            else transport.new_nonce()
         self.cache = cache
         self.telemetry = registry
         self.address: Optional[Tuple[str, int]] = None
@@ -270,6 +291,7 @@ class WorkerPool:
         # function lives in), so they inherit the master's sys.path.
         env["PYTHONPATH"] = os.pathsep.join(
             p for p in sys.path if p)
+        env[transport.SECRET_ENV] = self.secret
         return subprocess.Popen(
             [sys.executable, "-m", "repro.service.worker",
              "--connect", f"{host}:{port}", "--name", name],
@@ -394,11 +416,17 @@ class WorkerPool:
         stream = transport.MessageStream(sock)
         stream.settimeout(transport.HANDSHAKE_TIMEOUT_S)
         tel = telemetry.resolve(self.telemetry)
+        nonce = transport.new_nonce()
         try:
+            stream.send({"type": "challenge", "nonce": nonce,
+                         "protocol": transport.PROTOCOL_VERSION})
             msg = stream.recv()
             if msg is None:
                 raise ProtocolError("peer closed before hello")
-            name = transport.check_hello(msg)
+            # Auth is verified inside check_hello: no pickled frame
+            # is ever accepted from a peer without the pool secret.
+            name = transport.check_hello(msg, secret=self.secret,
+                                         challenge_nonce=nonce)
             with self._lock:
                 if name in self._workers \
                         and self._workers[name].alive:
@@ -418,7 +446,12 @@ class WorkerPool:
         worker = _Worker(name, stream, int(msg.get("pid", 0)))
         stream.send({"type": "welcome",
                      "protocol": transport.PROTOCOL_VERSION,
-                     "heartbeat_s": self.heartbeat_s})
+                     "heartbeat_s": self.heartbeat_s,
+                     # Mutual auth: prove the master holds the
+                     # secret too, over the worker's nonce.
+                     "auth": transport.auth_digest(
+                         self.secret, str(msg.get("nonce", "")),
+                         "master")})
         reader = threading.Thread(target=self._reader_loop,
                                   args=(worker,),
                                   name=f"repro-pool-read-{name}",
@@ -480,6 +513,14 @@ class WorkerPool:
             reply["payload"] = transport.pack_payload(value)
         try:
             worker.stream.send(reply)
+        except ProtocolError:
+            # Value too large for one wire frame: degrade to a miss
+            # so the worker recomputes locally instead of timing out.
+            try:
+                worker.stream.send({"type": "cache_miss",
+                                    "req": msg.get("req")})
+            except (ConnectionError, ProtocolError):
+                pass
         except ConnectionError:
             pass  # the reader loop will notice the death
 
@@ -587,22 +628,37 @@ class WorkerPool:
                             "fn": fn_blob, "collect": bool(collect),
                             "cache": cache_on,
                         })
-                        w.jobs_seen.add(job_id)
                     w.stream.send({
                         "type": "chunk", "job": job_id,
                         "chunk": cid,
                         "entries": transport.pack_payload(
                             list(chunks[cid])),
                     })
+                except ProtocolError as exc:
+                    # The frame itself is too big for the wire —
+                    # retrying or blaming the worker cannot help.
+                    ledger.requeue_chunk(cid)
+                    raise ConfigurationError(
+                        f"chunk {cid} ({len(chunks[cid])} item(s)) "
+                        f"cannot be dispatched: {exc}; reduce "
+                        f"Executor(chunk_size=...) or shrink the "
+                        f"work function/items"
+                    ) from exc
                 except ConnectionError:
                     ledger.requeue_chunk(cid)
                     self._fail_worker(w, "dispatch failed")
                     continue
-                w.busy = True
+                # busy/jobs_seen move under the lock so a worker
+                # failed between the idle snapshot and the send is
+                # never re-marked busy after death.
+                with self._lock:
+                    w.jobs_seen.add(job_id)
+                    if w.alive:
+                        w.busy = True
+                    self._set_worker_gauges(w)
                 if executor.timeout_s is not None:
                     deadline_at[cid] = time.monotonic() \
                         + executor.timeout_s
-                self._set_worker_gauges(w)
                 tel.counter("parallel.remote.dispatches").inc()
 
         while not ledger.finished:
@@ -670,9 +726,13 @@ class WorkerPool:
             return
         now = time.monotonic()
         for cid, deadline in list(deadline_at.items()):
-            if now <= deadline or cid not in ledger.in_flight:
+            if cid not in ledger.in_flight:
+                # Completed or already requeued elsewhere; the
+                # deadline is stale.
                 deadline_at.pop(cid, None)
                 continue
+            if now <= deadline:
+                continue  # still within budget: keep tracking
             deadline_at.pop(cid)
             name = ledger.in_flight[cid]
             attempts[cid] += 1

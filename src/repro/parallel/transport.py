@@ -9,14 +9,27 @@ pickles, packed once at the sending side and unpacked exactly once
 at the receiver, so the chunk a remote worker executes is
 byte-for-byte the chunk the process backend would have been handed.
 
+Because payloads are pickles, the wire must only ever speak to
+peers that hold the pool's shared secret: every connection starts
+with an HMAC-SHA256 challenge/response (both directions, in the
+style of :mod:`multiprocessing.connection`), and a peer that cannot
+answer is rejected before any pickled frame is accepted. That
+authenticates, but does not encrypt — treat the wire as
+**trusted-network-only** (a lab LAN, an SSH tunnel), never an
+untrusted or public network.
+
 Message vocabulary (``type`` field):
 
 ========== =========== ==================================================
 type       direction   meaning
 ========== =========== ==================================================
-hello      worker → m  join request: protocol, worker name, pid
-welcome    m → worker  join accepted: heartbeat interval, master name
-reject     m → worker  join refused (protocol mismatch, pool full)
+challenge  m → worker  auth nonce the hello must answer with HMAC
+hello      worker → m  join request: protocol, worker name, pid,
+                       auth digest, and the worker's own nonce
+welcome    m → worker  join accepted: heartbeat interval plus the
+                       master's digest of the worker's nonce
+reject     m → worker  join refused (bad auth, protocol mismatch,
+                       duplicate name)
 job        m → worker  per-run setup: pickled work function, flags
 chunk      m → worker  one chunk of ``(index, item, seed)`` entries
 result     worker → m  chunk outcome: payload or structured error
@@ -34,20 +47,70 @@ close      m → worker  orderly shutdown
 from __future__ import annotations
 
 import base64
+import hashlib
+import hmac
+import os
 import pickle
+import secrets
 import socket
 import threading
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
 from repro.errors import ProtocolError
 from repro.service import wire
 
 #: Wire protocol version; a worker whose hello carries a different
 #: value is rejected at handshake instead of failing mid-run.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Seconds a just-accepted connection gets to complete its hello.
 HANDSHAKE_TIMEOUT_S = 10.0
+
+#: Environment variable carrying the pool's shared auth secret.
+#: The master exports it to spawned workers automatically; external
+#: workers must be launched with it set (or ``--secret``) to match
+#: the master's.
+SECRET_ENV = "REPRO_POOL_SECRET"
+
+
+def resolve_secret(secret: Union[str, bytes, None]) -> bytes:
+    """The handshake secret as bytes; falls back to the env var.
+
+    Returns ``b""`` when no secret is configured anywhere — callers
+    decide whether that means *generate one* (the master) or *try
+    anyway and let the master reject us* (a worker).
+    """
+    if secret is None:
+        secret = os.environ.get(SECRET_ENV, "")
+    if isinstance(secret, str):
+        secret = secret.encode("utf-8")
+    return secret
+
+
+def new_nonce() -> str:
+    """A fresh random challenge nonce (hex text)."""
+    return secrets.token_hex(16)
+
+
+def auth_digest(secret: Union[str, bytes], nonce: str,
+                role: str) -> str:
+    """HMAC-SHA256 proof that *role* knows *secret* for *nonce*.
+
+    The role (``"worker"`` or ``"master"``) is bound into the MAC
+    so a digest can never be reflected back at its sender.
+    """
+    key = secret.encode("utf-8") if isinstance(secret, str) else secret
+    return hmac.new(key, f"{role}:{nonce}".encode("ascii"),
+                    hashlib.sha256).hexdigest()
+
+
+def check_digest(secret: Union[str, bytes], nonce: str, role: str,
+                 digest: Any) -> bool:
+    """Constant-time verification of :func:`auth_digest` output."""
+    if not isinstance(digest, str):
+        return False
+    return hmac.compare_digest(auth_digest(secret, nonce, role),
+                               digest)
 
 
 def pack_payload(obj: Any) -> str:
@@ -76,8 +139,24 @@ class MessageStream:
         self._closed = False
 
     def send(self, obj: dict) -> None:
-        """Write one frame; raises ``ConnectionError`` when down."""
+        """Write one frame; raises ``ConnectionError`` when down.
+
+        Raises
+        ------
+        ProtocolError
+            When the encoded frame exceeds the wire's
+            :data:`~repro.service.wire.MAX_LINE_BYTES` — sending it
+            would make the *receiver* fail the whole connection, so
+            the oversized frame is refused here where the caller
+            can act on it (smaller chunks, smaller payloads).
+        """
         data = wire.encode_line(obj)
+        if len(data) > wire.MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"outgoing {obj.get('type', '?')!r} frame of "
+                f"{len(data)} bytes exceeds the "
+                f"{wire.MAX_LINE_BYTES}-byte wire limit"
+            )
         try:
             with self._wlock:
                 self._sock.sendall(data)
@@ -135,17 +214,29 @@ class MessageStream:
         return self._closed
 
 
-def hello_frame(name: str, pid: int) -> dict:
-    """The worker's join request."""
+def hello_frame(name: str, pid: int, *, auth: str = "",
+                nonce: str = "") -> dict:
+    """The worker's join request, answering the master's challenge.
+
+    *auth* is :func:`auth_digest` over the master's challenge
+    nonce; *nonce* is the worker's own, which the welcome must
+    answer in turn (mutual authentication — a worker never accepts
+    pickled frames from a master that cannot prove the secret
+    either).
+    """
     return {"type": "hello", "protocol": PROTOCOL_VERSION,
-            "worker": str(name), "pid": int(pid)}
+            "worker": str(name), "pid": int(pid),
+            "auth": str(auth), "nonce": str(nonce)}
 
 
-def check_hello(msg: dict) -> str:
+def check_hello(msg: dict, *, secret: Union[str, bytes, None] = None,
+                challenge_nonce: Optional[str] = None) -> str:
     """Validate a hello frame; returns the worker name.
 
-    Raises :class:`ProtocolError` on a version or shape mismatch —
-    the master turns that into a ``reject`` frame.
+    With *secret* and *challenge_nonce* given, the frame's ``auth``
+    digest is verified (constant-time) before anything else is
+    trusted. Raises :class:`ProtocolError` on an auth, version, or
+    shape mismatch — the master turns that into a ``reject`` frame.
     """
     if msg.get("type") != "hello":
         raise ProtocolError(
@@ -157,6 +248,14 @@ def check_hello(msg: dict) -> str:
             f"protocol mismatch: worker speaks {proto!r}, master "
             f"speaks {PROTOCOL_VERSION}"
         )
+    if challenge_nonce is not None:
+        if not check_digest(secret or b"", challenge_nonce,
+                            "worker", msg.get("auth")):
+            raise ProtocolError(
+                "authentication failed: hello digest does not match "
+                f"the pool secret (set {SECRET_ENV} or --secret on "
+                "the worker to the master's secret)"
+            )
     name = msg.get("worker")
     if not isinstance(name, str) or not name:
         raise ProtocolError("hello frame carries no worker name")

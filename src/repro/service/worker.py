@@ -3,7 +3,14 @@
 Launch one per core (the master's ``spawn=True`` does this for
 local workers) or point it at a master on another host::
 
-    python -m repro.service.worker --connect 10.0.0.5:7920 --name rack3-w0
+    REPRO_POOL_SECRET=... python -m repro.service.worker \\
+        --connect 10.0.0.5:7920 --name rack3-w0
+
+The secret must match the master pool's
+(:attr:`~repro.parallel.pool.WorkerPool.secret`); the handshake
+authenticates both directions with HMAC before either side accepts
+a pickled frame. The wire is trusted-network-only — authenticated,
+not encrypted.
 
 The worker connects, handshakes (protocol version checked both
 ways), then loops: receive a ``job`` frame (the pickled work
@@ -71,13 +78,21 @@ class WorkerSession:
     name:
         Worker name; must be unique across the pool (it keys the
         master's per-worker telemetry labels).
+    secret:
+        Shared HMAC handshake secret; defaults to the
+        ``REPRO_POOL_SECRET`` environment variable (which the
+        master exports to workers it spawns itself). Must match the
+        master's :attr:`~repro.parallel.pool.WorkerPool.secret` or
+        the handshake is rejected.
     """
 
-    def __init__(self, host: str, port: int, name: str = "worker"):
+    def __init__(self, host: str, port: int, name: str = "worker",
+                 secret: Optional[str] = None):
         sock = socket.create_connection((host, int(port)))
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.stream = transport.MessageStream(sock)
         self.name = name
+        self.secret = transport.resolve_secret(secret)
         self._work: "queue.Queue" = queue.Queue()
         self._cache_replies: Dict[int, "queue.Queue"] = {}
         self._cache_req = iter(range(1, 1 << 62)).__next__
@@ -88,10 +103,29 @@ class WorkerSession:
     # -- handshake ---------------------------------------------------------
 
     def handshake(self) -> dict:
-        """Send hello, await welcome; raises on reject/mismatch."""
-        self.stream.send(transport.hello_frame(self.name,
-                                               os.getpid()))
+        """Answer the challenge, send hello, verify the welcome.
+
+        Authentication is mutual: the hello proves this worker
+        holds the pool secret (HMAC over the master's challenge
+        nonce) and the welcome must prove the master does too
+        (HMAC over our nonce) before any pickled frame from it is
+        accepted. Raises on reject, mismatch, or failed auth.
+        """
         self.stream.settimeout(transport.HANDSHAKE_TIMEOUT_S)
+        challenge = self.stream.recv()
+        if challenge is None \
+                or challenge.get("type") != "challenge":
+            raise ProtocolError(
+                f"expected a challenge frame, got "
+                f"{challenge and challenge.get('type')!r} (master "
+                f"too old, or not a repro pool?)"
+            )
+        nonce = str(challenge.get("nonce", ""))
+        my_nonce = transport.new_nonce()
+        self.stream.send(transport.hello_frame(
+            self.name, os.getpid(),
+            auth=transport.auth_digest(self.secret, nonce, "worker"),
+            nonce=my_nonce))
         reply = self.stream.recv()
         self.stream.settimeout(None)
         if reply is None:
@@ -105,6 +139,12 @@ class WorkerSession:
                 or reply.get("protocol") != transport.PROTOCOL_VERSION:
             raise ProtocolError(
                 f"bad welcome frame: {reply!r}"
+            )
+        if not transport.check_digest(self.secret, my_nonce,
+                                      "master", reply.get("auth")):
+            raise ProtocolError(
+                "master failed authentication: welcome digest does "
+                "not match our pool secret"
             )
         return reply
 
@@ -238,6 +278,26 @@ class WorkerSession:
     def _send_result(self, reply: dict) -> None:
         try:
             self.stream.send(reply)
+        except ProtocolError as exc:
+            # The result itself is too big for one wire frame; an
+            # actionable structured failure beats killing the
+            # connection (which would requeue the chunk forever).
+            fallback = {
+                "type": "result", "job": reply.get("job"),
+                "chunk": reply.get("chunk"), "ok": False,
+                "error": {
+                    "type": "ConfigurationError",
+                    "message": (
+                        f"chunk result does not fit the wire "
+                        f"({exc}); reduce Executor(chunk_size=...) "
+                        f"or return smaller per-item results"),
+                    "traceback": "",
+                },
+            }
+            try:
+                self.stream.send(fallback)
+            except (ConnectionError, ProtocolError):
+                pass
         except ConnectionError:
             pass  # master gone; serve() exits on the queue sentinel
 
@@ -247,14 +307,15 @@ class WorkerSession:
         self.stream.close()
 
 
-def run_worker(host: str, port: int, name: str = "worker") -> int:
+def run_worker(host: str, port: int, name: str = "worker",
+               secret: Optional[str] = None) -> int:
     """Connect, handshake, serve until the master disconnects.
 
     Returns a process exit code (0 on an orderly close, 2 on a
     refused handshake) — the body of ``python -m
     repro.service.worker``.
     """
-    session = WorkerSession(host, port, name=name)
+    session = WorkerSession(host, port, name=name, secret=secret)
     try:
         welcome = session.handshake()
     except (ProtocolError, ReproError) as exc:
@@ -282,12 +343,17 @@ def main(argv=None) -> int:
                              "(WorkerPool.address)")
     parser.add_argument("--name", default=f"worker-{os.getpid()}",
                         help="unique worker name within the pool")
+    parser.add_argument("--secret", default=None,
+                        help="shared handshake secret (defaults to "
+                             f"${transport.SECRET_ENV}); must match "
+                             "the master's WorkerPool secret")
     args = parser.parse_args(argv)
     host, _, port = args.connect.rpartition(":")
     if not host or not port.isdigit():
         parser.error(f"--connect wants HOST:PORT, got "
                      f"{args.connect!r}")
-    return run_worker(host, int(port), name=args.name)
+    return run_worker(host, int(port), name=args.name,
+                      secret=args.secret)
 
 
 if __name__ == "__main__":

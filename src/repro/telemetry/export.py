@@ -84,34 +84,43 @@ def snapshot_to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
     / ``_seconds_sum`` / ``_seconds_min`` / ``_seconds_max`` series.
     Metric names carrying a ``{key=value}`` label suffix (per-worker
     gauges from the distributed pool) render as labelled Prometheus
-    series sharing one ``# TYPE`` line per family. Lines are emitted
-    in sorted-name order, so the export is deterministic for a given
+    series sharing one ``# TYPE`` line per family. Series are
+    grouped by family (a family's ``# TYPE`` line followed by *all*
+    its series — the text format forbids interleaving families,
+    which naive sorted-full-name order would do whenever another
+    name sorts between ``foo`` and ``foo{...}``), families in
+    sorted order, so the export is deterministic for a given
     snapshot.
     """
     lines = []
-    typed = set()
 
-    def emit(family: str, kind: str, series_lines) -> None:
-        if family not in typed:
-            typed.add(family)
-            lines.append(f"# TYPE {family} {kind}")
-        lines.extend(series_lines)
+    def families(section: dict, suffix: str = ""):
+        """``(family, [(name, labelstr), ...])`` groups, sorted."""
+        grouped: dict = {}
+        for name in sorted(section):
+            family, labels = _prom_series(prefix, name, suffix)
+            grouped.setdefault(family, []).append((name, labels))
+        return sorted(grouped.items())
 
-    for name in sorted(snapshot.get("counters", {})):
-        family, labels = _prom_series(prefix, name, "_total")
-        emit(family, "counter",
-             [f"{family}{labels} {snapshot['counters'][name]}"])
-    for name in sorted(snapshot.get("gauges", {})):
-        family, labels = _prom_series(prefix, name)
-        emit(family, "gauge",
-             [f"{family}{labels} {snapshot['gauges'][name]:g}"])
-    for name in sorted(snapshot.get("timers", {})):
-        stats = snapshot["timers"][name]
-        family, labels = _prom_series(prefix, name, "_seconds")
-        emit(family, "summary", [
-            f"{family}_count{labels} {stats['count']}",
-            f"{family}_sum{labels} {stats['total_s']:.9g}",
-            f"{family}_min{labels} {stats['min_s']:.9g}",
-            f"{family}_max{labels} {stats['max_s']:.9g}",
-        ])
+    counters = snapshot.get("counters", {})
+    for family, series in families(counters, "_total"):
+        lines.append(f"# TYPE {family} counter")
+        for name, labels in series:
+            lines.append(f"{family}{labels} {counters[name]}")
+    gauges = snapshot.get("gauges", {})
+    for family, series in families(gauges):
+        lines.append(f"# TYPE {family} gauge")
+        for name, labels in series:
+            lines.append(f"{family}{labels} {gauges[name]:g}")
+    timers = snapshot.get("timers", {})
+    for family, series in families(timers, "_seconds"):
+        lines.append(f"# TYPE {family} summary")
+        for name, labels in series:
+            stats = timers[name]
+            lines.extend([
+                f"{family}_count{labels} {stats['count']}",
+                f"{family}_sum{labels} {stats['total_s']:.9g}",
+                f"{family}_min{labels} {stats['min_s']:.9g}",
+                f"{family}_max{labels} {stats['max_s']:.9g}",
+            ])
     return "\n".join(lines) + ("\n" if lines else "")

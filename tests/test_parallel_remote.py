@@ -318,6 +318,31 @@ class TestWorkerFailure:
                                match="no live remote workers"):
                 ex.run(always_exit, list(range(8)))
 
+    def test_chunk_timeout_fires_on_remote_backend(self):
+        # A wedged chunk must trip timeout_s even though the
+        # worker's reader thread keeps answering heartbeats.
+        with WorkerPool(n_workers=1) as pool:
+            ex = remote_executor(pool, chunk_size=1, max_retries=0,
+                                 timeout_s=0.25)
+            with telemetry.use_registry() as reg:
+                with pytest.raises(ShardError, match="timed out"):
+                    ex.run(sleepy, [5.0])
+            counters = reg.to_dict()["counters"]
+            assert counters["parallel.timeouts"] == 1
+
+    def test_chunk_timeout_fails_the_wedged_worker(self):
+        # With retry budget left, the timed-out chunk requeues via
+        # the worker-death path and the run surfaces the right
+        # terminal error (here: the last worker is gone).
+        with WorkerPool(n_workers=1) as pool:
+            ex = remote_executor(pool, chunk_size=1, max_retries=2,
+                                 timeout_s=0.25)
+            with telemetry.use_registry() as reg:
+                with pytest.raises(ShardError):
+                    ex.run(sleepy, [5.0])
+            counters = reg.to_dict()["counters"]
+            assert counters["parallel.remote.worker_deaths"] >= 1
+
     def test_chunk_failure_still_charges_retries(self, tmp_path):
         def run():
             with WorkerPool(n_workers=2) as pool:
@@ -343,9 +368,21 @@ class TestProtocol:
         sock = socket.create_connection(pool.address, timeout=5.0)
         return transport.MessageStream(sock)
 
+    def test_connection_opens_with_a_challenge(self, shared_pool):
+        stream = self._dial(shared_pool)
+        try:
+            challenge = stream.recv()
+            assert challenge["type"] == "challenge"
+            assert challenge["protocol"] == \
+                transport.PROTOCOL_VERSION
+            assert challenge["nonce"]
+        finally:
+            stream.close()
+
     def test_protocol_mismatch_rejected(self, shared_pool):
         stream = self._dial(shared_pool)
         try:
+            stream.recv()  # challenge
             stream.send({"type": "hello", "protocol": 99,
                          "worker": "intruder", "pid": 1})
             reply = stream.recv()
@@ -354,13 +391,54 @@ class TestProtocol:
         finally:
             stream.close()
 
+    def test_wrong_secret_rejected(self, shared_pool):
+        stream = self._dial(shared_pool)
+        try:
+            challenge = stream.recv()
+            stream.send(transport.hello_frame(
+                "mallory", 1,
+                auth=transport.auth_digest(
+                    "not-the-secret", challenge["nonce"], "worker"),
+                nonce=transport.new_nonce()))
+            reply = stream.recv()
+            assert reply["type"] == "reject"
+            assert "authentication failed" in reply["reason"]
+        finally:
+            stream.close()
+
     def test_duplicate_worker_name_rejected(self, shared_pool):
         stream = self._dial(shared_pool)
         try:
-            stream.send(transport.hello_frame("w0", os.getpid()))
+            challenge = stream.recv()
+            stream.send(transport.hello_frame(
+                "w0", os.getpid(),
+                auth=transport.auth_digest(
+                    shared_pool.secret, challenge["nonce"],
+                    "worker"),
+                nonce=transport.new_nonce()))
             reply = stream.recv()
             assert reply["type"] == "reject"
             assert "already connected" in reply["reason"]
+        finally:
+            stream.close()
+
+    def test_welcome_proves_the_master_knows_the_secret(
+            self, shared_pool):
+        stream = self._dial(shared_pool)
+        try:
+            challenge = stream.recv()
+            my_nonce = transport.new_nonce()
+            stream.send(transport.hello_frame(
+                "probe-mutual", os.getpid(),
+                auth=transport.auth_digest(
+                    shared_pool.secret, challenge["nonce"],
+                    "worker"),
+                nonce=my_nonce))
+            reply = stream.recv()
+            assert reply["type"] == "welcome"
+            assert transport.check_digest(
+                shared_pool.secret, my_nonce, "master",
+                reply["auth"])
         finally:
             stream.close()
 
@@ -375,6 +453,8 @@ class TestProtocol:
             env = os.environ.copy()
             env["PYTHONPATH"] = os.pathsep.join(
                 p for p in sys.path if p)
+            # External launches must present the pool's secret.
+            env[transport.SECRET_ENV] = pool.secret
             proc = subprocess.Popen(
                 [sys.executable, "-m", "repro.service.worker",
                  "--connect", f"{host}:{port}",
@@ -392,6 +472,35 @@ class TestProtocol:
         payload = {"entries": [(0, 1.5, 7)], "arr": list(range(50))}
         assert transport.unpack_payload(
             transport.pack_payload(payload)) == payload
+
+
+# -- wire frame size limits ------------------------------------------------
+
+def big_result(item, seed):
+    """Result whose pickled frame exceeds the 16 MiB wire line."""
+    return b"\x00" * (14 * 1024 * 1024)
+
+
+class TestWireLimits:
+    def test_oversized_chunk_is_an_actionable_config_error(
+            self, shared_pool):
+        # One item whose base64 pickle alone exceeds the line cap:
+        # dispatch must refuse it with advice, not declare every
+        # worker dead in sequence.
+        big = b"\x00" * (14 * 1024 * 1024)
+        ex = remote_executor(shared_pool, chunk_size=1)
+        with pytest.raises(ConfigurationError, match="chunk_size"):
+            ex.run(square, [big])
+
+    def test_oversized_result_fails_with_advice(self, shared_pool):
+        ex = remote_executor(shared_pool, chunk_size=1,
+                             max_retries=0)
+        with pytest.raises(ShardError,
+                           match="does not fit the wire"):
+            ex.run(big_result, [0])
+        # The worker survived the oversized reply: the connection
+        # was preserved, only the chunk failed.
+        assert shared_pool.n_alive == 2
 
 
 # -- the dispatch state machine --------------------------------------------

@@ -328,6 +328,21 @@ class TestLabelledMetrics:
         # One TYPE line per family, not per labelled series.
         assert text.count("# TYPE repro_pool_worker_busy gauge") == 1
 
+    def test_families_stay_contiguous_despite_sort_interleave(self):
+        # '.' sorts before '{', so full-name order would slot
+        # repro_pool_depth between pool's unlabelled and labelled
+        # series — which the Prometheus text format forbids.
+        reg = Registry()
+        reg.gauge("pool").set(1.0)
+        reg.gauge("pool.depth").set(2.0)
+        reg.gauge("pool{worker=w0}").set(3.0)
+        lines = reg.to_prometheus().strip().split("\n")
+        i = lines.index("# TYPE repro_pool gauge")
+        assert lines[i + 1] == "repro_pool 1"
+        assert lines[i + 2] == 'repro_pool{worker="w0"} 3'
+        assert lines.count("# TYPE repro_pool gauge") == 1
+        assert "# TYPE repro_pool_depth gauge" in lines
+
     def test_labelled_summary_suffix_order(self):
         snap = {"timers": {"chunk.time{worker=w2}": {
             "count": 3, "total_s": 0.3, "min_s": 0.05,

@@ -300,11 +300,27 @@ with WorkerPool(n_workers=4) as pool:        # spawns local workers
 
 Workers can also join from other machines: start the master with
 `WorkerPool(spawn=False, host="0.0.0.0", port=...)` and run
-`python -m repro.service.worker --connect HOST:PORT --name w0` on
-each box. The handshake pins `transport.PROTOCOL_VERSION` (a
-mismatched or duplicate-named worker is rejected with a reason),
-after which the master pickles the work function **once per worker
-per job** and streams chunks. Liveness is heartbeat-based: workers
+`REPRO_POOL_SECRET=... python -m repro.service.worker --connect
+HOST:PORT --name w0` on each box.
+
+**Authentication.** Wire payloads are pickles, so the pool never
+accepts a frame from an unauthenticated peer: every connection
+opens with an HMAC-SHA256 challenge/response (mutual — the
+`welcome` must prove the master holds the secret before the worker
+trusts it either, in the style of `multiprocessing.connection`).
+The secret is `WorkerPool(secret=...)`, defaulting to
+`$REPRO_POOL_SECRET` or a fresh random value; spawned workers
+inherit it automatically, external workers pass `--secret` or the
+environment variable (the master's value is exposed as
+`pool.secret`). This authenticates but does not encrypt: treat the
+wire as **trusted-network-only** (lab LAN, SSH tunnel) — never
+expose the port to an untrusted network. The handshake also pins
+`transport.PROTOCOL_VERSION` (a mismatched, unauthenticated, or
+duplicate-named worker is rejected with a reason), after which the
+master pickles the work function **once per worker per job** and
+streams chunks. Frames are capped at the wire's 16 MiB line limit;
+an oversized chunk or result fails fast with advice to lower
+`Executor(chunk_size=...)` instead of cascading worker deaths. Liveness is heartbeat-based: workers
 answer pings from a dedicated reader thread, so a *busy* worker
 still pongs and only a dead or frozen process goes silent; a
 worker declared dead has its in-flight chunks requeued to
