@@ -202,19 +202,16 @@ class CrosstalkMatrix:
                 f"batch has {batch.n_channels} rows for "
                 f"{len(names)} names"
             )
-        weights = self.coupling_weights(names)
-        if not weights or not batch.n_samples:
-            return WaveformBatch(batch.values.copy(), dt=batch.dt,
-                                 t0=batch.t0)
-        dv = np.gradient(batch.values, batch.dt, axis=1)
-        out = batch.values.copy()
-        for rise_scale_ps, w in weights.items():
-            mixed = w @ dv
-            sigma_samples = rise_scale_ps / batch.dt
-            if sigma_samples > 0.05:
-                from scipy.ndimage import gaussian_filter1d
+        # The weight matrices are a pure function of this value key;
+        # backends may memoize on it instead of re-walking the O(c^2)
+        # spec table per batch.
+        weights_key = (tuple(names), tuple(self.names),
+                       self.adjacent, self.next_adjacent)
+        from repro import telemetry
+        from repro.signal import _backend
 
-                mixed = gaussian_filter1d(mixed, sigma_samples,
-                                          axis=-1, mode="nearest")
-            out += mixed
+        coupling_mix = _backend.dispatch("coupling_mix",
+                                         telemetry.resolve(None))
+        out = coupling_mix(batch.values, batch.dt, weights_key,
+                           lambda: self.coupling_weights(names))
         return WaveformBatch(out, dt=batch.dt, t0=batch.t0)

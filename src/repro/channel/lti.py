@@ -151,21 +151,15 @@ class LTIChannel:
                 or not batch.n_samples:
             filtered = batch.values.copy()
         else:
-            sos = sps.bessel(self.order, f_cut / f_nyquist,
-                             btype="low", output="sos", norm="mag")
-            mean = batch.values.mean(axis=1, keepdims=True)
-            filtered = sps.sosfilt(sos, batch.values - mean,
-                                   axis=-1) + mean
             n_imp = min(batch.n_samples, max(64, int(16.0
                         * f_nyquist / f_cut)))
-            impulse = np.zeros(n_imp)
-            impulse[0] = 1.0
-            h = sps.sosfilt(sos, impulse)
-            total = float(h.sum())
-            if abs(total) > 1e-12:
-                group_delay_samples = float(
-                    (np.arange(n_imp) * h).sum() / total
-                )
+            from repro import telemetry
+            from repro.signal import _backend
+
+            sosfilt_batch = _backend.dispatch(
+                "sosfilt_batch", telemetry.resolve(None))
+            filtered, group_delay_samples = sosfilt_batch(
+                batch.values, self.order, f_cut / f_nyquist, n_imp)
         return WaveformBatch(
             self.gain * filtered, dt=batch.dt,
             t0=(batch.t0 + self.delay_ps

@@ -226,7 +226,8 @@ class EyeAccumulator:
         through a scalar accumulator; the streamed circular-mean
         sums match to float round-off (summation order).
         """
-        from repro.eye._binning import density_grid_stack, fold_phases
+        from repro.eye._binning import fold_phases
+        from repro.signal import _backend
 
         c = batch.n_channels
         if self.n_channels is not None and c != self.n_channels:
@@ -265,12 +266,16 @@ class EyeAccumulator:
             n = batch.n_samples
             phases = fold_phases(batch.t0 - self.t_first_bit,
                                  self._dt, n, ui)
-            hist = density_grid_stack(phases, values, self.t_edges,
-                                      self.v_edges)
+            density_bin = _backend.dispatch("density_bin", tel)
+            # Counts are integer-valued; backends may return int64
+            # (exact, and asarray skips the copy) or float64.
+            hist = density_bin(phases, values, self.t_edges,
+                               self.v_edges)
             if self.n_channels is None:
-                self.grid += hist.sum(axis=0).astype(np.int64)
+                self.grid += np.asarray(hist.sum(axis=0),
+                                        dtype=np.int64)
             else:
-                self.grid += hist.astype(np.int64)
+                self.grid += np.asarray(hist, dtype=np.int64)
                 self.n_samples_per_channel += n
             self.n_samples += values.size
 
@@ -282,13 +287,10 @@ class EyeAccumulator:
             else:
                 seam = values
                 seam_t0 = batch.t0
-            above = seam > self.threshold
-            d = np.diff(above.astype(np.int8), axis=1)
-            rows, cols = np.nonzero(d != 0)
+            eye_fold = _backend.dispatch("eye_fold", tel)
+            rows, cols, frac = eye_fold(
+                seam, np.full(c, self.threshold))
             if len(rows):
-                v0 = seam[rows, cols]
-                v1 = seam[rows, cols + 1]
-                frac = (self.threshold - v0) / (v1 - v0)
                 times = (seam_t0 + self._dt * (cols + frac)) \
                     - self.t_first_bit
                 cp = np.mod(times, ui)

@@ -242,13 +242,12 @@ class EyeDiagram:
                 thr = 0.5 * (batch.values.min(axis=1)
                              + batch.values.max(axis=1))
 
-            # Vectorized threshold_crossings over every row.
-            above = values > thr[:, None]
-            d = np.diff(above.astype(np.int8), axis=1)
-            rows, cols = np.nonzero(d != 0)
-            v0 = values[rows, cols]
-            v1 = values[rows, cols + 1]
-            frac = (thr[rows] - v0) / (v1 - v0)
+            # Vectorized threshold_crossings over every row, through
+            # the active kernel backend's fold op.
+            from repro.signal import _backend
+
+            eye_fold = _backend.dispatch("eye_fold", tel)
+            rows, cols, frac = eye_fold(values, thr)
             crossings = (t0w + dt * (cols + frac)) - t_first_bit
             crossing_phases = np.mod(crossings, ui)
 

@@ -28,7 +28,17 @@ from repro.signal.analysis import (
     measure_swing,
     transition_density,
 )
-from repro.signal.prbs import prbs_bits, PRBS_POLYNOMIALS
+from repro.signal.prbs import (
+    prbs_bits,
+    prbs_bits_batch,
+    PRBS_POLYNOMIALS,
+)
+from repro.signal._backend import (
+    KernelBackend,
+    register_kernel_backend,
+    registered_kernel_backends,
+    use_kernel_backend,
+)
 from repro.signal.spectrum import (
     analyze_clock,
     occupied_bandwidth,
@@ -63,7 +73,12 @@ __all__ = [
     "measure_swing",
     "transition_density",
     "prbs_bits",
+    "prbs_bits_batch",
     "PRBS_POLYNOMIALS",
+    "KernelBackend",
+    "register_kernel_backend",
+    "registered_kernel_backends",
+    "use_kernel_backend",
     "power_spectrum",
     "spectral_peak",
     "analyze_clock",

@@ -1,0 +1,352 @@
+"""Pluggable array-ops backends for the batched signal path.
+
+The paper's testers hit multi-gigahertz rates by moving the hot
+datapath into dedicated hardware while the FPGA orchestrates; the
+software analogue is this seam: every batched hot loop
+(NRZ render, SOS filtering, crosstalk mixing, eye folding, density
+binning, PRBS generation) dispatches through a small ops table — a
+:class:`KernelBackend` — selected at call time. Python keeps
+orchestrating; the ops table decides *how* the arrays are crunched.
+
+Three backends ship:
+
+``numpy``
+    The reference implementation (the exact code the golden suites
+    pin), and the default. Zero behaviour change.
+``fused``
+    Pure NumPy with fused scratch buffers, memoized filter designs /
+    coupling weights, and optional threaded chunking over the
+    channel axis. No optional dependencies. Bit-identical to
+    ``numpy`` for every op (gated by the golden equivalence suites).
+``numba``
+    Optional ``@njit(parallel=True)`` kernels, lazily imported and
+    auto-skipped when numba is absent.
+
+Selection order (first match wins):
+
+1. the innermost active :func:`use_kernel_backend` scope,
+2. the ``REPRO_KERNEL_BACKEND`` environment variable,
+3. the default, ``"numpy"``.
+
+The registry mirrors the executor backend registry in
+:mod:`repro.parallel.executor`: unknown names raise
+:class:`~repro.errors.ConfigurationError` listing the registered
+names, and duplicates require ``replace=True``. A CuPy (or other
+accelerator) backend is a drop-in: subclass :class:`KernelBackend`,
+implement the six ops, and call :func:`register_kernel_backend`.
+
+Equivalence contract: cache keys are computed *above* this seam
+(from configs and input bits/waveform tokens, never from backend
+output), so ``ArtifactCache`` keys are byte-identical across
+backends and entries stay shared. Every registered backend must
+reproduce the ``numpy`` results within the documented batched-path
+tolerances (bit-identity for render/filter/fold/bin/PRBS;
+``XTALK_EQUIVALENCE_RTOL/ATOL`` for the coupling mix).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signal import _kernels
+
+#: Environment variable that selects the default backend.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: The op names every backend implements.
+KERNEL_OPS = (
+    "render_nrz_batch",
+    "sosfilt_batch",
+    "coupling_mix",
+    "eye_fold",
+    "density_bin",
+    "prbs_blockwise",
+)
+
+
+class KernelBackend:
+    """Ops table for the batched signal path.
+
+    Subclasses set :attr:`name` and implement the six ops below.
+    ``available()`` lets optional-dependency backends register
+    unconditionally and be skipped at selection time. Telemetry is
+    tallied by the dispatcher under
+    ``kernels.backend.<name>.<op>`` using :attr:`_counter_names`
+    (precomputed so the hot path never formats strings).
+    """
+
+    name = "base"
+
+    def __init__(self):
+        self._counter_names = {
+            op: f"kernels.backend.{self.name}.{op}"
+            for op in KERNEL_OPS
+        }
+
+    def available(self) -> bool:
+        """Whether this backend can run in the current process."""
+        return True
+
+    # -- the ops table ------------------------------------------------------
+
+    def render_nrz_batch(self, n_channels, n, t_start, dt, base, swing,
+                         times, directions, rows, t20_80, shape,
+                         tel=None) -> np.ndarray:
+        """``(channels, samples)`` NRZ render; see
+        :func:`repro.signal._kernels.render_nrz_batch`."""
+        raise NotImplementedError
+
+    def sosfilt_batch(self, values, order, wn, n_imp):
+        """Bessel low-pass over every row of *values*.
+
+        Returns ``(filtered, group_delay_samples)`` where *filtered*
+        has each row's mean restored (AC-coupled filtering around the
+        per-row midpoint). The caller applies gain and timebase.
+        """
+        raise NotImplementedError
+
+    def coupling_mix(self, values, dt, weights_key, weights_fn):
+        """Crosstalk mix: derivative couple + smooth + add.
+
+        *weights_fn* produces ``{rise_scale_ps: W}`` matrices;
+        *weights_key* is a hashable value key backends may memoize
+        on. Returns the coupled ``(channels, samples)`` array (a
+        fresh array; never a view of *values*).
+        """
+        raise NotImplementedError
+
+    def eye_fold(self, values, thresholds):
+        """Vectorized threshold crossings over every row.
+
+        Returns ``(rows, cols, frac)``: the crossing between samples
+        ``cols`` and ``cols + 1`` of channel ``rows`` sits at
+        fractional position *frac* of that interval.
+        """
+        raise NotImplementedError
+
+    def density_bin(self, phases, values, t_edges, v_edges):
+        """Per-row 2-D (time x voltage) histogram counts.
+
+        Same bin convention as
+        :func:`repro.eye._binning.density_grid_stack`; the returned
+        ``(channels, nt, nv)`` counts are integer-valued but may be
+        ``float64`` or ``int64`` depending on the backend.
+        """
+        raise NotImplementedError
+
+    def prbs_blockwise(self, order, length, seed, tap_a, tap_b,
+                       block=None):
+        """Blockwise PRBS bits; *seed* is an int (returns
+        ``(length,)``) or a sequence of ints (returns
+        ``(n_seeds, length)``)."""
+        raise NotImplementedError
+
+
+class NumpyKernelBackend(KernelBackend):
+    """The reference implementation — the exact code every golden
+    equivalence suite pins. Default backend."""
+
+    name = "numpy"
+
+    def render_nrz_batch(self, n_channels, n, t_start, dt, base, swing,
+                         times, directions, rows, t20_80, shape,
+                         tel=None) -> np.ndarray:
+        return _kernels.render_nrz_batch(
+            n_channels, n, t_start, dt, base=base, swing=swing,
+            times=times, directions=directions, rows=rows,
+            t20_80=t20_80, shape=shape, tel=tel,
+        )
+
+    def sosfilt_batch(self, values, order, wn, n_imp):
+        from scipy import signal as sps
+
+        sos = sps.bessel(order, wn, btype="low", output="sos",
+                         norm="mag")
+        mean = values.mean(axis=1, keepdims=True)
+        filtered = sps.sosfilt(sos, values - mean, axis=-1) + mean
+        impulse = np.zeros(n_imp)
+        impulse[0] = 1.0
+        h = sps.sosfilt(sos, impulse)
+        total = float(h.sum())
+        group_delay_samples = 0.0
+        if abs(total) > 1e-12:
+            group_delay_samples = float(
+                (np.arange(n_imp) * h).sum() / total
+            )
+        return filtered, group_delay_samples
+
+    def coupling_mix(self, values, dt, weights_key, weights_fn):
+        weights = weights_fn()
+        if not weights or not values.shape[1]:
+            return values.copy()
+        dv = np.gradient(values, dt, axis=1)
+        out = values.copy()
+        for rise_scale_ps, w in weights.items():
+            mixed = w @ dv
+            sigma_samples = rise_scale_ps / dt
+            if sigma_samples > 0.05:
+                from scipy.ndimage import gaussian_filter1d
+
+                mixed = gaussian_filter1d(mixed, sigma_samples,
+                                          axis=-1, mode="nearest")
+            out += mixed
+        return out
+
+    def eye_fold(self, values, thresholds):
+        above = values > thresholds[:, None]
+        d = np.diff(above.astype(np.int8), axis=1)
+        rows, cols = np.nonzero(d != 0)
+        v0 = values[rows, cols]
+        v1 = values[rows, cols + 1]
+        frac = (thresholds[rows] - v0) / (v1 - v0)
+        return rows, cols, frac
+
+    def density_bin(self, phases, values, t_edges, v_edges):
+        from repro.eye._binning import density_grid_stack
+
+        return density_grid_stack(phases, values, t_edges, v_edges)
+
+    def prbs_blockwise(self, order, length, seed, tap_a, tap_b,
+                       block=None):
+        if block is None:
+            block = _kernels.PRBS_BLOCK
+        if isinstance(seed, (int, np.integer)):
+            return _kernels.prbs_bits_blockwise(order, length, seed,
+                                                tap_a, tap_b, block)
+        seeds = [int(s) for s in seed]
+        if not seeds:
+            return np.empty((0, length), dtype=np.uint8)
+        return np.stack([
+            _kernels.prbs_bits_blockwise(order, length, s,
+                                         tap_a, tap_b, block)
+            for s in seeds
+        ])
+
+
+# -- registry ---------------------------------------------------------------
+
+#: name -> :class:`KernelBackend`. The numpy/fused/numba builtins
+#: register at import; plugins (a CuPy backend) call
+#: :func:`register_kernel_backend`.
+_KERNEL_REGISTRY: Dict[str, KernelBackend] = {}
+
+#: :func:`use_kernel_backend` override stack (innermost last).
+#: Process-wide by design: a scope set in the orchestrating thread
+#: governs worker threads the fused backend spawns.
+_OVERRIDE_STACK: List[str] = []
+
+DEFAULT_BACKEND = "numpy"
+
+
+def register_kernel_backend(backend: KernelBackend, *,
+                            replace: bool = False) -> None:
+    """Register *backend* under ``backend.name``.
+
+    The pluggable seam: a new backend (CuPy, a compiled extension)
+    plugs in without editing any dispatch site. Mirrors
+    :func:`repro.parallel.executor.register_backend`: empty names
+    and duplicates (without *replace*) raise
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    name = getattr(backend, "name", None)
+    if not name or not isinstance(name, str):
+        raise ConfigurationError("kernel backend name must be a "
+                                 "non-empty string")
+    for op in KERNEL_OPS:
+        if not callable(getattr(backend, op, None)):
+            raise ConfigurationError(
+                f"kernel backend {name!r} must implement {op!r}"
+            )
+    if name in _KERNEL_REGISTRY and not replace:
+        raise ConfigurationError(
+            f"kernel backend {name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    _KERNEL_REGISTRY[name] = backend
+
+
+def registered_kernel_backends() -> Tuple[str, ...]:
+    """Every registered kernel backend name, sorted."""
+    return tuple(sorted(_KERNEL_REGISTRY))
+
+
+def get_kernel_backend(name: str) -> KernelBackend:
+    """The registered backend called *name*.
+
+    Unknown names raise :class:`~repro.errors.ConfigurationError`
+    listing the registered names — the same contract as the executor
+    backend registry.
+    """
+    try:
+        return _KERNEL_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; registered backends: "
+            f"{', '.join(registered_kernel_backends())}"
+        ) from None
+
+
+def active_kernel_backend() -> KernelBackend:
+    """The backend the next dispatched op will use.
+
+    Resolution order: innermost :func:`use_kernel_backend` scope,
+    then the ``REPRO_KERNEL_BACKEND`` environment variable, then
+    ``"numpy"``.
+    """
+    if _OVERRIDE_STACK:
+        return get_kernel_backend(_OVERRIDE_STACK[-1])
+    return get_kernel_backend(os.environ.get(ENV_VAR,
+                                             DEFAULT_BACKEND))
+
+
+@contextlib.contextmanager
+def use_kernel_backend(name: str):
+    """Scope every dispatched op to backend *name*.
+
+    Reentrant (scopes nest; the innermost wins) and exception-safe
+    (the previous selection is restored on exit). Selecting an
+    unknown name raises immediately; selecting a registered but
+    unavailable backend (numba without numba installed) raises
+    :class:`~repro.errors.ConfigurationError` too, so a scope never
+    silently falls back.
+    """
+    backend = get_kernel_backend(name)
+    if not backend.available():
+        raise ConfigurationError(
+            f"kernel backend {name!r} is registered but not "
+            f"available in this environment"
+        )
+    _OVERRIDE_STACK.append(name)
+    try:
+        yield backend
+    finally:
+        _OVERRIDE_STACK.pop()
+
+
+def dispatch(op: str, tel=None):
+    """The active backend's bound *op*, tallying its counter.
+
+    When *tel* (a telemetry registry) is given the dispatch
+    increments ``kernels.backend.<name>.<op>``; counter names are
+    precomputed per backend so this path allocates nothing.
+    """
+    backend = active_kernel_backend()
+    if tel is not None:
+        tel.counter(backend._counter_names[op]).inc()
+    return getattr(backend, op)
+
+
+register_kernel_backend(NumpyKernelBackend())
+
+# The fused/numba builtins import this module for the base classes,
+# so they register from here, after everything above is defined.
+from repro.signal import _fused as _fused  # noqa: E402,F401
+from repro.signal import _numba as _numba  # noqa: E402,F401
+
+register_kernel_backend(_fused.FusedKernelBackend())
+register_kernel_backend(_numba.NumbaKernelBackend())

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -94,6 +95,14 @@ class EdgeTemplate:
 _template_cache: "OrderedDict[Tuple[EdgeShape, float, float], EdgeTemplate]" \
     = OrderedDict()
 
+#: Guards every read-modify-write on the template LRU (and the PRBS
+#: matrix cache below): the fused backend's channel-axis threads and
+#: the thread executor can hit these caches concurrently, and an
+#: unguarded ``move_to_end`` during a ``popitem`` eviction corrupts
+#: the OrderedDict. Templates themselves are immutable, so readers
+#: only need the lock around the dict operations.
+_cache_lock = threading.Lock()
+
 
 def edge_window(t20_80: float, dt: float) -> float:
     """Half-width of the per-edge evaluation window in ps."""
@@ -105,14 +114,19 @@ def edge_template(shape: EdgeShape, t20_80: float, dt: float,
     """The cached oversampled template for one edge configuration.
 
     Templates are immutable and shared; the cache is LRU-bounded at
-    ``_TEMPLATE_CACHE_MAX`` entries. When *tel* (a telemetry
+    ``_TEMPLATE_CACHE_MAX`` entries and thread-safe (lookups,
+    inserts, and evictions hold a lock; concurrent misses on the
+    same key may both build, but the builds are identical and the
+    second insert wins harmlessly). When *tel* (a telemetry
     registry) is given, lookups tally ``nrz.template_cache.hits`` /
     ``nrz.template_cache.misses``.
     """
     key = (shape, float(t20_80), float(dt))
-    tmpl = _template_cache.get(key)
+    with _cache_lock:
+        tmpl = _template_cache.get(key)
+        if tmpl is not None:
+            _template_cache.move_to_end(key)
     if tmpl is not None:
-        _template_cache.move_to_end(key)
         if tel is not None:
             tel.counter("nrz.template_cache.hits").inc()
         return tmpl
@@ -137,20 +151,23 @@ def edge_template(shape: EdgeShape, t20_80: float, dt: float,
     tmpl = EdgeTemplate(shape=shape, t20_80=float(t20_80), dt=float(dt),
                         window=window, x0=x0, sub_dt=sub_dt,
                         values=values)
-    _template_cache[key] = tmpl
-    while len(_template_cache) > _TEMPLATE_CACHE_MAX:
-        _template_cache.popitem(last=False)
+    with _cache_lock:
+        _template_cache[key] = tmpl
+        while len(_template_cache) > _TEMPLATE_CACHE_MAX:
+            _template_cache.popitem(last=False)
     return tmpl
 
 
 def clear_template_cache() -> None:
     """Drop every cached template (tests and memory control)."""
-    _template_cache.clear()
+    with _cache_lock:
+        _template_cache.clear()
 
 
 def template_cache_size() -> int:
     """Number of currently cached edge templates."""
-    return len(_template_cache)
+    with _cache_lock:
+        return len(_template_cache)
 
 
 def render_nrz(n: int, t_start: float, dt: float, base: float,
@@ -364,10 +381,12 @@ def prbs_bits_blockwise(order: int, length: int, seed: int,
         return np.empty(0, dtype=np.uint8)
     block = max(block, order)
     key = (order, tap_a, tap_b, block)
-    mats = _prbs_matrix_cache.get(key)
+    with _cache_lock:
+        mats = _prbs_matrix_cache.get(key)
     if mats is None:
-        mats = _prbs_matrix_cache[key] = _prbs_block_matrices(
-            order, tap_a, tap_b, block)
+        mats = _prbs_block_matrices(order, tap_a, tap_b, block)
+        with _cache_lock:
+            _prbs_matrix_cache[key] = mats
     out_mat, adv_mat = mats
     state = np.array([(seed >> j) & 1 for j in range(order)],
                      dtype=np.float32)

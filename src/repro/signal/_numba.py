@@ -1,0 +1,232 @@
+"""The optional ``numba`` kernel backend.
+
+``@njit(parallel=True)`` loop kernels for the render, density
+binning, and PRBS ops; the scipy-bound ops (SOS filtering, the
+Gaussian-smoothed coupling mix) inherit the ``fused`` NumPy
+implementations. numba is imported lazily on first use, so this
+module always imports and registers — ``available()`` reports
+whether the backend can actually run, and selection of an
+unavailable backend raises (tests auto-skip).
+
+Every jitted kernel replicates the reference implementation's
+arithmetic *order*, not just its math: the render accumulates
+per-bin window contributions in the same edge-major order as the
+reference ``bincount``, the density binning reproduces
+``histogramdd``'s ``side='right'`` / rightmost-edge-inclusive
+convention, and the PRBS is the scalar Fibonacci LFSR the blockwise
+generator is property-tested against — so the golden equivalence
+suites gate this backend at full bit-identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.signal import _kernels
+from repro.signal._fused import FusedKernelBackend
+from repro.signal.edges import EdgeShape
+
+_jitted = None
+_import_failed = False
+
+
+def _compile():
+    """Build (once) and return the jitted kernel table."""
+    global _jitted, _import_failed
+    if _jitted is not None:
+        return _jitted
+    import numba  # noqa: F401  (ImportError propagates to caller)
+    njit = numba.njit
+    prange = numba.prange
+
+    @njit(cache=False, inline="always")
+    def _profile_scalar(tau, mode, t20_80, lin_denom, tmpl_values,
+                        tmpl_x0, tmpl_sub_dt):
+        # mode 0: instantaneous step; 1: linear ramp; 2: template.
+        if mode == 0:
+            return 1.0 if tau >= 0.0 else 0.0
+        if mode == 1:
+            p = tau / lin_denom + 0.5
+            if p < 0.0:
+                return 0.0
+            if p > 1.0:
+                return 1.0
+            return p
+        pos = (tau - tmpl_x0) / tmpl_sub_dt
+        k = np.int64(pos)
+        if k < 0:
+            k = 0
+        kmax = tmpl_values.shape[0] - 2
+        if k > kmax:
+            k = kmax
+        frac = pos - k
+        lo = tmpl_values[k]
+        return lo + frac * (tmpl_values[k + 1] - lo)
+
+    @njit(parallel=True, cache=False)
+    def render(v, n, t_start, dt, window, edge_amp, times,
+               edge_starts, mode, t20_80, lin_denom, tmpl_values,
+               tmpl_x0, tmpl_sub_dt):
+        n_channels = v.shape[0]
+        for r in prange(n_channels):
+            steps = np.zeros(n + 1, dtype=np.float64)
+            acc = np.zeros(n, dtype=np.float64)
+            for e in range(edge_starts[r], edge_starts[r + 1]):
+                t = times[e]
+                amp = edge_amp[e]
+                i0 = np.int64((t - window - t_start) / dt)
+                i1 = np.int64((t + window - t_start) / dt) + 2
+                if i0 < 0:
+                    i0 = 0
+                if i0 > n:
+                    i0 = n
+                if i1 < i0:
+                    i1 = i0
+                if i1 > n:
+                    i1 = n
+                steps[i1] += amp
+                for idx in range(i0, i1):
+                    tau = (t_start + dt * idx) - t
+                    acc[idx] += amp * _profile_scalar(
+                        tau, mode, t20_80, lin_denom, tmpl_values,
+                        tmpl_x0, tmpl_sub_dt)
+            run = 0.0
+            for j in range(n):
+                run += steps[j]
+                v[r, j] = (v[r, j] + run) + acc[j]
+
+    @njit(parallel=True, cache=False)
+    def density(values, tb, v_edges, nt, nv):
+        c, n = values.shape
+        counts = np.zeros((c, nt, nv), dtype=np.int64)
+        v_top = v_edges[nv]
+        for r in prange(c):
+            for i in range(n):
+                t = tb[i]
+                if t < 1 or t > nt:
+                    continue
+                val = values[r, i]
+                # bisect_right over v_edges (histogramdd convention),
+                # rightmost edge inclusive.
+                lo = 0
+                hi = nv + 1
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if v_edges[mid] <= val:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                vb = lo
+                if val == v_top:
+                    vb -= 1
+                if vb < 1 or vb > nv:
+                    continue
+                counts[r, t - 1, vb - 1] += 1
+        return counts
+
+    @njit(parallel=True, cache=False)
+    def prbs(order, length, seeds, tap_a, tap_b):
+        n_seeds = seeds.shape[0]
+        out = np.empty((n_seeds, length), dtype=np.uint8)
+        mask = (np.int64(1) << order) - 1
+        sa = tap_a - 1
+        sb = tap_b - 1
+        for s in prange(n_seeds):
+            state = seeds[s]
+            for i in range(length):
+                bit = ((state >> sa) ^ (state >> sb)) & 1
+                state = ((state << 1) | bit) & mask
+                out[s, i] = np.uint8(bit)
+        return out
+
+    _jitted = {"render": render, "density": density, "prbs": prbs}
+    return _jitted
+
+
+class NumbaKernelBackend(FusedKernelBackend):
+    """``@njit(parallel=True)`` kernels; requires numba at runtime."""
+
+    name = "numba"
+
+    def available(self) -> bool:
+        global _import_failed
+        if _jitted is not None:
+            return True
+        if _import_failed:
+            return False
+        try:
+            import numba  # noqa: F401
+        except Exception:
+            _import_failed = True
+            return False
+        return True
+
+    def render_nrz_batch(self, n_channels, n, t_start, dt, base, swing,
+                         times, directions, rows, t20_80, shape,
+                         tel=None) -> np.ndarray:
+        k = _compile()
+        base = np.asarray(base, dtype=np.float64)
+        v = np.empty((n_channels, n), dtype=np.float64)
+        if v.size:
+            v[:] = base[:, None]
+        times = np.asarray(times, dtype=np.float64)
+        if len(times) == 0 or n == 0:
+            return v
+        directions = np.asarray(directions, dtype=np.float64)
+        rows = np.asarray(rows, dtype=np.int64)
+        swing_row = np.broadcast_to(
+            np.asarray(swing, dtype=np.float64), (n_channels,))
+        edge_amp = np.ascontiguousarray(directions * swing_row[rows])
+        window = _kernels.edge_window(t20_80, dt)
+        # rows is row-major sorted: per-row edge spans by bisection.
+        edge_starts = np.searchsorted(
+            rows, np.arange(n_channels + 1)).astype(np.int64)
+        if t20_80 == 0.0:
+            mode, lin_denom = 0, 1.0
+            tmpl_values = np.zeros(2, dtype=np.float64)
+            tmpl_x0 = tmpl_sub_dt = 1.0
+        elif shape is EdgeShape.LINEAR:
+            mode, lin_denom = 1, t20_80 / 0.6
+            tmpl_values = np.zeros(2, dtype=np.float64)
+            tmpl_x0 = tmpl_sub_dt = 1.0
+        else:
+            mode, lin_denom = 2, 1.0
+            tmpl = _kernels.edge_template(shape, t20_80, dt, tel=tel)
+            tmpl_values = np.ascontiguousarray(tmpl.values,
+                                               dtype=np.float64)
+            tmpl_x0, tmpl_sub_dt = tmpl.x0, tmpl.sub_dt
+        k["render"](v, n, float(t_start), float(dt), float(window),
+                    edge_amp, np.ascontiguousarray(times),
+                    edge_starts, mode, float(t20_80),
+                    float(lin_denom), tmpl_values, float(tmpl_x0),
+                    float(tmpl_sub_dt))
+        return v
+
+    def density_bin(self, phases, values, t_edges, v_edges):
+        k = _compile()
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        c, n = values.shape
+        nt = len(t_edges) - 1
+        nv = len(v_edges) - 1
+        if c == 0 or n == 0:
+            return np.zeros((c, nt, nv), dtype=np.int64)
+        phases = np.asarray(phases, dtype=np.float64)
+        tb = np.searchsorted(t_edges, phases, side="right")
+        tb[phases == t_edges[-1]] -= 1
+        return k["density"](
+            values, tb.astype(np.int64),
+            np.ascontiguousarray(v_edges, dtype=np.float64), nt, nv)
+
+    def prbs_blockwise(self, order, length, seed, tap_a, tap_b,
+                       block=None):
+        k = _compile()
+        if isinstance(seed, (int, np.integer)):
+            seeds = np.array([int(seed)], dtype=np.int64)
+            single = True
+        else:
+            seeds = np.array([int(s) for s in seed], dtype=np.int64)
+            single = False
+            if not len(seeds):
+                return np.empty((0, length), dtype=np.uint8)
+        out = k["prbs"](order, length, seeds, tap_a, tap_b)
+        return out[0] if single else out

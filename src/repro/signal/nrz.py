@@ -13,7 +13,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.errors import ConfigurationError
-from repro.signal import _kernels
+from repro.signal import _backend, _kernels
 from repro.signal.edges import EdgeShape
 from repro.signal.jitter import JitterModel
 from repro.signal.waveform import Waveform, WaveformBatch
@@ -154,8 +154,9 @@ class NRZEncoder:
         """Render a ``(channels, n_bits)`` bit block as a batch.
 
         The batched counterpart of :meth:`encode`: every channel is
-        rendered through one flattened kernel pass
-        (:func:`repro.signal._kernels.render_nrz_batch`) sharing a
+        rendered through one flattened kernel pass (the
+        ``render_nrz_batch`` op of the active
+        :class:`repro.signal._backend.KernelBackend`) sharing a
         single edge template, with no per-channel Python loop. The
         output is *bit-identical* per row to calling :meth:`encode`
         on each channel when *jitter* is None; with a jitter model
@@ -214,12 +215,14 @@ class NRZEncoder:
                              tokens=keys)
 
     def _edge_times_batch(
-            self, bits: np.ndarray
+            self, bits: np.ndarray, need_history: bool = True
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Flattened ``(times, directions, history, rows)`` for a block.
 
         Row-major edge order, matching per-row
-        :meth:`edge_times_and_directions` output exactly.
+        :meth:`edge_times_and_directions` output exactly. History
+        codes are only consumed by jitter models; *need_history*
+        False skips their gather and returns zeros.
         """
         if bits.shape[1] < 2:
             return (np.empty(0, dtype=np.float64),
@@ -231,12 +234,13 @@ class NRZEncoder:
         directions = np.where(bits[rows, change + 1] > bits[rows, change],
                               1.0, -1.0)
         history = np.zeros(len(change), dtype=np.int64)
-        for k in range(4):
-            idx = change - k
-            valid = idx >= 0
-            vals = np.zeros(len(change), dtype=np.int64)
-            vals[valid] = bits[rows[valid], idx[valid]]
-            history |= vals << k
+        if need_history:
+            for k in range(4):
+                idx = change - k
+                valid = idx >= 0
+                vals = np.zeros(len(change), dtype=np.int64)
+                vals[valid] = bits[rows[valid], idx[valid]]
+                history |= vals << k
         return times, directions, history, rows.astype(np.int64)
 
     def _encode_batch_impl(self, bits: np.ndarray,
@@ -252,7 +256,8 @@ class NRZEncoder:
             n = int(round((t_stop - t_start) / self.dt)) + 1
 
             times, directions, history, rows = \
-                self._edge_times_batch(bits)
+                self._edge_times_batch(bits,
+                                       need_history=jitter is not None)
             if jitter is not None and len(times):
                 times = times + jitter.offsets(times, directions,
                                                history, rng)
@@ -260,7 +265,8 @@ class NRZEncoder:
             swing = self.v_high - self.v_low
             base = self.v_low + swing * bits[:, 0].astype(np.float64) \
                 if len(bits) else np.empty(0, dtype=np.float64)
-            v = _kernels.render_nrz_batch(
+            render = _backend.dispatch("render_nrz_batch", tel)
+            v = render(
                 len(bits), n, t_start, self.dt, base=base, swing=swing,
                 times=times, directions=directions, rows=rows,
                 t20_80=self.t20_80, shape=self.shape, tel=tel,

@@ -73,19 +73,45 @@ def prbs_bits(order: int, length: int, seed: int = 1,
     """
     _check_prbs_args(order, length, seed)
     from repro import cache as _cache
-    from repro.signal import _kernels
+    from repro import telemetry
+    from repro.signal import _backend
 
     tap_a, tap_b = PRBS_POLYNOMIALS[order]
+    generate = _backend.dispatch("prbs_blockwise",
+                                 telemetry.resolve(None))
     store = _cache.resolve(cache)
     if store.enabled:
+        # Keys never depend on the active backend (every backend is
+        # bit-exact), so cached streams stay shared across backends.
         key = _cache.canonical_digest("prbs_bits", order, length, seed)
         return store.get_or_compute(
-            key,
-            lambda: _kernels.prbs_bits_blockwise(order, length, seed,
-                                                 tap_a, tap_b),
+            key, lambda: generate(order, length, seed, tap_a, tap_b),
         )
-    return _kernels.prbs_bits_blockwise(order, length, seed,
-                                        tap_a, tap_b)
+    return generate(order, length, seed, tap_a, tap_b)
+
+
+def prbs_bits_batch(order: int, length: int,
+                    seeds: Sequence[int]) -> np.ndarray:
+    """A ``(len(seeds), length)`` block of PRBS-*order* streams.
+
+    Row *k* is bit-exact ``prbs_bits(order, length, seeds[k])`` —
+    the batched entry point simply hands all seeds to the active
+    kernel backend at once (the ``fused`` backend advances every
+    state through one matrix product per block instead of one per
+    seed). Combine with :func:`prbs_shard_states` to tile one
+    serial stream across rows.
+    """
+    seeds = [int(s) for s in seeds]
+    _check_prbs_args(order, length, 1)  # order/length, even seedless
+    for s in seeds:
+        _check_prbs_args(order, length, s)
+    from repro import telemetry
+    from repro.signal import _backend
+
+    tap_a, tap_b = PRBS_POLYNOMIALS[order]
+    generate = _backend.dispatch("prbs_blockwise",
+                                 telemetry.resolve(None))
+    return generate(order, length, seeds, tap_a, tap_b)
 
 
 def prbs_bits_scalar(order: int, length: int, seed: int = 1) -> np.ndarray:

@@ -44,11 +44,30 @@ from repro.optics.wdm import (
     stack_channels,
     unstack_channels,
 )
+from repro.signal import _backend
 from repro.signal.edges import EdgeShape
 from repro.signal.jitter import JitterBudget
 from repro.signal.nrz import NRZEncoder
 from repro.signal.prbs import prbs_bits
 from repro.signal.waveform import Waveform, WaveformBatch
+
+
+@pytest.fixture(
+    scope="module", autouse=True,
+    params=_backend.registered_kernel_backends(),
+)
+def _kernel_backend(request):
+    """Run the whole batched-vs-scalar suite once per registered
+    array-ops backend: batched stages must match the per-channel
+    reference loops (and share cache keys with them) no matter
+    which backend executes the batched side. Module-scoped so
+    hypothesis ``@given`` tests can share it."""
+    backend = _backend.get_kernel_backend(request.param)
+    if not backend.available():
+        pytest.skip(f"kernel backend {request.param!r} unavailable")
+    with _backend.use_kernel_backend(request.param):
+        yield request.param
+
 
 # -- strategies -----------------------------------------------------------
 

@@ -1,0 +1,291 @@
+"""Contract tests for the pluggable array-ops backend seam.
+
+The seam (``repro.signal._backend``) mirrors the executor backend
+registry: registration validates the ops table, unknown names raise
+listing what *is* registered, selection scopes nest and restore, and
+an unavailable backend is a hard error rather than a silent
+fallback. Cache keys never depend on the active backend — a store
+warmed under one backend must hit under another — and every dispatch
+tallies a per-backend, per-op telemetry counter.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.cache import ArtifactCache
+from repro.errors import ConfigurationError
+from repro.signal import (
+    KernelBackend,
+    NRZEncoder,
+    prbs_bits,
+    prbs_bits_batch,
+    register_kernel_backend,
+    registered_kernel_backends,
+    use_kernel_backend,
+)
+from repro.signal import _backend, _kernels
+from repro.signal.edges import EdgeShape
+from repro.signal.prbs import prbs_bits_scalar
+from repro.telemetry import Registry
+
+
+# -- registry contract ----------------------------------------------------
+
+
+def test_builtin_backends_registered():
+    names = registered_kernel_backends()
+    assert "numpy" in names
+    assert "fused" in names
+    assert "numba" in names
+    assert names == tuple(sorted(names))
+
+
+def test_unknown_backend_lists_registered_names():
+    with pytest.raises(ConfigurationError) as err:
+        _backend.get_kernel_backend("cuda")
+    msg = str(err.value)
+    assert "unknown kernel backend 'cuda'" in msg
+    for name in registered_kernel_backends():
+        assert name in msg
+
+
+def test_register_rejects_empty_name():
+    class Nameless(KernelBackend):
+        name = ""
+
+    with pytest.raises(ConfigurationError, match="non-empty string"):
+        register_kernel_backend(Nameless())
+
+
+def test_register_rejects_missing_op():
+    class Partial(KernelBackend):
+        name = "partial"
+        render_nrz_batch = None
+
+    with pytest.raises(ConfigurationError,
+                       match="must implement 'render_nrz_batch'"):
+        register_kernel_backend(Partial())
+
+
+def test_register_rejects_duplicate_without_replace(monkeypatch):
+    monkeypatch.setattr(_backend, "_KERNEL_REGISTRY",
+                        dict(_backend._KERNEL_REGISTRY))
+    backend = _backend.get_kernel_backend("numpy")
+    with pytest.raises(ConfigurationError, match="replace=True"):
+        register_kernel_backend(type(backend)())
+    register_kernel_backend(type(backend)(), replace=True)
+    assert _backend.get_kernel_backend("numpy") is not backend
+
+
+def test_third_party_backend_plugs_in(monkeypatch):
+    monkeypatch.setattr(_backend, "_KERNEL_REGISTRY",
+                        dict(_backend._KERNEL_REGISTRY))
+
+    class Plugin(_backend.NumpyKernelBackend):
+        name = "plugin"
+
+    register_kernel_backend(Plugin())
+    assert "plugin" in registered_kernel_backends()
+    with use_kernel_backend("plugin") as active:
+        assert _backend.active_kernel_backend() is active
+        bits = prbs_bits(7, 64)
+    assert np.array_equal(bits, prbs_bits_scalar(7, 64))
+
+
+# -- selection ------------------------------------------------------------
+
+
+def test_default_backend_is_numpy(monkeypatch):
+    monkeypatch.delenv(_backend.ENV_VAR, raising=False)
+    assert _backend.active_kernel_backend().name == "numpy"
+
+
+def test_env_var_overrides_default(monkeypatch):
+    monkeypatch.setenv(_backend.ENV_VAR, "fused")
+    assert _backend.active_kernel_backend().name == "fused"
+
+
+def test_env_var_unknown_name_raises(monkeypatch):
+    monkeypatch.setenv(_backend.ENV_VAR, "warp-drive")
+    with pytest.raises(ConfigurationError, match="warp-drive"):
+        _backend.active_kernel_backend()
+
+
+def test_scope_wins_over_env_and_restores(monkeypatch):
+    monkeypatch.setenv(_backend.ENV_VAR, "fused")
+    with use_kernel_backend("numpy"):
+        assert _backend.active_kernel_backend().name == "numpy"
+    assert _backend.active_kernel_backend().name == "fused"
+
+
+def test_scopes_nest_and_survive_exceptions():
+    with use_kernel_backend("fused"):
+        with use_kernel_backend("numpy"):
+            assert _backend.active_kernel_backend().name == "numpy"
+        assert _backend.active_kernel_backend().name == "fused"
+        with pytest.raises(RuntimeError):
+            with use_kernel_backend("numpy"):
+                raise RuntimeError("boom")
+        assert _backend.active_kernel_backend().name == "fused"
+    assert _backend.active_kernel_backend().name == "numpy"
+
+
+def test_unavailable_backend_never_silently_falls_back(monkeypatch):
+    monkeypatch.setattr(_backend, "_KERNEL_REGISTRY",
+                        dict(_backend._KERNEL_REGISTRY))
+
+    class Absent(_backend.NumpyKernelBackend):
+        name = "absent"
+
+        def available(self):
+            return False
+
+    register_kernel_backend(Absent())
+    with pytest.raises(ConfigurationError, match="not.*available"):
+        with use_kernel_backend("absent"):
+            pass  # pragma: no cover
+
+
+def test_numba_selection_matches_availability():
+    backend = _backend.get_kernel_backend("numba")
+    if backend.available():
+        with use_kernel_backend("numba") as active:
+            assert active is backend
+    else:
+        with pytest.raises(ConfigurationError, match="numba"):
+            with use_kernel_backend("numba"):
+                pass  # pragma: no cover
+
+
+# -- telemetry ------------------------------------------------------------
+
+
+def test_dispatch_tallies_per_backend_counters():
+    reg = Registry()
+    bits = np.zeros((2, 16), dtype=np.uint8)
+    enc = NRZEncoder(10.0, t20_80=30.0, dt=25.0)
+    with telemetry.use_registry(reg):
+        with use_kernel_backend("fused"):
+            enc.encode_batch(bits)
+            prbs_bits(7, 32)
+    snapshot = reg.to_dict()["counters"]
+    assert snapshot["kernels.backend.fused.render_nrz_batch"] == 1
+    assert snapshot["kernels.backend.fused.prbs_blockwise"] == 1
+    assert "kernels.backend.numpy.render_nrz_batch" not in snapshot
+
+
+# -- cache-key stability across backends ----------------------------------
+
+
+def test_cache_keys_identical_across_backends():
+    from repro import cache as artifact_cache
+
+    store = ArtifactCache()
+    with artifact_cache.use_cache(store):
+        with use_kernel_backend("numpy"):
+            cold = prbs_bits(15, 512, seed=33, cache=store)
+        misses = store.stats()["misses"]
+        with use_kernel_backend("fused"):
+            warm = prbs_bits(15, 512, seed=33, cache=store)
+    assert np.array_equal(cold, warm)
+    # Byte-identical keys: the fused run must hit the numpy entry.
+    assert store.stats()["misses"] == misses
+    assert store.stats()["hits"] >= 1
+
+
+def test_batch_cache_warm_flows_between_backends():
+    from repro import cache as artifact_cache
+
+    bits = np.array([prbs_bits_scalar(7, 48, seed=s)
+                     for s in (1, 9, 77)])
+    enc = NRZEncoder(10.0, t20_80=30.0, dt=25.0)
+    store = ArtifactCache()
+    with artifact_cache.use_cache(store):
+        with use_kernel_backend("fused"):
+            block_f = enc.encode_batch(bits, cache=store)
+        misses = store.stats()["misses"]
+        with use_kernel_backend("numpy"):
+            block_n = enc.encode_batch(bits, cache=store)
+    assert store.stats()["misses"] == misses
+    assert np.array_equal(block_f.values, block_n.values)
+
+
+# -- threaded fused path --------------------------------------------------
+
+
+def test_fused_threaded_render_is_bit_identical(monkeypatch):
+    rng = np.random.default_rng(7)
+    bits = rng.integers(0, 2, size=(32, 96), dtype=np.uint8)
+    enc = NRZEncoder(10.0, v_low=-0.4, v_high=0.4, t20_80=72.0,
+                     dt=25.0)
+    with use_kernel_backend("numpy"):
+        ref = enc.encode_batch(bits).values
+    monkeypatch.setenv("REPRO_KERNEL_THREADS", "4")
+    with use_kernel_backend("fused"):
+        got = enc.encode_batch(bits).values
+    assert np.array_equal(ref, got)
+
+
+def test_template_cache_safe_under_concurrency():
+    _kernels.clear_template_cache()
+    errors = []
+
+    def hammer(seed):
+        rng = np.random.default_rng(seed)
+        try:
+            for i in range(200):
+                t20_80 = float(rng.integers(20, 28))
+                _kernels.edge_template(EdgeShape.ERF, t20_80, 25.0)
+                if i % 50 == 17:
+                    _kernels.clear_template_cache()
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(s,))
+               for s in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert (_kernels.template_cache_size()
+            <= _kernels._TEMPLATE_CACHE_MAX)
+
+
+# -- batched PRBS entry point ---------------------------------------------
+
+
+def test_prbs_bits_batch_rows_match_serial():
+    seeds = [1, 5, 130, (1 << 15) - 1]
+    block = prbs_bits_batch(15, 200, seeds)
+    assert block.shape == (4, 200)
+    assert block.dtype == np.uint8
+    for row, seed in zip(block, seeds):
+        assert np.array_equal(row, prbs_bits_scalar(15, 200, seed))
+
+
+def test_prbs_bits_batch_empty_seeds():
+    block = prbs_bits_batch(7, 100, [])
+    assert block.shape == (0, 100)
+    assert block.dtype == np.uint8
+
+
+def test_prbs_bits_batch_validates_like_serial():
+    with pytest.raises(ConfigurationError, match="unsupported"):
+        prbs_bits_batch(8, 10, [1])
+    with pytest.raises(ConfigurationError, match="seed"):
+        prbs_bits_batch(7, 10, [1, 0])
+    with pytest.raises(ConfigurationError, match="seed"):
+        prbs_bits_batch(7, 10, [1 << 7])
+
+
+def test_prbs_batch_identical_across_backends():
+    seeds = list(range(1, 20))
+    with use_kernel_backend("numpy"):
+        a = prbs_bits_batch(23, 333, seeds)
+    with use_kernel_backend("fused"):
+        b = prbs_bits_batch(23, 333, seeds)
+    assert np.array_equal(a, b)

@@ -31,7 +31,7 @@ from repro.eye.bathtub import (
     bathtub_curve,
     empirical_bathtub,
 )
-from repro.signal import _kernels
+from repro.signal import _backend, _kernels
 from repro.signal.edges import EdgeShape, edge_profile
 from repro.signal.jitter import JitterBudget
 from repro.signal.nrz import NRZEncoder
@@ -47,6 +47,23 @@ from repro.vortex.node import RoutingDecision, RoutingNode
 from repro.vortex.routing import at_destination, wants_descent
 from repro.vortex.stats import FabricStats
 from repro.vortex.topology import NodeAddress, VortexTopology
+
+
+@pytest.fixture(
+    scope="module", autouse=True,
+    params=_backend.registered_kernel_backends(),
+)
+def _kernel_backend(request):
+    """Run the whole golden suite once per registered array-ops
+    backend — every scalar-reference check must hold regardless of
+    which backend computes the vectorized side. Module-scoped so
+    hypothesis ``@given`` tests can share it."""
+    backend = _backend.get_kernel_backend(request.param)
+    if not backend.available():
+        pytest.skip(f"kernel backend {request.param!r} unavailable")
+    with _backend.use_kernel_backend(request.param):
+        yield request.param
+
 
 # ---------------------------------------------------------------------------
 # Reference implementations (the pre-vectorization kernels)
