@@ -194,15 +194,28 @@ def test_batched_pipeline_fused_throughput(benchmark):
     assert int(np.asarray(acc.grid).sum()) > 0
 
 
-def test_batched_pipeline_backend_floor():
+def test_batched_pipeline_backend_floor(monkeypatch):
     """The ``fused`` backend must hold >= 2x over ``numpy`` on the
     64-channel batched pipeline (the optimization this PR's seam
     ships; measured ~2.5x at recording time). min-of-N timing so a
     single scheduler hiccup cannot fail the gate.
+
+    Part of the fused margin rides on channel-axis threading, so the
+    gate skips on runners with fewer than 4 CPUs (a contended 2-core
+    runner can dip below 2x with no regression) and pins
+    ``REPRO_KERNEL_THREADS`` so the measurement does not drift with
+    ambient environment.
     """
+    import os as _os
     import time as _time
 
     from repro.signal import use_kernel_backend
+
+    n_cpus = _os.cpu_count() or 1
+    if n_cpus < 4:
+        pytest.skip(f"fused-vs-numpy floor needs >= 4 CPUs for the "
+                    f"channel-axis threading margin (have {n_cpus})")
+    monkeypatch.setenv("REPRO_KERNEL_THREADS", "4")
 
     def best(backend_name, rounds=9):
         pipeline = _backend_pipeline()

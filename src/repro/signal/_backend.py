@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import threading
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -237,8 +238,16 @@ _KERNEL_REGISTRY: Dict[str, KernelBackend] = {}
 
 #: :func:`use_kernel_backend` override stack (innermost last).
 #: Process-wide by design: a scope set in the orchestrating thread
-#: governs worker threads the fused backend spawns.
-_OVERRIDE_STACK: List[str] = []
+#: governs worker threads the fused backend spawns. Each entry is a
+#: single-element list ``[name]`` unique to one scope, so exit can
+#: remove *its own* entry by identity even when scopes from
+#: different threads interleave.
+_OVERRIDE_STACK: List[List[str]] = []
+
+#: Serializes stack mutation (scope enter/exit). Reads take an
+#: atomic slice snapshot instead, keeping the dispatch path
+#: lock-free.
+_STACK_LOCK = threading.Lock()
 
 DEFAULT_BACKEND = "numpy"
 
@@ -297,11 +306,27 @@ def active_kernel_backend() -> KernelBackend:
     Resolution order: innermost :func:`use_kernel_backend` scope,
     then the ``REPRO_KERNEL_BACKEND`` environment variable, then
     ``"numpy"``.
+
+    Like the scope path, the env-var path raises
+    :class:`~repro.errors.ConfigurationError` when it names a
+    registered but unavailable backend (``REPRO_KERNEL_BACKEND=numba``
+    without numba installed) instead of surfacing a raw
+    ``ImportError`` from deep inside the first dispatched op.
     """
-    if _OVERRIDE_STACK:
-        return get_kernel_backend(_OVERRIDE_STACK[-1])
-    return get_kernel_backend(os.environ.get(ENV_VAR,
-                                             DEFAULT_BACKEND))
+    # Atomic snapshot of the top entry: another thread's scope exit
+    # cannot invalidate the index between the check and the read.
+    top = _OVERRIDE_STACK[-1:]
+    if top:
+        # Scope entry already validated availability.
+        return get_kernel_backend(top[0][0])
+    name = os.environ.get(ENV_VAR, DEFAULT_BACKEND)
+    backend = get_kernel_backend(name)
+    if not backend.available():
+        raise ConfigurationError(
+            f"kernel backend {name!r} (selected via {ENV_VAR}) is "
+            f"registered but not available in this environment"
+        )
+    return backend
 
 
 @contextlib.contextmanager
@@ -314,6 +339,12 @@ def use_kernel_backend(name: str):
     unavailable backend (numba without numba installed) raises
     :class:`~repro.errors.ConfigurationError` too, so a scope never
     silently falls back.
+
+    Exit removes the entry *this* scope pushed (by identity), not
+    whatever happens to sit on top, so scopes entered from different
+    threads can interleave without corrupting each other's
+    selections — though the innermost-wins resolution is still
+    process-wide, as documented on the stack itself.
     """
     backend = get_kernel_backend(name)
     if not backend.available():
@@ -321,11 +352,17 @@ def use_kernel_backend(name: str):
             f"kernel backend {name!r} is registered but not "
             f"available in this environment"
         )
-    _OVERRIDE_STACK.append(name)
+    entry = [name]
+    with _STACK_LOCK:
+        _OVERRIDE_STACK.append(entry)
     try:
         yield backend
     finally:
-        _OVERRIDE_STACK.pop()
+        with _STACK_LOCK:
+            for i in range(len(_OVERRIDE_STACK) - 1, -1, -1):
+                if _OVERRIDE_STACK[i] is entry:
+                    del _OVERRIDE_STACK[i]
+                    break
 
 
 def dispatch(op: str, tel=None):

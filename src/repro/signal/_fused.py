@@ -172,6 +172,10 @@ class FusedKernelBackend(NumpyKernelBackend):
         Accumulation order per bin matches the reference kernel's
         edge-major flattened bincount, so sums are bit-identical.
         """
+        if len(times) == 0:
+            # A chunk of constant-bit rows carries no edges; the rows
+            # already hold their base level.
+            return
         window = _kernels.edge_window(t20_80, dt)
         i0r = ((times - window - t_start) / dt).astype(np.int64)
         i1r = ((times + window - t_start) / dt).astype(np.int64) + 2

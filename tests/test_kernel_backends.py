@@ -114,6 +114,26 @@ def test_env_var_unknown_name_raises(monkeypatch):
         _backend.active_kernel_backend()
 
 
+def test_env_var_unavailable_backend_raises(monkeypatch):
+    """REPRO_KERNEL_BACKEND naming a registered-but-unavailable
+    backend must raise the same ConfigurationError the scope path
+    gives, not a raw ImportError from the first dispatched op."""
+    monkeypatch.setattr(_backend, "_KERNEL_REGISTRY",
+                        dict(_backend._KERNEL_REGISTRY))
+
+    class Absent(_backend.NumpyKernelBackend):
+        name = "absent-env"
+
+        def available(self):
+            return False
+
+    register_kernel_backend(Absent())
+    monkeypatch.setenv(_backend.ENV_VAR, "absent-env")
+    with pytest.raises(ConfigurationError,
+                       match="not available"):
+        _backend.active_kernel_backend()
+
+
 def test_scope_wins_over_env_and_restores(monkeypatch):
     monkeypatch.setenv(_backend.ENV_VAR, "fused")
     with use_kernel_backend("numpy"):
@@ -130,6 +150,51 @@ def test_scopes_nest_and_survive_exceptions():
             with use_kernel_backend("numpy"):
                 raise RuntimeError("boom")
         assert _backend.active_kernel_backend().name == "fused"
+    assert _backend.active_kernel_backend().name == "numpy"
+
+
+def test_interleaved_scope_exits_remove_own_entry():
+    """A scope exit removes the entry *it* pushed, not whatever sits
+    on top — the interleaving two threads produce when the first
+    scope entered is the first to exit."""
+    assert not _backend._OVERRIDE_STACK
+    a = use_kernel_backend("fused")
+    b = use_kernel_backend("numpy")
+    a.__enter__()
+    b.__enter__()
+    # Exit the outer scope first, as a second thread would; b's
+    # innermost selection must survive a's exit.
+    a.__exit__(None, None, None)
+    try:
+        assert _backend.active_kernel_backend().name == "numpy"
+    finally:
+        b.__exit__(None, None, None)
+    assert not _backend._OVERRIDE_STACK
+
+
+def test_concurrent_scopes_do_not_corrupt_stack(monkeypatch):
+    """Hammering scope enter/exit from many threads leaves the stack
+    empty and the default selection intact."""
+    monkeypatch.delenv(_backend.ENV_VAR, raising=False)
+    assert not _backend._OVERRIDE_STACK
+    errors = []
+
+    def churn(name):
+        try:
+            for _ in range(300):
+                with use_kernel_backend(name) as backend:
+                    assert backend.name == name
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=churn, args=(name,))
+               for name in ("numpy", "fused") * 4]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert not _backend._OVERRIDE_STACK
     assert _backend.active_kernel_backend().name == "numpy"
 
 
@@ -219,6 +284,28 @@ def test_batch_cache_warm_flows_between_backends():
 def test_fused_threaded_render_is_bit_identical(monkeypatch):
     rng = np.random.default_rng(7)
     bits = rng.integers(0, 2, size=(32, 96), dtype=np.uint8)
+    enc = NRZEncoder(10.0, v_low=-0.4, v_high=0.4, t20_80=72.0,
+                     dt=25.0)
+    with use_kernel_backend("numpy"):
+        ref = enc.encode_batch(bits).values
+    monkeypatch.setenv("REPRO_KERNEL_THREADS", "4")
+    with use_kernel_backend("fused"):
+        got = enc.encode_batch(bits).values
+    assert np.array_equal(ref, got)
+
+
+def test_fused_threaded_render_constant_bit_channels(monkeypatch):
+    """Threaded fused render with edge-free row chunks.
+
+    Constant-bit channels contribute zero edges; a contiguous row
+    chunk made entirely of them hands ``_render_rows`` empty edge
+    arrays, which must render the base level rather than crash on an
+    empty-array reduction. Edges only in rows 0-7 of 32 puts every
+    chunk past the first in that regime under 4 threads.
+    """
+    bits = np.zeros((32, 64), dtype=np.uint8)
+    rng = np.random.default_rng(11)
+    bits[:8] = rng.integers(0, 2, size=(8, 64), dtype=np.uint8)
     enc = NRZEncoder(10.0, v_low=-0.4, v_high=0.4, t20_80=72.0,
                      dt=25.0)
     with use_kernel_backend("numpy"):
